@@ -1,0 +1,112 @@
+//===- bench/BenchCaseReorder.cpp - Figures 5-8: case clause reordering ---===//
+//
+// Regenerates the Section 6.1 case study: the Figure 5 character-class
+// parser, baseline source order vs profile-guided clause order, across
+// input mixes. Expected shape: the profile-guided build wins whenever
+// the hot class is not already first in source order, and the win is
+// largest when the hot clause is the last one (digits: a 10-element
+// membership test that baseline evaluates first).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace pgmp;
+using namespace pgmp::bench;
+
+namespace {
+
+const char *Parser =
+    "(define ws 0) (define dg 0) (define sp 0) (define ep 0) (define ot 0)\n"
+    "(define (parse c)\n"
+    "  (case c\n"
+    "    [(#\\space #\\tab) (set! ws (+ ws 1))]\n"
+    "    [(#\\0 #\\1 #\\2 #\\3 #\\4 #\\5 #\\6 #\\7 #\\8 #\\9)"
+    " (set! dg (+ dg 1))]\n"
+    "    [(#\\() (set! sp (+ sp 1))]\n"
+    "    [(#\\)) (set! ep (+ ep 1))]\n"
+    "    [else (set! ot (+ ot 1))]))\n"
+    "(define (parse-string s) (for-each parse (string->list s)))\n";
+
+/// Workload mixes, in percent {ws, dg, sp, ep, other}.
+struct Mix {
+  const char *Name;
+  int Ws, Dg, Sp, Ep;
+};
+const Mix Mixes[] = {
+    {"paper-fig8", 50, 9, 20, 21},  // the paper's 55/10/23/23 shape
+    {"paren-heavy", 5, 5, 45, 44},
+    {"digit-heavy", 5, 85, 5, 4},
+    {"uniform", 25, 25, 25, 24},
+};
+
+std::string makeStream(const Mix &M, size_t Len, uint64_t Seed) {
+  Rng R(Seed);
+  std::string Out;
+  Out.reserve(Len);
+  for (size_t I = 0; I < Len; ++I) {
+    uint64_t Roll = R.below(100);
+    if (Roll < static_cast<uint64_t>(M.Ws))
+      Out += ' ';
+    else if (Roll < static_cast<uint64_t>(M.Ws + M.Dg))
+      Out += static_cast<char>('0' + R.below(10));
+    else if (Roll < static_cast<uint64_t>(M.Ws + M.Dg + M.Sp))
+      Out += '(';
+    else if (Roll < static_cast<uint64_t>(M.Ws + M.Dg + M.Sp + M.Ep))
+      Out += ')';
+    else
+      Out += 'x';
+  }
+  return Out;
+}
+
+void setupParser(Engine &E) {
+  requireLib(E, "exclusive-cond");
+  requireLib(E, "pgmp-case");
+  requireEval(E, Parser, "parser.scm");
+}
+
+void BM_CaseParse(benchmark::State &State) {
+  const Mix &M = Mixes[State.range(0)];
+  bool Optimized = State.range(1) != 0;
+  std::string Path = profilePath("case");
+
+  {
+    // Train in both configurations (identical process state); only the
+    // optimized build loads the profile.
+    Engine Trainer;
+    Trainer.setInstrumentation(true);
+    setupParser(Trainer);
+    Value Str = Trainer.context().TheHeap.string(makeStream(M, 4000, 1));
+    Value Args[1] = {Str};
+    Trainer.context().apply(
+        *Trainer.context().globalCell(
+            Trainer.context().Symbols.intern("parse-string")),
+        Args, 1);
+    require(Trainer.storeProfile(Path), "storing profile");
+  }
+
+  Engine E;
+  if (Optimized)
+    require(E.loadProfile(Path), "loading profile");
+  setupParser(E);
+  Value Stream = E.context().TheHeap.string(makeStream(M, 4000, 2));
+  Value *Fn =
+      E.context().globalCell(E.context().Symbols.intern("parse-string"));
+  for (auto _ : State) {
+    Value Args[1] = {Stream};
+    benchmark::DoNotOptimize(E.context().apply(*Fn, Args, 1));
+  }
+  State.SetLabel(std::string(M.Name) +
+                 (Optimized ? "/profile-guided" : "/baseline"));
+  State.SetItemsProcessed(State.iterations() * 4000);
+}
+
+} // namespace
+
+BENCHMARK(BM_CaseParse)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->ArgNames({"mix", "opt"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+//===- bench/BenchDatastructs.cpp - Figures 13-14 -------------------------===//
+//
+// Data-structure specialization: a workload that mixes sequential walks
+// (fast on lists) with random access (fast on vectors), swept over the
+// random-access share. Three builds:
+//   mode 0  profiled-seq without profile data (always list-backed)
+//   mode 1  profiled-seq with profile data (auto-specializes per profile)
+//   mode 2  plain list baseline (no profiling layer at all)
+// Expected shape: mode 1 tracks the better representation on both ends
+// of the sweep; the crossover sits where list walks stop dominating.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace pgmp;
+using namespace pgmp::bench;
+
+namespace {
+
+const char *SeqProgram =
+    "(define s (profiled-seq 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16))\n"
+    "(define (walk-sum)\n"
+    "  (let loop ([t s] [acc 0])\n"
+    "    (if (seq-empty? t) acc (loop (seq-rest t) (+ acc (seq-first t))))))\n"
+    "(define (ref-sum k)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i k) acc"
+    " (loop (+ i 1) (+ acc (seq-ref s (modulo (* i 7) 16)))))))\n"
+    // pct-ref percent of iterations do random access; rest walk.
+    "(define (mixed-work n pct-ref)\n"
+    "  (rng-seed! 5)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n)\n"
+    "        acc\n"
+    "        (loop (+ i 1)\n"
+    "              (+ acc (if (< (rng-next 100) pct-ref)"
+    " (ref-sum 16) (walk-sum)))))))\n";
+
+const char *PlainListProgram =
+    "(define s (list 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16))\n"
+    "(define (walk-sum)\n"
+    "  (let loop ([t s] [acc 0])\n"
+    "    (if (null? t) acc (loop (cdr t) (+ acc (car t))))))\n"
+    "(define (ref-sum k)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i k) acc"
+    " (loop (+ i 1) (+ acc (list-ref s (modulo (* i 7) 16)))))))\n"
+    "(define (mixed-work n pct-ref)\n"
+    "  (rng-seed! 5)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n)\n"
+    "        acc\n"
+    "        (loop (+ i 1)\n"
+    "              (+ acc (if (< (rng-next 100) pct-ref)"
+    " (ref-sum 16) (walk-sum)))))))\n";
+
+void BM_Sequence(benchmark::State &State) {
+  int PctRef = static_cast<int>(State.range(0));
+  int Mode = static_cast<int>(State.range(1));
+  std::string Path = profilePath("seq");
+
+  {
+    // Train in every mode so process state matches; only mode 1 loads.
+    Engine Trainer;
+    Trainer.setInstrumentation(true);
+    requireLib(Trainer, "profiled-seq");
+    requireEval(Trainer, SeqProgram, "seqprog.scm");
+    requireEval(Trainer, "(mixed-work 300 " + std::to_string(PctRef) + ")");
+    require(Trainer.storeProfile(Path), "storing profile");
+  }
+
+  Engine E;
+  if (Mode == 2) {
+    requireEval(E, PlainListProgram, "plain.scm");
+  } else {
+    if (Mode == 1)
+      require(E.loadProfile(Path), "loading profile");
+    requireLib(E, "profiled-seq");
+    requireEval(E, SeqProgram, "seqprog.scm");
+  }
+
+  Value *Fn = E.context().globalCell(E.context().Symbols.intern("mixed-work"));
+  for (auto _ : State) {
+    Value Args[2] = {Value::fixnum(300), Value::fixnum(PctRef)};
+    benchmark::DoNotOptimize(E.context().apply(*Fn, Args, 2));
+  }
+
+  std::string Kind = "plain-list";
+  if (Mode != 2) {
+    EvalResult R = E.evalString("(seq-kind s)");
+    Kind = R.Ok ? writeToString(R.V) : "?";
+    Kind = (Mode == 1 ? "auto/" : "default/") + Kind;
+  }
+  State.SetLabel(Kind);
+}
+
+} // namespace
+
+BENCHMARK(BM_Sequence)
+    ->ArgsProduct({{0, 25, 50, 75, 100}, {0, 1, 2}})
+    ->ArgNames({"pct_ref", "mode"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

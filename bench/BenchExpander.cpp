@@ -1,0 +1,79 @@
+//===- bench/BenchExpander.cpp - Section 4.4: compile-time overhead -------===//
+//
+// "The compile-time overhead of our API is small ... a profile-guided
+// meta-program might slow down or speed up compilation, depending on the
+// complexity of the meta-program." We measure expansion+compilation of
+// the Figure 5 parser in three configurations:
+//   mode 0  plain expansion, no profile data loaded
+//   mode 1  expansion with profile data loaded (meta-programs query and
+//           sort — the extra work is the meta-program itself)
+//   mode 2  reader only (baseline parse cost, for scale)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "reader/Reader.h"
+
+using namespace pgmp;
+using namespace pgmp::bench;
+
+namespace {
+
+const char *Parser =
+    "(define (classify-char c)\n"
+    "  (case c\n"
+    "    [(#\\space #\\tab) 'ws]\n"
+    "    [(#\\0 #\\1 #\\2 #\\3 #\\4 #\\5 #\\6 #\\7 #\\8 #\\9) 'dg]\n"
+    "    [(#\\() 'sp]\n"
+    "    [(#\\)) 'ep]\n"
+    "    [else 'ot]))\n";
+
+void trainProfile(const std::string &Path) {
+  Engine Trainer;
+  Trainer.setInstrumentation(true);
+  requireLib(Trainer, "exclusive-cond");
+  requireLib(Trainer, "pgmp-case");
+  requireEval(Trainer, Parser, "parser.scm");
+  requireEval(Trainer,
+              "(for-each classify-char (string->list \"((1 2) (3))\"))");
+  require(Trainer.storeProfile(Path), "storing profile");
+}
+
+void BM_ExpandParser(benchmark::State &State) {
+  int Mode = static_cast<int>(State.range(0));
+  std::string Path = profilePath("expander");
+  if (Mode == 1)
+    trainProfile(Path);
+
+  if (Mode == 2) {
+    // Reader-only baseline.
+    Engine E;
+    for (auto _ : State) {
+      Reader R(E.context().TheHeap, E.context().Symbols,
+               E.context().Sources, Parser, "parser.scm");
+      benchmark::DoNotOptimize(R.readAll());
+    }
+    State.SetLabel("reader only");
+    return;
+  }
+
+  Engine E;
+  if (Mode == 1)
+    require(E.loadProfile(Path), "loading profile");
+  requireLib(E, "exclusive-cond");
+  requireLib(E, "pgmp-case");
+  for (auto _ : State) {
+    EvalResult R = E.expandToString(Parser, "parser.scm");
+    require(R.Ok, R.Error);
+    benchmark::DoNotOptimize(R.V);
+  }
+  State.SetLabel(Mode == 0 ? "expand, no profile data"
+                           : "expand + profile-guided reorder");
+}
+
+} // namespace
+
+BENCHMARK(BM_ExpandParser)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"mode"});
+
+BENCHMARK_MAIN();

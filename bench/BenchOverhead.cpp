@@ -1,0 +1,88 @@
+//===- bench/BenchOverhead.cpp - Section 4.4: profiling overhead ----------===//
+//
+// The paper cites ~9% run-time overhead for Chez's precise counter-based
+// profiler and a 4-12x slowdown for Racket's errortrace (which wraps
+// expressions in procedure calls). We regenerate the comparison on our
+// substrate:
+//   mode 0  uninstrumented build (no counters compiled in at all)
+//   mode 1  inline counters on every source expression (Chez-style)
+//   mode 2  uninstrumented build, but every profiled expression wrapped
+//           in a generated nullary call (errortrace-style annotate-expr)
+// Expected shape: mode 1 adds a modest constant factor; mode 2 is
+// several times slower. (Our interpreter's baseline dispatch is costlier
+// than compiled Chez code, so mode 1's relative overhead lands below the
+// native 9% — direction and ordering are the claim, not the constant.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace pgmp;
+using namespace pgmp::bench;
+
+namespace {
+
+// Numeric kernel: enough expression nodes to make per-node counting
+// visible.
+const char *KernelPlain =
+    "(define (poly x) (+ (* 3 x x) (* -2 x) 7))\n"
+    "(define (work n)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n) acc (loop (+ i 1) (+ acc (poly i))))))\n";
+
+// Same kernel with the polynomial body explicitly annotated through a
+// meta-program, so errortrace-style wrapping has something to wrap.
+const char *KernelAnnotated =
+    "(define pp (make-profile-point \"kernel\"))\n"
+    "(define-syntax (probe stx)\n"
+    "  (syntax-case stx ()\n"
+    "    [(_ e) (annotate-expr #'e pp)]))\n"
+    "(define (poly x) (probe (+ (* 3 x x) (* -2 x) 7)))\n"
+    "(define (work n)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n) acc (loop (+ i 1) (+ acc (poly i))))))\n";
+
+void BM_Overhead(benchmark::State &State) {
+  int Mode = static_cast<int>(State.range(0));
+  Engine E;
+  switch (Mode) {
+  case 0:
+    requireEval(E, KernelPlain, "kernel.scm");
+    break;
+  case 1:
+    E.setInstrumentation(true);
+    requireEval(E, KernelPlain, "kernel.scm");
+    break;
+  default:
+    E.setAnnotateMode(AnnotateMode::Wrap);
+    E.setInstrumentation(true);
+    requireEval(E, KernelAnnotated, "kernel.scm");
+    break;
+  }
+  Value *Fn = E.context().globalCell(E.context().Symbols.intern("work"));
+  {
+    // Warm the code paths and allocator before timing.
+    Value Args[1] = {Value::fixnum(20000)};
+    for (int I = 0; I < 3; ++I)
+      E.context().apply(*Fn, Args, 1);
+  }
+  for (auto _ : State) {
+    Value Args[1] = {Value::fixnum(20000)};
+    benchmark::DoNotOptimize(E.context().apply(*Fn, Args, 1));
+  }
+  State.SetLabel(Mode == 0   ? "uninstrumented"
+                 : Mode == 1 ? "inline-counters (Chez-style)"
+                             : "call-wrapping (errortrace-style)");
+  State.SetItemsProcessed(State.iterations() * 20000);
+}
+
+} // namespace
+
+BENCHMARK(BM_Overhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"mode"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

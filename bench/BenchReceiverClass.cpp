@@ -1,0 +1,123 @@
+//===- bench/BenchReceiverClass.cpp - Figures 9-12 ------------------------===//
+//
+// Receiver class prediction: total-area over a shape list, comparing
+//   mode 0  dynamic dispatch only (profile-less build)
+//   mode 1  profile-guided PIC, registry clause order (Figure 11)
+//   mode 2  profile-guided PIC, sorted hottest-first (Figure 12)
+// across receiver mixes and inline limits. Expected shape: PIC wins over
+// dynamic dispatch for skewed mixes; sorting adds a little more when the
+// hot class is not first in registry order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace pgmp;
+using namespace pgmp::bench;
+
+namespace {
+
+const char *Shapes =
+    "(class Square ((length 0))\n"
+    "  (define-method (area this) (sqr (field this length))))\n"
+    "(class Circle ((radius 0))\n"
+    "  (define-method (area this)\n"
+    "    (* 3.141592653589793 (sqr (field this radius)))))\n"
+    "(class Triangle ((base 0) (height 0))\n"
+    "  (define-method (area this)\n"
+    "    (* (/ 1 2) (* (field this base) (field this height)))))\n";
+
+const char *Work =
+    "(define (total-area shapes)\n"
+    "  (let loop ([ss shapes] [acc 0])\n"
+    "    (if (null? ss)\n"
+    "        acc\n"
+    "        (loop (cdr ss) (+ acc (method (car ss) area))))))\n";
+
+/// Percent circles / squares (rest triangles).
+struct Mix {
+  const char *Name;
+  int Circles, Squares;
+};
+const Mix Mixes[] = {
+    {"circle-heavy", 80, 15},
+    {"balanced", 34, 33},
+    {"square-heavy", 10, 85},
+};
+
+void buildShapes(Engine &E, const Mix &M) {
+  std::string Src = "(rng-seed! 11)\n"
+                    "(define shapes\n"
+                    "  (map (lambda (i)\n"
+                    "    (let ([r (rng-next 100)])\n"
+                    "      (cond [(< r " +
+                    std::to_string(M.Circles) +
+                    ") (new-instance 'Circle (cons 'radius 2))]\n"
+                    "            [(< r " +
+                    std::to_string(M.Circles + M.Squares) +
+                    ") (new-instance 'Square (cons 'length 3))]\n"
+                    "            [else (new-instance 'Triangle"
+                    " (cons 'base 4) (cons 'height 5))])))\n"
+                    "    (iota 400)))";
+  requireEval(E, Src, "buildshapes.scm");
+}
+
+void setup(Engine &E, const Mix &M, bool Sort, int InlineLimit) {
+  requireLib(E, "object-system");
+  if (!Sort)
+    requireEval(E, "(set! rcp-sort-classes #f)");
+  if (InlineLimit != 2)
+    requireEval(E,
+                "(set! inline-limit " + std::to_string(InlineLimit) + ")");
+  requireEval(E, Shapes, "shapes.scm");
+  requireEval(E, Work, "work.scm");
+  buildShapes(E, M);
+}
+
+void BM_ReceiverClass(benchmark::State &State) {
+  const Mix &M = Mixes[State.range(0)];
+  int Mode = static_cast<int>(State.range(1));
+  int InlineLimit = static_cast<int>(State.range(2));
+  std::string Path = profilePath("rcp");
+
+  {
+    // Train in every mode so process state matches; only PIC modes load.
+    Engine Trainer;
+    Trainer.setInstrumentation(true);
+    setup(Trainer, M, /*Sort=*/Mode == 2, InlineLimit);
+    requireEval(Trainer, "(total-area shapes)");
+    require(Trainer.storeProfile(Path), "storing profile");
+  }
+
+  Engine E;
+  if (Mode > 0)
+    require(E.loadProfile(Path), "loading profile");
+  setup(E, M, /*Sort=*/Mode == 2, InlineLimit);
+  Value *Fn = E.context().globalCell(E.context().Symbols.intern("total-area"));
+  Value *ShapesList =
+      E.context().globalCell(E.context().Symbols.intern("shapes"));
+  for (auto _ : State) {
+    Value Args[1] = {*ShapesList};
+    benchmark::DoNotOptimize(E.context().apply(*Fn, Args, 1));
+  }
+  const char *ModeName = Mode == 0   ? "dynamic"
+                         : Mode == 1 ? "pic-unsorted"
+                                     : "pic-sorted";
+  State.SetLabel(std::string(M.Name) + "/" + ModeName);
+  State.SetItemsProcessed(State.iterations() * 400);
+}
+
+} // namespace
+
+BENCHMARK(BM_ReceiverClass)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}, {2}})
+    ->ArgNames({"mix", "mode", "inline_limit"})
+    ->Unit(benchmark::kMillisecond);
+
+// Inline-limit sweep on the balanced mix (ablation for DESIGN.md #5).
+BENCHMARK(BM_ReceiverClass)
+    ->ArgsProduct({{1}, {2}, {1, 2, 3}})
+    ->ArgNames({"mix", "mode", "inline_limit"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+//===- examples/quickstart.cpp - PGMP in five minutes ---------------------===//
+//
+// The paper's running example (Figures 1-2) end to end:
+//
+//   1. Define `if-r`, a profile-guided `if` that reorders its branches.
+//   2. Run the program instrumented on a representative workload.
+//   3. store-profile / load-profile across builds.
+//   4. Recompile: the meta-program now generates the reordered `if`.
+//
+// Build and run:  ./build/examples/example_quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "syntax/Writer.h"
+
+#include <cstdio>
+
+using namespace pgmp;
+
+static const char *Program =
+    "(define important 0)\n"
+    "(define spam 0)\n"
+    "(define (flag kind)\n"
+    "  (if (eq? kind 'important)\n"
+    "      (set! important (+ important 1))\n"
+    "      (set! spam (+ spam 1))))\n"
+    "(define (classify email)\n"
+    "  (if-r (subject-contains email \"PLDI\")\n"
+    "        (flag 'important)\n"
+    "        (flag 'spam)))\n";
+
+static bool check(const EvalResult &R, const char *What) {
+  if (!R.Ok) {
+    std::fprintf(stderr, "quickstart: %s failed: %s\n", What,
+                 R.Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int main() {
+  const std::string ProfilePath = "/tmp/pgmp_quickstart.profile";
+
+  std::printf("== Pass 1: profile the instrumented program ==\n");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    if (!check(E.loadLibrary("if-r"), "loading if-r"))
+      return 1;
+    if (!check(E.evalString(Program, "classify.scm"), "program"))
+      return 1;
+
+    // Representative inbox: mostly spam (Figure 2's scenario).
+    for (int I = 0; I < 5; ++I)
+      E.callGlobal("classify",
+                   {E.context().TheHeap.string("PLDI camera ready")});
+    for (int I = 0; I < 10; ++I)
+      E.callGlobal("classify",
+                   {E.context().TheHeap.string("incredible offer")});
+
+    EvalResult R = E.evalString("(list important spam)");
+    if (!check(R, "counts"))
+      return 1;
+    std::printf("   workload counts (important spam) = %s\n",
+                writeToString(R.V).c_str());
+    if (!E.storeProfile(ProfilePath)) {
+      std::fprintf(stderr, "quickstart: cannot store profile\n");
+      return 1;
+    }
+    std::printf("   stored profile to %s\n", ProfilePath.c_str());
+  }
+
+  std::printf("\n== Pass 2: recompile with profile data ==\n");
+  {
+    Engine E;
+    if (!E.loadProfile(ProfilePath)) {
+      std::fprintf(stderr, "quickstart: cannot load profile\n");
+      return 1;
+    }
+    if (!check(E.loadLibrary("if-r"), "loading if-r"))
+      return 1;
+
+    EvalResult Dump = E.expandToString(Program, "classify.scm");
+    if (!check(Dump, "expansion"))
+      return 1;
+    std::printf("   optimized expansion of classify.scm:\n");
+    std::printf("%s", Dump.V.asString()->Text.c_str());
+
+    // And it still classifies correctly.
+    if (!check(E.evalString(Program, "classify.scm"), "program"))
+      return 1;
+    E.callGlobal("classify", {E.context().TheHeap.string("PLDI reviews")});
+    E.callGlobal("classify", {E.context().TheHeap.string("buy now")});
+    EvalResult R = E.evalString("(list important spam)");
+    if (!check(R, "counts"))
+      return 1;
+    std::printf("\n   fresh run counts (important spam) = %s\n",
+                writeToString(R.V).c_str());
+    std::printf("   note the generated (if (not ...) ...): the hot spam\n"
+                "   branch now comes first, exactly as in Figure 2.\n");
+  }
+  return 0;
+}

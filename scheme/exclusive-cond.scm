@@ -1,0 +1,30 @@
+;; exclusive-cond.scm -- Figure 7 of the paper: a multi-way conditional
+;; whose clauses must be mutually exclusive, which is what makes it safe
+;; to reorder them by profile weight. The clause weight is the weight of
+;; the first body expression; an else clause is never reordered and stays
+;; last. Sorting is stable, so equal-weight clauses keep source order and
+;; expansion is deterministic.
+
+(define-syntax (exclusive-cond stx)
+  ;; Internal definitions run at compile time.
+  (define (else-clause? cl)
+    (syntax-case cl ()
+      [(t e ...) (and (identifier? #'t)
+                      (eq? (syntax->datum #'t) 'else))
+       #t]
+      [_ #f]))
+  (define (clause-weight cl)
+    (syntax-case cl ()
+      [(test e1 e2 ...) (profile-query #'e1)]
+      [_ 0.0]))
+  (define (sort-clauses clauses)
+    ;; Sort clauses greatest-to-least by weight.
+    (sort clauses (lambda (a b) (> (clause-weight a) (clause-weight b)))))
+  ;; Start of code transformation.
+  (syntax-case stx ()
+    [(_ clause ...)
+     (let* ([clauses (syntax->list #'(clause ...))]
+            [else-cls (filter else-clause? clauses)]
+            [rest (remove else-clause? clauses)])
+       ;; Splice sorted clauses into a cond expression.
+       #`(cond #,@(sort-clauses rest) #,@else-cls))]))

@@ -1,0 +1,27 @@
+;; if-r.scm -- the paper's running example (Figures 1-2): an `if` that
+;; reorders its branches according to profile information. When the false
+;; branch is executed more often than the true branch, generate an `if`
+;; with the test negated and the branches swapped, so the hotter branch
+;; comes first.
+
+(define-syntax (if-r stx)
+  (syntax-case stx ()
+    [(if-r test t-branch f-branch)
+     ;; This let expression runs at compile time.
+     (let ([t-prof (profile-query #'t-branch)]
+           [f-prof (profile-query #'f-branch)])
+       ;; This cond expression also runs at compile time, and
+       ;; conditionally generates run-time code based on profile
+       ;; information.
+       (cond
+         [(< t-prof f-prof)
+          ;; This if expression runs at run time when generated.
+          #'(if (not test) f-branch t-branch)]
+         [(>= t-prof f-prof)
+          ;; So would this if expression.
+          #'(if test t-branch f-branch)]))]))
+
+;; The paper's example predicate (Figure 1): does the subject line of an
+;; email contain a keyword?
+(define (subject-contains email keyword)
+  (string-contains? email keyword))

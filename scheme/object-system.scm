@@ -1,0 +1,171 @@
+;; object-system.scm -- Section 6.2 of the paper: a simplified object
+;; system implemented as a syntax extension, equipped with profile-guided
+;; receiver class prediction (Figures 9-12).
+;;
+;; Instances are vectors #(instance <class-name> <field-hashtable>).
+;; Classes register both at expansion time (the `method` meta-program
+;; needs the list of classes and their method bodies as *syntax*, for
+;; inlining) and at run time (for dynamic dispatch).
+
+;;; ------------------------------------------------------------------
+;;; Expansion-time registry (transformers share the global environment).
+
+(define *class-registry* (make-eq-hashtable))
+(define *class-order* '())
+
+(define (register-class-syntax! name fields methods)
+  (hashtable-set! *class-registry* name (cons fields methods))
+  (set! *class-order* (append *class-order* (list name))))
+
+(define (registry-class-names) *class-order*)
+
+(define (registry-method name m)
+  (let ([info (hashtable-ref *class-registry* name #f)])
+    (if info
+        (let ([entry (assq m (cdr info))])
+          (if entry (cdr entry) #f))
+        #f)))
+
+;;; ------------------------------------------------------------------
+;;; Runtime support.
+
+(define *runtime-classes* (make-eq-hashtable))
+
+(define (register-class-runtime! name defaults methods)
+  (let ([mht (make-eq-hashtable)])
+    (for-each (lambda (p) (hashtable-set! mht (car p) (cdr p))) methods)
+    (hashtable-set! *runtime-classes* name (cons defaults mht))))
+
+(define (new-instance name . field-inits)
+  (let ([info (hashtable-ref *runtime-classes* name #f)])
+    (unless info (error "new-instance: unknown class" name))
+    (let ([fht (make-eq-hashtable)])
+      (for-each (lambda (p) (hashtable-set! fht (car p) (cdr p)))
+                (car info))
+      (for-each (lambda (p) (hashtable-set! fht (car p) (cdr p)))
+                field-inits)
+      (vector 'instance name fht))))
+
+(define (instance? x)
+  (and (vector? x)
+       (= (vector-length x) 3)
+       (eq? (vector-ref x 0) 'instance)))
+
+(define (instance-of? x name)
+  (and (instance? x) (eq? (vector-ref x 1) name)))
+
+(define (instance-class x) (vector-ref x 1))
+
+(define (field-ref obj f)
+  (hashtable-ref (vector-ref obj 2) f #f))
+
+(define (field-set! obj f v)
+  (hashtable-set! (vector-ref obj 2) f v))
+
+;; Standard dynamic dispatch through the runtime method table.
+(define (dynamic-dispatch obj m . args)
+  (let ([info (hashtable-ref *runtime-classes* (instance-class obj) #f)])
+    (unless info (error "dynamic-dispatch: unknown class" (instance-class obj)))
+    (let ([fn (hashtable-ref (cdr info) m #f)])
+      (unless fn (error "dynamic-dispatch: no method" m))
+      (apply fn obj args))))
+
+;; During profiling, method call sites dispatch through here; the call is
+;; annotated with a per-(site x class) profile point by `method` below.
+(define (instrumented-dispatch obj m . args)
+  (apply dynamic-dispatch obj m args))
+
+;; How many receiver classes to inline per call site (Figure 9's
+;; inline-limit).
+(define inline-limit 2)
+
+;; Figure 11 vs Figure 12: when true, inlined classes are tested in
+;; most-frequent-first order (the exclusive-cond refinement).
+(define rcp-sort-classes #t)
+
+;;; ------------------------------------------------------------------
+;;; The class form.
+;;;
+;;;   (class Name ((field init) ...)
+;;;     (define-method (m this arg ...) body ...) ...)
+
+(define-syntax (class stx)
+  (define (method-name mdef)
+    (syntax-case mdef ()
+      [(dm (m this p ...) body ...) (syntax->datum #'m)]))
+  (define (method-lambda mdef)
+    (syntax-case mdef ()
+      [(dm (m this p ...) body ...) #'(lambda (this p ...) body ...)]))
+  (syntax-case stx ()
+    [(_ name ((fname finit) ...) mdef ...)
+     (let ([mdefs (syntax->list #'(mdef ...))])
+       ;; Record the class for later `method` expansions.
+       (register-class-syntax!
+        (syntax->datum #'name)
+        (map syntax->datum (syntax->list #'(fname ...)))
+        (map (lambda (md) (cons (method-name md) (method-lambda md)))
+             mdefs))
+       ;; Generate the runtime registration.
+       #`(register-class-runtime!
+          'name
+          (list (cons 'fname finit) ...)
+          (list #,@(map (lambda (md)
+                          #`(cons '#,(method-name md) #,(method-lambda md)))
+                        mdefs))))]))
+
+;; Field access sugar: (field obj name) and (set-field! obj name v).
+(define-syntax (field stx)
+  (syntax-case stx ()
+    [(_ obj f) #'(field-ref obj 'f)]))
+
+(define-syntax (set-field! stx)
+  (syntax-case stx ()
+    [(_ obj f v) #'(field-set! obj 'f v)]))
+
+;;; ------------------------------------------------------------------
+;;; Profile-guided receiver class prediction (Figure 9).
+;;;
+;;; Without profile data, a method call expands into a multi-way branch
+;;; over every class, each branch annotated with a fresh profile point
+;;; and falling into the standard dispatch routine. With profile data, it
+;;; expands into inlined method bodies for the most frequent receiver
+;;; classes at this call site, with dynamic dispatch as the fallback.
+
+(define-syntax (method stx)
+  (syntax-case stx ()
+    [(_ obj m val ...)
+     (let* ([classes (registry-class-names)]
+            ;; One fresh point per class, deterministically, in both the
+            ;; profiled build and the optimizing build.
+            [pps (map (lambda (c) (make-profile-point)) classes)]
+            [m-sym (syntax->datum #'m)])
+       (if (not (profile-data-available?))
+           ;; If no profile data, instrument!
+           #`(let ([x obj])
+               (cond
+                 #,@(map (lambda (c pp)
+                           #`((instance-of? x '#,c)
+                              #,(annotate-expr
+                                 #`(instrumented-dispatch x 'm val ...)
+                                 pp)))
+                         classes pps)
+                 [else (dynamic-dispatch x 'm val ...)]))
+           ;; If profile data, inline up to inline-limit classes with
+           ;; non-zero weights.
+           (let* ([weighted (map cons classes
+                                 (map (lambda (pp) (profile-query pp)) pps))]
+                  [nonzero (filter (lambda (p) (> (cdr p) 0)) weighted)]
+                  [ordered (if rcp-sort-classes
+                               (sort nonzero
+                                     (lambda (a b) (> (cdr a) (cdr b))))
+                               nonzero)]
+                  [chosen (take ordered inline-limit)])
+             #`(let ([x obj])
+                 (cond
+                   #,@(map (lambda (p)
+                             #`((instance-of? x '#,(car p))
+                                (#,(registry-method (car p) m-sym)
+                                 x val ...)))
+                           chosen)
+                   ;; Fall back to dynamic dispatch.
+                   [else (dynamic-dispatch x 'm val ...)])))))]))

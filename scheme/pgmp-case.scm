@@ -1,0 +1,34 @@
+;; pgmp-case.scm -- Figure 6 of the paper: a profile-guided `case`
+;; expression (the .NET switch PGO, implemented as a user meta-program).
+;; Each case clause becomes an explicit membership test for the key, and
+;; the clauses are handed to exclusive-cond, which reorders them by
+;; profile weight. Requires exclusive-cond.scm.
+
+;; Runtime helper: is key equal? to some element of ks?
+(define (key-in? key ks)
+  (if (member key ks) #t #f))
+
+(define-syntax (case stx)
+  ;; Internal definition: rewrite one case clause into an exclusive-cond
+  ;; clause. The key expression is referenced through the temporary bound
+  ;; below, so it is evaluated only once.
+  (define (rewrite-clause key-expr cl)
+    (syntax-case cl ()
+      [(k-list body ...) (and (identifier? #'k-list)
+                              (eq? (syntax->datum #'k-list) 'else))
+       ;; An else clause passes through; exclusive-cond keeps it last.
+       cl]
+      [((k ...) body ...)
+       ;; Take this branch if the key expression is equal? to some
+       ;; element of the list of constants.
+       #`((key-in? #,key-expr '(k ...)) body ...)]))
+  ;; Start of code transformation.
+  (syntax-case stx ()
+    [(_ key-expr clause ...)
+     ;; Evaluate the key-expr only once, instead of copying the entire
+     ;; expression into the template.
+     #`(let ([t key-expr])
+         (exclusive-cond
+          ;; Transform each case clause into an exclusive-cond clause.
+          #,@(map (curry rewrite-clause #'t)
+                  (syntax->list #'(clause ...)))))]))

@@ -1,0 +1,61 @@
+;; prelude.scm -- small library of list/procedure helpers loaded into
+;; every Engine. Kept in Scheme (rather than C++) both to exercise the
+;; interpreter and to mirror what a Scheme system's base library provides.
+
+(define (take lst n)
+  (if (or (zero? n) (null? lst))
+      '()
+      (cons (car lst) (take (cdr lst) (- n 1)))))
+
+(define (drop lst n)
+  (if (or (zero? n) (null? lst))
+      lst
+      (drop (cdr lst) (- n 1))))
+
+(define (find pred lst)
+  (cond [(null? lst) #f]
+        [(pred (car lst)) (car lst)]
+        [else (find pred (cdr lst))]))
+
+(define (remove pred lst)
+  (filter (lambda (x) (not (pred x))) lst))
+
+(define (second lst) (cadr lst))
+(define (third lst) (caddr lst))
+
+(define (last lst)
+  (if (null? (cdr lst)) (car lst) (last (cdr lst))))
+
+;; Racket-style partial application, used by the paper's case study code
+;; (Figure 6).
+(define (curry f . head)
+  (lambda tail (apply f (append head tail))))
+
+(define (compose f g)
+  (lambda args (f (apply g args))))
+
+(define (list-index pred lst)
+  (let loop ([l lst] [i 0])
+    (cond [(null? l) #f]
+          [(pred (car l)) i]
+          [else (loop (cdr l) (+ i 1))])))
+
+;; Counts elements satisfying pred.
+(define (count pred lst)
+  (let loop ([l lst] [n 0])
+    (cond [(null? l) n]
+          [(pred (car l)) (loop (cdr l) (+ n 1))]
+          [else (loop (cdr l) n)])))
+
+;; Association list update (pure).
+(define (assq-set alist key val)
+  (cond [(null? alist) (list (cons key val))]
+        [(eq? (caar alist) key) (cons (cons key val) (cdr alist))]
+        [else (cons (car alist) (assq-set (cdr alist) key val))]))
+
+;; (list-set lst i v) -> fresh list with element i replaced. O(n); used by
+;; the sequence library's list representation (Section 6.3).
+(define (list-set lst i v)
+  (if (zero? i)
+      (cons v (cdr lst))
+      (cons (car lst) (list-set (cdr lst) (- i 1) v))))

@@ -1,0 +1,66 @@
+;; profiled-list.scm -- Figure 13 of the paper: a drop-in list library
+;; whose every instance profiles its own usage pattern and warns, at
+;; compile time, when the profile suggests the list should have been a
+;; vector (a Perflint-style recommendation, Section 6.3).
+;;
+;; Each profiled list carries a table of *instrumented* operations: the
+;; body of each operation is annotated with one of two generated profile
+;; points — one counting operations that are asymptotically fast on
+;; lists, the other counting operations that are asymptotically fast on
+;; vectors.
+
+(define (make-list-rep op-table ls) (vector 'profiled-list op-table ls))
+(define (profiled-list? v)
+  (and (vector? v) (= (vector-length v) 3)
+       (eq? (vector-ref v 0) 'profiled-list)))
+(define (list-rep-table pl) (vector-ref pl 1))
+(define (list-rep-ls pl) (vector-ref pl 2))
+
+(define (list-rep-op pl name)
+  (let ([op (hashtable-ref (list-rep-table pl) name #f)])
+    (unless op (error "profiled-list: unknown operation" name))
+    op))
+
+;; The exported operations work on the profiled representation and go
+;; through the instance's instrumented table.
+(define (p-car pl) ((list-rep-op pl 'car) (list-rep-ls pl)))
+(define (p-cdr pl)
+  (make-list-rep (list-rep-table pl)
+                 ((list-rep-op pl 'cdr) (list-rep-ls pl))))
+(define (p-cons x pl)
+  (make-list-rep (list-rep-table pl)
+                 ((list-rep-op pl 'cons) x (list-rep-ls pl))))
+(define (p-null? pl) (null? (list-rep-ls pl)))
+(define (p-list-ref pl i) ((list-rep-op pl 'ref) (list-rep-ls pl) i))
+(define (p-length pl) ((list-rep-op pl 'length) (list-rep-ls pl)))
+(define (p-list->list pl) (list-rep-ls pl))
+
+(define-syntax (profiled-list stx)
+  (syntax-case stx ()
+    [(_ init ...)
+     ;; Create fresh profile points. list-src profiles operations that
+     ;; are asymptotically fast on lists; vector-src profiles operations
+     ;; that are asymptotically fast on vectors.
+     (let ([list-src (make-profile-point)]
+           [vector-src (make-profile-point)])
+       (when (and (profile-data-available?)
+                  (< (profile-query list-src) (profile-query vector-src)))
+         ;; Prints at compile time.
+         (compile-warning
+          "WARNING: You should probably reimplement this list as a vector:"
+          (syntax->datum stx)))
+       #`(make-list-rep
+          ;; Build a hash table of instrumented calls to list operations.
+          (let ([ht (make-eq-hashtable)])
+            (hashtable-set! ht 'car
+              (lambda (l) #,(annotate-expr #'(car l) list-src)))
+            (hashtable-set! ht 'cdr
+              (lambda (l) #,(annotate-expr #'(cdr l) list-src)))
+            (hashtable-set! ht 'cons
+              (lambda (x l) #,(annotate-expr #'(cons x l) list-src)))
+            (hashtable-set! ht 'ref
+              (lambda (l i) #,(annotate-expr #'(list-ref l i) vector-src)))
+            (hashtable-set! ht 'length
+              (lambda (l) #,(annotate-expr #'(length l) vector-src)))
+            ht)
+          (list init ...)))]))

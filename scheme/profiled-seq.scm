@@ -1,0 +1,104 @@
+;; profiled-seq.scm -- Figure 14 of the paper: a sequence datatype that
+;; automatically specializes each instance to a list or a vector, at
+;; compile time, based on profile information. Programmers opt in by
+;; using (profiled-seq e ...) instead of (list e ...) / (vector e ...);
+;; no other code changes are required.
+;;
+;; The generic operations profile to the same two points in either
+;; representation — one for operations asymptotically fast on lists, one
+;; for operations asymptotically fast on vectors — so re-profiling a
+;; specialized build keeps updating the same counters.
+
+(define (make-seq-rep kind op-table data) (vector 'profiled-seq kind op-table data))
+(define (profiled-seq? v)
+  (and (vector? v) (= (vector-length v) 4)
+       (eq? (vector-ref v 0) 'profiled-seq)))
+(define (seq-kind s) (vector-ref s 1))
+(define (seq-table s) (vector-ref s 2))
+(define (seq-data s) (vector-ref s 3))
+
+(define (seq-op s name)
+  (let ([op (hashtable-ref (seq-table s) name #f)])
+    (unless op (error "profiled-seq: unknown operation" name))
+    op))
+
+;; Generic operations.
+(define (seq-first s) ((seq-op s 'first) (seq-data s)))
+(define (seq-rest s)
+  (make-seq-rep (seq-kind s) (seq-table s) ((seq-op s 'rest) (seq-data s))))
+(define (seq-push s x)
+  (make-seq-rep (seq-kind s) (seq-table s) ((seq-op s 'push) (seq-data s) x)))
+(define (seq-ref s i) ((seq-op s 'ref) (seq-data s) i))
+(define (seq-set s i x)
+  (make-seq-rep (seq-kind s) (seq-table s)
+                ((seq-op s 'set) (seq-data s) i x)))
+(define (seq-length s) ((seq-op s 'length) (seq-data s)))
+(define (seq-empty? s) ((seq-op s 'empty) (seq-data s)))
+(define (seq->list s) ((seq-op s 'to-list) (seq-data s)))
+
+;; Runtime helpers for the vector representation.
+(define (vector-rest vec)
+  (list->vector (cdr (vector->list vec))))
+(define (vector-push vec x)
+  (list->vector (cons x (vector->list vec))))
+(define (vector-set-copy vec i x)
+  (let ([copy (vector-copy vec)])
+    (vector-set! copy i x)
+    copy))
+
+(define-syntax (profiled-seq stx)
+  (syntax-case stx ()
+    [(_ init ...)
+     ;; The code follows the same pattern as profiled-list (Figure 13);
+     ;; the key difference is that we conditionally generate wrapped
+     ;; versions of the list *or* vector operations, and represent the
+     ;; underlying data using a list *or* vector, depending on the
+     ;; profile information.
+     (let* ([list-src (make-profile-point)]
+            [vector-src (make-profile-point)]
+            [use-vector? (and (profile-data-available?)
+                              (< (profile-query list-src)
+                                 (profile-query vector-src)))])
+       (if use-vector?
+           #`(make-seq-rep 'vector
+              (let ([ht (make-eq-hashtable)])
+                (hashtable-set! ht 'first
+                  (lambda (v) #,(annotate-expr #'(vector-ref v 0) list-src)))
+                (hashtable-set! ht 'rest
+                  (lambda (v) #,(annotate-expr #'(vector-rest v) list-src)))
+                (hashtable-set! ht 'push
+                  (lambda (v x) #,(annotate-expr #'(vector-push v x) list-src)))
+                (hashtable-set! ht 'ref
+                  (lambda (v i) #,(annotate-expr #'(vector-ref v i) vector-src)))
+                (hashtable-set! ht 'set
+                  (lambda (v i x)
+                    #,(annotate-expr #'(vector-set-copy v i x) vector-src)))
+                (hashtable-set! ht 'length
+                  (lambda (v) #,(annotate-expr #'(vector-length v) vector-src)))
+                (hashtable-set! ht 'empty
+                  (lambda (v) (zero? (vector-length v))))
+                (hashtable-set! ht 'to-list
+                  (lambda (v) (vector->list v)))
+                ht)
+              (vector init ...))
+           #`(make-seq-rep 'list
+              (let ([ht (make-eq-hashtable)])
+                (hashtable-set! ht 'first
+                  (lambda (l) #,(annotate-expr #'(car l) list-src)))
+                (hashtable-set! ht 'rest
+                  (lambda (l) #,(annotate-expr #'(cdr l) list-src)))
+                (hashtable-set! ht 'push
+                  (lambda (l x) #,(annotate-expr #'(cons x l) list-src)))
+                (hashtable-set! ht 'ref
+                  (lambda (l i) #,(annotate-expr #'(list-ref l i) vector-src)))
+                (hashtable-set! ht 'set
+                  (lambda (l i x)
+                    #,(annotate-expr #'(list-set l i x) vector-src)))
+                (hashtable-set! ht 'length
+                  (lambda (l) #,(annotate-expr #'(length l) vector-src)))
+                (hashtable-set! ht 'empty
+                  (lambda (l) (null? l)))
+                (hashtable-set! ht 'to-list
+                  (lambda (l) l))
+                ht)
+              (list init ...))))]))

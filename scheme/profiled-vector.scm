@@ -1,0 +1,58 @@
+;; profiled-vector.scm -- the vector analogue of profiled-list.scm
+;; (Section 6.3): every instance profiles its usage and warns, at compile
+;; time, when the profile suggests the vector should have been a list
+;; (e.g. it is mostly extended at the front, which is O(n) on vectors).
+
+(define (make-vector-rep op-table vec) (vector 'profiled-vector op-table vec))
+(define (profiled-vector? v)
+  (and (vector? v) (= (vector-length v) 3)
+       (eq? (vector-ref v 0) 'profiled-vector)))
+(define (vector-rep-table pv) (vector-ref pv 1))
+(define (vector-rep-vec pv) (vector-ref pv 2))
+
+(define (vector-rep-op pv name)
+  (let ([op (hashtable-ref (vector-rep-table pv) name #f)])
+    (unless op (error "profiled-vector: unknown operation" name))
+    op))
+
+(define (pv-ref pv i) ((vector-rep-op pv 'ref) (vector-rep-vec pv) i))
+(define (pv-set! pv i x) ((vector-rep-op pv 'set) (vector-rep-vec pv) i x))
+(define (pv-length pv) ((vector-rep-op pv 'length) (vector-rep-vec pv)))
+;; Extending at the front is asymptotically fast on lists, not vectors:
+;; it must copy. It profiles to list-src.
+(define (pv-push-front pv x)
+  (make-vector-rep (vector-rep-table pv)
+                   ((vector-rep-op pv 'push) (vector-rep-vec pv) x)))
+(define (pv-first pv) ((vector-rep-op pv 'first) (vector-rep-vec pv)))
+(define (pv->vector pv) (vector-rep-vec pv))
+
+;; Runtime helper: copy with a fresh element at index 0.
+(define (vector-push-front vec x)
+  (list->vector (cons x (vector->list vec))))
+
+(define-syntax (profiled-vector stx)
+  (syntax-case stx ()
+    [(_ init ...)
+     (let ([list-src (make-profile-point)]
+           [vector-src (make-profile-point)])
+       (when (and (profile-data-available?)
+                  (> (profile-query list-src) (profile-query vector-src)))
+         (compile-warning
+          "WARNING: You should probably reimplement this vector as a list:"
+          (syntax->datum stx)))
+       #`(make-vector-rep
+          (let ([ht (make-eq-hashtable)])
+            (hashtable-set! ht 'ref
+              (lambda (v i) #,(annotate-expr #'(vector-ref v i) vector-src)))
+            (hashtable-set! ht 'set
+              (lambda (v i x)
+                #,(annotate-expr #'(vector-set! v i x) vector-src)))
+            (hashtable-set! ht 'length
+              (lambda (v) #,(annotate-expr #'(vector-length v) vector-src)))
+            (hashtable-set! ht 'push
+              (lambda (v x)
+                #,(annotate-expr #'(vector-push-front v x) list-src)))
+            (hashtable-set! ht 'first
+              (lambda (v) #,(annotate-expr #'(vector-ref v 0) list-src)))
+            ht)
+          (vector init ...)))]))

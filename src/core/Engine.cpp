@@ -1,0 +1,141 @@
+//===- core/Engine.cpp ----------------------------------------------------===//
+
+#include "core/Engine.h"
+
+#include "core/PgmpApi.h"
+#include "interp/Compiler.h"
+#include "interp/Eval.h"
+#include "interp/Prims.h"
+#include "reader/Reader.h"
+#include "support/Diagnostics.h"
+#include "syntax/Writer.h"
+
+using namespace pgmp;
+
+#ifndef PGMP_SCHEME_DIR
+#define PGMP_SCHEME_DIR "scheme"
+#endif
+
+Engine::Engine() : Ctx(), Exp(Ctx) {
+  installAllPrims(Ctx);
+  installPgmpApi(Ctx);
+  EvalResult R = loadLibrary("prelude");
+  if (!R.Ok)
+    Ctx.Diags.report(DiagKind::Warning, "",
+                     "prelude not loaded: " + R.Error);
+}
+
+Engine::~Engine() = default;
+
+EvalResult Engine::evalString(const std::string &Source,
+                              const std::string &Name) {
+  EvalResult R;
+  try {
+    Ctx.SrcMgr.addBuffer(Name, Source);
+    Reader Rd(Ctx.TheHeap, Ctx.Symbols, Ctx.Sources, Source, Name);
+    Value Last = Value::undefined();
+    while (auto Form = Rd.readOne()) {
+      for (Value Core : Exp.expandTopLevel(*Form)) {
+        auto Unit = compileCore(Ctx, Core);
+        Last = evalExpr(Ctx, Unit->Root, nullptr);
+        Ctx.adoptCode(std::move(Unit));
+      }
+    }
+    R.Ok = true;
+    R.V = Last;
+  } catch (const SchemeError &E) {
+    R.Ok = false;
+    R.Error = E.render();
+  }
+  return R;
+}
+
+EvalResult Engine::evalFile(const std::string &Path) {
+  FileId Id;
+  if (!Ctx.SrcMgr.addFile(Path, Id)) {
+    EvalResult R;
+    R.Error = "cannot open file: " + Path;
+    return R;
+  }
+  return evalString(std::string(Ctx.SrcMgr.bufferText(Id)), Path);
+}
+
+EvalResult Engine::loadLibrary(const std::string &Name) {
+  return evalFile(std::string(PGMP_SCHEME_DIR) + "/" + Name + ".scm");
+}
+
+EvalResult Engine::callGlobal(const std::string &Name,
+                              const std::vector<Value> &Args) {
+  EvalResult R;
+  try {
+    Value *Cell = Ctx.globalCell(Ctx.Symbols.intern(Name));
+    if (Cell->isUnbound())
+      raiseError("unbound global " + Name);
+    R.V = Ctx.apply(*Cell, Args);
+    R.Ok = true;
+  } catch (const SchemeError &E) {
+    R.Error = E.render();
+  }
+  return R;
+}
+
+EvalResult Engine::expandToString(const std::string &Source,
+                                  const std::string &Name) {
+  EvalResult R;
+  try {
+    Ctx.SrcMgr.addBuffer(Name, Source);
+    Reader Rd(Ctx.TheHeap, Ctx.Symbols, Ctx.Sources, Source, Name);
+    std::string Out;
+    WriteOptions Opts;
+    Opts.SyntaxAsDatum = true;
+    while (auto Form = Rd.readOne()) {
+      for (Value Core : Exp.expandTopLevel(*Form)) {
+        Out += writeValue(Core, Opts);
+        Out += "\n";
+      }
+    }
+    R.Ok = true;
+    R.V = Ctx.TheHeap.string(std::move(Out));
+  } catch (const SchemeError &E) {
+    R.Error = E.render();
+  }
+  return R;
+}
+
+void Engine::foldCountersIntoProfile() {
+  Ctx.ProfileDb.addDataset(Ctx.Counters);
+  Ctx.Counters.reset();
+}
+
+bool Engine::storeProfile(const std::string &Path, std::string *ErrorOut) {
+  std::string Err;
+  bool Ok = pgmpapi::storeProfile(Ctx, Path, Err);
+  if (!Ok && ErrorOut)
+    *ErrorOut = Err;
+  return Ok;
+}
+
+bool Engine::loadProfile(const std::string &Path, std::string *ErrorOut) {
+  std::string Err;
+  bool Ok = pgmpapi::loadProfile(Ctx, Path, Err);
+  if (!Ok && ErrorOut)
+    *ErrorOut = Err;
+  return Ok;
+}
+
+void Engine::clearProfile() {
+  Ctx.ProfileDb.clear();
+  Ctx.Counters.reset();
+}
+
+std::optional<double> Engine::weightOf(const std::string &File,
+                                       uint32_t Begin, uint32_t End) {
+  const SourceObject *Src = Ctx.Sources.intern(File, Begin, End, 1, 1);
+  return Ctx.ProfileDb.weight(Src);
+}
+
+std::string Engine::takeOutput() {
+  std::string Out = std::move(Ctx.Output);
+  Ctx.Output.clear();
+  return Out;
+}

@@ -1,0 +1,115 @@
+//===- core/Engine.h - Public embedding API -------------------*- C++ -*-===//
+///
+/// \file
+/// The public entry point: an Engine is one embedded Scheme session with
+/// the PGMP machinery installed — reader, hygienic expander, compiler,
+/// evaluator, counter-based profiler, and the Figure 4 API. A typical
+/// profile-guided build is:
+///
+///   Engine E1;                      // pass 1: profile
+///   E1.setInstrumentation(true);
+///   E1.evalFile("app.scm");         // runs instrumented
+///   E1.storeProfile("app.profile");
+///
+///   Engine E2;                      // pass 2: optimize
+///   E2.loadProfile("app.profile");  // meta-programs now see weights
+///   E2.evalFile("app.scm");         // expands optimized
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_CORE_ENGINE_H
+#define PGMP_CORE_ENGINE_H
+
+#include "expander/Expander.h"
+#include "interp/Context.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace pgmp {
+
+/// Result of evaluating source text.
+struct EvalResult {
+  bool Ok = false;
+  Value V;            ///< value of the last form (when Ok)
+  std::string Error;  ///< rendered error (when !Ok)
+
+  explicit operator bool() const { return Ok; }
+};
+
+class Engine {
+public:
+  Engine();
+  ~Engine();
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  Context &context() { return Ctx; }
+  Expander &expander() { return Exp; }
+
+  //===--------------------------------------------------------------------===//
+  // Evaluation
+  //===--------------------------------------------------------------------===//
+
+  /// Reads, expands, compiles, and evaluates every form in \p Source.
+  /// \p Name is the buffer's file name (profile points key off it, so use
+  /// stable names).
+  EvalResult evalString(const std::string &Source,
+                        const std::string &Name = "<eval>");
+
+  /// Like evalString, from a file on disk.
+  EvalResult evalFile(const std::string &Path);
+
+  /// Loads scheme/<name>.scm from the library directory baked in at build
+  /// time (the case-study meta-programs live there).
+  EvalResult loadLibrary(const std::string &Name);
+
+  /// Calls a global procedure by name.
+  EvalResult callGlobal(const std::string &Name,
+                        const std::vector<Value> &Args);
+
+  /// Expands (but does not run) every form; returns the printed core
+  /// forms, one per line — used to inspect what a meta-program generated.
+  EvalResult expandToString(const std::string &Source,
+                            const std::string &Name = "<expand>");
+
+  //===--------------------------------------------------------------------===//
+  // Profiling workflow (paper Sections 3-4)
+  //===--------------------------------------------------------------------===//
+
+  /// Instrument code compiled from now on (source-expression counters).
+  void setInstrumentation(bool On) { Ctx.InstrumentCompiles = On; }
+  bool instrumentation() const { return Ctx.InstrumentCompiles; }
+
+  /// Chez-style inline counters vs Racket errortrace-style call wrapping
+  /// for annotate-expr (Section 4.2).
+  void setAnnotateMode(AnnotateMode M) { Ctx.AnnotMode = M; }
+
+  /// Folds live counters into the profile database as one data set and
+  /// resets them (also performed by storeProfile).
+  void foldCountersIntoProfile();
+
+  bool storeProfile(const std::string &Path, std::string *ErrorOut = nullptr);
+  bool loadProfile(const std::string &Path, std::string *ErrorOut = nullptr);
+  void clearProfile();
+
+  /// Weight of the point covering [Begin, End) of buffer \p File.
+  std::optional<double> weightOf(const std::string &File, uint32_t Begin,
+                                 uint32_t End);
+
+  //===--------------------------------------------------------------------===//
+  // Output capture
+  //===--------------------------------------------------------------------===//
+
+  /// Returns and clears everything display/write produced.
+  std::string takeOutput();
+
+private:
+  Context Ctx;
+  Expander Exp;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_CORE_ENGINE_H

@@ -1,0 +1,223 @@
+//===- core/PgmpApi.cpp ---------------------------------------------------===//
+
+#include "core/PgmpApi.h"
+
+#include "interp/PrimsCommon.h"
+#include "profile/ProfileIO.h"
+#include "syntax/Syntax.h"
+
+#include <algorithm>
+
+using namespace pgmp;
+using namespace pgmp::prims;
+
+//===----------------------------------------------------------------------===//
+// C++ API
+//===----------------------------------------------------------------------===//
+
+Value pgmp::pgmpapi::makeProfilePoint(Context &Ctx,
+                                      const std::string &BaseFile) {
+  const SourceObject *Src = Ctx.Sources.makeGeneratedPoint(BaseFile);
+  // A profile point is a syntax object carrying the source object.
+  return makeSyntax(Ctx.TheHeap, Value::boolean(false), ScopeSet(), Src);
+}
+
+Value pgmp::pgmpapi::annotateExpr(Context &Ctx, Value Expr,
+                                  const SourceObject *Point) {
+  if (!Expr.isSyntax())
+    raiseError("annotate-expr: expression must be a syntax object");
+  Syntax *E = Expr.asSyntax();
+
+  if (Ctx.AnnotMode == AnnotateMode::Inline) {
+    // Chez style: replace the expression's source object.
+    return makeSyntax(Ctx.TheHeap, E->Inner, E->Scopes, Point);
+  }
+
+  // Racket errortrace style: the profiler sees only calls, so wrap the
+  // expression in a fresh nullary procedure and annotate the call:
+  //   ((lambda () e))   with the application carrying the point.
+  Symbol *LambdaSym = Ctx.Symbols.intern("lambda");
+  Value LambdaId = makeSyntax(
+      Ctx.TheHeap, Value::object(ValueKind::Symbol, LambdaSym), ScopeSet(),
+      nullptr);
+  Value EmptyParams = makeSyntax(Ctx.TheHeap, Value::nil(), ScopeSet(),
+                                 nullptr);
+  Value LambdaForm = makeSyntax(
+      Ctx.TheHeap,
+      Ctx.TheHeap.cons(LambdaId,
+                       Ctx.TheHeap.cons(EmptyParams,
+                                        Ctx.TheHeap.cons(Expr, Value::nil()))),
+      ScopeSet(), nullptr);
+  return makeSyntax(Ctx.TheHeap, Ctx.TheHeap.cons(LambdaForm, Value::nil()),
+                    ScopeSet(), Point);
+}
+
+double pgmp::pgmpapi::profileQuery(Context &Ctx, const Value &ExprOrPoint) {
+  const SourceObject *Src = syntaxSource(ExprOrPoint);
+  if (!Src)
+    return 0.0;
+  return Ctx.ProfileDb.weight(Src).value_or(0.0);
+}
+
+bool pgmp::pgmpapi::storeProfile(Context &Ctx, const std::string &Path,
+                                 std::string &ErrorOut) {
+  Ctx.ProfileDb.addDataset(Ctx.Counters);
+  Ctx.Counters.reset();
+  if (!storeProfileFile(Ctx.ProfileDb, Path)) {
+    ErrorOut = "cannot write profile file: " + Path;
+    return false;
+  }
+  return true;
+}
+
+bool pgmp::pgmpapi::loadProfile(Context &Ctx, const std::string &Path,
+                                std::string &ErrorOut) {
+  return loadProfileFile(Path, Ctx.Sources, Ctx.ProfileDb, ErrorOut);
+}
+
+//===----------------------------------------------------------------------===//
+// Scheme primitives
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Value primMakeProfilePoint(Context &Ctx, Value *A, size_t N) {
+  std::string Base = "pgmp-generated";
+  if (N == 1) {
+    if (A[0].isString())
+      Base = A[0].asString()->Text;
+    else if (const SourceObject *Src = syntaxSource(A[0]))
+      Base = Src->File;
+    else
+      wrongType("make-profile-point", "a base string or sourced syntax",
+                A[0]);
+  }
+  return pgmpapi::makeProfilePoint(Ctx, Base);
+}
+
+Value primAnnotateExpr(Context &Ctx, Value *A, size_t) {
+  const SourceObject *Point = syntaxSource(A[1]);
+  if (!Point)
+    raiseError("annotate-expr: second argument carries no profile point");
+  return pgmpapi::annotateExpr(Ctx, A[0], Point);
+}
+
+Value primProfileQuery(Context &Ctx, Value *A, size_t) {
+  return Value::flonum(pgmpapi::profileQuery(Ctx, A[0]));
+}
+
+Value primProfileQueryCount(Context &Ctx, Value *A, size_t) {
+  const SourceObject *Src = syntaxSource(A[0]);
+  if (!Src)
+    return Value::fixnum(0);
+  auto It = Ctx.ProfileDb.entries().find(Src);
+  if (It == Ctx.ProfileDb.entries().end())
+    return Value::fixnum(0);
+  return Value::fixnum(static_cast<int64_t>(It->second.TotalCount));
+}
+
+Value primStoreProfile(Context &Ctx, Value *A, size_t) {
+  std::string Err;
+  if (!pgmpapi::storeProfile(Ctx, wantString("store-profile", A[0])->Text,
+                             Err))
+    raiseError("store-profile: " + Err);
+  return Value::undefined();
+}
+
+Value primLoadProfile(Context &Ctx, Value *A, size_t) {
+  std::string Err;
+  if (!pgmpapi::loadProfile(Ctx, wantString("load-profile", A[0])->Text, Err))
+    raiseError("load-profile: " + Err);
+  return Value::undefined();
+}
+
+Value primProfileDataAvailableP(Context &Ctx, Value *, size_t) {
+  return Value::boolean(Ctx.ProfileDb.hasData());
+}
+
+Value primCurrentProfileDatasets(Context &Ctx, Value *, size_t) {
+  return Value::fixnum(static_cast<int64_t>(Ctx.ProfileDb.numDatasets()));
+}
+
+Value primClearProfile(Context &Ctx, Value *, size_t) {
+  Ctx.ProfileDb.clear();
+  Ctx.Counters.reset();
+  return Value::undefined();
+}
+
+/// (profile-dump [n]) — the hottest profile points as a list of
+/// (location weight count) triples, weightiest first. A poor man's
+/// profiler report for the REPL and scripts.
+Value primProfileDump(Context &Ctx, Value *A, size_t N) {
+  int64_t Limit = N == 1 ? wantFixnum("profile-dump", A[0]) : 20;
+  std::vector<std::pair<const SourceObject *, double>> Rows;
+  for (const auto &[Src, E] : Ctx.ProfileDb.entries()) {
+    (void)E;
+    Rows.push_back({Src, Ctx.ProfileDb.weight(Src).value_or(0.0)});
+  }
+  std::sort(Rows.begin(), Rows.end(), [](const auto &X, const auto &Y) {
+    if (X.second != Y.second)
+      return X.second > Y.second;
+    return X.first->key() < Y.first->key(); // deterministic ties
+  });
+  if (Limit >= 0 && Rows.size() > static_cast<size_t>(Limit))
+    Rows.resize(static_cast<size_t>(Limit));
+
+  std::vector<Value> Out;
+  for (const auto &[Src, W] : Rows) {
+    auto It = Ctx.ProfileDb.entries().find(Src);
+    uint64_t Count = It == Ctx.ProfileDb.entries().end()
+                         ? 0
+                         : It->second.TotalCount;
+    Out.push_back(Ctx.TheHeap.list(
+        {Ctx.TheHeap.string(Src->describe()), Value::flonum(W),
+         Value::fixnum(static_cast<int64_t>(Count))}));
+  }
+  return Ctx.TheHeap.list(Out);
+}
+
+/// (set-instrumentation! b) — toggles source-expression instrumentation
+/// for forms compiled from here on; a Scheme program can run its own
+/// profile/optimize cycle without leaving the language.
+Value primSetInstrumentation(Context &Ctx, Value *A, size_t) {
+  Ctx.InstrumentCompiles = A[0].isTruthy();
+  return Value::undefined();
+}
+
+Value primInstrumentationP(Context &Ctx, Value *, size_t) {
+  return Value::boolean(Ctx.InstrumentCompiles);
+}
+
+/// (compile-warning msg...) — lets meta-programs emit the Perflint-style
+/// compile-time recommendations of Section 6.3 through the diagnostic
+/// sink, where tests can observe them.
+Value primCompileWarning(Context &Ctx, Value *A, size_t N) {
+  std::string Msg;
+  for (size_t I = 0; I < N; ++I) {
+    if (I)
+      Msg += " ";
+    Msg += A[I].isString() ? A[I].asString()->Text : writeToString(A[I]);
+  }
+  Ctx.Diags.report(DiagKind::Warning, "", Msg);
+  return Value::undefined();
+}
+
+} // namespace
+
+void pgmp::installPgmpApi(Context &Ctx) {
+  Ctx.definePrimitive("make-profile-point", 0, 1, primMakeProfilePoint);
+  Ctx.definePrimitive("annotate-expr", 2, 2, primAnnotateExpr);
+  Ctx.definePrimitive("profile-query", 1, 1, primProfileQuery);
+  Ctx.definePrimitive("profile-query-count", 1, 1, primProfileQueryCount);
+  Ctx.definePrimitive("store-profile", 1, 1, primStoreProfile);
+  Ctx.definePrimitive("load-profile", 1, 1, primLoadProfile);
+  Ctx.definePrimitive("profile-data-available?", 0, 0,
+                      primProfileDataAvailableP);
+  Ctx.definePrimitive("current-profile-datasets", 0, 0,
+                      primCurrentProfileDatasets);
+  Ctx.definePrimitive("clear-profile!", 0, 0, primClearProfile);
+  Ctx.definePrimitive("profile-dump", 0, 1, primProfileDump);
+  Ctx.definePrimitive("set-instrumentation!", 1, 1, primSetInstrumentation);
+  Ctx.definePrimitive("instrumentation?", 0, 0, primInstrumentationP);
+  Ctx.definePrimitive("compile-warning", 1, -1, primCompileWarning);
+}

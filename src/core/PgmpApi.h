@@ -1,0 +1,65 @@
+//===- core/PgmpApi.h - The paper's PGMP API ------------------*- C++ -*-===//
+///
+/// \file
+/// The profile-guided meta-programming API of the paper (Figure 4),
+/// exposed to meta-programs as Scheme primitives and to embedders as C++
+/// functions:
+///
+///   (make-profile-point [base])      -> profile point
+///   (annotate-expr e pp)             -> syntax
+///   (profile-query e)                -> weight in [0,1] (0 when unknown)
+///   (store-profile filename)         -> void
+///   (load-profile filename)          -> void
+///
+/// plus introspection helpers used by the case studies and tests:
+///
+///   (profile-data-available?)        -> boolean
+///   (profile-query-count e)          -> raw total count
+///   (current-profile-datasets)       -> fixnum
+///   (clear-profile!)                 -> void
+///
+/// A profile point is represented as a syntax object whose source object
+/// is the point — uniformly with "an object with an associated profile
+/// point" (paper Section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_CORE_PGMPAPI_H
+#define PGMP_CORE_PGMPAPI_H
+
+#include "interp/Context.h"
+
+namespace pgmp {
+
+/// Installs the PGMP primitives into \p Ctx.
+void installPgmpApi(Context &Ctx);
+
+/// C++ equivalents of the Scheme-level API.
+namespace pgmpapi {
+
+/// make-profile-point: deterministic fresh point derived from \p BaseFile.
+Value makeProfilePoint(Context &Ctx, const std::string &BaseFile);
+
+/// annotate-expr: associates \p Expr with \p Point (replacing any prior
+/// point). Honors Context::AnnotMode: Inline re-sources the expression,
+/// Wrap wraps it in a generated nullary call (errortrace-style).
+Value annotateExpr(Context &Ctx, Value Expr, const SourceObject *Point);
+
+/// profile-query: weight of the expression's point; 0 when unknown, and
+/// also 0 when no data sets are loaded (see profile-data-available?).
+double profileQuery(Context &Ctx, const Value &ExprOrPoint);
+
+/// store-profile: folds the live counters into the database as one data
+/// set, resets the counters, then serializes the database.
+bool storeProfile(Context &Ctx, const std::string &Path,
+                  std::string &ErrorOut);
+
+/// load-profile: merges a stored database into the current one.
+bool loadProfile(Context &Ctx, const std::string &Path,
+                 std::string &ErrorOut);
+
+} // namespace pgmpapi
+
+} // namespace pgmp
+
+#endif // PGMP_CORE_PGMPAPI_H

@@ -1,0 +1,119 @@
+//===- core/ThreePass.cpp -------------------------------------------------===//
+
+#include "core/ThreePass.h"
+
+#include "vm/BlockProfile.h"
+#include "vm/BlockReorder.h"
+
+using namespace pgmp;
+
+static bool loadLibraries(Engine &E, const ThreePassConfig &Config,
+                          std::string &ErrorOut) {
+  for (const std::string &Lib : Config.Libraries) {
+    EvalResult R = E.loadLibrary(Lib);
+    if (!R.Ok) {
+      ErrorOut = "loading library " + Lib + ": " + R.Error;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool pgmp::runPassOne(const ThreePassConfig &Config, std::string &ErrorOut) {
+  Engine E;
+  E.setInstrumentation(true);
+  if (!loadLibraries(E, Config, ErrorOut))
+    return false;
+  EvalResult R = E.evalString(Config.ProgramSource, Config.ProgramName);
+  if (!R.Ok) {
+    ErrorOut = "pass 1 program: " + R.Error;
+    return false;
+  }
+  R = E.evalString(Config.WorkloadSource, "workload.scm");
+  if (!R.Ok) {
+    ErrorOut = "pass 1 workload: " + R.Error;
+    return false;
+  }
+  if (!E.storeProfile(Config.SourceProfilePath, &ErrorOut))
+    return false;
+  return true;
+}
+
+bool pgmp::runPassTwo(const ThreePassConfig &Config, std::string &ErrorOut,
+                      std::string *BlocksOut) {
+  Engine E;
+  if (!E.loadProfile(Config.SourceProfilePath, &ErrorOut))
+    return false;
+  if (!loadLibraries(E, Config, ErrorOut))
+    return false;
+
+  VmRunner Runner(E);
+  VmCompileOptions Opts;
+  Opts.ProfileBlocks = true;
+  EvalResult R =
+      Runner.evalString(Config.ProgramSource, Config.ProgramName, Opts);
+  if (!R.Ok) {
+    ErrorOut = "pass 2 program: " + R.Error;
+    return false;
+  }
+  VmModule *Program = Runner.lastModule();
+
+  // Run the workload: the interpreter drives it, calling into the
+  // block-instrumented VM code through the apply hook.
+  R = E.evalString(Config.WorkloadSource, "workload.scm");
+  if (!R.Ok) {
+    ErrorOut = "pass 2 workload: " + R.Error;
+    return false;
+  }
+
+  if (!storeBlockProfileFile(*Program, Config.BlockProfilePath)) {
+    ErrorOut = "cannot write block profile: " + Config.BlockProfilePath;
+    return false;
+  }
+  if (BlocksOut) {
+    BlocksOut->clear();
+    for (const auto &Fn : Program->Functions)
+      *BlocksOut += Fn->Name + ":" + std::to_string(Fn->Blocks.size()) + ";";
+  }
+  return true;
+}
+
+bool pgmp::runPassThree(const ThreePassConfig &Config, OptimizedProgram &Out,
+                        std::string &ErrorOut) {
+  Out.E = std::make_unique<Engine>();
+  Engine &E = *Out.E;
+  if (!E.loadProfile(Config.SourceProfilePath, &ErrorOut))
+    return false;
+  if (!loadLibraries(E, Config, ErrorOut))
+    return false;
+
+  Out.Runner = std::make_unique<VmRunner>(E);
+  // Final build: no instrumentation of any kind.
+  EvalResult R = Out.Runner->evalString(Config.ProgramSource,
+                                        Config.ProgramName, {});
+  if (!R.Ok) {
+    ErrorOut = "pass 3 program: " + R.Error;
+    return false;
+  }
+  Out.Program = Out.Runner->lastModule();
+
+  // Apply the block-level profile. Because the same source profile drove
+  // expansion, the block structure matches and the profile is valid.
+  std::string BlockErr;
+  Out.BlockProfileValid =
+      loadBlockProfileFile(Config.BlockProfilePath, *Out.Program, BlockErr);
+  if (Out.BlockProfileValid)
+    applyProfileGuidedLayout(*Out.Program);
+  else
+    ErrorOut = BlockErr; // surfaced, but pass 3 still yields a program
+  return true;
+}
+
+bool pgmp::runThreePasses(const ThreePassConfig &Config,
+                          OptimizedProgram &Out, std::string &ErrorOut) {
+  if (!runPassOne(Config, ErrorOut))
+    return false;
+  if (!runPassTwo(Config, ErrorOut))
+    return false;
+  return runPassThree(Config, Out, ErrorOut);
+}

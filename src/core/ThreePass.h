@@ -1,0 +1,78 @@
+//===- core/ThreePass.h - Section 4.3: source + block PGO -----*- C++ -*-===//
+///
+/// \file
+/// The paper's three-pass compilation protocol, which keeps source-level
+/// PGMP and block-level PGO consistent:
+///
+///   Pass 1  compile instrumenting *source expressions*; run the
+///           representative workload; store the source profile.
+///   Pass 2  recompile using the source profile (meta-programs optimize)
+///           while instrumenting *basic blocks*; run; store the block
+///           profile. The block profile stays valid as long as
+///           optimization keeps using this same source profile, because
+///           the meta-programs then regenerate identical code.
+///   Pass 3  recompile using both profiles: meta-programs use the source
+///           weights, the block layout uses the block counts.
+///
+/// Loading the pass-2 block profile in pass 3 *validates* that the block
+/// structure is unchanged; feeding a different source profile breaks the
+/// validation, which is exactly the invalidation hazard Section 4.3
+/// describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_CORE_THREEPASS_H
+#define PGMP_CORE_THREEPASS_H
+
+#include "core/Engine.h"
+#include "vm/Vm.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pgmp {
+
+/// What to build and how to exercise it.
+struct ThreePassConfig {
+  /// scheme/ libraries to load first (meta-program definitions).
+  std::vector<std::string> Libraries;
+  /// The program being optimized.
+  std::string ProgramSource;
+  std::string ProgramName = "program.scm";
+  /// Representative workload (evaluated after the program).
+  std::string WorkloadSource;
+  /// Where the two profiles live between passes.
+  std::string SourceProfilePath;
+  std::string BlockProfilePath;
+};
+
+/// The final, fully optimized build produced by pass 3.
+struct OptimizedProgram {
+  std::unique_ptr<Engine> E;
+  std::unique_ptr<VmRunner> Runner;
+  VmModule *Program = nullptr;
+  /// True when the pass-2 block profile still matched pass 3's code.
+  bool BlockProfileValid = false;
+};
+
+/// Pass 1: source-instrumented run; writes the source profile.
+bool runPassOne(const ThreePassConfig &Config, std::string &ErrorOut);
+
+/// Pass 2: source-optimized, block-instrumented run; writes the block
+/// profile. \p BlocksOut (optional) receives the block structure
+/// signature for tests.
+bool runPassTwo(const ThreePassConfig &Config, std::string &ErrorOut,
+                std::string *BlocksOut = nullptr);
+
+/// Pass 3: both profiles applied; returns a live optimized program.
+bool runPassThree(const ThreePassConfig &Config, OptimizedProgram &Out,
+                  std::string &ErrorOut);
+
+/// Convenience: all three passes in sequence.
+bool runThreePasses(const ThreePassConfig &Config, OptimizedProgram &Out,
+                    std::string &ErrorOut);
+
+} // namespace pgmp
+
+#endif // PGMP_CORE_THREEPASS_H

@@ -1,0 +1,5 @@
+//===- expander/Binding.cpp -----------------------------------------------===//
+// Intentionally small: ExpBinding is a plain aggregate; this file anchors
+// the translation unit for the header.
+
+#include "expander/Binding.h"

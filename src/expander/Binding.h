@@ -1,0 +1,35 @@
+//===- expander/Binding.h - Compile-time meanings -------------*- C++ -*-===//
+///
+/// \file
+/// What a binding label means to the expander: a lexical variable (with
+/// its unique runtime rename), a macro (with its transformer closure), a
+/// syntax-case pattern variable, or a core form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_EXPANDER_BINDING_H
+#define PGMP_EXPANDER_BINDING_H
+
+#include "syntax/SymbolTable.h"
+#include "syntax/Value.h"
+
+namespace pgmp {
+
+/// Compile-time meaning of one binding label.
+struct ExpBinding {
+  enum class Kind : uint8_t { Variable, Macro, PatternVar };
+  Kind K = Kind::Variable;
+
+  /// Variable / PatternVar: the unique (gensym) runtime name.
+  Symbol *Renamed = nullptr;
+
+  /// Macro: the transformer procedure (a closure or primitive).
+  Value Transformer;
+
+  /// PatternVar: number of ellipses the variable is under.
+  int EllipsisDepth = 0;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_EXPANDER_BINDING_H

@@ -1,0 +1,50 @@
+//===- expander/Expander.h - Hygienic macro expander ----------*- C++ -*-===//
+///
+/// \file
+/// The macro expander: turns read syntax into core-form syntax, invoking
+/// user transformers (define-syntax + syntax-case) along the way. Hygiene
+/// is sets-of-scopes: binding forms add a fresh scope to binder and body;
+/// each macro invocation flips a fresh scope across transformer input and
+/// output, so introduced identifiers are distinguishable from use-site
+/// ones. Every lexical variable in the output is renamed to a unique
+/// uninterned symbol, which is what makes the core grammar unambiguous
+/// for the compiler.
+///
+/// Transformers run in the same global environment as the program (the
+/// phase tower is collapsed, as in a Chez-style REPL), which is what lets
+/// meta-programs call the PGMP API directly — the point of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_EXPANDER_EXPANDER_H
+#define PGMP_EXPANDER_EXPANDER_H
+
+#include "interp/Context.h"
+#include "syntax/Value.h"
+
+#include <vector>
+
+namespace pgmp {
+
+class Expander {
+public:
+  explicit Expander(Context &Ctx);
+  ~Expander();
+  Expander(const Expander &) = delete;
+  Expander &operator=(const Expander &) = delete;
+
+  /// Expands one top-level form. define-syntax evaluates its transformer
+  /// immediately and yields no core forms; top-level begin splices.
+  std::vector<Value> expandTopLevel(Value Stx);
+
+  /// Expands \p Stx in expression context (used by tests and by eval).
+  Value expandExpression(Value Stx);
+
+private:
+  class Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_EXPANDER_EXPANDER_H

@@ -1,0 +1,111 @@
+//===- expander/Matcher.cpp -----------------------------------------------===//
+
+#include "expander/Matcher.h"
+
+#include "interp/Context.h"
+
+using namespace pgmp;
+
+/// Structural equality between a constant pattern datum and an input that
+/// may still be wrapped in syntax.
+static bool datumMatches(const Value &Pat, const Value &Input) {
+  Value In = syntaxE(Input);
+  Value P = syntaxE(Pat);
+  if (P.isPair()) {
+    return In.isPair() && datumMatches(P.asPair()->Car, In.asPair()->Car) &&
+           datumMatches(P.asPair()->Cdr, In.asPair()->Cdr);
+  }
+  if (P.isVector()) {
+    if (!In.isVector())
+      return false;
+    const auto &PE = P.asVector()->Elems;
+    const auto &IE = In.asVector()->Elems;
+    if (PE.size() != IE.size())
+      return false;
+    for (size_t I = 0; I < PE.size(); ++I)
+      if (!datumMatches(PE[I], IE[I]))
+        return false;
+    return true;
+  }
+  if (P.isString())
+    return In.isString() && P.asString()->Text == In.asString()->Text;
+  return P == In;
+}
+
+bool pgmp::matchPattern(Context &Ctx, const Pattern *Pat, Value Input,
+                        Value *Frame) {
+  switch (Pat->K) {
+  case PatternKind::Var:
+    Frame[static_cast<const VarPattern *>(Pat)->Slot] = Input;
+    return true;
+  case PatternKind::Wildcard:
+    return true;
+  case PatternKind::Literal: {
+    Syntax *InId = asIdentifier(Input);
+    if (!InId)
+      return false;
+    const auto *LP = static_cast<const LiteralPattern *>(Pat);
+    Syntax *LitId = LP->IdSyntax.asSyntax();
+    return freeIdentifierEqual(Ctx.Bindings, LitId, InId);
+  }
+  case PatternKind::Datum:
+    return datumMatches(static_cast<const DatumPattern *>(Pat)->Datum, Input);
+  case PatternKind::Null:
+    return syntaxE(Input).isNil();
+  case PatternKind::Cons: {
+    Value In = syntaxE(Input);
+    if (!In.isPair())
+      return false;
+    const auto *CP = static_cast<const ConsPattern *>(Pat);
+    return matchPattern(Ctx, CP->Car, In.asPair()->Car, Frame) &&
+           matchPattern(Ctx, CP->Cdr, In.asPair()->Cdr, Frame);
+  }
+  case PatternKind::Ellipsis: {
+    const auto *EP = static_cast<const EllipsisPattern *>(Pat);
+    // Collect the input spine.
+    std::vector<Value> Items;
+    Value Cur = syntaxE(Input);
+    while (Cur.isPair()) {
+      Items.push_back(Cur.asPair()->Car);
+      Cur = syntaxE(Cur.asPair()->Cdr);
+      // syntaxE above unwraps a wrapped tail so the spine walk continues.
+    }
+    // Cur is now the improper/nil end.
+    size_t NumTail = EP->TailElems.size();
+    if (Items.size() < NumTail)
+      return false;
+    size_t NumRepeat = Items.size() - NumTail;
+
+    // Match the repeated sub-pattern, accumulating each slot's matches.
+    std::vector<std::vector<Value>> Collected(EP->SubSlots.size());
+    for (size_t I = 0; I < NumRepeat; ++I) {
+      if (!matchPattern(Ctx, EP->Sub, Items[I], Frame))
+        return false;
+      for (size_t S = 0; S < EP->SubSlots.size(); ++S)
+        Collected[S].push_back(Frame[EP->SubSlots[S]]);
+    }
+    for (size_t S = 0; S < EP->SubSlots.size(); ++S)
+      Frame[EP->SubSlots[S]] = Ctx.TheHeap.list(Collected[S]);
+
+    // Fixed tail elements, then the end pattern.
+    for (size_t I = 0; I < NumTail; ++I)
+      if (!matchPattern(Ctx, EP->TailElems[I], Items[NumRepeat + I], Frame))
+        return false;
+    return matchPattern(Ctx, EP->End, Cur, Frame);
+  }
+  case PatternKind::Vector: {
+    Value In = syntaxE(Input);
+    if (!In.isVector())
+      return false;
+    const auto *VP = static_cast<const VectorPattern *>(Pat);
+    const auto &Elems = In.asVector()->Elems;
+    if (Elems.size() != VP->Elems.size())
+      return false;
+    for (size_t I = 0; I < Elems.size(); ++I)
+      if (!matchPattern(Ctx, VP->Elems[I], Elems[I], Frame))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}

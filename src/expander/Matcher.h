@@ -1,0 +1,106 @@
+//===- expander/Matcher.h - syntax-case patterns --------------*- C++ -*-===//
+///
+/// \file
+/// Compiled syntax-case patterns and the matcher. Patterns are compiled
+/// once (by interp/Compiler) and matched many times; matching unwraps
+/// syntax objects transparently, so it works uniformly on syntax trees
+/// and on plain lists of syntax (as produced by templates).
+///
+/// Pattern variables write into a flat frame of slots; the enclosing
+/// SyntaxCaseExpr binds that frame as ordinary local variables of the
+/// clause body, so templates address matches exactly like locals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_EXPANDER_MATCHER_H
+#define PGMP_EXPANDER_MATCHER_H
+
+#include "syntax/Syntax.h"
+#include "syntax/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace pgmp {
+
+class Context;
+
+/// Pattern node kinds.
+enum class PatternKind : uint8_t {
+  Var,      ///< binds one slot
+  Wildcard, ///< _
+  Literal,  ///< listed literal identifier, matched by free-identifier=?
+  Datum,    ///< self-evaluating constant, matched by equal? on datums
+  Null,     ///< ()
+  Cons,     ///< (car . cdr)
+  Ellipsis, ///< (sub ... tail-elems . tail-end)
+  Vector,   ///< #(elem ...) — fixed length only
+};
+
+struct Pattern {
+  virtual ~Pattern() = default;
+  PatternKind K;
+
+protected:
+  explicit Pattern(PatternKind K) : K(K) {}
+};
+
+struct VarPattern : Pattern {
+  VarPattern(uint32_t Slot, Symbol *Name)
+      : Pattern(PatternKind::Var), Slot(Slot), Name(Name) {}
+  uint32_t Slot;
+  Symbol *Name;
+};
+
+struct WildcardPattern : Pattern {
+  WildcardPattern() : Pattern(PatternKind::Wildcard) {}
+};
+
+struct LiteralPattern : Pattern {
+  explicit LiteralPattern(Value IdSyntax)
+      : Pattern(PatternKind::Literal), IdSyntax(IdSyntax) {}
+  Value IdSyntax; ///< the literal identifier, scopes intact
+};
+
+struct DatumPattern : Pattern {
+  explicit DatumPattern(Value Datum)
+      : Pattern(PatternKind::Datum), Datum(Datum) {}
+  Value Datum;
+};
+
+struct NullPattern : Pattern {
+  NullPattern() : Pattern(PatternKind::Null) {}
+};
+
+struct ConsPattern : Pattern {
+  ConsPattern(Pattern *Car, Pattern *Cdr)
+      : Pattern(PatternKind::Cons), Car(Car), Cdr(Cdr) {}
+  Pattern *Car;
+  Pattern *Cdr;
+};
+
+/// (Sub ... T1 T2 . End): Sub repeated any number of times, then exactly
+/// TailElems.size() fixed elements, then End (Null for proper lists).
+struct EllipsisPattern : Pattern {
+  EllipsisPattern() : Pattern(PatternKind::Ellipsis) {}
+  Pattern *Sub = nullptr;
+  std::vector<uint32_t> SubSlots; ///< slots bound inside Sub
+  std::vector<Pattern *> TailElems;
+  Pattern *End = nullptr;
+};
+
+struct VectorPattern : Pattern {
+  explicit VectorPattern(std::vector<Pattern *> Elems)
+      : Pattern(PatternKind::Vector), Elems(std::move(Elems)) {}
+  std::vector<Pattern *> Elems;
+};
+
+/// Matches \p Input against \p Pat, writing matched slots into \p Frame
+/// (which must have room for every slot in the pattern). Returns false on
+/// mismatch; Frame contents are then unspecified.
+bool matchPattern(Context &Ctx, const Pattern *Pat, Value Input,
+                  Value *Frame);
+
+} // namespace pgmp
+
+#endif // PGMP_EXPANDER_MATCHER_H

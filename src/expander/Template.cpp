@@ -1,0 +1,137 @@
+//===- expander/Template.cpp ----------------------------------------------===//
+
+#include "expander/Template.h"
+
+#include "interp/Context.h"
+#include "interp/Eval.h"
+#include "support/Diagnostics.h"
+#include "syntax/Writer.h"
+
+#include <unordered_map>
+
+using namespace pgmp;
+
+namespace {
+
+/// Per-instantiation state: the runtime env plus ellipsis overrides
+/// mapping VarRef nodes to their current slice.
+struct InstantiateState {
+  Context &Ctx;
+  EnvObj *Env;
+  std::unordered_map<const Template *, Value> Overrides;
+};
+
+Value lookupVar(InstantiateState &St, const VarRefTemplate *V) {
+  auto It = St.Overrides.find(V);
+  if (It != St.Overrides.end())
+    return It->second;
+  EnvObj *E = St.Env;
+  for (uint32_t D = 0; D < V->Depth; ++D) {
+    assert(E && "template var depth exceeds env chain");
+    E = E->Parent;
+  }
+  assert(E && V->Index < E->Slots.size() && "bad template var coordinates");
+  return E->Slots[V->Index];
+}
+
+Value instantiate(InstantiateState &St, const Template *Tpl);
+
+/// Expands one possibly-ellipsis element into \p Out.
+void instantiateElem(InstantiateState &St, const TemplateElem &Elem,
+                     std::vector<Value> &Out) {
+  if (!Elem.Ellipsis) {
+    Value V = instantiate(St, Elem.T);
+    if (!Elem.Splice) {
+      Out.push_back(V);
+      return;
+    }
+    // #,@ — splice a list result.
+    Value Cur = syntaxE(V);
+    while (Cur.isPair()) {
+      Out.push_back(Cur.asPair()->Car);
+      Cur = syntaxE(Cur.asPair()->Cdr);
+    }
+    if (!Cur.isNil())
+      raiseError("unsyntax-splicing result is not a proper list");
+    return;
+  }
+
+  // Ellipsis: iterate the drivers in lockstep.
+  assert(!Elem.Drivers.empty() && "ellipsis template without drivers");
+  std::vector<std::vector<Value>> Slices;
+  Slices.reserve(Elem.Drivers.size());
+  size_t Len = SIZE_MAX;
+  for (const VarRefTemplate *D : Elem.Drivers) {
+    Value Seq = lookupVar(St, D);
+    std::vector<Value> Items;
+    Value Cur = Seq;
+    while (Cur.isPair()) {
+      Items.push_back(Cur.asPair()->Car);
+      Cur = Cur.asPair()->Cdr;
+    }
+    if (!Cur.isNil())
+      raiseError("pattern variable '" + D->Name->Name +
+                 "' used under too many ellipses");
+    if (Len == SIZE_MAX)
+      Len = Items.size();
+    else if (Len != Items.size())
+      raiseError("ragged ellipsis match lengths in template");
+    Slices.push_back(std::move(Items));
+  }
+  for (size_t I = 0; I < Len; ++I) {
+    for (size_t D = 0; D < Elem.Drivers.size(); ++D)
+      St.Overrides[Elem.Drivers[D]] = Slices[D][I];
+    Out.push_back(instantiate(St, Elem.T));
+  }
+  for (const VarRefTemplate *D : Elem.Drivers)
+    St.Overrides.erase(D);
+}
+
+Value instantiate(InstantiateState &St, const Template *Tpl) {
+  switch (Tpl->K) {
+  case TemplateKind::Const:
+    return static_cast<const ConstTemplate *>(Tpl)->Stx;
+  case TemplateKind::VarRef:
+    return lookupVar(St, static_cast<const VarRefTemplate *>(Tpl));
+  case TemplateKind::Unsyntax:
+    return evalExpr(St.Ctx, static_cast<const UnsyntaxTemplate *>(Tpl)->E,
+                    St.Env);
+  case TemplateKind::List: {
+    const auto *LT = static_cast<const ListTemplate *>(Tpl);
+    std::vector<Value> Elems;
+    for (const TemplateElem &E : LT->Elems)
+      instantiateElem(St, E, Elems);
+    Value Tail = LT->Tail ? instantiate(St, LT->Tail) : Value::nil();
+    Value Spine = Tail;
+    for (size_t I = Elems.size(); I > 0; --I)
+      Spine = St.Ctx.TheHeap.cons(Elems[I - 1], Spine);
+    // Preserve the template's scopes/source on the rebuilt node.
+    if (LT->OriginalStx.isSyntax()) {
+      Syntax *Orig = LT->OriginalStx.asSyntax();
+      return makeSyntax(St.Ctx.TheHeap, Spine, Orig->Scopes, Orig->Src);
+    }
+    return Spine;
+  }
+  case TemplateKind::Vector: {
+    const auto *VT = static_cast<const VectorTemplate *>(Tpl);
+    std::vector<Value> Elems;
+    for (const TemplateElem &E : VT->Elems)
+      instantiateElem(St, E, Elems);
+    Value Vec = St.Ctx.TheHeap.vector(std::move(Elems));
+    if (VT->OriginalStx.isSyntax()) {
+      Syntax *Orig = VT->OriginalStx.asSyntax();
+      return makeSyntax(St.Ctx.TheHeap, Vec, Orig->Scopes, Orig->Src);
+    }
+    return Vec;
+  }
+  }
+  raiseError("corrupt template node");
+}
+
+} // namespace
+
+Value pgmp::instantiateTemplate(Context &Ctx, const Template *Tpl,
+                                EnvObj *Env) {
+  InstantiateState St{Ctx, Env, {}};
+  return instantiate(St, Tpl);
+}

@@ -1,0 +1,96 @@
+//===- expander/Template.h - syntax templates -----------------*- C++ -*-===//
+///
+/// \file
+/// Compiled #'(...) and #`(...) templates. A template is instantiated at
+/// transformer run time against the current environment: pattern
+/// variables (compiled to frame coordinates, exactly like locals) are
+/// substituted, `...` repeats sub-templates over matched sequences, and
+/// quasisyntax escapes (#, and #,@) evaluate embedded core expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_EXPANDER_TEMPLATE_H
+#define PGMP_EXPANDER_TEMPLATE_H
+
+#include "syntax/Syntax.h"
+#include "syntax/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace pgmp {
+
+class Context;
+class EnvObj;
+class Expr;
+
+enum class TemplateKind : uint8_t {
+  Const,    ///< literal syntax subtree, emitted as-is (shared)
+  VarRef,   ///< pattern variable at (Depth, Index)
+  List,     ///< rebuilt list with possible ellipsis / splicing elements
+  Vector,   ///< rebuilt vector
+  Unsyntax, ///< #,expr — evaluate and insert
+};
+
+struct Template {
+  virtual ~Template() = default;
+  TemplateKind K;
+
+protected:
+  explicit Template(TemplateKind K) : K(K) {}
+};
+
+struct ConstTemplate : Template {
+  explicit ConstTemplate(Value Stx) : Template(TemplateKind::Const), Stx(Stx) {}
+  Value Stx;
+};
+
+struct VarRefTemplate : Template {
+  VarRefTemplate(uint32_t Depth, uint32_t Index, Symbol *Name,
+                 int EllipsisDepth)
+      : Template(TemplateKind::VarRef), Depth(Depth), Index(Index), Name(Name),
+        EllipsisDepth(EllipsisDepth) {}
+  uint32_t Depth;
+  uint32_t Index;
+  Symbol *Name;
+  int EllipsisDepth; ///< declared depth at the pattern binding
+};
+
+/// One element of a list/vector template.
+struct TemplateElem {
+  Template *T = nullptr;
+  bool Ellipsis = false; ///< followed by ... in the source template
+  bool Splice = false;   ///< #,@ — result list is spliced in place
+  /// VarRef nodes under T that drive the ellipsis iteration.
+  std::vector<const VarRefTemplate *> Drivers;
+};
+
+struct ListTemplate : Template {
+  ListTemplate() : Template(TemplateKind::List) {}
+  std::vector<TemplateElem> Elems;
+  Template *Tail = nullptr; ///< null for proper lists
+  /// The original syntax node, so the rebuilt list keeps its scopes and
+  /// source object.
+  Value OriginalStx;
+};
+
+struct VectorTemplate : Template {
+  VectorTemplate() : Template(TemplateKind::Vector) {}
+  std::vector<TemplateElem> Elems;
+  Value OriginalStx;
+};
+
+struct UnsyntaxTemplate : Template {
+  explicit UnsyntaxTemplate(Expr *E)
+      : Template(TemplateKind::Unsyntax), E(E) {}
+  Expr *E;
+};
+
+/// Instantiates \p Tpl in environment \p Env (the clause/lambda frame
+/// chain active at the enclosing TemplateExpr). Raises SchemeError on
+/// ragged ellipsis lengths or misuse.
+Value instantiateTemplate(Context &Ctx, const Template *Tpl, EnvObj *Env);
+
+} // namespace pgmp
+
+#endif // PGMP_EXPANDER_TEMPLATE_H

@@ -1,0 +1,37 @@
+//===- interp/Compiler.h - Core syntax -> Expr IR -------------*- C++ -*-===//
+///
+/// \file
+/// Compiles *expanded* core syntax (the expander's output, where every
+/// lexical variable has been renamed to a unique uninterned symbol) into
+/// the Expr IR. When Context::InstrumentCompiles is set, every node whose
+/// originating syntax carries a source object gets a live profile counter
+/// — recompiling the same syntax without the flag produces counter-free
+/// code, which is how instrumentation stays zero-cost when disabled.
+///
+/// Core grammar accepted here (heads are interned symbols; variables are
+/// uninterned, so there is no ambiguity):
+///
+///   (quote d) (if t c a) (lambda (g... [. grest]) body)
+///   (begin e...) (set! g e) (define g e)
+///   (syntax-case* scrut (pat fender body)...)    fender may be #%no-fender
+///   (syntax-template t) (quasisyntax-template t)
+///   atom | identifier | application
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_INTERP_COMPILER_H
+#define PGMP_INTERP_COMPILER_H
+
+#include "interp/Context.h"
+#include "interp/Expr.h"
+
+#include <memory>
+
+namespace pgmp {
+
+/// Compiles one expanded top-level form. The returned unit owns all IR.
+std::unique_ptr<CodeUnit> compileCore(Context &Ctx, Value CoreStx);
+
+} // namespace pgmp
+
+#endif // PGMP_INTERP_COMPILER_H

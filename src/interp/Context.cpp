@@ -1,0 +1,50 @@
+//===- interp/Context.cpp -------------------------------------------------===//
+
+#include "interp/Context.h"
+
+#include "interp/Expr.h"
+
+#include <cstdio>
+
+using namespace pgmp;
+
+Context::Context() = default;
+Context::~Context() = default;
+
+Value *Context::globalCell(Symbol *Sym) {
+  auto It = Globals.find(Sym);
+  if (It != Globals.end())
+    return &It->second;
+  auto [NewIt, Inserted] = Globals.emplace(Sym, Value::unbound());
+  (void)Inserted;
+  return &NewIt->second;
+}
+
+void Context::definePrimitive(const std::string &Name, int MinArgs,
+                              int MaxArgs, PrimFn Fn) {
+  Primitive *P = TheHeap.make<Primitive>(Name, MinArgs, MaxArgs, Fn);
+  defineGlobal(Name, Value::object(ValueKind::Primitive, P));
+}
+
+BindingLabel Context::bind(Symbol *Sym, const ScopeSet &Scopes,
+                           ExpBinding Meaning) {
+  BindingLabel Label = Bindings.freshLabel();
+  Bindings.add(Sym, Scopes, Label);
+  Meanings.emplace(Label, std::move(Meaning));
+  return Label;
+}
+
+const ExpBinding *Context::meaningOf(BindingLabel Label) const {
+  auto It = Meanings.find(Label);
+  return It == Meanings.end() ? nullptr : &It->second;
+}
+
+void Context::adoptCode(std::unique_ptr<CodeUnit> Unit) {
+  Code.push_back(std::move(Unit));
+}
+
+void Context::writeOutput(const std::string &S) {
+  Output += S;
+  if (EchoStdout)
+    std::fwrite(S.data(), 1, S.size(), stdout);
+}

@@ -1,0 +1,137 @@
+//===- interp/Context.h - Shared evaluation context -----------*- C++ -*-===//
+///
+/// \file
+/// The spine shared by the reader, expander, compiler, evaluator, and the
+/// PGMP API: heap, symbols, source objects, globals, the profiler state,
+/// and the binding table. One Context corresponds to one embedded Scheme
+/// "session"; the public entry point is core/Engine.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_INTERP_CONTEXT_H
+#define PGMP_INTERP_CONTEXT_H
+
+#include "expander/Binding.h"
+#include "profile/CounterStore.h"
+#include "profile/ProfileDatabase.h"
+#include "profile/SourceObject.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "syntax/Heap.h"
+#include "syntax/SymbolTable.h"
+#include "syntax/Syntax.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pgmp {
+
+class CodeUnit;
+
+/// How annotate-expr instruments (paper Sections 4.1 vs 4.2):
+/// Inline — attach the profile point directly to the expression (Chez
+/// style, counter bump only). Wrap — wrap the expression in a generated
+/// nullary procedure call carrying the point (Racket errortrace style;
+/// same counters, different run-time constants).
+enum class AnnotateMode : uint8_t { Inline, Wrap };
+
+/// Shared mutable state of one embedded Scheme session.
+class Context {
+public:
+  Context();
+  ~Context();
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  Heap TheHeap;
+  SymbolTable Symbols;
+  SourceObjectTable Sources;
+  SourceManager SrcMgr;
+  DiagnosticSink Diags;
+
+  //===--------------------------------------------------------------------===//
+  // Profiler state
+  //===--------------------------------------------------------------------===//
+
+  /// Live counters of the current instrumented run.
+  CounterStore Counters;
+  /// (current-profile-information): weights merged over data sets.
+  ProfileDatabase ProfileDb;
+  /// When true, the compiler instruments every source expression.
+  bool InstrumentCompiles = false;
+  AnnotateMode AnnotMode = AnnotateMode::Inline;
+
+  //===--------------------------------------------------------------------===//
+  // Globals
+  //===--------------------------------------------------------------------===//
+
+  /// Returns the (stable) cell for global \p Sym, creating an unbound
+  /// cell on first use. unordered_map guarantees reference stability.
+  Value *globalCell(Symbol *Sym);
+
+  /// Defines (or redefines) a global.
+  void defineGlobal(Symbol *Sym, Value V) { *globalCell(Sym) = V; }
+  void defineGlobal(const std::string &Name, Value V) {
+    defineGlobal(Symbols.intern(Name), V);
+  }
+
+  /// Registers a primitive procedure under \p Name.
+  void definePrimitive(const std::string &Name, int MinArgs, int MaxArgs,
+                       PrimFn Fn);
+
+  //===--------------------------------------------------------------------===//
+  // Expansion state
+  //===--------------------------------------------------------------------===//
+
+  BindingTable Bindings;
+  std::unordered_map<BindingLabel, ExpBinding> Meanings;
+  ScopeId NextScope = 1;
+
+  ScopeId freshScope() { return NextScope++; }
+
+  /// Binds \p Id (symbol+scopes) to a fresh label with \p Meaning;
+  /// returns the label.
+  BindingLabel bind(Symbol *Sym, const ScopeSet &Scopes, ExpBinding Meaning);
+
+  /// Meaning of \p Label, or null if unknown.
+  const ExpBinding *meaningOf(BindingLabel Label) const;
+
+  //===--------------------------------------------------------------------===//
+  // Code ownership and application
+  //===--------------------------------------------------------------------===//
+
+  /// Keeps compiled code alive for the session (closures point into it).
+  void adoptCode(std::unique_ptr<CodeUnit> Unit);
+
+  /// Calls a Scheme procedure from C++ (defined in Eval.cpp).
+  Value apply(Value Fn, Value *Args, size_t NumArgs);
+  Value apply(Value Fn, const std::vector<Value> &Args);
+
+  /// Installed by the vm/ layer so the interpreter (and primitives like
+  /// map) can apply VM closures without depending on vm/ headers.
+  using ApplyHook = Value (*)(Context &, Value Fn, Value *Args, size_t N);
+  ApplyHook VmApplyHook = nullptr;
+
+  //===--------------------------------------------------------------------===//
+  // Output
+  //===--------------------------------------------------------------------===//
+
+  /// display/write land here; tests read it back.
+  std::string Output;
+  bool EchoStdout = false;
+
+  void writeOutput(const std::string &S);
+
+  /// Deterministic RNG state for the Scheme-level rng primitives.
+  uint64_t RngState = 0x2545F4914F6CDD1Dull;
+
+private:
+  std::unordered_map<Symbol *, Value> Globals;
+  std::vector<std::unique_ptr<CodeUnit>> Code;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_INTERP_CONTEXT_H

@@ -1,0 +1,210 @@
+//===- interp/Eval.cpp ----------------------------------------------------===//
+
+#include "interp/Eval.h"
+
+#include "expander/Matcher.h"
+#include "expander/Template.h"
+#include "support/Diagnostics.h"
+#include "syntax/Writer.h"
+
+using namespace pgmp;
+
+static std::string describeCallee(const Value &Fn) {
+  if (Fn.isPrimitive())
+    return Fn.asPrimitive()->Name;
+  if (Fn.isClosure() && !Fn.asClosure()->Template->Name.empty())
+    return Fn.asClosure()->Template->Name;
+  return writeToString(Fn);
+}
+
+/// Checks closure arity and builds its frame.
+static EnvObj *buildFrame(Context &Ctx, Closure *C, Value *Args,
+                          size_t NumArgs) {
+  const LambdaExpr *L = C->Template;
+  size_t Fixed = L->Params.size();
+  if (NumArgs < Fixed || (!L->HasRest && NumArgs > Fixed))
+    raiseError("procedure " +
+               (L->Name.empty() ? std::string("#<anonymous>") : L->Name) +
+               " expects " + std::to_string(Fixed) +
+               (L->HasRest ? "+" : "") + " arguments, got " +
+               std::to_string(NumArgs));
+  EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(C->Captured, L->numSlots());
+  for (size_t I = 0; I < Fixed; ++I)
+    Frame->Slots[I] = Args[I];
+  if (L->HasRest) {
+    Value Rest = Value::nil();
+    for (size_t I = NumArgs; I > Fixed; --I)
+      Rest = Ctx.TheHeap.cons(Args[I - 1], Rest);
+    Frame->Slots[Fixed] = Rest;
+  }
+  return Frame;
+}
+
+Value pgmp::applyProcedure(Context &Ctx, Value Fn, Value *Args,
+                           size_t NumArgs) {
+  if (Fn.isPrimitive()) {
+    Primitive *P = Fn.asPrimitive();
+    if (static_cast<int>(NumArgs) < P->MinArgs ||
+        (P->MaxArgs >= 0 && static_cast<int>(NumArgs) > P->MaxArgs))
+      raiseError("primitive " + P->Name + " got " + std::to_string(NumArgs) +
+                 " arguments");
+    return P->Fn(Ctx, Args, NumArgs);
+  }
+  if (Fn.isClosure()) {
+    Closure *C = Fn.asClosure();
+    EnvObj *Frame = buildFrame(Ctx, C, Args, NumArgs);
+    return evalExpr(Ctx, C->Template->Body, Frame);
+  }
+  if (Fn.isVmClosure()) {
+    if (!Ctx.VmApplyHook)
+      raiseError("vm closure applied but no VM is installed");
+    return Ctx.VmApplyHook(Ctx, Fn, Args, NumArgs);
+  }
+  raiseError("attempt to apply non-procedure " + describeCallee(Fn));
+}
+
+Value Context::apply(Value Fn, Value *Args, size_t NumArgs) {
+  return applyProcedure(*this, Fn, Args, NumArgs);
+}
+
+Value Context::apply(Value Fn, const std::vector<Value> &Args) {
+  return applyProcedure(*this, Fn,
+                        const_cast<Value *>(Args.data()), Args.size());
+}
+
+Value pgmp::evalExpr(Context &Ctx, const Expr *E, EnvObj *Env) {
+tail:
+  if (E->Counter)
+    ++*E->Counter;
+  switch (E->K) {
+  case ExprKind::Const:
+    return static_cast<const ConstExpr *>(E)->V;
+
+  case ExprKind::LocalRef: {
+    const auto *R = static_cast<const LocalRefExpr *>(E);
+    EnvObj *Frame = Env;
+    for (uint32_t D = 0; D < R->Depth; ++D) {
+      assert(Frame && "local ref depth exceeds env chain");
+      Frame = Frame->Parent;
+    }
+    assert(Frame && R->Index < Frame->Slots.size() && "bad local ref");
+    return Frame->Slots[R->Index];
+  }
+
+  case ExprKind::GlobalRef: {
+    const auto *R = static_cast<const GlobalRefExpr *>(E);
+    if (R->Cell->isUnbound())
+      raiseError("unbound variable " + R->Name->Name);
+    return *R->Cell;
+  }
+
+  case ExprKind::If: {
+    const auto *I = static_cast<const IfExpr *>(E);
+    E = evalExpr(Ctx, I->Test, Env).isTruthy() ? I->Then : I->Else;
+    goto tail;
+  }
+
+  case ExprKind::Lambda: {
+    const auto *L = static_cast<const LambdaExpr *>(E);
+    return Value::object(ValueKind::Closure,
+                         Ctx.TheHeap.make<Closure>(L, Env));
+  }
+
+  case ExprKind::Begin: {
+    const auto *B = static_cast<const BeginExpr *>(E);
+    for (size_t I = 0; I + 1 < B->Body.size(); ++I)
+      evalExpr(Ctx, B->Body[I], Env);
+    E = B->Body.back();
+    goto tail;
+  }
+
+  case ExprKind::SetLocal: {
+    const auto *S = static_cast<const SetLocalExpr *>(E);
+    Value V = evalExpr(Ctx, S->Val, Env);
+    EnvObj *Frame = Env;
+    for (uint32_t D = 0; D < S->Depth; ++D) {
+      assert(Frame && "set! depth exceeds env chain");
+      Frame = Frame->Parent;
+    }
+    Frame->Slots[S->Index] = V;
+    return Value::undefined();
+  }
+
+  case ExprKind::SetGlobal: {
+    const auto *S = static_cast<const SetGlobalExpr *>(E);
+    if (S->Cell->isUnbound())
+      raiseError("set! of unbound variable " + S->Name->Name);
+    *S->Cell = evalExpr(Ctx, S->Val, Env);
+    return Value::undefined();
+  }
+
+  case ExprKind::DefineGlobal: {
+    const auto *D = static_cast<const DefineGlobalExpr *>(E);
+    *D->Cell = evalExpr(Ctx, D->Val, Env);
+    return Value::undefined();
+  }
+
+  case ExprKind::Call: {
+    const auto *C = static_cast<const CallExpr *>(E);
+    Value Fn = evalExpr(Ctx, C->Fn, Env);
+    // Fast path storage for the common small-arity case.
+    Value ArgBuf[8];
+    std::vector<Value> ArgVec;
+    Value *Args = ArgBuf;
+    size_t N = C->Args.size();
+    if (N > 8) {
+      ArgVec.resize(N);
+      Args = ArgVec.data();
+    }
+    for (size_t I = 0; I < N; ++I)
+      Args[I] = evalExpr(Ctx, C->Args[I], Env);
+
+    if (Fn.isPrimitive()) {
+      Primitive *P = Fn.asPrimitive();
+      if (static_cast<int>(N) < P->MinArgs ||
+          (P->MaxArgs >= 0 && static_cast<int>(N) > P->MaxArgs))
+        raiseError("primitive " + P->Name + " got " + std::to_string(N) +
+                   " arguments");
+      return P->Fn(Ctx, Args, N);
+    }
+    if (!Fn.isClosure()) {
+      if (Fn.isVmClosure() && Ctx.VmApplyHook)
+        return Ctx.VmApplyHook(Ctx, Fn, Args, N);
+      raiseError("attempt to apply non-procedure " + describeCallee(Fn));
+    }
+
+    Closure *Cl = Fn.asClosure();
+    EnvObj *Frame = buildFrame(Ctx, Cl, Args, N);
+    if (C->Tail) {
+      E = Cl->Template->Body;
+      Env = Frame;
+      goto tail;
+    }
+    return evalExpr(Ctx, Cl->Template->Body, Frame);
+  }
+
+  case ExprKind::SyntaxCase: {
+    const auto *SC = static_cast<const SyntaxCaseExpr *>(E);
+    Value Scrut = evalExpr(Ctx, SC->Scrutinee, Env);
+    for (const SyntaxCaseClause &Clause : SC->Clauses) {
+      EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(Env, Clause.NumVars);
+      if (!matchPattern(Ctx, Clause.Pat, Scrut,
+                        Clause.NumVars ? Frame->Slots.data() : nullptr))
+        continue;
+      if (Clause.Fender &&
+          !evalExpr(Ctx, Clause.Fender, Frame).isTruthy())
+        continue;
+      E = Clause.Body;
+      Env = Frame;
+      goto tail;
+    }
+    raiseError("no matching syntax-case clause for " +
+               writeToString(Scrut));
+  }
+
+  case ExprKind::Template:
+    return instantiateTemplate(Ctx, static_cast<const TemplateExpr *>(E)->Tpl,
+                               Env);
+  }
+  raiseError("corrupt expression node");
+}

@@ -1,0 +1,28 @@
+//===- interp/Eval.h - Core-form evaluator --------------------*- C++ -*-===//
+///
+/// \file
+/// Tree-walking evaluator over the compiled Expr IR. Tail calls are
+/// executed as loop iterations, so Scheme loops (named let etc.) run in
+/// constant C++ stack. Instrumented nodes bump their counter on every
+/// evaluation, which implements precise counter-based source profiling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_INTERP_EVAL_H
+#define PGMP_INTERP_EVAL_H
+
+#include "interp/Context.h"
+#include "interp/Expr.h"
+
+namespace pgmp {
+
+/// Evaluates \p E in environment \p Env (null for top level).
+/// Raises SchemeError on runtime errors.
+Value evalExpr(Context &Ctx, const Expr *E, EnvObj *Env);
+
+/// Calls a procedure value with the given arguments.
+Value applyProcedure(Context &Ctx, Value Fn, Value *Args, size_t NumArgs);
+
+} // namespace pgmp
+
+#endif // PGMP_INTERP_EVAL_H

@@ -1,0 +1,23 @@
+//===- interp/Expr.cpp ----------------------------------------------------===//
+
+#include "interp/Expr.h"
+
+#include "expander/Matcher.h"
+#include "expander/Template.h"
+
+using namespace pgmp;
+
+CodeUnit::CodeUnit() = default;
+CodeUnit::~CodeUnit() = default;
+
+Pattern *CodeUnit::adoptPattern(std::unique_ptr<Pattern> P) {
+  Pattern *Raw = P.get();
+  Patterns.push_back(std::move(P));
+  return Raw;
+}
+
+Template *CodeUnit::adoptTemplate(std::unique_ptr<Template> T) {
+  Template *Raw = T.get();
+  Templates.push_back(std::move(T));
+  return Raw;
+}

@@ -1,0 +1,35 @@
+//===- interp/Prims.h - Built-in procedure registry -----------*- C++ -*-===//
+///
+/// \file
+/// Installs the built-in (primitive) procedures into a Context's global
+/// environment. Split across several translation units by topic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_INTERP_PRIMS_H
+#define PGMP_INTERP_PRIMS_H
+
+namespace pgmp {
+
+class Context;
+
+void installCorePrims(Context &Ctx);
+void installListPrims(Context &Ctx);
+void installNumPrims(Context &Ctx);
+void installStringPrims(Context &Ctx);
+void installHashPrims(Context &Ctx);
+void installSyntaxPrims(Context &Ctx);
+
+/// Installs every group above.
+inline void installAllPrims(Context &Ctx) {
+  installCorePrims(Ctx);
+  installListPrims(Ctx);
+  installNumPrims(Ctx);
+  installStringPrims(Ctx);
+  installHashPrims(Ctx);
+  installSyntaxPrims(Ctx);
+}
+
+} // namespace pgmp
+
+#endif // PGMP_INTERP_PRIMS_H

@@ -1,0 +1,88 @@
+//===- interp/PrimsCommon.h - Helpers for primitives ----------*- C++ -*-===//
+///
+/// \file
+/// Private helpers shared by the Prims*.cpp translation units: typed
+/// argument accessors that raise well-formed Scheme errors on mismatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_INTERP_PRIMSCOMMON_H
+#define PGMP_INTERP_PRIMSCOMMON_H
+
+#include "interp/Context.h"
+#include "support/Diagnostics.h"
+#include "syntax/Writer.h"
+
+namespace pgmp {
+namespace prims {
+
+[[noreturn]] inline void wrongType(const char *Prim, const char *Expected,
+                                   const Value &Got) {
+  raiseError(std::string(Prim) + ": expected " + Expected + ", got " +
+             writeToString(Got));
+}
+
+inline int64_t wantFixnum(const char *Prim, const Value &V) {
+  if (!V.isFixnum())
+    wrongType(Prim, "a fixnum", V);
+  return V.asFixnum();
+}
+
+inline double wantNumber(const char *Prim, const Value &V) {
+  if (!V.isNumber())
+    wrongType(Prim, "a number", V);
+  return V.numberAsDouble();
+}
+
+inline StringObj *wantString(const char *Prim, const Value &V) {
+  if (!V.isString())
+    wrongType(Prim, "a string", V);
+  return V.asString();
+}
+
+inline Symbol *wantSymbol(const char *Prim, const Value &V) {
+  if (!V.isSymbol())
+    wrongType(Prim, "a symbol", V);
+  return V.asSymbol();
+}
+
+inline Pair *wantPair(const char *Prim, const Value &V) {
+  if (!V.isPair())
+    wrongType(Prim, "a pair", V);
+  return V.asPair();
+}
+
+inline VectorObj *wantVector(const char *Prim, const Value &V) {
+  if (!V.isVector())
+    wrongType(Prim, "a vector", V);
+  return V.asVector();
+}
+
+inline HashTable *wantHash(const char *Prim, const Value &V) {
+  if (!V.isHash())
+    wrongType(Prim, "a hashtable", V);
+  return V.asHash();
+}
+
+inline uint32_t wantChar(const char *Prim, const Value &V) {
+  if (!V.isChar())
+    wrongType(Prim, "a character", V);
+  return V.asChar();
+}
+
+inline Value wantProcedure(const char *Prim, const Value &V) {
+  if (!V.isProcedure())
+    wrongType(Prim, "a procedure", V);
+  return V;
+}
+
+inline Syntax *wantSyntax(const char *Prim, const Value &V) {
+  if (!V.isSyntax())
+    wrongType(Prim, "a syntax object", V);
+  return V.asSyntax();
+}
+
+} // namespace prims
+} // namespace pgmp
+
+#endif // PGMP_INTERP_PRIMSCOMMON_H

@@ -1,0 +1,192 @@
+//===- interp/PrimsString.cpp - Strings and characters --------------------===//
+
+#include "interp/Prims.h"
+#include "interp/PrimsCommon.h"
+
+#include <cctype>
+
+using namespace pgmp;
+using namespace pgmp::prims;
+
+namespace {
+
+Value primStringP(Context &, Value *A, size_t) {
+  return Value::boolean(A[0].isString());
+}
+
+Value primStringLength(Context &, Value *A, size_t) {
+  return Value::fixnum(
+      static_cast<int64_t>(wantString("string-length", A[0])->Text.size()));
+}
+
+Value primStringRef(Context &, Value *A, size_t) {
+  const std::string &S = wantString("string-ref", A[0])->Text;
+  int64_t I = wantFixnum("string-ref", A[1]);
+  if (I < 0 || static_cast<size_t>(I) >= S.size())
+    raiseError("string-ref: index out of range");
+  return Value::charval(static_cast<unsigned char>(S[static_cast<size_t>(I)]));
+}
+
+Value primSubstring(Context &Ctx, Value *A, size_t N) {
+  const std::string &S = wantString("substring", A[0])->Text;
+  int64_t Start = wantFixnum("substring", A[1]);
+  int64_t End = N == 3 ? wantFixnum("substring", A[2])
+                       : static_cast<int64_t>(S.size());
+  if (Start < 0 || End < Start || static_cast<size_t>(End) > S.size())
+    raiseError("substring: bad range");
+  return Ctx.TheHeap.string(S.substr(static_cast<size_t>(Start),
+                                     static_cast<size_t>(End - Start)));
+}
+
+Value primStringAppend(Context &Ctx, Value *A, size_t N) {
+  std::string Out;
+  for (size_t I = 0; I < N; ++I)
+    Out += wantString("string-append", A[I])->Text;
+  return Ctx.TheHeap.string(std::move(Out));
+}
+
+Value primStringEq(Context &, Value *A, size_t N) {
+  for (size_t I = 0; I + 1 < N; ++I)
+    if (wantString("string=?", A[I])->Text !=
+        wantString("string=?", A[I + 1])->Text)
+      return Value::boolean(false);
+  return Value::boolean(true);
+}
+
+Value primStringLt(Context &, Value *A, size_t) {
+  return Value::boolean(wantString("string<?", A[0])->Text <
+                        wantString("string<?", A[1])->Text);
+}
+
+/// (string-contains? haystack needle) -> boolean. This backs the paper's
+/// running example predicate subject-contains (Figure 1).
+Value primStringContainsP(Context &, Value *A, size_t) {
+  const std::string &H = wantString("string-contains?", A[0])->Text;
+  const std::string &Needle = wantString("string-contains?", A[1])->Text;
+  return Value::boolean(H.find(Needle) != std::string::npos);
+}
+
+Value primStringToList(Context &Ctx, Value *A, size_t) {
+  const std::string &S = wantString("string->list", A[0])->Text;
+  std::vector<Value> Out;
+  Out.reserve(S.size());
+  for (char C : S)
+    Out.push_back(Value::charval(static_cast<unsigned char>(C)));
+  return Ctx.TheHeap.list(Out);
+}
+
+Value primListToString(Context &Ctx, Value *A, size_t) {
+  std::string Out;
+  for (const Value &C : listToVector(A[0]))
+    Out += static_cast<char>(wantChar("list->string", C));
+  return Ctx.TheHeap.string(std::move(Out));
+}
+
+Value primMakeString(Context &Ctx, Value *A, size_t N) {
+  int64_t Len = wantFixnum("make-string", A[0]);
+  char Fill = N == 2 ? static_cast<char>(wantChar("make-string", A[1])) : ' ';
+  if (Len < 0)
+    raiseError("make-string: negative length");
+  return Ctx.TheHeap.string(std::string(static_cast<size_t>(Len), Fill));
+}
+
+Value primStringCopy(Context &Ctx, Value *A, size_t) {
+  return Ctx.TheHeap.string(wantString("string-copy", A[0])->Text);
+}
+
+Value primStringUpcase(Context &Ctx, Value *A, size_t) {
+  std::string S = wantString("string-upcase", A[0])->Text;
+  for (char &C : S)
+    C = static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+  return Ctx.TheHeap.string(std::move(S));
+}
+
+Value primStringDowncase(Context &Ctx, Value *A, size_t) {
+  std::string S = wantString("string-downcase", A[0])->Text;
+  for (char &C : S)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Ctx.TheHeap.string(std::move(S));
+}
+
+//===----------------------------------------------------------------------===//
+// Characters
+//===----------------------------------------------------------------------===//
+
+Value primCharP(Context &, Value *A, size_t) {
+  return Value::boolean(A[0].isChar());
+}
+Value primCharEq(Context &, Value *A, size_t N) {
+  for (size_t I = 0; I + 1 < N; ++I)
+    if (wantChar("char=?", A[I]) != wantChar("char=?", A[I + 1]))
+      return Value::boolean(false);
+  return Value::boolean(true);
+}
+Value primCharLt(Context &, Value *A, size_t) {
+  return Value::boolean(wantChar("char<?", A[0]) < wantChar("char<?", A[1]));
+}
+Value primCharLe(Context &, Value *A, size_t) {
+  return Value::boolean(wantChar("char<=?", A[0]) <=
+                        wantChar("char<=?", A[1]));
+}
+Value primCharToInteger(Context &, Value *A, size_t) {
+  return Value::fixnum(wantChar("char->integer", A[0]));
+}
+Value primIntegerToChar(Context &, Value *A, size_t) {
+  int64_t I = wantFixnum("integer->char", A[0]);
+  if (I < 0 || I > 0x10FFFF)
+    raiseError("integer->char: out of range");
+  return Value::charval(static_cast<uint32_t>(I));
+}
+Value primCharAlphabeticP(Context &, Value *A, size_t) {
+  uint32_t C = wantChar("char-alphabetic?", A[0]);
+  return Value::boolean(C < 128 && std::isalpha(static_cast<int>(C)));
+}
+Value primCharNumericP(Context &, Value *A, size_t) {
+  uint32_t C = wantChar("char-numeric?", A[0]);
+  return Value::boolean(C < 128 && std::isdigit(static_cast<int>(C)));
+}
+Value primCharWhitespaceP(Context &, Value *A, size_t) {
+  uint32_t C = wantChar("char-whitespace?", A[0]);
+  return Value::boolean(C < 128 && std::isspace(static_cast<int>(C)));
+}
+Value primCharUpcase(Context &, Value *A, size_t) {
+  uint32_t C = wantChar("char-upcase", A[0]);
+  return Value::charval(
+      C < 128 ? static_cast<uint32_t>(std::toupper(static_cast<int>(C))) : C);
+}
+Value primCharDowncase(Context &, Value *A, size_t) {
+  uint32_t C = wantChar("char-downcase", A[0]);
+  return Value::charval(
+      C < 128 ? static_cast<uint32_t>(std::tolower(static_cast<int>(C))) : C);
+}
+
+} // namespace
+
+void pgmp::installStringPrims(Context &Ctx) {
+  Ctx.definePrimitive("string?", 1, 1, primStringP);
+  Ctx.definePrimitive("string-length", 1, 1, primStringLength);
+  Ctx.definePrimitive("string-ref", 2, 2, primStringRef);
+  Ctx.definePrimitive("substring", 2, 3, primSubstring);
+  Ctx.definePrimitive("string-append", 0, -1, primStringAppend);
+  Ctx.definePrimitive("string=?", 2, -1, primStringEq);
+  Ctx.definePrimitive("string<?", 2, 2, primStringLt);
+  Ctx.definePrimitive("string-contains?", 2, 2, primStringContainsP);
+  Ctx.definePrimitive("string->list", 1, 1, primStringToList);
+  Ctx.definePrimitive("list->string", 1, 1, primListToString);
+  Ctx.definePrimitive("make-string", 1, 2, primMakeString);
+  Ctx.definePrimitive("string-copy", 1, 1, primStringCopy);
+  Ctx.definePrimitive("string-upcase", 1, 1, primStringUpcase);
+  Ctx.definePrimitive("string-downcase", 1, 1, primStringDowncase);
+
+  Ctx.definePrimitive("char?", 1, 1, primCharP);
+  Ctx.definePrimitive("char=?", 2, -1, primCharEq);
+  Ctx.definePrimitive("char<?", 2, 2, primCharLt);
+  Ctx.definePrimitive("char<=?", 2, 2, primCharLe);
+  Ctx.definePrimitive("char->integer", 1, 1, primCharToInteger);
+  Ctx.definePrimitive("integer->char", 1, 1, primIntegerToChar);
+  Ctx.definePrimitive("char-alphabetic?", 1, 1, primCharAlphabeticP);
+  Ctx.definePrimitive("char-numeric?", 1, 1, primCharNumericP);
+  Ctx.definePrimitive("char-whitespace?", 1, 1, primCharWhitespaceP);
+  Ctx.definePrimitive("char-upcase", 1, 1, primCharUpcase);
+  Ctx.definePrimitive("char-downcase", 1, 1, primCharDowncase);
+}

@@ -1,0 +1,49 @@
+//===- profile/CounterStore.cpp -------------------------------------------===//
+
+#include "profile/CounterStore.h"
+
+#include <algorithm>
+
+using namespace pgmp;
+
+uint64_t *CounterStore::counterFor(const SourceObject *Src) {
+  auto It = Index.find(Src);
+  if (It != Index.end())
+    return &Slots[It->second];
+  size_t Slot = Slots.size();
+  Slots.push_back(0);
+  Order.push_back(Src);
+  Index.emplace(Src, Slot);
+  return &Slots[Slot];
+}
+
+uint64_t CounterStore::count(const SourceObject *Src) const {
+  auto It = Index.find(Src);
+  return It == Index.end() ? 0 : Slots[It->second];
+}
+
+uint64_t CounterStore::maxCount() const {
+  uint64_t Max = 0;
+  for (uint64_t C : Slots)
+    Max = std::max(Max, C);
+  return Max;
+}
+
+std::vector<std::pair<const SourceObject *, uint64_t>>
+CounterStore::snapshot() const {
+  std::vector<std::pair<const SourceObject *, uint64_t>> Out;
+  Out.reserve(Order.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Out.push_back({Order[I], Slots[I]});
+  return Out;
+}
+
+void CounterStore::reset() {
+  std::fill(Slots.begin(), Slots.end(), 0);
+}
+
+void CounterStore::clear() {
+  Slots.clear();
+  Order.clear();
+  Index.clear();
+}

@@ -1,0 +1,51 @@
+//===- profile/CounterStore.h - Execution counters ------------*- C++ -*-===//
+///
+/// \file
+/// One 64-bit counter per profile point for the current instrumented run.
+/// Instrumented code increments through a stable pointer, so the per-hit
+/// cost is a single memory increment (the precise counter-based profiling
+/// model of Chez Scheme, paper Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_PROFILE_COUNTERSTORE_H
+#define PGMP_PROFILE_COUNTERSTORE_H
+
+#include "profile/SourceObject.h"
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace pgmp {
+
+/// Holds the live counters of one profiled execution.
+class CounterStore {
+public:
+  /// Returns a stable pointer to the counter for \p Src, creating it at
+  /// zero on first use.
+  uint64_t *counterFor(const SourceObject *Src);
+
+  /// Count for \p Src, or 0 if never instrumented.
+  uint64_t count(const SourceObject *Src) const;
+
+  /// Largest counter value (0 when empty) — the weight denominator.
+  uint64_t maxCount() const;
+
+  /// All (point, count) pairs, in creation order.
+  std::vector<std::pair<const SourceObject *, uint64_t>> snapshot() const;
+
+  void reset();      ///< zero every counter, keep registrations
+  void clear();      ///< drop all registrations
+  size_t size() const { return Slots.size(); }
+
+private:
+  std::deque<uint64_t> Slots;
+  std::vector<const SourceObject *> Order;
+  std::unordered_map<const SourceObject *, size_t> Index;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_PROFILE_COUNTERSTORE_H

@@ -1,0 +1,37 @@
+//===- profile/ProfileDatabase.cpp ----------------------------------------===//
+
+#include "profile/ProfileDatabase.h"
+
+using namespace pgmp;
+
+void ProfileDatabase::addDataset(const CounterStore &Counters) {
+  uint64_t Max = Counters.maxCount();
+  if (Max == 0)
+    return;
+  for (const auto &[Src, Count] : Counters.snapshot()) {
+    Entry &E = Entries[Src];
+    E.WeightSum += static_cast<double>(Count) / static_cast<double>(Max);
+    E.TotalCount += Count;
+  }
+  ++NumDatasets;
+}
+
+std::optional<double> ProfileDatabase::weight(const SourceObject *Src) const {
+  if (NumDatasets == 0)
+    return std::nullopt;
+  auto It = Entries.find(Src);
+  if (It == Entries.end())
+    return 0.0;
+  return It->second.WeightSum / static_cast<double>(NumDatasets);
+}
+
+void ProfileDatabase::clear() {
+  Entries.clear();
+  NumDatasets = 0;
+}
+
+void ProfileDatabase::mergeEntry(const SourceObject *Src, const Entry &E) {
+  Entry &Mine = Entries[Src];
+  Mine.WeightSum += E.WeightSum;
+  Mine.TotalCount += E.TotalCount;
+}

@@ -1,0 +1,65 @@
+//===- profile/ProfileDatabase.h - Profile weights ------------*- C++ -*-===//
+///
+/// \file
+/// The paper's (current-profile-information): a map from profile points
+/// to *profile weights* (Section 3.2). A weight is count / max-count
+/// within one data set, in [0,1]; multiple data sets merge by averaging
+/// the weights (Figure 3). The database therefore stores, per point, the
+/// running weight sum plus the number of data sets merged so far.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_PROFILE_PROFILEDATABASE_H
+#define PGMP_PROFILE_PROFILEDATABASE_H
+
+#include "profile/CounterStore.h"
+#include "profile/SourceObject.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace pgmp {
+
+/// Accumulated profile information across one or more data sets.
+class ProfileDatabase {
+public:
+  /// Folds one instrumented run into the database as a new data set.
+  /// Weights are counts normalized by the run's hottest point; a data set
+  /// whose counters are all zero is ignored.
+  void addDataset(const CounterStore &Counters);
+
+  /// Weight of \p Src averaged over all data sets. Points never seen get
+  /// weight 0 when any data is loaded; nullopt when the database is empty.
+  std::optional<double> weight(const SourceObject *Src) const;
+
+  /// True once at least one data set is present.
+  bool hasData() const { return NumDatasets > 0; }
+
+  uint64_t numDatasets() const { return NumDatasets; }
+  size_t numPoints() const { return Entries.size(); }
+  void clear();
+
+  /// Per-point persisted state.
+  struct Entry {
+    double WeightSum = 0; ///< sum of per-dataset weights
+    uint64_t TotalCount = 0;
+  };
+
+  /// Direct merge used by load-profile: folds previously stored state in,
+  /// preserving associativity of merges.
+  void mergeEntry(const SourceObject *Src, const Entry &E);
+  void mergeDatasetCount(uint64_t N) { NumDatasets += N; }
+
+  const std::unordered_map<const SourceObject *, Entry> &entries() const {
+    return Entries;
+  }
+
+private:
+  std::unordered_map<const SourceObject *, Entry> Entries;
+  uint64_t NumDatasets = 0;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_PROFILE_PROFILEDATABASE_H

@@ -1,0 +1,126 @@
+//===- profile/ProfileIO.cpp ----------------------------------------------===//
+
+#include "profile/ProfileIO.h"
+
+#include "support/Text.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace pgmp;
+
+static const char *const Magic = "pgmp-profile\t1";
+
+std::string pgmp::serializeProfile(const ProfileDatabase &Db) {
+  std::string Out;
+  Out += Magic;
+  Out += "\n";
+  Out += "datasets\t" + std::to_string(Db.numDatasets()) + "\n";
+
+  // Sort for deterministic output (unordered_map iteration order is not).
+  std::vector<std::pair<const SourceObject *, ProfileDatabase::Entry>> Rows(
+      Db.entries().begin(), Db.entries().end());
+  std::sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+    if (A.first->File != B.first->File)
+      return A.first->File < B.first->File;
+    if (A.first->BeginOffset != B.first->BeginOffset)
+      return A.first->BeginOffset < B.first->BeginOffset;
+    return A.first->EndOffset < B.first->EndOffset;
+  });
+
+  char Buf[64];
+  for (const auto &[Src, E] : Rows) {
+    Out += "point\t";
+    Out += Src->File;
+    Out += "\t" + std::to_string(Src->BeginOffset);
+    Out += "\t" + std::to_string(Src->EndOffset);
+    Out += "\t" + std::to_string(Src->Line);
+    Out += "\t" + std::to_string(Src->Column);
+    Out += Src->Generated ? "\tg" : "\t-";
+    std::snprintf(Buf, sizeof(Buf), "%.17g", E.WeightSum);
+    Out += "\t";
+    Out += Buf;
+    Out += "\t" + std::to_string(E.TotalCount);
+    Out += "\n";
+  }
+  return Out;
+}
+
+bool pgmp::storeProfileFile(const ProfileDatabase &Db,
+                            const std::string &Path) {
+  std::string Text = serializeProfile(Db);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return Written == Text.size();
+}
+
+bool pgmp::parseProfile(const std::string &Text, SourceObjectTable &Sources,
+                        ProfileDatabase &Db, std::string &ErrorOut) {
+  auto Lines = splitChar(Text, '\n');
+  if (Lines.empty() || Lines[0] != Magic) {
+    ErrorOut = "bad profile file header";
+    return false;
+  }
+  bool SawDatasets = false;
+  for (size_t I = 1; I < Lines.size(); ++I) {
+    std::string_view Line = Lines[I];
+    if (Line.empty())
+      continue;
+    auto Fields = splitChar(Line, '\t');
+    if (Fields[0] == "datasets") {
+      int64_t N;
+      if (Fields.size() != 2 || !parseInt64(Fields[1], N) || N < 0) {
+        ErrorOut = "bad datasets line " + std::to_string(I + 1);
+        return false;
+      }
+      Db.mergeDatasetCount(static_cast<uint64_t>(N));
+      SawDatasets = true;
+      continue;
+    }
+    if (Fields[0] == "point") {
+      int64_t Begin, End, Line2, Col, Count;
+      double WeightSum;
+      if (Fields.size() != 9 || !parseInt64(Fields[2], Begin) ||
+          !parseInt64(Fields[3], End) || !parseInt64(Fields[4], Line2) ||
+          !parseInt64(Fields[5], Col) || !parseDouble(Fields[7], WeightSum) ||
+          !parseInt64(Fields[8], Count)) {
+        ErrorOut = "bad point line " + std::to_string(I + 1);
+        return false;
+      }
+      const SourceObject *Src = Sources.intern(
+          std::string(Fields[1]), static_cast<uint32_t>(Begin),
+          static_cast<uint32_t>(End), static_cast<uint32_t>(Line2),
+          static_cast<uint32_t>(Col), Fields[6] == "g");
+      Db.mergeEntry(Src, ProfileDatabase::Entry{
+                             WeightSum, static_cast<uint64_t>(Count)});
+      continue;
+    }
+    ErrorOut = "unknown record '" + std::string(Fields[0]) + "' on line " +
+               std::to_string(I + 1);
+    return false;
+  }
+  if (!SawDatasets) {
+    ErrorOut = "profile file missing datasets record";
+    return false;
+  }
+  return true;
+}
+
+bool pgmp::loadProfileFile(const std::string &Path, SourceObjectTable &Sources,
+                           ProfileDatabase &Db, std::string &ErrorOut) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    ErrorOut = "cannot open profile file: " + Path;
+    return false;
+  }
+  std::string Text;
+  char Chunk[4096];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Text.append(Chunk, N);
+  std::fclose(F);
+  return parseProfile(Text, Sources, Db, ErrorOut);
+}

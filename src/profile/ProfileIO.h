@@ -1,0 +1,38 @@
+//===- profile/ProfileIO.h - store-profile / load-profile -----*- C++ -*-===//
+///
+/// \file
+/// Text serialization of profile databases (the files written by
+/// store-profile and read by load-profile, paper Figure 4). The format is
+/// a line-oriented TSV with a version header; loading *merges* into the
+/// target database so several stored data sets combine by weighted
+/// average, as in Figure 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_PROFILE_PROFILEIO_H
+#define PGMP_PROFILE_PROFILEIO_H
+
+#include "profile/ProfileDatabase.h"
+
+#include <string>
+
+namespace pgmp {
+
+/// Serializes \p Db; returns the file text.
+std::string serializeProfile(const ProfileDatabase &Db);
+
+/// Writes \p Db to \p Path. Returns false on I/O failure.
+bool storeProfileFile(const ProfileDatabase &Db, const std::string &Path);
+
+/// Parses \p Text and merges into \p Db, interning points in \p Sources.
+/// Returns false (with \p ErrorOut set) on malformed input.
+bool parseProfile(const std::string &Text, SourceObjectTable &Sources,
+                  ProfileDatabase &Db, std::string &ErrorOut);
+
+/// Reads \p Path and merges into \p Db. Returns false on failure.
+bool loadProfileFile(const std::string &Path, SourceObjectTable &Sources,
+                     ProfileDatabase &Db, std::string &ErrorOut);
+
+} // namespace pgmp
+
+#endif // PGMP_PROFILE_PROFILEIO_H

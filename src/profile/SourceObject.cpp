@@ -1,0 +1,40 @@
+//===- profile/SourceObject.cpp -------------------------------------------===//
+
+#include "profile/SourceObject.h"
+
+using namespace pgmp;
+
+std::string SourceObject::describe() const {
+  return File + ":" + std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string SourceObject::key() const {
+  return File + "\x01" + std::to_string(BeginOffset) + "\x01" +
+         std::to_string(EndOffset);
+}
+
+const SourceObject *SourceObjectTable::intern(const std::string &File,
+                                              uint32_t Begin, uint32_t End,
+                                              uint32_t Line, uint32_t Column,
+                                              bool Generated) {
+  SourceObject Probe{File, Begin, End, Line, Column, Generated};
+  std::string Key = Probe.key();
+  auto It = ByKey.find(Key);
+  if (It != ByKey.end())
+    return It->second;
+  All.push_back(std::move(Probe));
+  const SourceObject *Interned = &All.back();
+  ByKey.emplace(std::move(Key), Interned);
+  return Interned;
+}
+
+const SourceObject *
+SourceObjectTable::makeGeneratedPoint(const std::string &BaseFile) {
+  uint32_t Seq = NextGeneratedSeq[BaseFile]++;
+  // Chez-style: suffix the base file name; offsets make the key unique and
+  // deterministic, and they keep distinct points distinct even if a caller
+  // reuses the same suffixed name.
+  std::string File = BaseFile + "%pgmp" + std::to_string(Seq);
+  return intern(File, Seq, Seq + 1, /*Line=*/1, /*Column=*/1,
+                /*Generated=*/true);
+}

@@ -1,0 +1,65 @@
+//===- profile/SourceObject.h - Profile points ----------------*- C++ -*-===//
+///
+/// \file
+/// Source objects are the *profile points* of the paper (Section 3.1):
+/// each uniquely identifies one profile counter. Following the Chez Scheme
+/// implementation (Section 4.1), a source object is a file name plus
+/// starting and ending character positions; the reader attaches one to
+/// every syntax object it reads, and meta-programs can manufacture fresh
+/// ones deterministically (make-profile-point) by suffixing the file name
+/// of a base source object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_PROFILE_SOURCEOBJECT_H
+#define PGMP_PROFILE_SOURCEOBJECT_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+namespace pgmp {
+
+/// One profile point. Identity is (File, BeginOffset, EndOffset); the
+/// table below interns them so pointer equality is identity.
+struct SourceObject {
+  std::string File;
+  uint32_t BeginOffset = 0;
+  uint32_t EndOffset = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  /// True for points manufactured by make-profile-point.
+  bool Generated = false;
+
+  /// Renders "file:line:col" (diagnostics) .
+  std::string describe() const;
+  /// Stable identity string used as the profile-file key.
+  std::string key() const;
+};
+
+/// Interns source objects so each (file, begin, end) triple has exactly
+/// one address for the lifetime of the engine.
+class SourceObjectTable {
+public:
+  const SourceObject *intern(const std::string &File, uint32_t Begin,
+                             uint32_t End, uint32_t Line, uint32_t Column,
+                             bool Generated = false);
+
+  /// make-profile-point: a fresh point derived from \p BaseFile. The
+  /// sequence number is per base file and increments deterministically, so
+  /// a deterministic expansion produces the same points across the
+  /// profiled run and the optimizing run (paper, Figure 4).
+  const SourceObject *makeGeneratedPoint(const std::string &BaseFile);
+
+  uint64_t numPoints() const { return All.size(); }
+
+private:
+  std::deque<SourceObject> All;
+  std::unordered_map<std::string, const SourceObject *> ByKey;
+  std::unordered_map<std::string, uint32_t> NextGeneratedSeq;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_PROFILE_SOURCEOBJECT_H

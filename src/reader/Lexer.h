@@ -1,0 +1,85 @@
+//===- reader/Lexer.h - Scheme tokenizer ----------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the Scheme reader. Tracks byte offsets and line/column so
+/// every token — and hence every syntax object — carries the source range
+/// that becomes its profile point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_READER_LEXER_H
+#define PGMP_READER_LEXER_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pgmp {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  LParen,
+  RParen,
+  VecOpen,          ///< #(
+  Quote,            ///< '
+  Quasiquote,       ///< `
+  Unquote,          ///< ,
+  UnquoteSplicing,  ///< ,@
+  SyntaxQuote,      ///< #'
+  Quasisyntax,      ///< #`
+  Unsyntax,         ///< #,
+  UnsyntaxSplicing, ///< #,@
+  Dot,              ///< . in dotted pairs
+  DatumComment,     ///< #; — reader must skip the next datum
+  Boolean,
+  Fixnum,
+  Flonum,
+  Character,
+  String,
+  Symbol,
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceRange Range;
+  std::string Text;   ///< symbol spelling or decoded string contents
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+  bool BoolValue = false;
+  uint32_t CharValue = 0;
+};
+
+/// Produces tokens from one buffer. Raises SchemeError on malformed input
+/// (unterminated strings, bad characters, etc).
+class Lexer {
+public:
+  Lexer(std::string_view Text, std::string FileName);
+
+  Token next();
+
+private:
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Text.size(); }
+  SourcePos here() const;
+  void skipWhitespaceAndComments();
+  Token lexString(SourcePos Start);
+  Token lexCharacter(SourcePos Start);
+  Token lexAtom(SourcePos Start);
+  [[noreturn]] void fail(const std::string &Msg, const SourcePos &At);
+
+  std::string_view Text;
+  std::string FileName;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+/// True if \p C may appear in a symbol.
+bool isSymbolChar(char C);
+
+} // namespace pgmp
+
+#endif // PGMP_READER_LEXER_H

@@ -1,0 +1,49 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+
+using namespace pgmp;
+
+std::string Diagnostic::render() const {
+  const char *Tag = Kind == DiagKind::Error     ? "error"
+                    : Kind == DiagKind::Warning ? "warning"
+                                                : "note";
+  std::string Out;
+  if (!Where.empty()) {
+    Out += Where;
+    Out += ": ";
+  }
+  Out += Tag;
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+void DiagnosticSink::report(DiagKind Kind, std::string Where,
+                            std::string Message) {
+  Diags.push_back(Diagnostic{Kind, std::move(Where), std::move(Message)});
+  if (Kind == DiagKind::Error)
+    ++NumErrors;
+  else if (Kind == DiagKind::Warning)
+    ++NumWarnings;
+  if (EchoToStderr)
+    std::fprintf(stderr, "%s\n", Diags.back().render().c_str());
+}
+
+void DiagnosticSink::clear() {
+  Diags.clear();
+  NumErrors = 0;
+  NumWarnings = 0;
+}
+
+std::string SchemeError::render() const {
+  if (Where.empty())
+    return "error: " + Message;
+  return Where + ": error: " + Message;
+}
+
+void pgmp::raiseError(std::string Message, std::string Where) {
+  throw SchemeError(std::move(Message), std::move(Where));
+}

@@ -1,0 +1,76 @@
+//===- support/Diagnostics.h - Error reporting ----------------*- C++ -*-===//
+///
+/// \file
+/// Diagnostics for the reader/expander/interpreter, and the single
+/// exception type used to unwind out of Scheme-level errors.
+///
+/// Deviation from the LLVM rule against exceptions: a tree-walking
+/// interpreter needs non-local exits for runtime errors raised deep inside
+/// user code. We confine ourselves to one exception type, thrown only by
+/// this module and caught at the Engine API boundary, where it is
+/// converted into a result value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SUPPORT_DIAGNOSTICS_H
+#define PGMP_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace pgmp {
+
+/// Severity of a collected diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One rendered diagnostic; Where is "file:line:col" or empty.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  std::string Where;
+  std::string Message;
+
+  std::string render() const;
+};
+
+/// Accumulates diagnostics; compile-time warnings from meta-programs (e.g.
+/// the Perflint-style data-structure recommendations of Section 6.3 of the
+/// paper) land here so tests can observe them.
+class DiagnosticSink {
+public:
+  void report(DiagKind Kind, std::string Where, std::string Message);
+
+  const std::vector<Diagnostic> &all() const { return Diags; }
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+  void clear();
+
+  /// When set, diagnostics are echoed to stderr as they arrive.
+  bool EchoToStderr = false;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+/// The single exception used for Scheme-level error propagation.
+class SchemeError {
+public:
+  explicit SchemeError(std::string Message, std::string Where = "")
+      : Message(std::move(Message)), Where(std::move(Where)) {}
+
+  const std::string &message() const { return Message; }
+  const std::string &where() const { return Where; }
+  std::string render() const;
+
+private:
+  std::string Message;
+  std::string Where;
+};
+
+/// Raises a SchemeError; marked [[noreturn]] so callers need no dead code.
+[[noreturn]] void raiseError(std::string Message, std::string Where = "");
+
+} // namespace pgmp
+
+#endif // PGMP_SUPPORT_DIAGNOSTICS_H

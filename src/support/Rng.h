@@ -1,0 +1,59 @@
+//===- support/Rng.h - Deterministic PRNG ---------------------*- C++ -*-===//
+///
+/// \file
+/// A small xorshift128+ PRNG used by workload generators and property
+/// tests. Deterministic given a seed, so every benchmark and test is
+/// reproducible bit-for-bit across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SUPPORT_RNG_H
+#define PGMP_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace pgmp {
+
+/// xorshift128+; not cryptographic, but fast and deterministic.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding avoids low-entropy states.
+    auto Mix = [&Seed]() {
+      Seed += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      return Z ^ (Z >> 31);
+    };
+    S0 = Mix();
+    S1 = Mix();
+  }
+
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Uniform in [0, Bound); Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability \p P of true.
+  bool chance(double P) { return unit() < P; }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_SUPPORT_RNG_H

@@ -1,0 +1,47 @@
+//===- support/SourceLoc.h - Source positions -----------------*- C++ -*-===//
+//
+// Part of the pgmp project, a reproduction of "Profile-Guided
+// Meta-Programming" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-offset source positions and half-open source ranges. A SourceRange
+/// plus a file identity is the "source object" of Chez Scheme (Section 4.1
+/// of the paper), which this reproduction uses as the profile-point
+/// identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SUPPORT_SOURCELOC_H
+#define PGMP_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace pgmp {
+
+/// A position within one source buffer, as a byte offset plus 1-based
+/// line/column derived from the buffer text.
+struct SourcePos {
+  uint32_t Offset = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+
+  friend bool operator==(const SourcePos &A, const SourcePos &B) {
+    return A.Offset == B.Offset;
+  }
+};
+
+/// A half-open [Begin, End) range within one source buffer.
+struct SourceRange {
+  SourcePos Begin;
+  SourcePos End;
+
+  friend bool operator==(const SourceRange &A, const SourceRange &B) {
+    return A.Begin == B.Begin && A.End == B.End;
+  }
+};
+
+} // namespace pgmp
+
+#endif // PGMP_SUPPORT_SOURCELOC_H

@@ -1,0 +1,49 @@
+//===- support/SourceManager.cpp ------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace pgmp;
+
+FileId SourceManager::addBuffer(std::string Name, std::string Contents) {
+  auto It = IdsByName.find(Name);
+  if (It != IdsByName.end()) {
+    Buffers[It->second].Contents = std::move(Contents);
+    return It->second;
+  }
+  FileId Id = static_cast<FileId>(Buffers.size());
+  IdsByName.emplace(Name, Id);
+  Buffers.push_back(Buffer{std::move(Name), std::move(Contents)});
+  return Id;
+}
+
+bool SourceManager::addFile(const std::string &Path, FileId &IdOut) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::string Text;
+  char Chunk[4096];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Text.append(Chunk, N);
+  std::fclose(F);
+  IdOut = addBuffer(Path, std::move(Text));
+  return true;
+}
+
+std::string_view SourceManager::bufferText(FileId Id) const {
+  assert(Id < Buffers.size() && "bad FileId");
+  return Buffers[Id].Contents;
+}
+
+const std::string &SourceManager::bufferName(FileId Id) const {
+  assert(Id < Buffers.size() && "bad FileId");
+  return Buffers[Id].Name;
+}
+
+std::string SourceManager::describe(FileId Id, const SourcePos &Pos) const {
+  return bufferName(Id) + ":" + std::to_string(Pos.Line) + ":" +
+         std::to_string(Pos.Column);
+}

@@ -1,0 +1,55 @@
+//===- support/SourceManager.h - Owns source buffers ----------*- C++ -*-===//
+///
+/// \file
+/// Registry of source buffers (files and in-memory strings). Buffers are
+/// identified by a small integer FileId; buffer names are the file-name
+/// component of profile points, so they must be stable across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SUPPORT_SOURCEMANAGER_H
+#define PGMP_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pgmp {
+
+using FileId = uint32_t;
+
+/// Owns the text of every source buffer seen by a session.
+///
+/// Re-registering the same name returns the same FileId with refreshed
+/// contents; profile points refer to names, not ids, so ids need not be
+/// stable across sessions.
+class SourceManager {
+public:
+  /// Registers (or refreshes) a buffer under \p Name and returns its id.
+  FileId addBuffer(std::string Name, std::string Contents);
+
+  /// Reads \p Path from disk and registers it. Returns false on I/O error.
+  bool addFile(const std::string &Path, FileId &IdOut);
+
+  std::string_view bufferText(FileId Id) const;
+  const std::string &bufferName(FileId Id) const;
+  uint32_t numBuffers() const { return static_cast<uint32_t>(Buffers.size()); }
+
+  /// Renders "name:line:col" for diagnostics.
+  std::string describe(FileId Id, const SourcePos &Pos) const;
+
+private:
+  struct Buffer {
+    std::string Name;
+    std::string Contents;
+  };
+  std::vector<Buffer> Buffers;
+  std::unordered_map<std::string, FileId> IdsByName;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_SUPPORT_SOURCEMANAGER_H

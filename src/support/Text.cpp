@@ -1,0 +1,93 @@
+//===- support/Text.cpp ---------------------------------------------------===//
+
+#include "support/Text.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace pgmp;
+
+std::string pgmp::formatFlonum(double X) {
+  char Buf[64];
+  // %.17g always round-trips; try shorter forms first for readability.
+  for (int Prec = 1; Prec <= 17; ++Prec) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Prec, X);
+    if (std::strtod(Buf, nullptr) == X)
+      break;
+  }
+  std::string S(Buf);
+  if (S.find_first_of(".eEni") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+std::string pgmp::escapeStringLiteral(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+std::vector<std::string_view> pgmp::splitChar(std::string_view S, char Sep) {
+  std::vector<std::string_view> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Parts.push_back(S.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+bool pgmp::parseInt64(std::string_view S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  std::string Buf(S);
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Buf.c_str(), &End, 10);
+  if (errno != 0 || End != Buf.c_str() + Buf.size())
+    return false;
+  Out = static_cast<int64_t>(V);
+  return true;
+}
+
+bool pgmp::parseDouble(std::string_view S, double &Out) {
+  if (S.empty())
+    return false;
+  std::string Buf(S);
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Buf.c_str(), &End);
+  if (errno != 0 || End != Buf.c_str() + Buf.size())
+    return false;
+  Out = V;
+  return true;
+}

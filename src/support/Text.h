@@ -1,0 +1,35 @@
+//===- support/Text.h - Small string utilities ----------------*- C++ -*-===//
+///
+/// \file
+/// String helpers shared by the reader, the printer, and profile I/O.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SUPPORT_TEXT_H
+#define PGMP_SUPPORT_TEXT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgmp {
+
+/// Renders a double the way Scheme writes flonums: shortest round-trip
+/// representation, always containing a '.' or exponent.
+std::string formatFlonum(double X);
+
+/// Escapes a string for Scheme `write` notation (quotes and backslashes).
+std::string escapeStringLiteral(std::string_view S);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string_view> splitChar(std::string_view S, char Sep);
+
+/// True if \p S parses completely as a signed integer; writes to \p Out.
+bool parseInt64(std::string_view S, int64_t &Out);
+
+/// True if \p S parses completely as a double; writes to \p Out.
+bool parseDouble(std::string_view S, double &Out);
+
+} // namespace pgmp
+
+#endif // PGMP_SUPPORT_TEXT_H

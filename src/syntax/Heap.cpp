@@ -1,0 +1,113 @@
+//===- syntax/Heap.cpp ----------------------------------------------------===//
+
+#include "syntax/Heap.h"
+
+#include "support/Diagnostics.h"
+#include "syntax/SymbolTable.h"
+
+#include <algorithm>
+
+using namespace pgmp;
+
+Heap::~Heap() {
+  Obj *O = Head;
+  while (O) {
+    Obj *Next = O->NextAllocated;
+    delete O;
+    O = Next;
+  }
+}
+
+Value Heap::list(const std::vector<Value> &Elems) {
+  Value Out = Value::nil();
+  for (size_t I = Elems.size(); I > 0; --I)
+    Out = cons(Elems[I - 1], Out);
+  return Out;
+}
+
+std::vector<Value> pgmp::listToVector(const Value &List) {
+  std::vector<Value> Out;
+  Value Cur = List;
+  while (Cur.isPair()) {
+    Out.push_back(Cur.asPair()->Car);
+    Cur = Cur.asPair()->Cdr;
+  }
+  if (!Cur.isNil())
+    raiseError("improper list where proper list expected");
+  return Out;
+}
+
+int64_t pgmp::listLength(const Value &List) {
+  int64_t N = 0;
+  Value Cur = List;
+  while (Cur.isPair()) {
+    ++N;
+    Cur = Cur.asPair()->Cdr;
+  }
+  return Cur.isNil() ? N : -1;
+}
+
+//===----------------------------------------------------------------------===//
+// HashTable
+//===----------------------------------------------------------------------===//
+
+uint64_t HashTable::Hasher::operator()(const Value &V) const {
+  switch (HK) {
+  case HashKind::Eq:
+  case HashKind::Eqv:
+    return eqHash(V);
+  case HashKind::Equal:
+    return equalHash(V);
+  }
+  return 0;
+}
+
+bool HashTable::Eq::operator()(const Value &A, const Value &B) const {
+  switch (HK) {
+  case HashKind::Eq:
+    return eqValues(A, B);
+  case HashKind::Eqv:
+    return eqvValues(A, B);
+  case HashKind::Equal:
+    return equalValues(A, B);
+  }
+  return false;
+}
+
+HashTable::HashTable(HashKind HK)
+    : Obj(ValueKind::Hash), HK(HK),
+      Table(8, Hasher{HK}, Eq{HK}) {}
+
+Value HashTable::get(const Value &Key, const Value &Default) const {
+  auto It = Table.find(Key);
+  return It == Table.end() ? Default : It->second.first;
+}
+
+bool HashTable::contains(const Value &Key) const {
+  return Table.find(Key) != Table.end();
+}
+
+void HashTable::set(const Value &Key, const Value &Val) {
+  auto It = Table.find(Key);
+  if (It != Table.end()) {
+    It->second.first = Val;
+    return;
+  }
+  Table.emplace(Key, std::make_pair(Val, NextInsertIndex++));
+}
+
+bool HashTable::erase(const Value &Key) { return Table.erase(Key) > 0; }
+
+std::vector<Value> HashTable::keysInInsertionOrder() const {
+  std::vector<std::pair<uint64_t, Value>> Ordered;
+  Ordered.reserve(Table.size());
+  for (const auto &[K, V] : Table)
+    Ordered.push_back({V.second, K});
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  std::vector<Value> Keys;
+  Keys.reserve(Ordered.size());
+  for (auto &[Idx, K] : Ordered)
+    Keys.push_back(K);
+  return Keys;
+}

@@ -1,0 +1,188 @@
+//===- syntax/Heap.h - Heap objects and allocation ------------*- C++ -*-===//
+///
+/// \file
+/// Heap object definitions (pairs, strings, vectors, hash tables,
+/// closures, primitives, boxes, environment frames) and the Heap that owns
+/// them. The heap is an arena: objects live until the owning engine is
+/// destroyed. Symbols are interned separately (see SymbolTable.h) and
+/// syntax objects are defined in Syntax.h; both are still Heap-allocated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SYNTAX_HEAP_H
+#define PGMP_SYNTAX_HEAP_H
+
+#include "syntax/Value.h"
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pgmp {
+
+class Context;
+class LambdaExpr;
+
+/// Base of every heap-allocated Scheme object. Objects are linked into an
+/// intrusive list owned by the Heap for bulk destruction.
+class Obj {
+public:
+  virtual ~Obj() = default;
+
+  ValueKind Kind;
+  Obj *NextAllocated = nullptr;
+
+protected:
+  explicit Obj(ValueKind K) : Kind(K) {}
+};
+
+/// A cons cell.
+class Pair : public Obj {
+public:
+  Pair(Value Car, Value Cdr) : Obj(ValueKind::Pair), Car(Car), Cdr(Cdr) {}
+  Value Car;
+  Value Cdr;
+};
+
+/// A mutable Scheme string.
+class StringObj : public Obj {
+public:
+  explicit StringObj(std::string S)
+      : Obj(ValueKind::String), Text(std::move(S)) {}
+  std::string Text;
+};
+
+/// A Scheme vector.
+class VectorObj : public Obj {
+public:
+  explicit VectorObj(std::vector<Value> Elems)
+      : Obj(ValueKind::Vector), Elems(std::move(Elems)) {}
+  std::vector<Value> Elems;
+};
+
+/// Equality discipline of a hash table.
+enum class HashKind : uint8_t { Eq, Eqv, Equal };
+
+/// A Scheme hashtable (make-eq-hashtable / make-equal-hashtable / ...).
+class HashTable : public Obj {
+public:
+  explicit HashTable(HashKind HK);
+
+  /// Returns the stored value or \p Default.
+  Value get(const Value &Key, const Value &Default) const;
+  bool contains(const Value &Key) const;
+  void set(const Value &Key, const Value &Val);
+  bool erase(const Value &Key);
+  size_t size() const { return Table.size(); }
+
+  /// Stable key order: insertion order (Scheme hashtable-keys users in the
+  /// case studies rely on determinism for reproducible expansion).
+  std::vector<Value> keysInInsertionOrder() const;
+
+  HashKind HK;
+
+private:
+  struct Hasher {
+    HashKind HK;
+    uint64_t operator()(const Value &V) const;
+  };
+  struct Eq {
+    HashKind HK;
+    bool operator()(const Value &A, const Value &B) const;
+  };
+  /// Maps key -> (value, insertion index).
+  std::unordered_map<Value, std::pair<Value, uint64_t>, Hasher, Eq> Table;
+  uint64_t NextInsertIndex = 0;
+};
+
+/// A user procedure: a compiled lambda template plus its captured frame.
+class Closure : public Obj {
+public:
+  Closure(const LambdaExpr *Template, EnvObj *Captured)
+      : Obj(ValueKind::Closure), Template(Template), Captured(Captured) {}
+  const LambdaExpr *Template;
+  EnvObj *Captured;
+};
+
+/// Signature of a built-in procedure.
+using PrimFn = Value (*)(Context &, Value *Args, size_t NumArgs);
+
+/// A built-in procedure with arity checking metadata.
+class Primitive : public Obj {
+public:
+  Primitive(std::string Name, int MinArgs, int MaxArgs, PrimFn Fn)
+      : Obj(ValueKind::Primitive), Name(std::move(Name)), MinArgs(MinArgs),
+        MaxArgs(MaxArgs), Fn(Fn) {}
+  std::string Name;
+  int MinArgs;
+  int MaxArgs; ///< -1 for variadic
+  PrimFn Fn;
+};
+
+/// A single-cell mutable box.
+class Box : public Obj {
+public:
+  explicit Box(Value V) : Obj(ValueKind::Box), Boxed(V) {}
+  Value Boxed;
+};
+
+/// A runtime environment frame: fixed slots, parent chain. Variable
+/// references are compiled to (depth, index) pairs.
+class EnvObj : public Obj {
+public:
+  EnvObj(EnvObj *Parent, size_t NumSlots)
+      : Obj(ValueKind::Env), Parent(Parent), Slots(NumSlots) {}
+  EnvObj *Parent;
+  std::vector<Value> Slots;
+};
+
+/// Arena-style owner of all heap objects of one engine.
+class Heap {
+public:
+  Heap() = default;
+  ~Heap();
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  template <typename T, typename... Args> T *make(Args &&...ArgList) {
+    T *O = new T(std::forward<Args>(ArgList)...);
+    O->NextAllocated = Head;
+    Head = O;
+    ++NumObjects;
+    return O;
+  }
+
+  Value cons(Value Car, Value Cdr) {
+    return Value::object(ValueKind::Pair, make<Pair>(Car, Cdr));
+  }
+  Value string(std::string S) {
+    return Value::object(ValueKind::String, make<StringObj>(std::move(S)));
+  }
+  Value vector(std::vector<Value> Elems) {
+    return Value::object(ValueKind::Vector, make<VectorObj>(std::move(Elems)));
+  }
+  Value hashtable(HashKind HK) {
+    return Value::object(ValueKind::Hash, make<HashTable>(HK));
+  }
+  Value box(Value V) { return Value::object(ValueKind::Box, make<Box>(V)); }
+
+  /// Builds a proper list from \p Elems.
+  Value list(const std::vector<Value> &Elems);
+
+  uint64_t numObjects() const { return NumObjects; }
+
+private:
+  Obj *Head = nullptr;
+  uint64_t NumObjects = 0;
+};
+
+/// Walks a proper list into a vector; raises on improper lists.
+std::vector<Value> listToVector(const Value &List);
+
+/// Length of a proper list, or -1 if improper/cyclic-free check fails.
+int64_t listLength(const Value &List);
+
+} // namespace pgmp
+
+#endif // PGMP_SYNTAX_HEAP_H

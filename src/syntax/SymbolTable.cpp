@@ -1,0 +1,27 @@
+//===- syntax/SymbolTable.cpp ---------------------------------------------===//
+
+#include "syntax/SymbolTable.h"
+
+using namespace pgmp;
+
+Symbol *SymbolTable::intern(std::string_view Name) {
+  std::string Key(Name);
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second.get();
+  auto Sym = std::make_unique<Symbol>(Key, NextId++, /*Interned=*/true);
+  Symbol *Raw = Sym.get();
+  Interned.emplace(std::move(Key), std::move(Sym));
+  return Raw;
+}
+
+Symbol *SymbolTable::gensym(std::string_view Prefix) {
+  std::string Name(Prefix);
+  Name += "~g";
+  Name += std::to_string(NextGensym++);
+  auto Sym = std::make_unique<Symbol>(std::move(Name), NextId++,
+                                      /*Interned=*/false);
+  Symbol *Raw = Sym.get();
+  Gensyms.push_back(std::move(Sym));
+  return Raw;
+}

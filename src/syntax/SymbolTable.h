@@ -1,0 +1,59 @@
+//===- syntax/SymbolTable.h - Interned symbols ----------------*- C++ -*-===//
+///
+/// \file
+/// Interned Scheme symbols. Two symbols with the same spelling are the
+/// same object, so eq? on symbols is pointer identity. gensym produces
+/// uninterned symbols with unique spellings; the counter is per-table, so
+/// a deterministic program produces a deterministic gensym sequence (this
+/// matters for reproducible expansion, cf. make-profile-point).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SYNTAX_SYMBOLTABLE_H
+#define PGMP_SYNTAX_SYMBOLTABLE_H
+
+#include "syntax/Heap.h"
+#include "syntax/Value.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pgmp {
+
+/// An interned (or gensym'd) symbol.
+class Symbol : public Obj {
+public:
+  Symbol(std::string Name, uint32_t Id, bool Interned)
+      : Obj(ValueKind::Symbol), Name(std::move(Name)), Id(Id),
+        Interned(Interned) {}
+  std::string Name;
+  uint32_t Id;
+  bool Interned;
+};
+
+/// Owns all symbols of one engine.
+class SymbolTable {
+public:
+  /// Returns the unique symbol spelled \p Name.
+  Symbol *intern(std::string_view Name);
+
+  /// Fresh uninterned symbol whose spelling starts with \p Prefix.
+  Symbol *gensym(std::string_view Prefix);
+
+  Value internValue(std::string_view Name) {
+    return Value::object(ValueKind::Symbol, intern(Name));
+  }
+
+private:
+  std::unordered_map<std::string, std::unique_ptr<Symbol>> Interned;
+  std::vector<std::unique_ptr<Symbol>> Gensyms;
+  uint32_t NextId = 0;
+  uint32_t NextGensym = 0;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_SYNTAX_SYMBOLTABLE_H

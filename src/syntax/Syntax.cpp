@@ -1,0 +1,197 @@
+//===- syntax/Syntax.cpp --------------------------------------------------===//
+
+#include "syntax/Syntax.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+
+using namespace pgmp;
+
+//===----------------------------------------------------------------------===//
+// ScopeSet
+//===----------------------------------------------------------------------===//
+
+bool ScopeSet::contains(ScopeId S) const {
+  return std::binary_search(Ids.begin(), Ids.end(), S);
+}
+
+ScopeSet ScopeSet::withScope(ScopeId S) const {
+  if (contains(S))
+    return *this;
+  ScopeSet Out = *this;
+  Out.Ids.insert(std::upper_bound(Out.Ids.begin(), Out.Ids.end(), S), S);
+  return Out;
+}
+
+ScopeSet ScopeSet::flipped(ScopeId S) const {
+  ScopeSet Out = *this;
+  auto It = std::lower_bound(Out.Ids.begin(), Out.Ids.end(), S);
+  if (It != Out.Ids.end() && *It == S)
+    Out.Ids.erase(It);
+  else
+    Out.Ids.insert(It, S);
+  return Out;
+}
+
+bool ScopeSet::isSubsetOf(const ScopeSet &Other) const {
+  return std::includes(Other.Ids.begin(), Other.Ids.end(), Ids.begin(),
+                       Ids.end());
+}
+
+std::string ScopeSet::describe() const {
+  std::string Out = "{";
+  for (size_t I = 0; I < Ids.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += std::to_string(Ids[I]);
+  }
+  Out += "}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Syntax helpers
+//===----------------------------------------------------------------------===//
+
+Value pgmp::makeSyntax(Heap &H, Value Inner, ScopeSet Scopes,
+                       const SourceObject *Src) {
+  return Value::object(ValueKind::Syntax,
+                       H.make<Syntax>(Inner, std::move(Scopes), Src));
+}
+
+Value pgmp::syntaxE(const Value &V) {
+  return V.isSyntax() ? V.asSyntax()->Inner : V;
+}
+
+Value pgmp::syntaxToDatum(Heap &H, const Value &V) {
+  Value Inner = syntaxE(V);
+  switch (Inner.kind()) {
+  case ValueKind::Pair:
+    return H.cons(syntaxToDatum(H, Inner.asPair()->Car),
+                  syntaxToDatum(H, Inner.asPair()->Cdr));
+  case ValueKind::Vector: {
+    std::vector<Value> Elems;
+    Elems.reserve(Inner.asVector()->Elems.size());
+    for (const Value &E : Inner.asVector()->Elems)
+      Elems.push_back(syntaxToDatum(H, E));
+    return H.vector(std::move(Elems));
+  }
+  default:
+    return Inner;
+  }
+}
+
+Value pgmp::datumToSyntax(Heap &H, const Syntax &CtxId, const Value &Datum) {
+  if (Datum.isSyntax())
+    return Datum;
+  switch (Datum.kind()) {
+  case ValueKind::Pair: {
+    // Wrap elements; keep the list spine as plain pairs (the shape the
+    // reader produces). An improper tail becomes a wrapped atom.
+    Value Car = datumToSyntax(H, CtxId, Datum.asPair()->Car);
+    Value CdrIn = Datum.asPair()->Cdr;
+    Value Cdr;
+    if (CdrIn.isPair())
+      Cdr = syntaxE(datumToSyntax(H, CtxId, CdrIn));
+    else if (CdrIn.isNil())
+      Cdr = Value::nil();
+    else
+      Cdr = datumToSyntax(H, CtxId, CdrIn);
+    return makeSyntax(H, H.cons(Car, Cdr), CtxId.Scopes, CtxId.Src);
+  }
+  case ValueKind::Vector: {
+    std::vector<Value> Elems;
+    Elems.reserve(Datum.asVector()->Elems.size());
+    for (const Value &E : Datum.asVector()->Elems)
+      Elems.push_back(datumToSyntax(H, CtxId, E));
+    return makeSyntax(H, H.vector(std::move(Elems)), CtxId.Scopes, CtxId.Src);
+  }
+  default:
+    return makeSyntax(H, Datum, CtxId.Scopes, CtxId.Src);
+  }
+}
+
+Value pgmp::adjustScope(Heap &H, const Value &V, ScopeId S, ScopeOp Op) {
+  switch (V.kind()) {
+  case ValueKind::Syntax: {
+    Syntax *Stx = V.asSyntax();
+    ScopeSet NewScopes = Op == ScopeOp::Add ? Stx->Scopes.withScope(S)
+                                            : Stx->Scopes.flipped(S);
+    Value NewInner = adjustScope(H, Stx->Inner, S, Op);
+    return makeSyntax(H, NewInner, std::move(NewScopes), Stx->Src);
+  }
+  case ValueKind::Pair:
+    return H.cons(adjustScope(H, V.asPair()->Car, S, Op),
+                  adjustScope(H, V.asPair()->Cdr, S, Op));
+  case ValueKind::Vector: {
+    std::vector<Value> Elems;
+    Elems.reserve(V.asVector()->Elems.size());
+    for (const Value &E : V.asVector()->Elems)
+      Elems.push_back(adjustScope(H, E, S, Op));
+    return H.vector(std::move(Elems));
+  }
+  default:
+    return V;
+  }
+}
+
+const SourceObject *pgmp::syntaxSource(const Value &V) {
+  return V.isSyntax() ? V.asSyntax()->Src : nullptr;
+}
+
+Syntax *pgmp::asIdentifier(const Value &V) {
+  if (!V.isSyntax())
+    return nullptr;
+  Syntax *Stx = V.asSyntax();
+  return Stx->isIdentifier() ? Stx : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// BindingTable
+//===----------------------------------------------------------------------===//
+
+void BindingTable::add(Symbol *Sym, ScopeSet Scopes, BindingLabel Label) {
+  Entries[Sym].push_back(Entry{std::move(Scopes), Label});
+}
+
+BindingTable::Resolution BindingTable::resolve(Symbol *Sym,
+                                               const ScopeSet &RefScopes) const {
+  Resolution R;
+  auto It = Entries.find(Sym);
+  if (It == Entries.end())
+    return R;
+  const Entry *Best = nullptr;
+  for (const Entry &E : It->second) {
+    if (!E.Scopes.isSubsetOf(RefScopes))
+      continue;
+    if (!Best || E.Scopes.size() > Best->Scopes.size()) {
+      Best = &E;
+      R.Ambiguous = false;
+    } else if (E.Scopes.size() == Best->Scopes.size() &&
+               !(E.Scopes == Best->Scopes)) {
+      R.Ambiguous = true;
+    }
+  }
+  if (Best)
+    R.Label = Best->Label;
+  return R;
+}
+
+bool pgmp::freeIdentifierEqual(const BindingTable &BT, Syntax *A, Syntax *B) {
+  assert(A->isIdentifier() && B->isIdentifier() &&
+         "free-identifier=? needs identifiers");
+  auto RA = BT.resolve(A->identifierSymbol(), A->Scopes);
+  auto RB = BT.resolve(B->identifierSymbol(), B->Scopes);
+  if (RA.Label != 0 || RB.Label != 0)
+    return RA.Label == RB.Label;
+  // Both unbound: compare by name (they would denote the same global).
+  return A->identifierSymbol() == B->identifierSymbol();
+}
+
+bool pgmp::boundIdentifierEqual(Syntax *A, Syntax *B) {
+  assert(A->isIdentifier() && B->isIdentifier() &&
+         "bound-identifier=? needs identifiers");
+  return A->identifierSymbol() == B->identifierSymbol() &&
+         A->Scopes == B->Scopes;
+}

@@ -1,0 +1,142 @@
+//===- syntax/Syntax.h - Syntax objects and hygiene -----------*- C++ -*-===//
+///
+/// \file
+/// Syntax objects: a datum annotated with a source object (the profile
+/// point) and a set of scopes for hygiene. Hygiene follows the
+/// sets-of-scopes model: binding forms add a scope to binder and body;
+/// macro invocation flips a fresh scope on input and output, so
+/// macro-introduced identifiers differ from use-site identifiers by
+/// exactly that scope. Binding resolution finds, among bindings of the
+/// same symbol, the one whose scope set is the largest subset of the
+/// reference's scope set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SYNTAX_SYNTAX_H
+#define PGMP_SYNTAX_SYNTAX_H
+
+#include "syntax/Heap.h"
+#include "syntax/SymbolTable.h"
+#include "syntax/Value.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace pgmp {
+
+struct SourceObject;
+
+using ScopeId = uint32_t;
+
+/// An immutable sorted set of scope ids. Small (a handful of scopes per
+/// identifier), so a sorted vector beats anything fancier.
+class ScopeSet {
+public:
+  ScopeSet() = default;
+
+  bool contains(ScopeId S) const;
+  ScopeSet withScope(ScopeId S) const;
+  ScopeSet flipped(ScopeId S) const;
+  bool isSubsetOf(const ScopeSet &Other) const;
+  size_t size() const { return Ids.size(); }
+
+  friend bool operator==(const ScopeSet &A, const ScopeSet &B) {
+    return A.Ids == B.Ids;
+  }
+
+  std::string describe() const;
+
+private:
+  std::vector<ScopeId> Ids;
+};
+
+/// A datum annotated with scopes and a source object. For compound data
+/// the Inner holds a spine of plain pairs whose elements are Syntax
+/// values (the reader guarantees this shape).
+class Syntax : public Obj {
+public:
+  Syntax(Value Inner, ScopeSet Scopes, const SourceObject *Src)
+      : Obj(ValueKind::Syntax), Inner(Inner), Scopes(std::move(Scopes)),
+        Src(Src) {}
+
+  Value Inner;
+  ScopeSet Scopes;
+  const SourceObject *Src; ///< profile point; null for synthetic syntax
+
+  bool isIdentifier() const { return Inner.isSymbol(); }
+  Symbol *identifierSymbol() const { return Inner.asSymbol(); }
+};
+
+/// Convenience: make a Syntax value.
+Value makeSyntax(Heap &H, Value Inner, ScopeSet Scopes,
+                 const SourceObject *Src);
+
+/// If \p V is a syntax object returns its inner datum, else \p V itself.
+/// One level only (elements of a compound stay wrapped).
+Value syntaxE(const Value &V);
+
+/// Recursively strips all syntax wrappers (syntax->datum).
+Value syntaxToDatum(Heap &H, const Value &V);
+
+/// Recursively wraps \p Datum using \p CtxId's scopes (datum->syntax).
+/// Existing syntax inside \p Datum is left as-is.
+Value datumToSyntax(Heap &H, const Syntax &CtxId, const Value &Datum);
+
+/// Adds or flips a scope over an entire syntax tree (rebuilds the tree;
+/// input is never mutated).
+enum class ScopeOp { Add, Flip };
+Value adjustScope(Heap &H, const Value &V, ScopeId S, ScopeOp Op);
+
+/// Source object of \p V if it is syntax with one, else null.
+const SourceObject *syntaxSource(const Value &V);
+
+/// Returns \p V as Syntax* if it is an identifier (syntax whose inner is a
+/// symbol), else null.
+Syntax *asIdentifier(const Value &V);
+
+//===----------------------------------------------------------------------===//
+// Binding table
+//===----------------------------------------------------------------------===//
+
+/// Opaque compile-time binding identity; 0 is "unbound".
+using BindingLabel = uint32_t;
+
+/// Maps (symbol, scope set) to binding labels, per the sets-of-scopes
+/// resolution rule.
+class BindingTable {
+public:
+  /// Records that \p Sym with exactly \p Scopes is bound as \p Label.
+  void add(Symbol *Sym, ScopeSet Scopes, BindingLabel Label);
+
+  /// Resolution result.
+  struct Resolution {
+    BindingLabel Label = 0; ///< 0 if unbound
+    bool Ambiguous = false;
+  };
+
+  /// Finds the binding of \p Sym whose scope set is the largest subset of
+  /// \p RefScopes. Ambiguity (two maximal candidates, neither a superset)
+  /// is reported rather than resolved arbitrarily.
+  Resolution resolve(Symbol *Sym, const ScopeSet &RefScopes) const;
+
+  BindingLabel freshLabel() { return NextLabel++; }
+
+private:
+  struct Entry {
+    ScopeSet Scopes;
+    BindingLabel Label;
+  };
+  std::unordered_map<Symbol *, std::vector<Entry>> Entries;
+  BindingLabel NextLabel = 1;
+};
+
+/// free-identifier=?: do two identifiers refer to the same binding (or are
+/// both unbound with the same name)?
+bool freeIdentifierEqual(const BindingTable &BT, Syntax *A, Syntax *B);
+
+/// bound-identifier=?: would one capture the other if it were a binder?
+bool boundIdentifierEqual(Syntax *A, Syntax *B);
+
+} // namespace pgmp
+
+#endif // PGMP_SYNTAX_SYNTAX_H

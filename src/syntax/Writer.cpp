@@ -1,0 +1,181 @@
+//===- syntax/Writer.cpp --------------------------------------------------===//
+
+#include "syntax/Writer.h"
+
+#include "support/Text.h"
+#include "syntax/Heap.h"
+#include "syntax/SymbolTable.h"
+#include "syntax/Syntax.h"
+
+using namespace pgmp;
+
+namespace {
+
+class WriterImpl {
+public:
+  WriterImpl(const WriteOptions &Opts) : Opts(Opts) {}
+
+  void emit(const Value &V, unsigned Depth) {
+    if (Depth > Opts.MaxDepth) {
+      Out += "...";
+      return;
+    }
+    switch (V.kind()) {
+    case ValueKind::Nil:
+      Out += "()";
+      return;
+    case ValueKind::Bool:
+      Out += V.asBool() ? "#t" : "#f";
+      return;
+    case ValueKind::Fixnum:
+      Out += std::to_string(V.asFixnum());
+      return;
+    case ValueKind::Flonum:
+      Out += formatFlonum(V.asFlonum());
+      return;
+    case ValueKind::Char:
+      emitChar(V.asChar());
+      return;
+    case ValueKind::Eof:
+      Out += "#<eof>";
+      return;
+    case ValueKind::Void:
+      Out += "#<void>";
+      return;
+    case ValueKind::Unbound:
+      Out += "#<unbound>";
+      return;
+    case ValueKind::Symbol:
+      Out += V.asSymbol()->Name;
+      return;
+    case ValueKind::String:
+      if (Opts.DisplayMode)
+        Out += V.asString()->Text;
+      else
+        Out += escapeStringLiteral(V.asString()->Text);
+      return;
+    case ValueKind::Pair:
+      emitList(V, Depth);
+      return;
+    case ValueKind::Vector:
+      emitVector(V, Depth);
+      return;
+    case ValueKind::Hash:
+      Out += "#<hashtable " + std::to_string(V.asHash()->size()) + ">";
+      return;
+    case ValueKind::Closure:
+    case ValueKind::VmClosure:
+      Out += "#<procedure>";
+      return;
+    case ValueKind::Primitive:
+      Out += "#<procedure " + V.asPrimitive()->Name + ">";
+      return;
+    case ValueKind::Syntax:
+      if (Opts.SyntaxAsDatum) {
+        emit(V.asSyntax()->Inner, Depth + 1);
+      } else {
+        Out += "#<syntax ";
+        emit(V.asSyntax()->Inner, Depth + 1);
+        Out += ">";
+      }
+      return;
+    case ValueKind::Box:
+      Out += "#&";
+      emit(V.asBox()->Boxed, Depth + 1);
+      return;
+    case ValueKind::Env:
+      Out += "#<environment>";
+      return;
+    }
+  }
+
+  std::string take() { return std::move(Out); }
+
+private:
+  void emitChar(uint32_t C) {
+    if (Opts.DisplayMode) {
+      Out += static_cast<char>(C);
+      return;
+    }
+    switch (C) {
+    case ' ':
+      Out += "#\\space";
+      return;
+    case '\n':
+      Out += "#\\newline";
+      return;
+    case '\t':
+      Out += "#\\tab";
+      return;
+    default:
+      Out += "#\\";
+      Out += static_cast<char>(C);
+      return;
+    }
+  }
+
+  void emitList(const Value &V, unsigned Depth) {
+    // (quote x) prints as 'x for readability of expansion dumps. When
+    // printing syntax as datums, look through the head's wrapper.
+    const Pair *P = V.asPair();
+    Value Head = P->Car;
+    if (Opts.SyntaxAsDatum && Head.isSyntax())
+      Head = Head.asSyntax()->Inner;
+    if (Head.isSymbol() && P->Cdr.isPair() &&
+        P->Cdr.asPair()->Cdr.isNil()) {
+      const std::string &Name = Head.asSymbol()->Name;
+      const char *Sigil = Name == "quote"            ? "'"
+                          : Name == "quasiquote"     ? "`"
+                          : Name == "unquote"        ? ","
+                          : Name == "unquote-splicing" ? ",@"
+                                                       : nullptr;
+      if (Sigil) {
+        Out += Sigil;
+        emit(P->Cdr.asPair()->Car, Depth + 1);
+        return;
+      }
+    }
+    Out += "(";
+    Value Cur = V;
+    bool First = true;
+    while (true) {
+      // Syntax in the spine (an improper tail) is handled below.
+      if (Cur.isPair()) {
+        if (!First)
+          Out += " ";
+        First = false;
+        emit(Cur.asPair()->Car, Depth + 1);
+        Cur = Cur.asPair()->Cdr;
+        continue;
+      }
+      if (Cur.isNil())
+        break;
+      Out += " . ";
+      emit(Cur, Depth + 1);
+      break;
+    }
+    Out += ")";
+  }
+
+  void emitVector(const Value &V, unsigned Depth) {
+    Out += "#(";
+    const auto &Elems = V.asVector()->Elems;
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (I)
+        Out += " ";
+      emit(Elems[I], Depth + 1);
+    }
+    Out += ")";
+  }
+
+  const WriteOptions &Opts;
+  std::string Out;
+};
+
+} // namespace
+
+std::string pgmp::writeValue(const Value &V, const WriteOptions &Opts) {
+  WriterImpl W(Opts);
+  W.emit(V, 0);
+  return W.take();
+}

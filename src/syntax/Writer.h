@@ -1,0 +1,40 @@
+//===- syntax/Writer.h - Printing Scheme values ---------------*- C++ -*-===//
+///
+/// \file
+/// Renders values in `write` notation (strings quoted, chars as #\x) or
+/// `display` notation (strings raw). Syntax objects print as their datum
+/// prefixed with #<syntax ...> unless transparency is requested.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SYNTAX_WRITER_H
+#define PGMP_SYNTAX_WRITER_H
+
+#include "syntax/Value.h"
+
+#include <string>
+
+namespace pgmp {
+
+struct WriteOptions {
+  bool DisplayMode = false;    ///< display vs write notation
+  bool SyntaxAsDatum = false;  ///< print syntax objects as bare datums
+  unsigned MaxDepth = 512;     ///< recursion guard
+};
+
+/// Renders \p V to text.
+std::string writeValue(const Value &V, const WriteOptions &Opts = {});
+
+/// Shorthand for write notation.
+inline std::string writeToString(const Value &V) { return writeValue(V); }
+
+/// Shorthand for display notation.
+inline std::string displayToString(const Value &V) {
+  WriteOptions Opts;
+  Opts.DisplayMode = true;
+  return writeValue(V, Opts);
+}
+
+} // namespace pgmp
+
+#endif // PGMP_SYNTAX_WRITER_H

@@ -1,0 +1,124 @@
+//===- vm/BlockProfile.cpp ------------------------------------------------===//
+
+#include "vm/BlockProfile.h"
+
+#include "support/Text.h"
+
+#include <cstdio>
+
+using namespace pgmp;
+
+static const char *const Magic = "pgmp-block-profile\t1";
+
+std::string pgmp::serializeBlockProfile(const VmModule &Module) {
+  std::string Out;
+  Out += Magic;
+  Out += "\n";
+  for (size_t FI = 0; FI < Module.Functions.size(); ++FI) {
+    const VmFunction &Fn = *Module.Functions[FI];
+    Out += "fn\t" + std::to_string(FI) + "\t" + Fn.Name + "\t" +
+           std::to_string(Fn.Blocks.size()) + "\t" +
+           std::to_string(Fn.structuralHash()) + "\n";
+    for (size_t BI = 0; BI < Fn.Blocks.size(); ++BI)
+      Out += "block\t" + std::to_string(FI) + "\t" + std::to_string(BI) +
+             "\t" + std::to_string(Fn.Blocks[BI].ProfileCount) + "\n";
+  }
+  return Out;
+}
+
+bool pgmp::applyBlockProfile(const std::string &Text, VmModule &Module,
+                             std::string &ErrorOut) {
+  auto Lines = splitChar(Text, '\n');
+  if (Lines.empty() || Lines[0] != Magic) {
+    ErrorOut = "bad block profile header";
+    return false;
+  }
+  size_t FunctionsSeen = 0;
+  for (size_t I = 1; I < Lines.size(); ++I) {
+    std::string_view Line = Lines[I];
+    if (Line.empty())
+      continue;
+    auto Fields = splitChar(Line, '\t');
+    if (Fields[0] == "fn") {
+      int64_t Idx, NumBlocks;
+      if (Fields.size() != 5 || !parseInt64(Fields[1], Idx) ||
+          !parseInt64(Fields[3], NumBlocks)) {
+        ErrorOut = "bad fn record on line " + std::to_string(I + 1);
+        return false;
+      }
+      if (static_cast<size_t>(Idx) >= Module.Functions.size()) {
+        ErrorOut = "block profile invalidated: function " +
+                   std::to_string(Idx) + " does not exist";
+        return false;
+      }
+      const VmFunction &Fn = *Module.Functions[static_cast<size_t>(Idx)];
+      if (Fn.Blocks.size() != static_cast<size_t>(NumBlocks)) {
+        ErrorOut = "block profile invalidated: function " +
+                   std::to_string(Idx) + " has " +
+                   std::to_string(Fn.Blocks.size()) + " blocks, profile has " +
+                   std::to_string(NumBlocks);
+        return false;
+      }
+      if (std::to_string(Fn.structuralHash()) != std::string(Fields[4])) {
+        ErrorOut = "block profile invalidated: function " +
+                   std::to_string(Idx) +
+                   " was generated from different source-level decisions";
+        return false;
+      }
+      ++FunctionsSeen;
+      continue;
+    }
+    if (Fields[0] == "block") {
+      int64_t FIdx, BIdx, Count;
+      if (Fields.size() != 4 || !parseInt64(Fields[1], FIdx) ||
+          !parseInt64(Fields[2], BIdx) || !parseInt64(Fields[3], Count)) {
+        ErrorOut = "bad block record on line " + std::to_string(I + 1);
+        return false;
+      }
+      if (static_cast<size_t>(FIdx) >= Module.Functions.size() ||
+          static_cast<size_t>(BIdx) >=
+              Module.Functions[static_cast<size_t>(FIdx)]->Blocks.size()) {
+        ErrorOut = "block profile invalidated: block out of range";
+        return false;
+      }
+      Module.Functions[static_cast<size_t>(FIdx)]
+          ->Blocks[static_cast<size_t>(BIdx)]
+          .ProfileCount += static_cast<uint64_t>(Count);
+      continue;
+    }
+    ErrorOut = "unknown record on line " + std::to_string(I + 1);
+    return false;
+  }
+  if (FunctionsSeen != Module.Functions.size()) {
+    ErrorOut = "block profile invalidated: function count mismatch";
+    return false;
+  }
+  return true;
+}
+
+bool pgmp::storeBlockProfileFile(const VmModule &Module,
+                                 const std::string &Path) {
+  std::string Text = serializeBlockProfile(Module);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return Written == Text.size();
+}
+
+bool pgmp::loadBlockProfileFile(const std::string &Path, VmModule &Module,
+                                std::string &ErrorOut) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    ErrorOut = "cannot open block profile: " + Path;
+    return false;
+  }
+  std::string Text;
+  char Chunk[4096];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Text.append(Chunk, N);
+  std::fclose(F);
+  return applyBlockProfile(Text, Module, ErrorOut);
+}

@@ -1,0 +1,39 @@
+//===- vm/BlockProfile.h - Block-level profile persistence ----*- C++ -*-===//
+///
+/// \file
+/// Serialization of block-level profiles (the low-level half of Section
+/// 4.3). A stored profile records, per function (by module index), the
+/// block count vector. Loading validates that the module's block
+/// structure matches what was profiled — the exact property the paper's
+/// three-pass protocol is designed to preserve: as long as meta-programs
+/// keep optimizing against the *same source profile*, the generated
+/// low-level code (and hence the block profile) remains valid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_VM_BLOCKPROFILE_H
+#define PGMP_VM_BLOCKPROFILE_H
+
+#include "vm/Bytecode.h"
+
+#include <string>
+
+namespace pgmp {
+
+/// Serializes every function's block counters.
+std::string serializeBlockProfile(const VmModule &Module);
+
+/// Applies a stored block profile onto \p Module. Fails (returns false,
+/// setting \p ErrorOut) if the profile's shape does not match the
+/// module's — i.e. the block-level profile has been invalidated by a
+/// source-level change.
+bool applyBlockProfile(const std::string &Text, VmModule &Module,
+                       std::string &ErrorOut);
+
+bool storeBlockProfileFile(const VmModule &Module, const std::string &Path);
+bool loadBlockProfileFile(const std::string &Path, VmModule &Module,
+                          std::string &ErrorOut);
+
+} // namespace pgmp
+
+#endif // PGMP_VM_BLOCKPROFILE_H

@@ -1,0 +1,35 @@
+//===- vm/BlockReorder.cpp ------------------------------------------------===//
+
+#include "vm/BlockReorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace pgmp;
+
+void pgmp::reorderBlocksByProfile(VmFunction &Fn) {
+  std::vector<uint32_t> Order(Fn.Blocks.size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  // Entry stays first; the rest sort hottest-first, ties by original
+  // position for determinism.
+  std::stable_sort(Order.begin() + 1, Order.end(),
+                   [&Fn](uint32_t A, uint32_t B) {
+                     return Fn.Blocks[A].ProfileCount >
+                            Fn.Blocks[B].ProfileCount;
+                   });
+  Fn.Layout = std::move(Order);
+  Fn.linearize();
+}
+
+void pgmp::applyProfileGuidedLayout(VmModule &Module) {
+  for (auto &Fn : Module.Functions)
+    reorderBlocksByProfile(*Fn);
+}
+
+void pgmp::restoreOriginalLayout(VmModule &Module) {
+  for (auto &Fn : Module.Functions) {
+    Fn->Layout.resize(Fn->Blocks.size());
+    std::iota(Fn->Layout.begin(), Fn->Layout.end(), 0u);
+    Fn->linearize();
+  }
+}

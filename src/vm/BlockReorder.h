@@ -1,0 +1,30 @@
+//===- vm/BlockReorder.h - Profile-guided block layout --------*- C++ -*-===//
+///
+/// \file
+/// The block-level PGO itself: given block execution counts, lay out each
+/// function's blocks hottest-first (entry pinned first). The linearizer
+/// then turns hot fallthroughs into straight-line code and flips branch
+/// polarity so the frequent successor falls through — the classic code
+/// positioning optimization the paper cites from GCC/.NET/LLVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_VM_BLOCKREORDER_H
+#define PGMP_VM_BLOCKREORDER_H
+
+#include "vm/Bytecode.h"
+
+namespace pgmp {
+
+/// Reorders one function by its block counts and re-linearizes.
+void reorderBlocksByProfile(VmFunction &Fn);
+
+/// Applies reorderBlocksByProfile to every function of \p Module.
+void applyProfileGuidedLayout(VmModule &Module);
+
+/// Restores the original (source) block order.
+void restoreOriginalLayout(VmModule &Module);
+
+} // namespace pgmp
+
+#endif // PGMP_VM_BLOCKREORDER_H

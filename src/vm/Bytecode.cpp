@@ -1,0 +1,169 @@
+//===- vm/Bytecode.cpp ----------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+#include "profile/SourceObject.h"
+#include "syntax/SymbolTable.h"
+#include "syntax/Writer.h"
+
+using namespace pgmp;
+
+void VmFunction::linearize() {
+  Linear.clear();
+  BlockStart.assign(Blocks.size(), -1);
+  if (Layout.empty()) {
+    Layout.resize(Blocks.size());
+    for (uint32_t I = 0; I < Blocks.size(); ++I)
+      Layout[I] = I;
+  }
+
+  for (size_t L = 0; L < Layout.size(); ++L) {
+    uint32_t Id = Layout[L];
+    const Block &B = Blocks[Id];
+    BlockStart[Id] = static_cast<int32_t>(Linear.size());
+    int32_t Next =
+        L + 1 < Layout.size() ? static_cast<int32_t>(Layout[L + 1]) : -1;
+
+    assert(!B.Code.empty() && "empty basic block");
+    // Emit all but the terminator verbatim.
+    for (size_t I = 0; I + 1 < B.Code.size(); ++I)
+      Linear.push_back(B.Code[I]);
+
+    Instr Term = B.Code.back();
+    switch (Term.K) {
+    case Op::Jump:
+      if (Term.A != Next)
+        Linear.push_back(Term);
+      break;
+    case Op::Return:
+    case Op::TailCall:
+      Linear.push_back(Term);
+      break;
+    case Op::BranchFalse:
+    case Op::BranchTrue: {
+      int32_t FT = B.FallThrough;
+      assert(FT >= 0 && "conditional terminator without fallthrough");
+      if (FT == Next) {
+        Linear.push_back(Term);
+      } else if (Term.A == Next) {
+        // Invert the branch so the hot path falls through.
+        Instr Inverted = Term;
+        Inverted.K =
+            Term.K == Op::BranchFalse ? Op::BranchTrue : Op::BranchFalse;
+        Inverted.A = FT;
+        Linear.push_back(Inverted);
+      } else {
+        Linear.push_back(Term);
+        Linear.push_back(Instr{Op::Jump, FT, 0});
+      }
+      break;
+    }
+    default:
+      assert(false && "block does not end in a terminator");
+    }
+  }
+}
+
+uint64_t VmFunction::totalBlockCount() const {
+  uint64_t Sum = 0;
+  for (const Block &B : Blocks)
+    Sum += B.ProfileCount;
+  return Sum;
+}
+
+uint64_t VmFunction::structuralHash() const {
+  uint64_t H = 1469598103934665603ull; // FNV offset basis
+  auto Mix = [&H](uint64_t X) {
+    H ^= X;
+    H *= 1099511628211ull;
+  };
+  auto MixString = [&Mix](const std::string &S) {
+    for (char C : S)
+      Mix(static_cast<uint8_t>(C));
+  };
+  Mix(NumParams);
+  Mix(HasRest ? 1 : 2);
+  Mix(Blocks.size());
+  for (const Block &B : Blocks) {
+    Mix(0xB10C);
+    Mix(static_cast<uint64_t>(B.FallThrough) + 7);
+    for (const Instr &I : B.Code) {
+      if (I.K == Op::ProfileBlock)
+        continue;
+      Mix(static_cast<uint64_t>(I.K));
+      // Operand indices are allocated in encounter order, so two
+      // different compiles can produce identical index sequences; hash
+      // what the operands denote instead where it matters.
+      switch (I.K) {
+      case Op::Const:
+        MixString(writeToString(Pool[static_cast<size_t>(I.A)]));
+        break;
+      case Op::GlobalRef:
+      case Op::SetGlobal:
+      case Op::DefineGlobal:
+        MixString(CellNames[static_cast<size_t>(I.A)]->Name);
+        break;
+      default:
+        Mix(static_cast<uint64_t>(I.A) + 0x9e37);
+        Mix(static_cast<uint64_t>(I.B) + 0x79b9);
+      }
+    }
+  }
+  return H;
+}
+
+void VmModule::resetBlockCounts() {
+  for (auto &Fn : Functions)
+    for (Block &B : Fn->Blocks)
+      B.ProfileCount = 0;
+}
+
+std::string pgmp::disassemble(const VmFunction &Fn) {
+  std::string Out = "function " + (Fn.Name.empty() ? "<top>" : Fn.Name) +
+                    " params=" + std::to_string(Fn.NumParams) +
+                    (Fn.HasRest ? "+rest" : "") + "\n";
+  auto OpName = [](Op K) -> const char * {
+    switch (K) {
+    case Op::Const:
+      return "const";
+    case Op::LocalRef:
+      return "local";
+    case Op::GlobalRef:
+      return "global";
+    case Op::SetLocal:
+      return "set-local";
+    case Op::SetGlobal:
+      return "set-global";
+    case Op::DefineGlobal:
+      return "def-global";
+    case Op::MakeClosure:
+      return "closure";
+    case Op::Call:
+      return "call";
+    case Op::TailCall:
+      return "tailcall";
+    case Op::Jump:
+      return "jump";
+    case Op::BranchFalse:
+      return "brf";
+    case Op::BranchTrue:
+      return "brt";
+    case Op::Return:
+      return "return";
+    case Op::Pop:
+      return "pop";
+    case Op::ProfileBlock:
+      return "profile";
+    }
+    return "?";
+  };
+  for (size_t BI = 0; BI < Fn.Blocks.size(); ++BI) {
+    const Block &B = Fn.Blocks[BI];
+    Out += "  block " + std::to_string(BI) +
+           " count=" + std::to_string(B.ProfileCount) + "\n";
+    for (const Instr &I : B.Code)
+      Out += std::string("    ") + OpName(I.K) + " " + std::to_string(I.A) +
+             " " + std::to_string(I.B) + "\n";
+  }
+  return Out;
+}

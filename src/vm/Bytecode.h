@@ -1,0 +1,141 @@
+//===- vm/Bytecode.h - Stack bytecode with basic blocks -------*- C++ -*-===//
+///
+/// \file
+/// The block-level substrate of Section 4.3: expanded core forms compile
+/// to a stack bytecode organized into basic blocks. Blocks carry
+/// execution counters (block-level profiling), and a separate pass
+/// reorders blocks and flips branch polarity from those counters — the
+/// "traditional low-level PGO" that the paper's three-pass protocol keeps
+/// consistent with source-level PGMP.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_VM_BYTECODE_H
+#define PGMP_VM_BYTECODE_H
+
+#include "syntax/Heap.h"
+#include "syntax/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pgmp {
+
+struct SourceObject;
+
+enum class Op : uint8_t {
+  Const,        ///< push Pool[A]
+  LocalRef,     ///< push frame chain depth A, slot B
+  GlobalRef,    ///< push *Cells[A] (raises if unbound)
+  SetLocal,     ///< pop into depth A, slot B; push void
+  SetGlobal,    ///< pop into *Cells[A]; push void
+  DefineGlobal, ///< pop into *Cells[A] (no bound check); push void
+  MakeClosure,  ///< push closure over function A with current frame
+  Call,         ///< call with A arguments (fn below args on stack)
+  TailCall,     ///< like Call but reuses the current VM invocation
+  Jump,         ///< to block A
+  BranchFalse,  ///< pop; if false jump to block A, else fall through
+  BranchTrue,   ///< pop; if true jump to block A, else fall through
+  Return,       ///< pop return value
+  Pop,          ///< drop top of stack
+  ProfileBlock, ///< bump block counter A (present only when profiling)
+};
+
+struct Instr {
+  Op K;
+  int32_t A = 0;
+  int32_t B = 0;
+};
+
+/// One basic block: straight-line code ending in a terminator (Jump,
+/// Return, or a conditional branch followed by fallthrough).
+struct Block {
+  std::vector<Instr> Code;
+  /// Fallthrough successor (block id), or -1 when the block ends in an
+  /// unconditional terminator.
+  int32_t FallThrough = -1;
+  /// Execution count from block-level profiling.
+  uint64_t ProfileCount = 0;
+};
+
+/// One compiled procedure (or top-level thunk).
+class VmFunction {
+public:
+  std::string Name;
+  class VmModule *Owner = nullptr;
+  uint32_t NumParams = 0;
+  bool HasRest = false;
+  uint32_t FrameSlots = 0;
+  const SourceObject *Src = nullptr;
+
+  std::vector<Block> Blocks; ///< block 0 is the entry
+  std::vector<Value> Pool;
+  std::vector<Value *> Cells;
+  std::vector<Symbol *> CellNames;
+  std::vector<VmFunction *> SubFunctions; ///< for MakeClosure
+
+  /// Emission order of blocks; changed by the block-reordering PGO.
+  std::vector<uint32_t> Layout;
+
+  /// Linearized code (filled by linearize()).
+  std::vector<Instr> Linear;
+  std::vector<int32_t> BlockStart; ///< pc of each block id in Linear
+
+  /// Rebuilds Linear/BlockStart from Blocks and Layout, inserting
+  /// explicit jumps where the layout breaks a fallthrough.
+  void linearize();
+
+  /// Sum of all block counters (for tests).
+  uint64_t totalBlockCount() const;
+
+  /// Fingerprint of the block structure and code, ignoring ProfileBlock
+  /// instructions so instrumented and final builds of the same source
+  /// compare equal. Used to detect invalidated block profiles.
+  uint64_t structuralHash() const;
+};
+
+/// A compilation unit: one function per lambda plus the top-level thunk.
+class VmModule {
+public:
+  std::vector<std::unique_ptr<VmFunction>> Functions;
+  VmFunction *Top = nullptr;
+
+  VmFunction *newFunction() {
+    Functions.push_back(std::make_unique<VmFunction>());
+    Functions.back()->Owner = this;
+    return Functions.back().get();
+  }
+
+  /// Dynamic execution statistics of the whole module's last runs.
+  struct Stats {
+    uint64_t InstructionsExecuted = 0;
+    uint64_t JumpsTaken = 0; ///< non-fallthrough control transfers
+  };
+  Stats RunStats;
+
+  void resetStats() { RunStats = Stats(); }
+  void resetBlockCounts();
+};
+
+/// A closure over a VM function (mirrors interp Closure).
+class VmClosure : public Obj {
+public:
+  VmClosure(const VmFunction *Fn, EnvObj *Captured)
+      : Obj(ValueKind::VmClosure), Fn(Fn), Captured(Captured) {}
+  const VmFunction *Fn;
+  EnvObj *Captured;
+};
+
+/// Typed accessor for VmClosure values.
+inline VmClosure *asVmClosure(const Value &V) {
+  assert(V.isVmClosure() && "value kind mismatch in asVmClosure");
+  return static_cast<VmClosure *>(V.obj());
+}
+
+/// Renders a function's blocks for debugging and golden tests.
+std::string disassemble(const VmFunction &Fn);
+
+} // namespace pgmp
+
+#endif // PGMP_VM_BYTECODE_H

@@ -1,0 +1,37 @@
+//===- vm/BytecodeCompiler.h - Expr IR -> bytecode ------------*- C++ -*-===//
+///
+/// \file
+/// Compiles the interpreter's Expr IR (i.e. fully expanded core forms,
+/// with meta-program optimizations already applied) down to basic-block
+/// bytecode. This is the hand-off point of the paper's three-pass
+/// protocol: source-level PGMP happens before this compiler runs, so the
+/// block structure it produces is stable as long as the source profile is
+/// held fixed.
+///
+/// Phase-1-only nodes (syntax-case, templates) are rejected: they never
+/// occur in runtime code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_VM_BYTECODECOMPILER_H
+#define PGMP_VM_BYTECODECOMPILER_H
+
+#include "interp/Context.h"
+#include "interp/Expr.h"
+#include "vm/Bytecode.h"
+
+namespace pgmp {
+
+struct VmCompileOptions {
+  /// Insert a counter bump at every basic block entry.
+  bool ProfileBlocks = false;
+};
+
+/// Compiles one top-level Expr into \p Module; returns the new top-level
+/// thunk (0-argument function). Raises SchemeError on unsupported nodes.
+VmFunction *compileExprToVm(Context &Ctx, const Expr *Root, VmModule &Module,
+                            const VmCompileOptions &Opts);
+
+} // namespace pgmp
+
+#endif // PGMP_VM_BYTECODECOMPILER_H

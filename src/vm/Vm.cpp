@@ -1,0 +1,216 @@
+//===- vm/Vm.cpp ----------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include "interp/Compiler.h"
+#include "interp/Eval.h"
+#include "reader/Reader.h"
+#include "support/Diagnostics.h"
+
+using namespace pgmp;
+
+namespace {
+
+/// Builds the frame for a VM function call, checking arity.
+EnvObj *buildVmFrame(Context &Ctx, const VmFunction *Fn, EnvObj *Captured,
+                     Value *Args, size_t NumArgs) {
+  size_t Fixed = Fn->NumParams;
+  if (NumArgs < Fixed || (!Fn->HasRest && NumArgs > Fixed))
+    raiseError("vm procedure " +
+               (Fn->Name.empty() ? std::string("<anonymous>") : Fn->Name) +
+               " expects " + std::to_string(Fixed) + (Fn->HasRest ? "+" : "") +
+               " arguments, got " + std::to_string(NumArgs));
+  EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(Captured, Fn->FrameSlots);
+  for (size_t I = 0; I < Fixed; ++I)
+    Frame->Slots[I] = Args[I];
+  if (Fn->HasRest) {
+    Value Rest = Value::nil();
+    for (size_t I = NumArgs; I > Fixed; --I)
+      Rest = Ctx.TheHeap.cons(Args[I - 1], Rest);
+    Frame->Slots[Fixed] = Rest;
+  }
+  return Frame;
+}
+
+} // namespace
+
+Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
+                          Value *Args, size_t NumArgs) {
+  EnvObj *Frame = buildVmFrame(Ctx, Fn, Captured, Args, NumArgs);
+  std::vector<Value> Stack;
+  size_t Pc = 0;
+
+  auto Pop = [&Stack]() {
+    assert(!Stack.empty() && "vm stack underflow");
+    Value V = Stack.back();
+    Stack.pop_back();
+    return V;
+  };
+
+  VmModule::Stats *Stats = &Fn->Owner->RunStats;
+  while (true) {
+    assert(Pc < Fn->Linear.size() && "vm pc out of range");
+    const Instr &I = Fn->Linear[Pc];
+    ++Stats->InstructionsExecuted;
+    switch (I.K) {
+    case Op::Const:
+      Stack.push_back(Fn->Pool[static_cast<size_t>(I.A)]);
+      ++Pc;
+      break;
+    case Op::LocalRef: {
+      EnvObj *F = Frame;
+      for (int32_t D = 0; D < I.A; ++D)
+        F = F->Parent;
+      Stack.push_back(F->Slots[static_cast<size_t>(I.B)]);
+      ++Pc;
+      break;
+    }
+    case Op::GlobalRef: {
+      Value *Cell = Fn->Cells[static_cast<size_t>(I.A)];
+      if (Cell->isUnbound())
+        raiseError("unbound variable " +
+                   Fn->CellNames[static_cast<size_t>(I.A)]->Name);
+      Stack.push_back(*Cell);
+      ++Pc;
+      break;
+    }
+    case Op::SetLocal: {
+      Value V = Pop();
+      EnvObj *F = Frame;
+      for (int32_t D = 0; D < I.A; ++D)
+        F = F->Parent;
+      F->Slots[static_cast<size_t>(I.B)] = V;
+      Stack.push_back(Value::undefined());
+      ++Pc;
+      break;
+    }
+    case Op::SetGlobal: {
+      Value *Cell = Fn->Cells[static_cast<size_t>(I.A)];
+      if (Cell->isUnbound())
+        raiseError("set! of unbound variable " +
+                   Fn->CellNames[static_cast<size_t>(I.A)]->Name);
+      *Cell = Pop();
+      Stack.push_back(Value::undefined());
+      ++Pc;
+      break;
+    }
+    case Op::DefineGlobal:
+      *Fn->Cells[static_cast<size_t>(I.A)] = Pop();
+      Stack.push_back(Value::undefined());
+      ++Pc;
+      break;
+    case Op::MakeClosure: {
+      const VmFunction *Sub = Fn->SubFunctions[static_cast<size_t>(I.A)];
+      Stack.push_back(Value::object(
+          ValueKind::VmClosure, Ctx.TheHeap.make<VmClosure>(Sub, Frame)));
+      ++Pc;
+      break;
+    }
+    case Op::Call:
+    case Op::TailCall: {
+      size_t N = static_cast<size_t>(I.A);
+      assert(Stack.size() >= N + 1 && "vm call stack underflow");
+      Value *CallArgs = Stack.data() + (Stack.size() - N);
+      Value Callee = Stack[Stack.size() - N - 1];
+
+      if (I.K == Op::TailCall && Callee.isVmClosure()) {
+        // Reuse this invocation: rebind and restart.
+        VmClosure *C = asVmClosure(Callee);
+        Frame = buildVmFrame(Ctx, C->Fn, C->Captured, CallArgs, N);
+        Fn = const_cast<VmFunction *>(C->Fn);
+        Stats = &Fn->Owner->RunStats;
+        Stack.clear();
+        Pc = 0;
+        break;
+      }
+
+      Value Result;
+      if (Callee.isVmClosure()) {
+        VmClosure *C = asVmClosure(Callee);
+        Result = runVmFunction(Ctx, const_cast<VmFunction *>(C->Fn),
+                               C->Captured, CallArgs, N);
+      } else {
+        Result = applyProcedure(Ctx, Callee, CallArgs, N);
+      }
+      if (I.K == Op::TailCall)
+        return Result;
+      Stack.resize(Stack.size() - N - 1);
+      Stack.push_back(Result);
+      ++Pc;
+      break;
+    }
+    case Op::Jump:
+      ++Stats->JumpsTaken;
+      Pc = static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
+      break;
+    case Op::BranchFalse:
+      if (!Pop().isTruthy()) {
+        ++Stats->JumpsTaken;
+        Pc = static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
+      } else {
+        ++Pc;
+      }
+      break;
+    case Op::BranchTrue:
+      if (Pop().isTruthy()) {
+        ++Stats->JumpsTaken;
+        Pc = static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
+      } else {
+        ++Pc;
+      }
+      break;
+    case Op::Return:
+      return Pop();
+    case Op::Pop:
+      Pop();
+      ++Pc;
+      break;
+    case Op::ProfileBlock:
+      ++Fn->Blocks[static_cast<size_t>(I.A)].ProfileCount;
+      ++Pc;
+      break;
+    }
+  }
+}
+
+static Value vmApplyHook(Context &Ctx, Value Fn, Value *Args, size_t N) {
+  VmClosure *C = asVmClosure(Fn);
+  return runVmFunction(Ctx, const_cast<VmFunction *>(C->Fn), C->Captured,
+                       Args, N);
+}
+
+void pgmp::installVm(Context &Ctx) { Ctx.VmApplyHook = vmApplyHook; }
+
+//===----------------------------------------------------------------------===//
+// VmRunner
+//===----------------------------------------------------------------------===//
+
+VmRunner::VmRunner(Engine &E) : E(E) { installVm(E.context()); }
+
+EvalResult VmRunner::evalString(const std::string &Source,
+                                const std::string &Name,
+                                const VmCompileOptions &Opts) {
+  EvalResult R;
+  Context &Ctx = E.context();
+  try {
+    auto Module = std::make_unique<VmModule>();
+    Ctx.SrcMgr.addBuffer(Name, Source);
+    Reader Rd(Ctx.TheHeap, Ctx.Symbols, Ctx.Sources, Source, Name);
+    Value Last = Value::undefined();
+    while (auto Form = Rd.readOne()) {
+      for (Value Core : E.expander().expandTopLevel(*Form)) {
+        auto Unit = compileCore(Ctx, Core);
+        VmFunction *Top = compileExprToVm(Ctx, Unit->Root, *Module, Opts);
+        Ctx.adoptCode(std::move(Unit));
+        Last = runVmFunction(Ctx, Top, nullptr, nullptr, 0);
+      }
+    }
+    Modules.push_back(std::move(Module));
+    R.Ok = true;
+    R.V = Last;
+  } catch (const SchemeError &Err) {
+    R.Ok = false;
+    R.Error = Err.render();
+  }
+  return R;
+}

@@ -1,0 +1,54 @@
+//===- vm/Vm.h - Bytecode execution ---------------------------*- C++ -*-===//
+///
+/// \file
+/// The bytecode evaluator and a convenience runner that drives the whole
+/// pipeline (read -> expand -> core IR -> bytecode -> run). VM closures
+/// and interpreter closures interoperate freely: either side may call
+/// the other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_VM_VM_H
+#define PGMP_VM_VM_H
+
+#include "core/Engine.h"
+#include "vm/Bytecode.h"
+#include "vm/BytecodeCompiler.h"
+
+#include <memory>
+
+namespace pgmp {
+
+/// Installs the VM apply hook into \p Ctx so interpreter code (and
+/// primitives such as map) can call VM closures.
+void installVm(Context &Ctx);
+
+/// Calls a VM function directly.
+Value runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
+                    Value *Args, size_t NumArgs);
+
+/// Drives source text through expansion and the bytecode backend. Owns
+/// the produced modules (closures stored in globals point into them, so
+/// keep the runner alive as long as its definitions are used).
+class VmRunner {
+public:
+  explicit VmRunner(Engine &E);
+
+  /// Reads, expands, compiles to bytecode, and runs every form.
+  EvalResult evalString(const std::string &Source, const std::string &Name,
+                        const VmCompileOptions &Opts = {});
+
+  /// All modules compiled so far (one per evalString call).
+  std::vector<std::unique_ptr<VmModule>> &modules() { return Modules; }
+  VmModule *lastModule() {
+    return Modules.empty() ? nullptr : Modules.back().get();
+  }
+
+private:
+  Engine &E;
+  std::vector<std::unique_ptr<VmModule>> Modules;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_VM_VM_H

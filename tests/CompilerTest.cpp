@@ -1,0 +1,138 @@
+//===- tests/CompilerTest.cpp - Core-form IR structure --------------------===//
+
+#include "TestUtil.h"
+
+#include "interp/Compiler.h"
+#include "interp/Eval.h"
+#include "reader/Reader.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+struct CompilerFixture : ::testing::Test {
+  Engine E;
+
+  /// Expands and compiles one form, returning the unit.
+  std::unique_ptr<CodeUnit> compile(const std::string &Src) {
+    Context &Ctx = E.context();
+    Reader Rd(Ctx.TheHeap, Ctx.Symbols, Ctx.Sources, Src, "c.scm");
+    auto Form = Rd.readOne();
+    EXPECT_TRUE(Form.has_value());
+    auto Cores = E.expander().expandTopLevel(*Form);
+    EXPECT_EQ(Cores.size(), 1u);
+    return compileCore(Ctx, Cores[0]);
+  }
+
+  const LambdaExpr *lambdaOf(const CodeUnit &Unit) {
+    EXPECT_EQ(Unit.Root->K, ExprKind::DefineGlobal);
+    const Expr *Val = static_cast<const DefineGlobalExpr *>(Unit.Root)->Val;
+    EXPECT_EQ(Val->K, ExprKind::Lambda);
+    return static_cast<const LambdaExpr *>(Val);
+  }
+};
+
+TEST_F(CompilerFixture, ConstantsFold) {
+  auto Unit = compile("42");
+  ASSERT_EQ(Unit->Root->K, ExprKind::Const);
+  EXPECT_EQ(static_cast<const ConstExpr *>(Unit->Root)->V.asFixnum(), 42);
+}
+
+TEST_F(CompilerFixture, QuoteStripsSyntax) {
+  auto Unit = compile("'(a (b 1))");
+  ASSERT_EQ(Unit->Root->K, ExprKind::Const);
+  Value V = static_cast<const ConstExpr *>(Unit->Root)->V;
+  EXPECT_EQ(writeToString(V), "(a (b 1))");
+  // No syntax wrappers anywhere inside.
+  EXPECT_FALSE(V.asPair()->Car.isSyntax());
+}
+
+TEST_F(CompilerFixture, DefineNamesLambda) {
+  auto Unit = compile("(define (my-fn x) x)");
+  EXPECT_EQ(lambdaOf(*Unit)->Name, "my-fn");
+}
+
+TEST_F(CompilerFixture, TailPositionsMarked) {
+  auto Unit = compile("(define (f x) (g (h x)))");
+  const LambdaExpr *L = lambdaOf(*Unit);
+  ASSERT_EQ(L->Body->K, ExprKind::Call);
+  const auto *Outer = static_cast<const CallExpr *>(L->Body);
+  EXPECT_TRUE(Outer->Tail);
+  ASSERT_EQ(Outer->Args[0]->K, ExprKind::Call);
+  EXPECT_FALSE(static_cast<const CallExpr *>(Outer->Args[0])->Tail);
+}
+
+TEST_F(CompilerFixture, IfBranchesInheritTail) {
+  auto Unit = compile("(define (f x) (if x (g) (h)))");
+  const LambdaExpr *L = lambdaOf(*Unit);
+  ASSERT_EQ(L->Body->K, ExprKind::If);
+  const auto *I = static_cast<const IfExpr *>(L->Body);
+  EXPECT_TRUE(static_cast<const CallExpr *>(I->Then)->Tail);
+  EXPECT_TRUE(static_cast<const CallExpr *>(I->Else)->Tail);
+  EXPECT_EQ(I->Test->K, ExprKind::LocalRef);
+}
+
+TEST_F(CompilerFixture, LocalCoordinatesAcrossFrames) {
+  // y lives one frame out from the inner lambda.
+  auto Unit = compile("(define (f y) (lambda (x) y))");
+  const LambdaExpr *Outer = lambdaOf(*Unit);
+  ASSERT_EQ(Outer->Body->K, ExprKind::Lambda);
+  const auto *Inner = static_cast<const LambdaExpr *>(Outer->Body);
+  ASSERT_EQ(Inner->Body->K, ExprKind::LocalRef);
+  const auto *Ref = static_cast<const LocalRefExpr *>(Inner->Body);
+  EXPECT_EQ(Ref->Depth, 1u);
+  EXPECT_EQ(Ref->Index, 0u);
+}
+
+TEST_F(CompilerFixture, GlobalRefsShareCells) {
+  auto Unit = compile("(define (f) (cons global-a global-a))");
+  const LambdaExpr *L = lambdaOf(*Unit);
+  const auto *Call = static_cast<const CallExpr *>(L->Body);
+  ASSERT_EQ(Call->Args.size(), 2u);
+  const auto *A = static_cast<const GlobalRefExpr *>(Call->Args[0]);
+  const auto *B = static_cast<const GlobalRefExpr *>(Call->Args[1]);
+  EXPECT_EQ(A->Cell, B->Cell);
+}
+
+TEST_F(CompilerFixture, SourceObjectsAttachedToNodes) {
+  auto Unit = compile("(define (f x) (+ x 1))");
+  const LambdaExpr *L = lambdaOf(*Unit);
+  ASSERT_NE(L->Body->Src, nullptr);
+  EXPECT_EQ(L->Body->Src->File, "c.scm");
+  // Not instrumented: no counters allocated.
+  EXPECT_EQ(L->Body->Counter, nullptr);
+}
+
+TEST_F(CompilerFixture, InstrumentationAttachesCounters) {
+  E.setInstrumentation(true);
+  auto Unit = compile("(define (f x) (+ x 1))");
+  const LambdaExpr *L = lambdaOf(*Unit);
+  ASSERT_NE(L->Body->Counter, nullptr);
+  // Same source location maps to the same counter slot.
+  auto Unit2 = compile("(define (f x) (+ x 1))");
+  EXPECT_EQ(lambdaOf(*Unit2)->Body->Counter, L->Body->Counter);
+}
+
+TEST_F(CompilerFixture, RestParamsCountedInSlots) {
+  auto Unit = compile("(define (f a b . rest) rest)");
+  const LambdaExpr *L = lambdaOf(*Unit);
+  EXPECT_EQ(L->Params.size(), 2u);
+  EXPECT_TRUE(L->HasRest);
+  EXPECT_EQ(L->numSlots(), 3u);
+  ASSERT_EQ(L->Body->K, ExprKind::LocalRef);
+  EXPECT_EQ(static_cast<const LocalRefExpr *>(L->Body)->Index, 2u);
+}
+
+TEST_F(CompilerFixture, BeginFlattensSingleForm) {
+  auto Unit = compile("(begin 5)");
+  EXPECT_EQ(Unit->Root->K, ExprKind::Const);
+}
+
+TEST_F(CompilerFixture, EvaluatedUnitsProduceValues) {
+  auto Unit = compile("((lambda (x y) (* x y)) 6 7)");
+  Value V = evalExpr(E.context(), Unit->Root, nullptr);
+  EXPECT_EQ(V.asFixnum(), 42);
+}
+
+} // namespace

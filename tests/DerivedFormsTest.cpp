@@ -1,0 +1,104 @@
+//===- tests/DerivedFormsTest.cpp - syntax-rules, do, profile-dump --------===//
+
+#include "TestUtil.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+struct DerivedFixture : ::testing::Test {
+  Engine E;
+  std::string run(const std::string &Src) { return evalOk(E, Src); }
+};
+
+TEST_F(DerivedFixture, SyntaxRulesBasic) {
+  EXPECT_EQ(run("(define-syntax my-if2"
+                "  (syntax-rules ()"
+                "    [(_ c t e) (cond [c t] [else e])]))"
+                "(list (my-if2 #t 1 2) (my-if2 #f 1 2))"),
+            "(1 2)");
+}
+
+TEST_F(DerivedFixture, SyntaxRulesEllipsis) {
+  EXPECT_EQ(run("(define-syntax my-begin"
+                "  (syntax-rules ()"
+                "    [(_ e) e]"
+                "    [(_ e rest ...) ((lambda (x) (my-begin rest ...)) e)]))"
+                "(define n 0)"
+                "(my-begin (set! n 1) (set! n (+ n 10)) n)"),
+            "11");
+}
+
+TEST_F(DerivedFixture, SyntaxRulesLiterals) {
+  EXPECT_EQ(run("(define-syntax for"
+                "  (syntax-rules (in)"
+                "    [(_ x in lst body) (map (lambda (x) body) lst)]))"
+                "(for x in '(1 2 3) (* x x))"),
+            "(1 4 9)");
+}
+
+TEST_F(DerivedFixture, SyntaxRulesHygiene) {
+  EXPECT_EQ(run("(define-syntax or2"
+                "  (syntax-rules ()"
+                "    [(_ a b) (let ([t a]) (if t t b))]))"
+                "(let ([t 7]) (or2 #f t))"),
+            "7");
+}
+
+TEST_F(DerivedFixture, SyntaxRulesRecursiveCounts) {
+  EXPECT_EQ(run("(define-syntax count-args"
+                "  (syntax-rules ()"
+                "    [(_) 0]"
+                "    [(_ a rest ...) (+ 1 (count-args rest ...))]))"
+                "(count-args x y z w)"),
+            "4");
+}
+
+TEST_F(DerivedFixture, DoLoopBasic) {
+  EXPECT_EQ(run("(do ([i 0 (+ i 1)] [acc 0 (+ acc i)])"
+                "    ((= i 5) acc))"),
+            "10");
+}
+
+TEST_F(DerivedFixture, DoLoopWithBody) {
+  EXPECT_EQ(run("(define log '())"
+                "(do ([i 0 (+ i 1)])"
+                "    ((= i 3) (reverse log))"
+                "  (set! log (cons i log)))"),
+            "(0 1 2)");
+}
+
+TEST_F(DerivedFixture, DoLoopNoStep) {
+  // A binding without a step keeps its value.
+  EXPECT_EQ(run("(do ([limit 4] [i 0 (+ i 1)] [acc 1 (* acc 2)])"
+                "    ((= i limit) acc))"),
+            "16");
+}
+
+TEST_F(DerivedFixture, DoLoopEmptyResult) {
+  EXPECT_EQ(run("(do ([i 0 (+ i 1)]) ((= i 2)))"), "#<void>");
+}
+
+TEST_F(DerivedFixture, ProfileDumpListsHotSpots) {
+  E.setInstrumentation(true);
+  run("(define (f n) (if (zero? n) 'done (f (- n 1)))) (f 50)");
+  E.foldCountersIntoProfile();
+  // The hottest row has weight 1.0 and a positive count.
+  EXPECT_EQ(run("(let ([top (car (profile-dump 3))])"
+                "  (list (cadr top) (> (caddr top) 0)))"),
+            "(1.0 #t)");
+  // The limit argument is respected.
+  EXPECT_EQ(run("(length (profile-dump 3))"), "3");
+  // Rows are sorted by weight, descending.
+  EXPECT_EQ(run("(let ([d (profile-dump 5)])"
+                "  (andmap (lambda (a b) (>= (cadr a) (cadr b)))"
+                "          (take d 4) (cdr d)))"),
+            "#t");
+}
+
+TEST_F(DerivedFixture, ProfileDumpEmptyWithoutData) {
+  EXPECT_EQ(run("(profile-dump)"), "()");
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+//===- tests/DeterminismTest.cpp - Cross-engine reproducibility -----------===//
+//
+// The whole PGMP workflow rests on determinism: the profiled build and
+// the optimizing build must expand identically (same gensym sequence,
+// same generated profile points, same clause visits), or stored profiles
+// would attach to the wrong points. These tests pin that property.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+std::string expandIn(Engine &E, const std::string &Src,
+                     const std::string &Name) {
+  EvalResult R = E.expandToString(Src, Name);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Ok ? R.V.asString()->Text : "";
+}
+
+TEST(Determinism, SameProgramSameExpansionAcrossEngines) {
+  const char *Src = "(define (f x)"
+                    "  (let loop ([i x] [acc '()])"
+                    "    (cond [(zero? i) acc]"
+                    "          [else (loop (- i 1) (cons i acc))])))";
+  Engine A, B;
+  EXPECT_EQ(expandIn(A, Src, "p.scm"), expandIn(B, Src, "p.scm"));
+}
+
+TEST(Determinism, MacrosExpandIdenticallyAcrossEngines) {
+  const char *Src = "(define-syntax (m stx)"
+                    "  (syntax-case stx ()"
+                    "    [(_ a b ...) #'(list a (list b ...) a)]))"
+                    "(define out (m 1 2 3))";
+  Engine A, B;
+  EXPECT_EQ(expandIn(A, Src, "p.scm"), expandIn(B, Src, "p.scm"));
+}
+
+TEST(Determinism, CaseStudyLibrariesExpandIdentically) {
+  const char *Src =
+      "(define (dispatch c) (case c [(a) 1] [(b) 2] [else 3]))";
+  Engine A, B;
+  loadLib(A, "exclusive-cond");
+  loadLib(A, "pgmp-case");
+  loadLib(B, "exclusive-cond");
+  loadLib(B, "pgmp-case");
+  EXPECT_EQ(expandIn(A, Src, "p.scm"), expandIn(B, Src, "p.scm"));
+}
+
+TEST(Determinism, GeneratedProfilePointsAlignAcrossBuilds) {
+  // The object system generates three points per call site via
+  // make-profile-point. Storing from engine A and loading into engine B
+  // must make B's regenerated points find A's counts.
+  const char *Shapes =
+      "(class P ((v 1)) (define-method (get this) (field this v)))"
+      "(class Q ((v 2)) (define-method (get this) (field this v)))";
+  const char *Site = "(define (probe o) (method o get))";
+  std::string Path = tempPath("prof");
+  {
+    Engine A;
+    A.setInstrumentation(true);
+    loadLib(A, "object-system");
+    ASSERT_TRUE(A.evalString(Shapes, "s.scm").Ok);
+    ASSERT_TRUE(A.evalString(Site, "site.scm").Ok);
+    ASSERT_TRUE(A.evalString("(define p (new-instance 'P))"
+                             "(probe p) (probe p) (probe p)")
+                    .Ok);
+    ASSERT_TRUE(A.storeProfile(Path));
+  }
+  Engine B;
+  ASSERT_TRUE(B.loadProfile(Path));
+  loadLib(B, "object-system");
+  ASSERT_TRUE(B.evalString(Shapes, "s.scm").Ok);
+  std::string Out = expandIn(B, Site, "site.scm");
+  // P (hit 3 times) is inlined; Q (never) is not.
+  EXPECT_NE(Out.find("'P"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("'Q"), std::string::npos) << Out;
+}
+
+TEST(Determinism, ProfileFilesAreByteIdentical) {
+  auto Produce = [](const std::string &Path) {
+    Engine E;
+    E.setInstrumentation(true);
+    ASSERT_TRUE(E.evalString("(define (f n)"
+                             "  (if (zero? n) 'done (f (- n 1))))"
+                             "(f 100)",
+                             "d.scm")
+                    .Ok);
+    ASSERT_TRUE(E.storeProfile(Path));
+  };
+  std::string P1 = tempPath("p1"), P2 = tempPath("p2");
+  Produce(P1);
+  Produce(P2);
+
+  auto Slurp = [](const std::string &Path) {
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    EXPECT_NE(F, nullptr);
+    std::string Out;
+    char Buf[4096];
+    size_t N;
+    while (F && (N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Out.append(Buf, N);
+    if (F)
+      std::fclose(F);
+    return Out;
+  };
+  std::string A = Slurp(P1), B = Slurp(P2);
+  EXPECT_FALSE(A.empty());
+  EXPECT_EQ(A, B);
+}
+
+TEST(Determinism, SchemeRngReproducible) {
+  auto Run = [] {
+    Engine E;
+    return evalOk(E, "(rng-seed! 99)"
+                     "(map (lambda (i) (rng-next 1000)) (iota 20))");
+  };
+  EXPECT_EQ(Run(), Run());
+}
+
+} // namespace

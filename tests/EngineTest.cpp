@@ -1,0 +1,115 @@
+//===- tests/EngineTest.cpp - Public embedding API ------------------------===//
+
+#include "TestUtil.h"
+
+#include <cstdio>
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+TEST(Engine, EvalFileRoundTrip) {
+  std::string Path = tempPath("prog.scm");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  const char *Src = "(define (f x) (* x 3)) (f 14)";
+  std::fwrite(Src, 1, strlen(Src), F);
+  std::fclose(F);
+
+  Engine E;
+  EvalResult R = E.evalFile(Path);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(writeToString(R.V), "42");
+}
+
+TEST(Engine, EvalFileMissing) {
+  Engine E;
+  EvalResult R = E.evalFile("/nonexistent/file.scm");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("cannot open"), std::string::npos);
+}
+
+TEST(Engine, CallGlobal) {
+  Engine E;
+  ASSERT_TRUE(E.evalString("(define (add a b) (+ a b))").Ok);
+  EvalResult R = E.callGlobal("add", {Value::fixnum(2), Value::fixnum(3)});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.V.asFixnum(), 5);
+
+  R = E.callGlobal("no-such-function", {});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unbound"), std::string::npos);
+
+  // Errors inside the call surface as results, not exceptions.
+  R = E.callGlobal("add", {Value::fixnum(1)});
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Engine, TakeOutputClears) {
+  Engine E;
+  evalOk(E, "(display \"one\")");
+  EXPECT_EQ(E.takeOutput(), "one");
+  EXPECT_EQ(E.takeOutput(), "");
+  evalOk(E, "(display \"two\")");
+  EXPECT_EQ(E.takeOutput(), "two");
+}
+
+TEST(Engine, MultipleFormsEvaluateInOrder) {
+  Engine E;
+  EXPECT_EQ(evalOk(E, "(define a 1) (define b (+ a 1)) (define c (* b 2)) c"),
+            "4");
+}
+
+TEST(Engine, StateSharedAcrossEvalStrings) {
+  Engine E;
+  evalOk(E, "(define counter 0)");
+  evalOk(E, "(set! counter (+ counter 1))");
+  evalOk(E, "(set! counter (+ counter 1))");
+  EXPECT_EQ(evalOk(E, "counter"), "2");
+}
+
+TEST(Engine, MacrosPersistAcrossEvalStrings) {
+  Engine E;
+  evalOk(E, "(define-syntax (double stx)"
+            "  (syntax-case stx () [(_ e) #'(* 2 e)]))");
+  EXPECT_EQ(evalOk(E, "(double 21)"), "42");
+}
+
+TEST(Engine, ErrorRecoveryLeavesEngineUsable) {
+  Engine E;
+  evalErr(E, "(car 'nope)");
+  EXPECT_EQ(evalOk(E, "(+ 1 1)"), "2");
+  evalErr(E, "(define-syntax (bad stx) (car 5)) (bad)");
+  EXPECT_EQ(evalOk(E, "(+ 2 2)"), "4");
+}
+
+TEST(Engine, SeparateEnginesAreIsolated) {
+  Engine A, B;
+  evalOk(A, "(define shared 'a)");
+  EXPECT_NE(B.evalString("shared").Ok, true);
+}
+
+TEST(Engine, LoadLibraryMissing) {
+  Engine E;
+  EvalResult R = E.loadLibrary("definitely-not-a-library");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Engine, InstrumentationAccessors) {
+  Engine E;
+  EXPECT_FALSE(E.instrumentation());
+  E.setInstrumentation(true);
+  EXPECT_TRUE(E.instrumentation());
+}
+
+TEST(Engine, StoreProfileFailsOnBadPath) {
+  Engine E;
+  E.setInstrumentation(true);
+  evalOk(E, "(define (f) 1) (f)");
+  std::string Err;
+  EXPECT_FALSE(E.storeProfile("/nonexistent-dir/x.profile", &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+} // namespace

@@ -1,0 +1,262 @@
+//===- tests/ExpanderTest.cpp - Expander and hygiene tests ----------------===//
+
+#include "TestUtil.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+struct ExpanderFixture : ::testing::Test {
+  Engine E;
+  std::string run(const std::string &Src) { return evalOk(E, Src); }
+  std::string err(const std::string &Src) { return evalErr(E, Src); }
+};
+
+TEST_F(ExpanderFixture, ShadowingCoreFormsLocally) {
+  // A local binding named `if` shadows the core form.
+  EXPECT_EQ(run("(let ([if (lambda (a b c) 'shadowed)]) (if 1 2 3))"),
+            "shadowed");
+  // Core `if` still works elsewhere.
+  EXPECT_EQ(run("(if #t 'yes 'no)"), "yes");
+}
+
+TEST_F(ExpanderFixture, LetScoping) {
+  EXPECT_EQ(run("(define x 'global)"
+                "(let ([x 'outer]) (let ([x 'inner]) x))"),
+            "inner");
+  EXPECT_EQ(run("(let ([x 1]) (let ([y x]) (list x y)))"), "(1 1)");
+  // let inits are evaluated in the outer scope.
+  EXPECT_EQ(run("(let ([x 'a]) (let ([x 'b] [y x]) (list x y)))"), "(b a)");
+}
+
+TEST_F(ExpanderFixture, NamedLetAndDo) {
+  EXPECT_EQ(run("(let fact ([n 5]) (if (zero? n) 1 (* n (fact (- n 1)))))"),
+            "120");
+}
+
+TEST_F(ExpanderFixture, CondVariants) {
+  EXPECT_EQ(run("(cond [#f 1])"), "#<void>");
+  EXPECT_EQ(run("(cond [5])"), "5");
+  EXPECT_EQ(run("(cond [#f 1] [(memq 'b '(a b c)) => car] [else 'no])"),
+            "b");
+  EXPECT_EQ(run("(cond [else 'fallback])"), "fallback");
+  EXPECT_EQ(run("(cond [#t 1 2 3])"), "3");
+}
+
+TEST_F(ExpanderFixture, QuasiquoteData) {
+  EXPECT_EQ(run("`(1 2 3)"), "(1 2 3)");
+  EXPECT_EQ(run("(let ([x 5]) `(a ,x b))"), "(a 5 b)");
+  EXPECT_EQ(run("(let ([xs '(1 2)]) `(a ,@xs b))"), "(a 1 2 b)");
+  EXPECT_EQ(run("`(1 ,(+ 1 1) ,@(list 3 4) . 5)"), "(1 2 3 4 . 5)");
+  EXPECT_EQ(run("`()"), "()");
+}
+
+TEST_F(ExpanderFixture, InternalDefines) {
+  EXPECT_EQ(run("(define (f x)"
+                "  (define y (* x 2))"
+                "  (define (g z) (+ z y))"
+                "  (g 1))"
+                "(f 10)"),
+            "21");
+  // Mutually recursive internal defines (letrec* semantics).
+  EXPECT_EQ(run("(define (f n)"
+                "  (define (even2? k) (if (zero? k) #t (odd2? (- k 1))))"
+                "  (define (odd2? k) (if (zero? k) #f (even2? (- k 1))))"
+                "  (even2? n))"
+                "(f 8)"),
+            "#t");
+}
+
+TEST_F(ExpanderFixture, MacroDefiningMacroHelpers) {
+  // Transformers may have internal helper definitions (as in Figure 6).
+  EXPECT_EQ(run("(define-syntax (twice stx)"
+                "  (define (dup x) (list x x))"
+                "  (syntax-case stx ()"
+                "    [(_ e) #`(list #,@(dup #'e))]))"
+                "(define n 0)"
+                "(twice (begin (set! n (+ n 1)) n))"),
+            "(1 2)");
+}
+
+TEST_F(ExpanderFixture, HygieneIntroducedBindingsDoNotCapture) {
+  EXPECT_EQ(run("(define-syntax (swap! stx)"
+                "  (syntax-case stx ()"
+                "    [(_ a b) #'(let ([tmp a]) (set! a b) (set! b tmp))]))"
+                "(define tmp 1)"
+                "(define other 2)"
+                "(swap! tmp other)"
+                "(list tmp other)"),
+            "(2 1)");
+}
+
+TEST_F(ExpanderFixture, HygieneUseSiteBindingWins) {
+  EXPECT_EQ(run("(define-syntax (m stx)"
+                "  (syntax-case stx ()"
+                "    [(_ e) #'(let ([x 'macro]) e)]))"
+                "(let ([x 'user]) (m x))"),
+            "user");
+}
+
+TEST_F(ExpanderFixture, MacroReferencesGlobalHelpers) {
+  // Identifiers introduced by the macro refer to globals visible at the
+  // macro definition, even if the use site is elsewhere.
+  EXPECT_EQ(run("(define (helper x) (* x 10))"
+                "(define-syntax (call-helper stx)"
+                "  (syntax-case stx ()"
+                "    [(_ e) #'(helper e)]))"
+                "(call-helper 4)"),
+            "40");
+}
+
+TEST_F(ExpanderFixture, RecursiveMacro) {
+  EXPECT_EQ(run("(define-syntax (my-and stx)"
+                "  (syntax-case stx ()"
+                "    [(_) #'#t]"
+                "    [(_ e) #'e]"
+                "    [(_ e rest ...) #'(if e (my-and rest ...) #f)]))"
+                "(list (my-and) (my-and 1) (my-and 1 2 3) (my-and 1 #f 3))"),
+            "(#t 1 3 #f)");
+}
+
+TEST_F(ExpanderFixture, ConsecutiveEllipsesRejected) {
+  // (a ... ...) flattening is documented as unsupported; it must be a
+  // clean compile-time error, not silent misexpansion.
+  EXPECT_NE(err("(define-syntax (flatten2 stx)"
+                "  (syntax-case stx ()"
+                "    [(_ (a ...) ...) #'(list a ... ...)]))"
+                "(flatten2 (1 2) (3) ())"),
+            "");
+}
+
+TEST_F(ExpanderFixture, NestedEllipsisTemplates) {
+  EXPECT_EQ(run("(define-syntax (pairs stx)"
+                "  (syntax-case stx ()"
+                "    [(_ (a b ...) ...) #'(list (list a (list b ...)) ...)]))"
+                "(pairs (1 2 3) (4) (5 6))"),
+            "((1 (2 3)) (4 ()) (5 (6)))");
+}
+
+TEST_F(ExpanderFixture, EllipsisWithFixedTail) {
+  EXPECT_EQ(run("(define-syntax (but-last stx)"
+                "  (syntax-case stx ()"
+                "    [(_ e ... last) #'(list e ...)]))"
+                "(but-last 1 2 3 4)"),
+            "(1 2 3)");
+  EXPECT_EQ(run("(define-syntax (get-last stx)"
+                "  (syntax-case stx ()"
+                "    [(_ e ... last) #'last]))"
+                "(get-last 1 2 3)"),
+            "3");
+}
+
+TEST_F(ExpanderFixture, DottedPatterns) {
+  EXPECT_EQ(run("(define-syntax (rest-of stx)"
+                "  (syntax-case stx ()"
+                "    [(_ a . r) #''r]))"
+                "(rest-of 1 2 3)"),
+            "(2 3)");
+}
+
+TEST_F(ExpanderFixture, Literals) {
+  EXPECT_EQ(run("(define-syntax (arrowish stx)"
+                "  (syntax-case stx (=>)"
+                "    [(_ a => b) #'(list 'arrow a b)]"
+                "    [(_ a b) #'(list 'plain a b)]))"
+                "(list (arrowish 1 => 2) (arrowish 1 2))"),
+            "((arrow 1 2) (plain 1 2))");
+}
+
+TEST_F(ExpanderFixture, Fenders) {
+  EXPECT_EQ(run("(define-syntax (num-or-other stx)"
+                "  (syntax-case stx ()"
+                "    [(_ e) (number? (syntax->datum #'e)) #''number]"
+                "    [(_ e) #''other]))"
+                "(list (num-or-other 5) (num-or-other x))"),
+            "(number other)");
+}
+
+TEST_F(ExpanderFixture, ConstantPatterns) {
+  EXPECT_EQ(run("(define-syntax (is-one stx)"
+                "  (syntax-case stx ()"
+                "    [(_ 1) #''yes]"
+                "    [(_ _) #''no]))"
+                "(list (is-one 1) (is-one 2))"),
+            "(yes no)");
+}
+
+TEST_F(ExpanderFixture, WithSyntax) {
+  EXPECT_EQ(run("(define-syntax (ws stx)"
+                "  (syntax-case stx ()"
+                "    [(_ a)"
+                "     (with-syntax ([b #'(+ a 1)] [(c ...) #'(a a)])"
+                "       #'(list b c ...))]))"
+                "(ws 3)"),
+            "(4 3 3)");
+}
+
+TEST_F(ExpanderFixture, DatumToSyntaxBreaksHygieneDeliberately) {
+  // Classic anaphoric macro: binds `it` visible at the use site.
+  EXPECT_EQ(run("(define-syntax (aif stx)"
+                "  (syntax-case stx ()"
+                "    [(k test then else)"
+                "     (with-syntax ([it (datum->syntax #'k 'it)])"
+                "       #'(let ([it test]) (if it then else)))]))"
+                "(aif (memq 'b '(a b)) (car it) 'none)"),
+            "b");
+}
+
+TEST_F(ExpanderFixture, GeneratedIdentifiersViaStringToSymbol) {
+  EXPECT_EQ(run("(define-syntax (def-getter stx)"
+                "  (syntax-case stx ()"
+                "    [(k name)"
+                "     (with-syntax ([getter (datum->syntax #'k"
+                "        (string->symbol (string-append \"get-\""
+                "          (symbol->string (syntax->datum #'name)))))])"
+                "       #'(define (getter) 'name))]))"
+                "(def-getter foo)"
+                "(get-foo)"),
+            "foo");
+}
+
+TEST_F(ExpanderFixture, TopLevelBeginSplices) {
+  EXPECT_EQ(run("(begin (define a 1) (define b 2)) (+ a b)"), "3");
+}
+
+TEST_F(ExpanderFixture, MacroExpandingToDefine) {
+  EXPECT_EQ(run("(define-syntax (def-two stx)"
+                "  (syntax-case stx ()"
+                "    [(_ n1 n2) #'(begin (define n1 1) (define n2 2))]))"
+                "(def-two p q)"
+                "(+ p q)"),
+            "3");
+}
+
+TEST_F(ExpanderFixture, ExpansionErrors) {
+  EXPECT_NE(err("(lambda)"), "");
+  EXPECT_NE(err("(if)"), "");
+  EXPECT_NE(err("(set! 5 1)"), "");
+  EXPECT_NE(err("(let ([x]) x)"), "");
+  EXPECT_NE(err("(define-syntax (bad stx) (syntax-case stx () [(_ a a) #'a]))"
+                "(bad 1 2)"),
+            ""); // duplicate pattern variable
+  EXPECT_NE(err("(define-syntax (bad2 stx) 42) (bad2)"), "");
+  EXPECT_NE(err("(cond [else 1] [#t 2])"), "");
+}
+
+TEST_F(ExpanderFixture, MacroUsingQuasisyntaxUnsyntax) {
+  EXPECT_EQ(run("(define-syntax (add-const stx)"
+                "  (syntax-case stx ()"
+                "    [(_ e) #`(+ e #,(* 6 7))]))"
+                "(add-const 8)"),
+            "50");
+}
+
+TEST_F(ExpanderFixture, ExpandToStringShowsCoreForms) {
+  EvalResult R = E.expandToString("(let ([x 1]) x)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string Out = R.V.asString()->Text;
+  EXPECT_NE(Out.find("lambda"), std::string::npos) << Out;
+}
+
+} // namespace

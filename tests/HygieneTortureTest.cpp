@@ -1,0 +1,134 @@
+//===- tests/HygieneTortureTest.cpp - Adversarial hygiene cases -----------===//
+//
+// The case studies lean on hygiene in specific ways (the `t` binder in
+// pgmp-case, the `x` binder in the object system's method sites). These
+// tests push the same machinery much harder.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+struct HygieneFixture : ::testing::Test {
+  Engine E;
+  std::string run(const std::string &Src) { return evalOk(E, Src); }
+};
+
+TEST_F(HygieneFixture, MacroGeneratingMacro) {
+  EXPECT_EQ(run("(define-syntax (def-const-macro stx)"
+                "  (syntax-case stx ()"
+                "    [(_ name val)"
+                "     #'(define-syntax (name s2)"
+                "         (syntax-case s2 ()"
+                "           [(_) #'val]))]))"
+                "(def-const-macro six 6)"
+                "(def-const-macro seven 7)"
+                "(* (six) (seven))"),
+            "42");
+}
+
+TEST_F(HygieneFixture, TwoExpansionsDistinctTemporaries) {
+  // Each invocation's introduced binding is distinct: nesting the same
+  // macro must not cross-capture.
+  EXPECT_EQ(run("(define-syntax (with-one stx)"
+                "  (syntax-case stx ()"
+                "    [(_ e) #'(let ([v 1]) e)]))"
+                "(with-one (with-one (+ 1 1)))"),
+            "2");
+  EXPECT_EQ(run("(define-syntax (plus-v stx)"
+                "  (syntax-case stx ()"
+                "    [(_ e) #'(let ([v 10]) (+ v e))]))"
+                "(let ([v 5]) (plus-v v))"),
+            "15");
+}
+
+TEST_F(HygieneFixture, UserBindingShadowsMacroHelperLocally) {
+  // A macro-introduced reference to a global helper still works when the
+  // use site shadows that name.
+  EXPECT_EQ(run("(define (scale x) (* 100 x))"
+                "(define-syntax (pct stx)"
+                "  (syntax-case stx () [(_ e) #'(scale e)]))"
+                "(let ([scale 999]) (pct 2))"),
+            "200");
+}
+
+TEST_F(HygieneFixture, MacroArgumentEvaluatedInUseSiteScope) {
+  EXPECT_EQ(run("(define k 'global)"
+                "(define-syntax (capture stx)"
+                "  (syntax-case stx () [(_ e) #'(let ([k 'macro]) e)]))"
+                "(let ([k 'user]) (capture k))"),
+            "user");
+}
+
+TEST_F(HygieneFixture, BindersPassedThroughMacros) {
+  // The macro receives a binder name from the user and uses it: binding
+  // must connect to use-site references.
+  EXPECT_EQ(run("(define-syntax (bind-it stx)"
+                "  (syntax-case stx ()"
+                "    [(_ name val body) #'(let ([name val]) body)]))"
+                "(bind-it q 17 (+ q q))"),
+            "34");
+}
+
+TEST_F(HygieneFixture, RecursiveExpansionDepth) {
+  // 60 levels of recursive macro expansion stay well-formed.
+  EXPECT_EQ(run("(define-syntax (nest stx)"
+                "  (syntax-case stx ()"
+                "    [(_ 0 e) #'e]"
+                "    [(_ n e) (number? (syntax->datum #'n))"
+                "     #`(nest #,(- (syntax->datum #'n) 1) (+ 1 e))]))"
+                "(nest 60 0)"),
+            "60");
+}
+
+TEST_F(HygieneFixture, LetOverMacroOverLet) {
+  EXPECT_EQ(run("(define-syntax (add-xy stx)"
+                "  (syntax-case stx ()"
+                "    [(_ e) #'(let ([x 100]) (+ x e))]))"
+                "(let ([x 1]) (add-xy (let ([x 10]) (+ x x))))"),
+            "120");
+}
+
+TEST_F(HygieneFixture, SyntaxCaseInsideGeneratedCode) {
+  // A macro whose output defines another procedural macro using
+  // syntax-case — phase boundaries compose.
+  EXPECT_EQ(run("(define-syntax (make-swapper stx)"
+                "  (syntax-case stx ()"
+                "    [(_ name)"
+                "     #'(define-syntax (name s)"
+                "         (syntax-case s ()"
+                "           [(_ a b) #'(list b a)]))]))"
+                "(make-swapper flip)"
+                "(flip 1 2)"),
+            "(2 1)");
+}
+
+TEST_F(HygieneFixture, PatternVarNamedLikeCoreForm) {
+  // Pattern variables may shadow core form names inside the clause.
+  EXPECT_EQ(run("(define-syntax (weird stx)"
+                "  (syntax-case stx ()"
+                "    [(_ if) #''(saw if)]))"
+                "(weird 99)"),
+            "(saw 99)");
+}
+
+TEST_F(HygieneFixture, UnhygienicBinderCapturesUseSiteReference) {
+  // Two binders spelled the same: one carries use-site scopes
+  // (datum->syntax — the anaphoric-macro escape hatch), one carries
+  // macro scopes. The use-site binder deliberately *captures* the user's
+  // reference passed in as `e` (that is what datum->syntax is for),
+  // while the macro-scoped binder stays invisible to it.
+  EXPECT_EQ(run("(define-syntax (amb stx)"
+                "  (syntax-case stx ()"
+                "    [(k e)"
+                "     (with-syntax ([u (datum->syntax #'k 'uvar)])"
+                "       #'(let ([u 1]) (let ([uvar 2]) (list u uvar e))))]))"
+                "(let ([uvar 9]) (amb uvar))"),
+            "(1 2 1)");
+}
+
+} // namespace

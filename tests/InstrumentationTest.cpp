@@ -1,0 +1,96 @@
+//===- tests/InstrumentationTest.cpp - Source-expression counters ---------===//
+
+#include "TestUtil.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+TEST(Instrumentation, CountersMatchExecutionCounts) {
+  Engine E;
+  E.setInstrumentation(true);
+  // Source:   0123456789...
+  std::string Src = "(define (f n) (if (even? n) (+ n 1) (- n 1)))";
+  ASSERT_TRUE(E.evalString(Src, "count.scm").Ok);
+  for (int I = 0; I < 10; ++I)
+    ASSERT_TRUE(E.callGlobal("f", {Value::fixnum(I)}).Ok);
+
+  auto CountAt = [&](const std::string &Fragment) {
+    size_t Begin = Src.find(Fragment);
+    EXPECT_NE(Begin, std::string::npos);
+    const SourceObject *P = E.context().Sources.intern(
+        "count.scm", static_cast<uint32_t>(Begin),
+        static_cast<uint32_t>(Begin + Fragment.size()), 1, 1);
+    return E.context().Counters.count(P);
+  };
+
+  // 10 calls: the test runs 10 times, each branch 5 times.
+  EXPECT_EQ(CountAt("(if (even? n) (+ n 1) (- n 1))"), 10u);
+  EXPECT_EQ(CountAt("(even? n)"), 10u);
+  EXPECT_EQ(CountAt("(+ n 1)"), 5u);
+  EXPECT_EQ(CountAt("(- n 1)"), 5u);
+}
+
+TEST(Instrumentation, DistinctOccurrencesCountSeparately) {
+  // Section 3.1: two occurrences of the same expression text get
+  // different profile points.
+  Engine E;
+  E.setInstrumentation(true);
+  std::string Src = "(define (g b) (if b (f 1) (f 1)))"
+                    "(define (f x) x)"
+                    "(g #t) (g #t) (g #f)";
+  ASSERT_TRUE(E.evalString(Src, "occ.scm").Ok);
+
+  size_t First = Src.find("(f 1)");
+  size_t Second = Src.find("(f 1)", First + 1);
+  auto CountAt = [&](size_t Begin) {
+    const SourceObject *P = E.context().Sources.intern(
+        "occ.scm", static_cast<uint32_t>(Begin),
+        static_cast<uint32_t>(Begin + 5), 1, 1);
+    return E.context().Counters.count(P);
+  };
+  EXPECT_EQ(CountAt(First), 2u);
+  EXPECT_EQ(CountAt(Second), 1u);
+}
+
+TEST(Instrumentation, NoCountersWhenDisabled) {
+  Engine E;
+  E.setInstrumentation(false);
+  size_t Before = E.context().Counters.size();
+  ASSERT_TRUE(E.evalString("(define (f) (+ 1 2)) (f) (f)").Ok);
+  // No counter slots were even allocated: uninstrumented code carries no
+  // instrumentation at all (paper Section 3.1).
+  EXPECT_EQ(E.context().Counters.size(), Before);
+}
+
+TEST(Instrumentation, RecompileTogglesInstrumentation) {
+  Engine E;
+  E.setInstrumentation(true);
+  ASSERT_TRUE(E.evalString("(define (f) 'x)", "toggle.scm").Ok);
+  ASSERT_TRUE(E.callGlobal("f", {}).Ok);
+  size_t WithCounters = E.context().Counters.size();
+  EXPECT_GT(WithCounters, 0u);
+
+  // Redefine without instrumentation; new code adds no counters.
+  E.setInstrumentation(false);
+  ASSERT_TRUE(E.evalString("(define (g) 'y)", "toggle2.scm").Ok);
+  ASSERT_TRUE(E.callGlobal("g", {}).Ok);
+  EXPECT_EQ(E.context().Counters.size(), WithCounters);
+}
+
+TEST(Instrumentation, LoopCountsScaleWithIterations) {
+  Engine E;
+  E.setInstrumentation(true);
+  std::string Src = "(define (spin n acc)"
+                    "  (if (zero? n) acc (spin (- n 1) (+ acc 7))))"
+                    "(spin 1000 0)";
+  ASSERT_TRUE(E.evalString(Src, "loop.scm").Ok);
+  size_t Begin = Src.find("(+ acc 7)");
+  const SourceObject *P = E.context().Sources.intern(
+      "loop.scm", static_cast<uint32_t>(Begin),
+      static_cast<uint32_t>(Begin + 9), 1, 1);
+  EXPECT_EQ(E.context().Counters.count(P), 1000u);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- tests/InterpTest.cpp - Primitive and evaluator tests ---------------===//
+
+#include "TestUtil.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+struct InterpFixture : ::testing::Test {
+  Engine E;
+  std::string run(const std::string &Src) { return evalOk(E, Src); }
+  std::string err(const std::string &Src) { return evalErr(E, Src); }
+};
+
+TEST_F(InterpFixture, NumericTower) {
+  EXPECT_EQ(run("(+ 1 2)"), "3");
+  EXPECT_EQ(run("(+)"), "0");
+  EXPECT_EQ(run("(*)"), "1");
+  EXPECT_EQ(run("(- 5)"), "-5");
+  EXPECT_EQ(run("(+ 1 2.5)"), "3.5");
+  EXPECT_EQ(run("(- 10 1 2)"), "7");
+  EXPECT_EQ(run("(/ 1 4)"), "0.25");
+  EXPECT_EQ(run("(quotient 7 2)"), "3");
+  EXPECT_EQ(run("(remainder 7 2)"), "1");
+  EXPECT_EQ(run("(remainder -7 2)"), "-1");
+  EXPECT_EQ(run("(modulo -7 2)"), "1");
+  EXPECT_EQ(run("(abs -3)"), "3");
+  EXPECT_EQ(run("(min 3 1 2)"), "1");
+  EXPECT_EQ(run("(max 3 1 2)"), "3");
+  EXPECT_EQ(run("(expt 2 10)"), "1024");
+  EXPECT_EQ(run("(sqrt 16)"), "4");
+  EXPECT_EQ(run("(sqrt 2.25)"), "1.5");
+  EXPECT_EQ(run("(floor 2.7)"), "2.0");
+  EXPECT_EQ(run("(ceiling 2.2)"), "3.0");
+  EXPECT_EQ(run("(round 2.5)"), "2.0");
+  EXPECT_EQ(run("(truncate -2.7)"), "-2.0");
+  EXPECT_EQ(run("(even? 4)"), "#t");
+  EXPECT_EQ(run("(odd? 4)"), "#f");
+  EXPECT_EQ(run("(exact->inexact 3)"), "3.0");
+  EXPECT_EQ(run("(number->string 42)"), "\"42\"");
+  EXPECT_EQ(run("(string->number \"2.5\")"), "2.5");
+  EXPECT_EQ(run("(string->number \"nope\")"), "#f");
+  EXPECT_EQ(run("(sqr 9)"), "81");
+}
+
+TEST_F(InterpFixture, ComparisonChains) {
+  EXPECT_EQ(run("(< 1 2 3)"), "#t");
+  EXPECT_EQ(run("(< 1 3 2)"), "#f");
+  EXPECT_EQ(run("(<= 1 1 2)"), "#t");
+  EXPECT_EQ(run("(= 2 2 2)"), "#t");
+  EXPECT_EQ(run("(> 3 2 1)"), "#t");
+  EXPECT_EQ(run("(>= 3 3 1)"), "#t");
+  EXPECT_EQ(run("(= 2 2.0)"), "#t");
+}
+
+TEST_F(InterpFixture, ListOps) {
+  EXPECT_EQ(run("(length '(1 2 3))"), "3");
+  EXPECT_EQ(run("(append '(1) '(2 3) '())"), "(1 2 3)");
+  EXPECT_EQ(run("(reverse '(1 2 3))"), "(3 2 1)");
+  EXPECT_EQ(run("(list-ref '(a b c) 1)"), "b");
+  EXPECT_EQ(run("(list-tail '(a b c) 1)"), "(b c)");
+  EXPECT_EQ(run("(memq 'b '(a b c))"), "(b c)");
+  EXPECT_EQ(run("(member \"b\" '(\"a\" \"b\"))"), "(\"b\")");
+  EXPECT_EQ(run("(memq 'z '(a b))"), "#f");
+  EXPECT_EQ(run("(assq 'b '((a 1) (b 2)))"), "(b 2)");
+  EXPECT_EQ(run("(assoc \"b\" '((\"a\" 1) (\"b\" 2)))"), "(\"b\" 2)");
+  EXPECT_EQ(run("(map + '(1 2) '(10 20))"), "(11 22)");
+  EXPECT_EQ(run("(filter even? '(1 2 3 4))"), "(2 4)");
+  EXPECT_EQ(run("(fold-left + 0 '(1 2 3))"), "6");
+  EXPECT_EQ(run("(fold-left cons '() '(1 2))"), "((() . 1) . 2)");
+  EXPECT_EQ(run("(fold-right cons '() '(1 2))"), "(1 2)");
+  EXPECT_EQ(run("(iota 4)"), "(0 1 2 3)");
+  EXPECT_EQ(run("(iota 3 5 2)"), "(5 7 9)");
+  EXPECT_EQ(run("(andmap even? '(2 4))"), "#t");
+  EXPECT_EQ(run("(ormap even? '(1 3))"), "#f");
+  EXPECT_EQ(run("(list? '(1 2))"), "#t");
+  EXPECT_EQ(run("(list? '(1 . 2))"), "#f");
+}
+
+TEST_F(InterpFixture, SortIsStableAndOrdered) {
+  EXPECT_EQ(run("(sort '(3 1 2) <)"), "(1 2 3)");
+  EXPECT_EQ(run("(list-sort > '(3 1 2))"), "(3 2 1)");
+  // Stability: pairs with equal keys keep their original order.
+  EXPECT_EQ(run("(map cdr (sort '((1 . a) (0 . b) (1 . c) (0 . d))"
+                "  (lambda (x y) (< (car x) (car y)))))"),
+            "(b d a c)");
+}
+
+TEST_F(InterpFixture, VectorOps) {
+  EXPECT_EQ(run("(vector-length (make-vector 3))"), "3");
+  EXPECT_EQ(run("(vector-ref (vector 'a 'b) 1)"), "b");
+  EXPECT_EQ(run("(let ([v (make-vector 2 0)]) (vector-set! v 0 9) v)"),
+            "#(9 0)");
+  EXPECT_EQ(run("(vector->list #(1 2))"), "(1 2)");
+  EXPECT_EQ(run("(list->vector '(1 2))"), "#(1 2)");
+  EXPECT_EQ(run("(vector-map add1 #(1 2))"), "#(2 3)");
+  EXPECT_EQ(run("(let* ([v #(1 2)] [w (vector-copy v)])"
+                "  (vector-set! w 0 9) (list v w))"),
+            "(#(1 2) #(9 2))");
+}
+
+TEST_F(InterpFixture, StringAndCharOps) {
+  EXPECT_EQ(run("(string-length \"abc\")"), "3");
+  EXPECT_EQ(run("(substring \"hello\" 1 3)"), "\"el\"");
+  EXPECT_EQ(run("(string-append \"a\" \"b\" \"c\")"), "\"abc\"");
+  EXPECT_EQ(run("(string=? \"x\" \"x\")"), "#t");
+  EXPECT_EQ(run("(string<? \"a\" \"b\")"), "#t");
+  EXPECT_EQ(run("(string-contains? \"subject: PLDI\" \"PLDI\")"), "#t");
+  EXPECT_EQ(run("(string-contains? \"spam\" \"PLDI\")"), "#f");
+  EXPECT_EQ(run("(string->list \"ab\")"), "(#\\a #\\b)");
+  EXPECT_EQ(run("(list->string '(#\\h #\\i))"), "\"hi\"");
+  EXPECT_EQ(run("(string-upcase \"aBc\")"), "\"ABC\"");
+  EXPECT_EQ(run("(char->integer #\\A)"), "65");
+  EXPECT_EQ(run("(integer->char 97)"), "#\\a");
+  EXPECT_EQ(run("(char-alphabetic? #\\a)"), "#t");
+  EXPECT_EQ(run("(char-numeric? #\\7)"), "#t");
+  EXPECT_EQ(run("(char-whitespace? #\\space)"), "#t");
+  EXPECT_EQ(run("(char=? #\\a #\\a)"), "#t");
+  EXPECT_EQ(run("(char<? #\\a #\\b)"), "#t");
+}
+
+TEST_F(InterpFixture, HashtableOps) {
+  EXPECT_EQ(run("(let ([h (make-eq-hashtable)])"
+                "  (hashtable-set! h 'a 1)"
+                "  (hashtable-set! h 'b 2)"
+                "  (hashtable-set! h 'a 10)"
+                "  (list (hashtable-ref h 'a #f)"
+                "        (hashtable-ref h 'z 'missing)"
+                "        (hashtable-size h)"
+                "        (hashtable-contains? h 'b)))"),
+            "(10 missing 2 #t)");
+  EXPECT_EQ(run("(let ([h (make-equal-hashtable)])"
+                "  (hashtable-set! h (list 1 2) 'x)"
+                "  (hashtable-ref h (list 1 2) #f))"),
+            "x");
+  EXPECT_EQ(run("(let ([h (make-eq-hashtable)])"
+                "  (hashtable-set! h 'c 1) (hashtable-set! h 'a 2)"
+                "  (hashtable-keys h))"),
+            "(c a)");
+  EXPECT_EQ(run("(let ([h (make-eq-hashtable)])"
+                "  (hashtable-update! h 'n add1 0)"
+                "  (hashtable-update! h 'n add1 0)"
+                "  (hashtable-ref h 'n #f))"),
+            "2");
+}
+
+TEST_F(InterpFixture, ApplyAndHigherOrder) {
+  EXPECT_EQ(run("(apply + '(1 2 3))"), "6");
+  EXPECT_EQ(run("(apply + 1 2 '(3 4))"), "10");
+  EXPECT_EQ(run("((curry + 1 2) 3)"), "6");
+  EXPECT_EQ(run("((compose add1 *) 3 4)"), "13");
+}
+
+TEST_F(InterpFixture, PreludeHelpers) {
+  EXPECT_EQ(run("(take '(1 2 3 4) 2)"), "(1 2)");
+  EXPECT_EQ(run("(take '(1) 5)"), "(1)");
+  EXPECT_EQ(run("(drop '(1 2 3) 1)"), "(2 3)");
+  EXPECT_EQ(run("(find even? '(1 3 4 5))"), "4");
+  EXPECT_EQ(run("(find even? '(1 3))"), "#f");
+  EXPECT_EQ(run("(remove even? '(1 2 3 4))"), "(1 3)");
+  EXPECT_EQ(run("(last '(1 2 3))"), "3");
+  EXPECT_EQ(run("(list-index even? '(1 3 4))"), "2");
+  EXPECT_EQ(run("(count even? '(1 2 3 4))"), "2");
+  EXPECT_EQ(run("(list-set '(1 2 3) 1 'x)"), "(1 x 3)");
+}
+
+TEST_F(InterpFixture, BoxesAndMutation) {
+  EXPECT_EQ(run("(let ([b (box 1)]) (set-box! b 2) (unbox b))"), "2");
+  EXPECT_EQ(run("(define counter 0)"
+                "(define (bump!) (set! counter (+ counter 1)) counter)"
+                "(bump!) (bump!) (bump!)"),
+            "3");
+  EXPECT_EQ(run("(let ([p (cons 1 2)]) (set-car! p 9) p)"), "(9 . 2)");
+}
+
+TEST_F(InterpFixture, RestArguments) {
+  EXPECT_EQ(run("((lambda args args) 1 2 3)"), "(1 2 3)");
+  EXPECT_EQ(run("((lambda (a . rest) (list a rest)) 1 2 3)"), "(1 (2 3))");
+  EXPECT_EQ(run("((lambda (a . rest) (list a rest)) 1)"), "(1 ())");
+}
+
+TEST_F(InterpFixture, DeepMutualRecursionViaTailCalls) {
+  EXPECT_EQ(run("(define (ping n) (if (zero? n) 'done (pong (- n 1))))"
+                "(define (pong n) (if (zero? n) 'done (ping (- n 1))))"
+                "(ping 200000)"),
+            "done");
+}
+
+TEST_F(InterpFixture, RngPrimsDeterministic) {
+  std::string A = run("(begin (rng-seed! 42)"
+                      "  (list (rng-next 100) (rng-next 100) (rng-next 100)))");
+  std::string B = run("(begin (rng-seed! 42)"
+                      "  (list (rng-next 100) (rng-next 100) (rng-next 100)))");
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(InterpFixture, ErrorsHaveUsefulMessages) {
+  EXPECT_NE(err("(vector-ref (vector 1) 5)").find("out of range"),
+            std::string::npos);
+  EXPECT_NE(err("(+ 'a 1)").find("number"), std::string::npos);
+  EXPECT_NE(err("(error \"custom\" 'x 42)").find("custom x 42"),
+            std::string::npos);
+  EXPECT_NE(err("((lambda (x) x))").find("argument"), std::string::npos);
+  EXPECT_NE(err("(1 2)").find("non-procedure"), std::string::npos);
+  EXPECT_NE(err("(quotient 1 0)").find("division by zero"),
+            std::string::npos);
+}
+
+TEST_F(InterpFixture, GensymPrim) {
+  EXPECT_EQ(run("(eq? (gensym) (gensym))"), "#f");
+  EXPECT_EQ(run("(symbol? (gensym 'pre))"), "#t");
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- tests/LetSyntaxTest.cpp - Local macro bindings ---------------------===//
+
+#include "TestUtil.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+struct LetSyntaxFixture : ::testing::Test {
+  Engine E;
+  std::string run(const std::string &Src) { return evalOk(E, Src); }
+};
+
+TEST_F(LetSyntaxFixture, BasicLocalMacro) {
+  EXPECT_EQ(run("(let-syntax ([double (syntax-rules ()"
+                "               [(_ e) (* 2 e)])])"
+                "  (double 21))"),
+            "42");
+}
+
+TEST_F(LetSyntaxFixture, LocalMacroNotVisibleOutside) {
+  run("(let-syntax ([only-here (syntax-rules () [(_) 'inside])])"
+      "  (only-here))");
+  EvalResult R = E.evalString("(only-here)");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(LetSyntaxFixture, ShadowsGlobalMacro) {
+  EXPECT_EQ(run("(define-syntax tag (syntax-rules () [(_) 'global]))"
+                "(list (tag)"
+                "      (let-syntax ([tag (syntax-rules () [(_) 'local])])"
+                "        (tag))"
+                "      (tag))"),
+            "(global local global)");
+}
+
+TEST_F(LetSyntaxFixture, LetrecSyntaxSelfRecursion) {
+  EXPECT_EQ(run("(letrec-syntax ([my-and2 (syntax-rules ()"
+                "                  [(_) #t]"
+                "                  [(_ e rest ...) (if e (my-and2 rest ...)"
+                "                                        #f)])])"
+                "  (list (my-and2) (my-and2 1 2) (my-and2 1 #f 2)))"),
+            "(#t #t #f)");
+}
+
+TEST_F(LetSyntaxFixture, ProceduralLocalTransformer) {
+  EXPECT_EQ(run("(let-syntax ([rev (lambda (stx)"
+                "                    (syntax-case stx ()"
+                "                      [(_ a b c) #'(list c b a)]))])"
+                "  (rev 1 2 3))"),
+            "(3 2 1)");
+}
+
+TEST_F(LetSyntaxFixture, LocalMacroSeesPgmpApi) {
+  // Local meta-programs get the same profile API as global ones.
+  EXPECT_EQ(run("(let-syntax ([w (lambda (stx)"
+                "                  (syntax-case stx ()"
+                "                    [(_ e) #`(quote #,(profile-query #'e))]))])"
+                "  (w (+ 1 2)))"),
+            "0.0");
+}
+
+TEST_F(LetSyntaxFixture, BodyWithInternalDefines) {
+  EXPECT_EQ(run("(let-syntax ([inc (syntax-rules () [(_ e) (+ e 1)])])"
+                "  (define base 10)"
+                "  (inc base))"),
+            "11");
+}
+
+TEST_F(LetSyntaxFixture, HygieneAcrossLocalMacro) {
+  EXPECT_EQ(run("(define t 'outer)"
+                "(let-syntax ([grab (syntax-rules () [(_) t])])"
+                "  (let ([t 'inner])"
+                "    (grab)))"),
+            "outer");
+}
+
+TEST_F(LetSyntaxFixture, Errors) {
+  EXPECT_NE(evalErr(E, "(let-syntax)"), "");
+  EXPECT_NE(evalErr(E, "(let-syntax ([x]) 1)"), "");
+  EXPECT_NE(evalErr(E, "(let-syntax ([5 (syntax-rules ())]) 1)"), "");
+  EXPECT_NE(evalErr(E, "(let-syntax ([m 42]) (m))"), "");
+}
+
+} // namespace

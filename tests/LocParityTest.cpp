@@ -1,0 +1,72 @@
+//===- tests/LocParityTest.cpp - Section 6 implementation-size claims -----===//
+//
+// The paper argues these PGOs are *small* user-level meta-programs and
+// reports line counts: case 81 (Chez) / 50 (Racket), exclusive-cond 31,
+// receiver class prediction 44 within a 129-line object system, list 80,
+// vector 88, sequence 111. Our ports must stay in the same size class —
+// an implementation 10x larger would undermine the usability claim.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+/// Counts non-blank, non-comment lines of a scheme/ library.
+int codeLines(const std::string &Name) {
+  std::string Path = std::string(PGMP_SCHEME_DIR) + "/" + Name + ".scm";
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    ADD_FAILURE() << "cannot open " << Path;
+    return -1;
+  }
+  int Count = 0;
+  char Line[1024];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    std::string S(Line);
+    size_t First = S.find_first_not_of(" \t\r\n");
+    if (First == std::string::npos)
+      continue;
+    if (S[First] == ';')
+      continue;
+    ++Count;
+  }
+  std::fclose(F);
+  return Count;
+}
+
+struct Expectation {
+  const char *Library;
+  int PaperLines;
+};
+
+class LocParity : public ::testing::TestWithParam<Expectation> {};
+
+TEST_P(LocParity, SameSizeClassAsPaper) {
+  const Expectation &E = GetParam();
+  int Ours = codeLines(E.Library);
+  ASSERT_GT(Ours, 0);
+  // Same order of magnitude: between a fifth and three times the paper's
+  // count. (Exact parity is not meaningful across languages; our ports
+  // lean compact because helpers live in the prelude.)
+  EXPECT_GE(Ours * 5, E.PaperLines)
+      << E.Library << " is suspiciously small vs the paper";
+  EXPECT_LE(Ours, E.PaperLines * 3)
+      << E.Library << " lost the smallness claim (" << Ours << " lines vs "
+      << E.PaperLines << " in the paper)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CaseStudies, LocParity,
+    ::testing::Values(Expectation{"pgmp-case", 50},
+                      Expectation{"exclusive-cond", 31},
+                      Expectation{"object-system", 129},
+                      Expectation{"profiled-list", 80},
+                      Expectation{"profiled-vector", 88},
+                      Expectation{"profiled-seq", 111},
+                      Expectation{"if-r", 15}));
+
+} // namespace

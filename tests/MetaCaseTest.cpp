@@ -1,0 +1,194 @@
+//===- tests/MetaCaseTest.cpp - Figures 5-8: case / exclusive-cond --------===//
+
+#include "TestUtil.h"
+
+#include "support/Rng.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+// Figure 5's parser over a character workload, with counting actions so
+// behavior is observable.
+const char *ParserSrc =
+    "(define ws 0) (define dg 0) (define sp 0) (define ep 0) (define ot 0)\n"
+    "(define (parse c)\n"
+    "  (case c\n"
+    "    [(#\\space #\\tab) (set! ws (+ ws 1))]\n"
+    "    [(#\\0 #\\1 #\\2 #\\3 #\\4 #\\5 #\\6 #\\7 #\\8 #\\9)"
+    " (set! dg (+ dg 1))]\n"
+    "    [(#\\() (set! sp (+ sp 1))]\n"
+    "    [(#\\)) (set! ep (+ ep 1))]\n"
+    "    [else (set! ot (+ ot 1))]))\n";
+
+struct CaseFixture : ::testing::Test {
+  void load(Engine &E) {
+    loadLib(E, "exclusive-cond");
+    loadLib(E, "pgmp-case");
+  }
+
+  void feed(Engine &E, int Ws, int Dg, int Sp, int Ep, int Ot) {
+    auto Run = [&](const char *Ch, int N) {
+      std::string Src = "(for-each (lambda (i) (parse " + std::string(Ch) +
+                        ")) (iota " + std::to_string(N) + "))";
+      ASSERT_TRUE(E.evalString(Src).Ok);
+    };
+    Run("#\\space", Ws);
+    Run("#\\7", Dg);
+    Run("#\\(", Sp);
+    Run("#\\)", Ep);
+    Run("#\\x", Ot);
+  }
+};
+
+TEST_F(CaseFixture, BehavesLikeStandardCaseWithoutProfile) {
+  Engine E;
+  load(E);
+  ASSERT_TRUE(E.evalString(ParserSrc, "parser.scm").Ok);
+  feed(E, 1, 2, 3, 4, 5);
+  EXPECT_EQ(evalOk(E, "(list ws dg sp ep ot)"), "(1 2 3 4 5)");
+}
+
+TEST_F(CaseFixture, ExpansionShapeWithoutProfileKeepsSourceOrder) {
+  Engine E;
+  load(E);
+  EvalResult R = E.expandToString(ParserSrc, "parser.scm");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string Out = R.V.asString()->Text;
+  // Clause tests become explicit key-in? membership tests (Figure 8).
+  EXPECT_NE(Out.find("key-in?"), std::string::npos) << Out;
+  // Source order preserved: ws before dg before sp before ep.
+  size_t W = Out.find("ws (");
+  size_t D = Out.find("dg (");
+  size_t S = Out.find("sp (");
+  size_t P = Out.find("ep (");
+  EXPECT_LT(W, D);
+  EXPECT_LT(D, S);
+  EXPECT_LT(S, P);
+}
+
+TEST_F(CaseFixture, Figure8ReorderingUnderPaperWorkload) {
+  // The paper's counts: whitespace 55, open 23, close 23, digits 10.
+  std::string Path = tempPath("case.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    load(E);
+    ASSERT_TRUE(E.evalString(ParserSrc, "parser.scm").Ok);
+    feed(E, 55, 10, 23, 23, 0);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  load(E2);
+  EvalResult R = E2.expandToString(ParserSrc, "parser.scm");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string Out = R.V.asString()->Text;
+  // Expected order: ws (55) first, then sp/ep (23 each, stable order),
+  // then dg (10), with the else action (ot) last.
+  size_t W = Out.find("ws (");
+  size_t S = Out.find("sp (");
+  size_t P = Out.find("ep (");
+  size_t D = Out.find("dg (");
+  size_t O = Out.find("ot (");
+  ASSERT_NE(W, std::string::npos);
+  EXPECT_LT(W, S) << Out;
+  EXPECT_LT(S, P) << Out;
+  EXPECT_LT(P, D) << Out;
+  EXPECT_LT(D, O) << Out;
+}
+
+TEST_F(CaseFixture, ElseStaysLastEvenWhenHot) {
+  // The else clause is never reordered, even if it is the hottest.
+  std::string Path = tempPath("case.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    load(E);
+    ASSERT_TRUE(E.evalString(ParserSrc, "parser.scm").Ok);
+    feed(E, 1, 1, 1, 1, 100);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  load(E2);
+  EvalResult R = E2.expandToString(ParserSrc, "parser.scm");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string Out = R.V.asString()->Text;
+  size_t O = Out.find("ot (");
+  for (const char *Tag : {"ws (", "dg (", "sp (", "ep ("})
+    EXPECT_LT(Out.find(Tag), O) << Out;
+}
+
+TEST_F(CaseFixture, KeyExpressionEvaluatedOnce) {
+  Engine E;
+  load(E);
+  EXPECT_EQ(evalOk(E, "(define evals 0)"
+                      "(define (key) (set! evals (+ evals 1)) 3)"
+                      "(case (key) [(1) 'a] [(2) 'b] [(3) 'c] [else 'z])"),
+            "c");
+  EXPECT_EQ(evalOk(E, "evals"), "1");
+}
+
+TEST_F(CaseFixture, ExclusiveCondDirectUse) {
+  Engine E;
+  loadLib(E, "exclusive-cond");
+  EXPECT_EQ(evalOk(E, "(define (f x)"
+                      "  (exclusive-cond"
+                      "    [(= x 1) 'one]"
+                      "    [(= x 2) 'two]"
+                      "    [else 'many]))"
+                      "(list (f 1) (f 2) (f 9))"),
+            "(one two many)");
+}
+
+//===----------------------------------------------------------------------===//
+// Property: for random workloads, the profile-guided parser is always
+// observationally equivalent to the unoptimized one.
+//===----------------------------------------------------------------------===//
+
+class CaseEquivalence : public CaseFixture,
+                        public ::testing::WithParamInterface<int> {};
+
+TEST_P(CaseEquivalence, OptimizedMatchesBaseline) {
+  Rng R(static_cast<uint64_t>(GetParam()) * 1337 + 11);
+  int Counts[5];
+  for (int &C : Counts)
+    C = static_cast<int>(R.below(40));
+
+  std::string Path = tempPath("prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    load(E);
+    ASSERT_TRUE(E.evalString(ParserSrc, "parser.scm").Ok);
+    feed(E, Counts[0], Counts[1], Counts[2], Counts[3], Counts[4]);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+
+  // Fresh evaluation workload, applied to baseline and optimized builds.
+  int Fresh[5];
+  for (int &C : Fresh)
+    C = static_cast<int>(R.below(25));
+
+  auto Observe = [&](Engine &E) {
+    ASSERT_TRUE(E.evalString(ParserSrc, "parser.scm").Ok);
+    feed(E, Fresh[0], Fresh[1], Fresh[2], Fresh[3], Fresh[4]);
+  };
+
+  Engine Base;
+  load(Base);
+  Observe(Base);
+  std::string Expected = evalOk(Base, "(list ws dg sp ep ot)");
+
+  Engine Opt;
+  ASSERT_TRUE(Opt.loadProfile(Path));
+  load(Opt);
+  Observe(Opt);
+  EXPECT_EQ(evalOk(Opt, "(list ws dg sp ep ot)"), Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CaseEquivalence, ::testing::Range(0, 10));
+
+} // namespace

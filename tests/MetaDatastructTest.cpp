@@ -1,0 +1,252 @@
+//===- tests/MetaDatastructTest.cpp - Figures 13-14: data structures ------===//
+
+#include "TestUtil.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+struct DatastructFixture : ::testing::Test {
+  static unsigned warningsMatching(Engine &E, const std::string &Needle) {
+    unsigned N = 0;
+    for (const auto &D : E.context().Diags.all())
+      if (D.Kind == DiagKind::Warning &&
+          D.Message.find(Needle) != std::string::npos)
+        ++N;
+    return N;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// profiled-list (Figure 13)
+//===----------------------------------------------------------------------===//
+
+const char *ListUserSrc =
+    "(define pl (profiled-list 1 2 3 4))\n"
+    "(define (sum-ref n)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n) acc (loop (+ i 1) (+ acc (p-list-ref pl (modulo i 4)))))))\n"
+    "(define (sum-walk n)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n)\n"
+    "        acc\n"
+    "        (loop (+ i 1)\n"
+    "              (let walk ([l pl] [a acc])\n"
+    "                (if (p-null? l) a (walk (p-cdr l) (+ a (p-car l)))))))))\n";
+
+TEST_F(DatastructFixture, ProfiledListBehavesLikeList) {
+  Engine E;
+  loadLib(E, "profiled-list");
+  EXPECT_EQ(evalOk(E, "(define pl (profiled-list 10 20 30))"
+                      "(list (p-car pl) (p-car (p-cdr pl))"
+                      "      (p-length pl) (p-list-ref pl 2)"
+                      "      (p-null? pl)"
+                      "      (p-car (p-cons 5 pl))"
+                      "      (p-list->list pl))"),
+            "(10 20 3 30 #f 5 (10 20 30))");
+}
+
+TEST_F(DatastructFixture, NoWarningWithoutProfileData) {
+  Engine E;
+  loadLib(E, "profiled-list");
+  evalOk(E, "(profiled-list 1 2)");
+  EXPECT_EQ(warningsMatching(E, "reimplement this list"), 0u);
+}
+
+TEST_F(DatastructFixture, VectorHeavyUsageWarnsAtCompileTime) {
+  std::string Path = tempPath("pl.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadLib(E, "profiled-list");
+    ASSERT_TRUE(E.evalString(ListUserSrc, "listuser.scm").Ok);
+    evalOk(E, "(sum-ref 200)"); // random access dominates
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  loadLib(E2, "profiled-list");
+  ASSERT_TRUE(E2.evalString(ListUserSrc, "listuser.scm").Ok);
+  EXPECT_EQ(warningsMatching(E2, "reimplement this list as a vector"), 1u);
+}
+
+TEST_F(DatastructFixture, ListHeavyUsageDoesNotWarn) {
+  std::string Path = tempPath("pl.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadLib(E, "profiled-list");
+    ASSERT_TRUE(E.evalString(ListUserSrc, "listuser.scm").Ok);
+    evalOk(E, "(sum-walk 100)"); // sequential walking dominates
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  loadLib(E2, "profiled-list");
+  ASSERT_TRUE(E2.evalString(ListUserSrc, "listuser.scm").Ok);
+  EXPECT_EQ(warningsMatching(E2, "reimplement this list"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// profiled-vector
+//===----------------------------------------------------------------------===//
+
+const char *VectorUserSrc =
+    "(define pv (profiled-vector 1 2 3 4))\n"
+    "(define (push-lots n)\n"
+    "  (let loop ([i 0] [v pv])\n"
+    "    (if (= i n) (pv-first v) (loop (+ i 1) (pv-push-front v i)))))\n"
+    "(define (ref-lots n)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n) acc (loop (+ i 1) (+ acc (pv-ref pv (modulo i 4)))))))\n";
+
+TEST_F(DatastructFixture, ProfiledVectorBehavesLikeVector) {
+  Engine E;
+  loadLib(E, "profiled-vector");
+  EXPECT_EQ(evalOk(E, "(define pv (profiled-vector 5 6 7))"
+                      "(pv-set! pv 1 60)"
+                      "(list (pv-ref pv 0) (pv-ref pv 1) (pv-length pv)"
+                      "      (pv-first (pv-push-front pv 99)))"),
+            "(5 60 3 99)");
+}
+
+TEST_F(DatastructFixture, FrontPushHeavyVectorWarns) {
+  std::string Path = tempPath("pv.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadLib(E, "profiled-vector");
+    ASSERT_TRUE(E.evalString(VectorUserSrc, "vecuser.scm").Ok);
+    evalOk(E, "(push-lots 100)");
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  loadLib(E2, "profiled-vector");
+  ASSERT_TRUE(E2.evalString(VectorUserSrc, "vecuser.scm").Ok);
+  EXPECT_EQ(warningsMatching(E2, "reimplement this vector as a list"), 1u);
+}
+
+TEST_F(DatastructFixture, RefHeavyVectorDoesNotWarn) {
+  std::string Path = tempPath("pv.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadLib(E, "profiled-vector");
+    ASSERT_TRUE(E.evalString(VectorUserSrc, "vecuser.scm").Ok);
+    evalOk(E, "(ref-lots 100)");
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  loadLib(E2, "profiled-vector");
+  ASSERT_TRUE(E2.evalString(VectorUserSrc, "vecuser.scm").Ok);
+  EXPECT_EQ(warningsMatching(E2, "reimplement this vector"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// profiled-seq (Figure 14): automatic specialization
+//===----------------------------------------------------------------------===//
+
+const char *SeqUserSrc =
+    "(define s (profiled-seq 1 2 3 4 5 6 7 8))\n"
+    "(define (ref-work n)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n) acc (loop (+ i 1) (+ acc (seq-ref s (modulo i 8)))))))\n"
+    "(define (walk-work n)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n)\n"
+    "        acc\n"
+    "        (loop (+ i 1)\n"
+    "              (let walk ([t s] [a acc])\n"
+    "                (if (seq-empty? t) a"
+    "                    (walk (seq-rest t) (+ a (seq-first t)))))))))\n";
+
+TEST_F(DatastructFixture, SeqDefaultsToList) {
+  Engine E;
+  loadLib(E, "profiled-seq");
+  ASSERT_TRUE(E.evalString(SeqUserSrc, "sequser.scm").Ok);
+  EXPECT_EQ(evalOk(E, "(seq-kind s)"), "list");
+}
+
+TEST_F(DatastructFixture, SeqGenericOpsWork) {
+  Engine E;
+  loadLib(E, "profiled-seq");
+  EXPECT_EQ(evalOk(E, "(define s (profiled-seq 1 2 3))"
+                      "(list (seq-first s) (seq-ref s 2) (seq-length s)"
+                      "      (seq-first (seq-push s 0))"
+                      "      (seq-ref (seq-set s 1 20) 1)"
+                      "      (seq->list (seq-rest s))"
+                      "      (seq-empty? (seq-rest (seq-rest (seq-rest s)))))"),
+            "(1 3 3 0 20 (2 3) #t)");
+}
+
+TEST_F(DatastructFixture, RandomAccessProfileSpecializesToVector) {
+  std::string Path = tempPath("seq.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadLib(E, "profiled-seq");
+    ASSERT_TRUE(E.evalString(SeqUserSrc, "sequser.scm").Ok);
+    evalOk(E, "(ref-work 200)");
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  loadLib(E2, "profiled-seq");
+  ASSERT_TRUE(E2.evalString(SeqUserSrc, "sequser.scm").Ok);
+  EXPECT_EQ(evalOk(E2, "(seq-kind s)"), "vector");
+  // And the behavior is identical after specialization.
+  EXPECT_EQ(evalOk(E2, "(ref-work 16)"), "72");
+  EXPECT_EQ(evalOk(E2, "(walk-work 2)"), "72");
+}
+
+TEST_F(DatastructFixture, SequentialProfileKeepsList) {
+  std::string Path = tempPath("seq.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadLib(E, "profiled-seq");
+    ASSERT_TRUE(E.evalString(SeqUserSrc, "sequser.scm").Ok);
+    evalOk(E, "(walk-work 50)");
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  loadLib(E2, "profiled-seq");
+  ASSERT_TRUE(E2.evalString(SeqUserSrc, "sequser.scm").Ok);
+  EXPECT_EQ(evalOk(E2, "(seq-kind s)"), "list");
+}
+
+TEST_F(DatastructFixture, EachInstanceSpecializesIndependently) {
+  // Two sequences with opposite usage patterns: one flips to a vector,
+  // the other stays a list — per-instance profile points at work.
+  const char *TwoSeqs =
+      "(define sa (profiled-seq 1 2 3 4))\n"
+      "(define sb (profiled-seq 5 6 7 8))\n"
+      "(define (work n)\n"
+      "  (let loop ([i 0] [acc 0])\n"
+      "    (if (= i n)\n"
+      "        acc\n"
+      "        (loop (+ i 1)\n"
+      "              (+ acc (seq-ref sa (modulo i 4))"
+      "                     (seq-first sb))))))\n";
+  std::string Path = tempPath("two.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadLib(E, "profiled-seq");
+    ASSERT_TRUE(E.evalString(TwoSeqs, "twoseqs.scm").Ok);
+    evalOk(E, "(work 100)");
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  loadLib(E2, "profiled-seq");
+  ASSERT_TRUE(E2.evalString(TwoSeqs, "twoseqs.scm").Ok);
+  EXPECT_EQ(evalOk(E2, "(list (seq-kind sa) (seq-kind sb))"),
+            "(vector list)");
+}
+
+} // namespace

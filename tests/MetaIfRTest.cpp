@@ -1,0 +1,125 @@
+//===- tests/MetaIfRTest.cpp - Figures 1-2: the if-r running example ------===//
+
+#include "TestUtil.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+const char *ClassifySrc =
+    "(define important 0)\n"
+    "(define spam 0)\n"
+    "(define (flag kind) (if (eq? kind 'important)\n"
+    "                        (set! important (+ important 1))\n"
+    "                        (set! spam (+ spam 1))))\n"
+    "(define (classify email)\n"
+    "  (if-r (subject-contains email \"PLDI\")\n"
+    "        (flag 'important)\n"
+    "        (flag 'spam)))\n";
+
+struct IfRFixture : ::testing::Test {
+  void run(Engine &E, const std::string &Name, int NumImportant,
+           int NumSpam) {
+    loadLib(E, "if-r");
+    ASSERT_TRUE(E.evalString(ClassifySrc, Name).Ok);
+    for (int I = 0; I < NumImportant; ++I)
+      ASSERT_TRUE(E.callGlobal(
+          "classify", {E.context().TheHeap.string("about PLDI stuff")}).Ok);
+    for (int I = 0; I < NumSpam; ++I)
+      ASSERT_TRUE(E.callGlobal(
+          "classify", {E.context().TheHeap.string("cheap watches")}).Ok);
+  }
+
+  std::string expansionOf(Engine &E) {
+    loadLib(E, "if-r");
+    EvalResult R = E.expandToString(ClassifySrc, "classify.scm");
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return R.Ok ? R.V.asString()->Text : "";
+  }
+};
+
+TEST_F(IfRFixture, WithoutProfileKeepsOriginalOrder) {
+  Engine E;
+  std::string Out = expansionOf(E);
+  // Original branch order: important branch first, test not negated.
+  size_t NotPos = Out.find("(not ");
+  EXPECT_EQ(NotPos, std::string::npos) << Out;
+  EXPECT_LT(Out.find("important"), Out.find("spam")) << Out;
+}
+
+TEST_F(IfRFixture, SpamHeavyProfileSwapsBranches) {
+  // Figure 2: spam runs 10 times, important 5 times -> swap.
+  std::string Path = tempPath("ifr.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    run(E, "classify.scm", 5, 10);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  std::string Out = expansionOf(E2);
+  // The generated if negates the test and puts the spam branch first.
+  EXPECT_NE(Out.find("(not "), std::string::npos) << Out;
+  size_t IfRPos = Out.find("(not ");
+  EXPECT_LT(Out.find("spam", IfRPos), Out.find("important", IfRPos)) << Out;
+}
+
+TEST_F(IfRFixture, ImportantHeavyProfileKeepsOrder) {
+  std::string Path = tempPath("ifr.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    run(E, "classify.scm", 10, 2);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  std::string Out = expansionOf(E2);
+  EXPECT_EQ(Out.find("(not "), std::string::npos) << Out;
+}
+
+TEST_F(IfRFixture, OptimizedCodeBehavesIdentically) {
+  // Semantics must be preserved whichever way the branches land.
+  std::string Path = tempPath("ifr.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    run(E, "classify.scm", 3, 20);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  run(E2, "classify.scm", 7, 4);
+  EvalResult R = E2.evalString("(list important spam)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(writeToString(R.V), "(7 4)");
+}
+
+TEST_F(IfRFixture, MergedDatasetsDecideTogether) {
+  // Two stored data sets with opposite skews; merged weights decide.
+  std::string P1 = tempPath("d1.prof");
+  std::string P2 = tempPath("d2.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    run(E, "classify.scm", 5, 10); // slight spam lean
+    ASSERT_TRUE(E.storeProfile(P1));
+  }
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    run(E, "classify.scm", 100, 10); // heavy important lean
+    ASSERT_TRUE(E.storeProfile(P2));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(P1));
+  ASSERT_TRUE(E2.loadProfile(P2));
+  // Figure 3 weights: important (0.5+1)/2 = 0.75, spam (1+0.1)/2 = 0.55.
+  // important >= spam -> keep original order.
+  std::string Out = expansionOf(E2);
+  EXPECT_EQ(Out.find("(not "), std::string::npos) << Out;
+}
+
+} // namespace

@@ -1,0 +1,234 @@
+//===- tests/MetaObjectTest.cpp - Figures 9-12: receiver class prediction -===//
+
+#include "TestUtil.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+// Figure 10's shapes.
+const char *ShapesSrc =
+    "(class Square ((length 0))\n"
+    "  (define-method (area this) (sqr (field this length))))\n"
+    "(class Circle ((radius 0))\n"
+    "  (define-method (area this) (* 3.0 (sqr (field this radius)))))\n"
+    "(class Triangle ((base 0) (height 0))\n"
+    "  (define-method (area this)\n"
+    "    (* (/ 1 2) (* (field this base) (field this height)))))\n";
+
+const char *WorkSrc =
+    "(define (total shapes)\n"
+    "  (let loop ([ss shapes] [acc 0])\n"
+    "    (if (null? ss)\n"
+    "        acc\n"
+    "        (loop (cdr ss) (+ acc (method (car ss) area))))))\n";
+
+struct ObjectFixture : ::testing::Test {
+  void loadAll(Engine &E, const std::string &Tag) {
+    loadLib(E, "object-system");
+    ASSERT_TRUE(E.evalString(ShapesSrc, "shapes-" + Tag + ".scm").Ok);
+    ASSERT_TRUE(E.evalString(WorkSrc, "work-" + Tag + ".scm").Ok);
+  }
+
+  // Builds a shape list with the given receiver mix and totals it.
+  std::string runMix(Engine &E, int Circles, int Squares, int Triangles) {
+    std::string Build =
+        "(define shapes (append"
+        "  (map (lambda (i) (new-instance 'Circle (cons 'radius 2))) (iota " +
+        std::to_string(Circles) +
+        "))"
+        "  (map (lambda (i) (new-instance 'Square (cons 'length 3))) (iota " +
+        std::to_string(Squares) +
+        "))"
+        "  (map (lambda (i) (new-instance 'Triangle (cons 'base 4)"
+        " (cons 'height 5))) (iota " +
+        std::to_string(Triangles) + "))))";
+    EXPECT_TRUE(E.evalString(Build).Ok);
+    return evalOk(E, "(total shapes)");
+  }
+};
+
+TEST_F(ObjectFixture, BasicsDynamicDispatch) {
+  Engine E;
+  loadLib(E, "object-system");
+  ASSERT_TRUE(E.evalString(ShapesSrc, "shapes.scm").Ok);
+  EXPECT_EQ(evalOk(E, "(define s (new-instance 'Square (cons 'length 4)))"
+                      "(dynamic-dispatch s 'area)"),
+            "16");
+  EXPECT_EQ(evalOk(E, "(field s length)"), "4");
+  EXPECT_EQ(evalOk(E, "(set-field! s length 5) (field s length)"), "5");
+  EXPECT_EQ(evalOk(E, "(instance-of? s 'Square)"), "#t");
+  EXPECT_EQ(evalOk(E, "(instance-of? s 'Circle)"), "#f");
+  EXPECT_EQ(evalOk(E, "(instance-of? 42 'Square)"), "#f");
+}
+
+TEST_F(ObjectFixture, InstrumentedExpansionCoversAllClasses) {
+  // Figure 11, top half: without profile data every class gets a branch
+  // through instrumented-dispatch, plus the dynamic-dispatch fallback.
+  Engine E;
+  loadLib(E, "object-system");
+  ASSERT_TRUE(E.evalString(ShapesSrc, "shapes.scm").Ok);
+  EvalResult R = E.expandToString(WorkSrc, "work.scm");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string Out = R.V.asString()->Text;
+  EXPECT_NE(Out.find("instrumented-dispatch"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("Square"), std::string::npos);
+  EXPECT_NE(Out.find("Circle"), std::string::npos);
+  EXPECT_NE(Out.find("Triangle"), std::string::npos);
+  EXPECT_NE(Out.find("dynamic-dispatch"), std::string::npos);
+  // No inlined method bodies yet.
+  EXPECT_EQ(Out.find("field-ref"), std::string::npos) << Out;
+}
+
+TEST_F(ObjectFixture, OptimizedExpansionInlinesHotClasses) {
+  // Figure 11, bottom half / Figure 12: with profile data, the top
+  // classes' method bodies are inlined and sorted by frequency, cold
+  // classes fall back to dynamic dispatch.
+  std::string Path = tempPath("rcp.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadAll(E, "p");
+    runMix(E, 3, 1, 0); // Circle 3x, Square 1x, Triangle never
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  loadLib(E2, "object-system");
+  ASSERT_TRUE(E2.evalString(ShapesSrc, "shapes-p.scm").Ok);
+  EvalResult R = E2.expandToString(WorkSrc, "work-p.scm");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string Out = R.V.asString()->Text;
+
+  // Inlined bodies are visible as direct field-ref lambdas.
+  EXPECT_NE(Out.find("field-ref"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("instrumented-dispatch"), std::string::npos) << Out;
+  // Circle (3 hits) is tested before Square (1 hit); Triangle dropped.
+  size_t CirclePos = Out.find("Circle");
+  size_t SquarePos = Out.find("Square");
+  EXPECT_LT(CirclePos, SquarePos) << Out;
+  EXPECT_EQ(Out.find("Triangle"), std::string::npos) << Out;
+  // Fallback kept.
+  EXPECT_NE(Out.find("dynamic-dispatch"), std::string::npos) << Out;
+}
+
+TEST_F(ObjectFixture, InlineLimitRespected) {
+  std::string Path = tempPath("rcp.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadAll(E, "p");
+    runMix(E, 5, 3, 2); // all three classes used
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  loadLib(E2, "object-system");
+  ASSERT_TRUE(E2.evalString(ShapesSrc, "shapes-p.scm").Ok);
+  // inline-limit defaults to 2: only Circle and Square inline.
+  EvalResult R = E2.expandToString(WorkSrc, "work-p.scm");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string Out = R.V.asString()->Text;
+  EXPECT_NE(Out.find("Circle"), std::string::npos);
+  EXPECT_NE(Out.find("Square"), std::string::npos);
+  EXPECT_EQ(Out.find("Triangle"), std::string::npos) << Out;
+
+  // Raising inline-limit inlines all three.
+  Engine E3;
+  ASSERT_TRUE(E3.loadProfile(Path));
+  loadLib(E3, "object-system");
+  ASSERT_TRUE(E3.evalString("(set! inline-limit 3)").Ok);
+  ASSERT_TRUE(E3.evalString(ShapesSrc, "shapes-p.scm").Ok);
+  R = E3.expandToString(WorkSrc, "work-p.scm");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_NE(R.V.asString()->Text.find("Triangle"), std::string::npos);
+}
+
+TEST_F(ObjectFixture, SortToggleReproducesFigure11Vs12) {
+  // rcp-sort-classes #f keeps registry order even when profile says
+  // otherwise (Figure 11); #t sorts most-frequent-first (Figure 12).
+  std::string Path = tempPath("rcp.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadAll(E, "p");
+    runMix(E, 3, 1, 0);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  loadLib(E2, "object-system");
+  ASSERT_TRUE(E2.evalString("(set! rcp-sort-classes #f)").Ok);
+  ASSERT_TRUE(E2.evalString(ShapesSrc, "shapes-p.scm").Ok);
+  EvalResult R = E2.expandToString(WorkSrc, "work-p.scm");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string Out = R.V.asString()->Text;
+  // Registry order: Square before Circle (Figure 11).
+  EXPECT_LT(Out.find("Square"), Out.find("Circle")) << Out;
+}
+
+TEST_F(ObjectFixture, OptimizedSemanticsMatchBaseline) {
+  std::string Path = tempPath("rcp.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadAll(E, "p");
+    runMix(E, 4, 2, 1);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  // Baseline result (no profile).
+  Engine Base;
+  loadAll(Base, "x");
+  std::string Expected = runMix(Base, 2, 3, 4);
+
+  // Optimized build, same workload: must match although Triangle is not
+  // inlined and goes through the dynamic-dispatch fallback.
+  Engine Opt;
+  ASSERT_TRUE(Opt.loadProfile(Path));
+  loadAll(Opt, "x");
+  EXPECT_EQ(runMix(Opt, 2, 3, 4), Expected);
+}
+
+TEST_F(ObjectFixture, PerCallSiteProfiling) {
+  // Two method call sites get independent profile points: a site that
+  // only ever sees Squares inlines Square even if another site is
+  // Circle-heavy (the "each occurrence is profiled separately" property
+  // from Figure 10/11).
+  const char *TwoSites =
+      "(define (area-of-circle c) (method c area))\n"
+      "(define (area-of-square s) (method s area))\n";
+  std::string Path = tempPath("rcp.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    loadLib(E, "object-system");
+    ASSERT_TRUE(E.evalString(ShapesSrc, "shapes-p.scm").Ok);
+    ASSERT_TRUE(E.evalString(TwoSites, "twosites.scm").Ok);
+    ASSERT_TRUE(E.evalString(
+        "(define c (new-instance 'Circle (cons 'radius 1)))"
+        "(define s (new-instance 'Square (cons 'length 1)))"
+        "(for-each (lambda (i) (area-of-circle c)) (iota 10))"
+        "(for-each (lambda (i) (area-of-square s)) (iota 10))").Ok);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  loadLib(E2, "object-system");
+  ASSERT_TRUE(E2.evalString(ShapesSrc, "shapes-p.scm").Ok);
+  EvalResult R = E2.expandToString(TwoSites, "twosites.scm");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string Out = R.V.asString()->Text;
+  // First site (circle-heavy) mentions Circle but not Square; the second
+  // site, vice versa. Split the dump at the second define.
+  size_t Split = Out.find("area-of-square");
+  ASSERT_NE(Split, std::string::npos);
+  std::string Site1 = Out.substr(0, Split);
+  std::string Site2 = Out.substr(Split);
+  EXPECT_NE(Site1.find("Circle"), std::string::npos) << Site1;
+  EXPECT_EQ(Site1.find("Square"), std::string::npos) << Site1;
+  EXPECT_NE(Site2.find("Square"), std::string::npos) << Site2;
+  EXPECT_EQ(Site2.find("Circle"), std::string::npos) << Site2;
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===- tests/PgmpApiTest.cpp - The Figure 4 API, end to end ---------------===//
+
+#include "TestUtil.h"
+
+#include "core/PgmpApi.h"
+#include "profile/SourceObject.h"
+#include "syntax/Syntax.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+struct ApiFixture : ::testing::Test {
+  Engine E;
+  std::string run(const std::string &Src) { return evalOk(E, Src); }
+};
+
+TEST_F(ApiFixture, MakeProfilePointIsDeterministicAcrossEngines) {
+  Engine E2;
+  std::string P1 = evalOk(E, "(syntax-source-file (make-profile-point))");
+  std::string P2 = evalOk(E2, "(syntax-source-file (make-profile-point))");
+  EXPECT_EQ(P1, P2);
+  // And fresh within one engine.
+  std::string P3 = evalOk(E, "(syntax-source-file (make-profile-point))");
+  EXPECT_NE(P1, P3);
+}
+
+TEST_F(ApiFixture, MakeProfilePointWithBase) {
+  EXPECT_EQ(run("(syntax-source-file (make-profile-point \"lib.scm\"))"),
+            "\"lib.scm%pgmp0\"");
+  EXPECT_EQ(run("(syntax-source-file (make-profile-point \"lib.scm\"))"),
+            "\"lib.scm%pgmp1\"");
+}
+
+TEST_F(ApiFixture, ProfileQueryWithoutDataIsZero) {
+  EXPECT_EQ(run("(profile-data-available?)"), "#f");
+  EXPECT_EQ(run("(profile-query (make-profile-point))"), "0.0");
+}
+
+TEST_F(ApiFixture, AnnotateAndQueryRoundTrip) {
+  // Annotate an expression with a generated point, run instrumented,
+  // fold, and query the point's weight from a meta-program.
+  E.setInstrumentation(true);
+  EXPECT_EQ(run("(define pp (make-profile-point \"t.scm\"))"
+                "(define-syntax (probe stx)"
+                "  (syntax-case stx ()"
+                "    [(_ e) (annotate-expr #'e pp)]))"
+                "(define (f x) (probe (* x 2)))"
+                "(f 1) (f 2) (f 3)"),
+            "6");
+  E.foldCountersIntoProfile();
+  // The annotated expression ran 3 times; the hottest point in the same
+  // run (the loop body machinery) may have run more, so just check > 0
+  // and exact raw count.
+  EXPECT_EQ(run("(profile-query-count pp)"), "3");
+  std::string W = run("(profile-query pp)");
+  double WV = std::stod(W);
+  EXPECT_GT(WV, 0.0);
+  EXPECT_LE(WV, 1.0);
+}
+
+TEST_F(ApiFixture, AnnotateExprReplacesPoint) {
+  // Per Figure 4: "The profile point pp replaces any other profile point
+  // with which e is associated."
+  Engine &En = E;
+  Value Pp = pgmpapi::makeProfilePoint(En.context(), "x.scm");
+  EvalResult R = En.evalString("#'(some expr)");
+  ASSERT_TRUE(R.Ok);
+  Value Annotated =
+      pgmpapi::annotateExpr(En.context(), R.V, syntaxSource(Pp));
+  EXPECT_EQ(syntaxSource(Annotated), syntaxSource(Pp));
+  // The inner datum is untouched in Inline mode.
+  EXPECT_EQ(writeValue(syntaxToDatum(En.context().TheHeap, Annotated)),
+            writeValue(syntaxToDatum(En.context().TheHeap, R.V)));
+}
+
+TEST_F(ApiFixture, AnnotateExprWrapModeGeneratesThunkCall) {
+  E.setAnnotateMode(AnnotateMode::Wrap);
+  Value Pp = pgmpapi::makeProfilePoint(E.context(), "x.scm");
+  EvalResult R = E.evalString("#'(+ 1 2)");
+  ASSERT_TRUE(R.Ok);
+  Value Annotated =
+      pgmpapi::annotateExpr(E.context(), R.V, syntaxSource(Pp));
+  // Shape: ((lambda () (+ 1 2)))
+  std::string Shape =
+      writeValue(syntaxToDatum(E.context().TheHeap, Annotated));
+  EXPECT_EQ(Shape, "((lambda () (+ 1 2)))");
+  EXPECT_EQ(syntaxSource(Annotated), syntaxSource(Pp));
+}
+
+TEST_F(ApiFixture, WrapModeCountsMatchInlineMode) {
+  // Section 4.2: wrapping "does not change the counters used to
+  // calculate profile weights".
+  auto CountWith = [](AnnotateMode M) {
+    Engine En;
+    En.setAnnotateMode(M);
+    En.setInstrumentation(true);
+    EXPECT_TRUE(En.evalString(
+        "(define pp (make-profile-point \"w.scm\"))"
+        "(define-syntax (probe stx)"
+        "  (syntax-case stx ()"
+        "    [(_ e) (annotate-expr #'e pp)]))"
+        "(define (f x) (probe (* x 2)))"
+        "(f 1) (f 2) (f 3) (f 4)"));
+    En.foldCountersIntoProfile();
+    EvalResult R = En.evalString("(profile-query-count pp)");
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return R.Ok ? R.V.asFixnum() : -1;
+  };
+  EXPECT_EQ(CountWith(AnnotateMode::Inline), 4);
+  EXPECT_EQ(CountWith(AnnotateMode::Wrap), 4);
+}
+
+TEST_F(ApiFixture, StoreAndLoadAcrossEngines) {
+  std::string Path = tempPath("profile.dat");
+  E.setInstrumentation(true);
+  run("(define (hot) 'h) (define (cold) 'c)"
+      "(define (go n) (if (zero? n) 'done (begin (hot) (go (- n 1)))))"
+      "(go 10) (cold)");
+  run("(store-profile \"" + Path + "\")");
+  EXPECT_EQ(run("(profile-data-available?)"), "#t");
+
+  Engine E2;
+  EXPECT_EQ(evalOk(E2, "(profile-data-available?)"), "#f");
+  EXPECT_EQ(evalOk(E2, "(load-profile \"" + Path + "\")"
+                       "(profile-data-available?)"),
+            "#t");
+  EXPECT_EQ(evalOk(E2, "(current-profile-datasets)"), "1");
+}
+
+TEST_F(ApiFixture, LoadTwiceMergesAsTwoDatasets) {
+  std::string Path = tempPath("profile.dat");
+  E.setInstrumentation(true);
+  run("(define (f) 1) (f) (f)");
+  run("(store-profile \"" + Path + "\")");
+
+  Engine E2;
+  evalOk(E2, "(load-profile \"" + Path + "\")"
+             "(load-profile \"" + Path + "\")");
+  EXPECT_EQ(evalOk(E2, "(current-profile-datasets)"), "2");
+}
+
+TEST_F(ApiFixture, ClearProfile) {
+  E.setInstrumentation(true);
+  run("(define (f) 1) (f)");
+  E.foldCountersIntoProfile();
+  EXPECT_EQ(run("(profile-data-available?)"), "#t");
+  run("(clear-profile!)");
+  EXPECT_EQ(run("(profile-data-available?)"), "#f");
+}
+
+TEST_F(ApiFixture, LoadProfileErrors) {
+  EvalResult R = E.evalString("(load-profile \"/nonexistent/file\")");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("load-profile"), std::string::npos);
+}
+
+TEST_F(ApiFixture, CompileWarningReachesDiagnostics) {
+  run("(compile-warning \"something\" 'odd)");
+  ASSERT_EQ(E.context().Diags.warningCount(), 1u);
+  EXPECT_NE(E.context().Diags.all()[0].Message.find("something odd"),
+            std::string::npos);
+}
+
+TEST_F(ApiFixture, WeightOfCppApi) {
+  E.setInstrumentation(true);
+  //        0123456789012345678
+  run("(define (f) (+ 1 2)) (f) (f)");
+  E.foldCountersIntoProfile();
+  // The body (+ 1 2) occupies offsets 12..19 of buffer "<eval>".
+  auto W = E.weightOf("<eval>", 12, 19);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_GT(*W, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+//===- tests/ScopeTest.cpp - Scope sets and binding resolution ------------===//
+
+#include "syntax/Heap.h"
+#include "syntax/SymbolTable.h"
+#include "syntax/Syntax.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgmp;
+
+namespace {
+
+TEST(ScopeSet, AddFlipContains) {
+  ScopeSet S;
+  EXPECT_EQ(S.size(), 0u);
+  ScopeSet S1 = S.withScope(5);
+  EXPECT_TRUE(S1.contains(5));
+  EXPECT_FALSE(S.contains(5)) << "withScope must not mutate";
+  ScopeSet S2 = S1.withScope(5);
+  EXPECT_EQ(S2.size(), 1u);
+  ScopeSet S3 = S1.flipped(5);
+  EXPECT_FALSE(S3.contains(5));
+  ScopeSet S4 = S3.flipped(5);
+  EXPECT_TRUE(S4.contains(5));
+}
+
+TEST(ScopeSet, SubsetRules) {
+  ScopeSet Empty;
+  ScopeSet A = Empty.withScope(1).withScope(3);
+  ScopeSet B = A.withScope(7);
+  EXPECT_TRUE(Empty.isSubsetOf(A));
+  EXPECT_TRUE(A.isSubsetOf(B));
+  EXPECT_FALSE(B.isSubsetOf(A));
+  EXPECT_TRUE(A.isSubsetOf(A));
+  ScopeSet C = Empty.withScope(2);
+  EXPECT_FALSE(C.isSubsetOf(A));
+}
+
+TEST(ScopeSet, OrderInsensitiveEquality) {
+  ScopeSet A = ScopeSet().withScope(9).withScope(2).withScope(5);
+  ScopeSet B = ScopeSet().withScope(2).withScope(5).withScope(9);
+  EXPECT_TRUE(A == B);
+}
+
+struct BindingFixture : ::testing::Test {
+  Heap H;
+  SymbolTable ST;
+  BindingTable BT;
+
+  Syntax *makeId(const char *Name, ScopeSet Scopes) {
+    return makeSyntax(H, ST.internValue(Name), std::move(Scopes), nullptr)
+        .asSyntax();
+  }
+};
+
+TEST_F(BindingFixture, ResolveFindsLargestSubset) {
+  Symbol *X = ST.intern("x");
+  ScopeSet Outer = ScopeSet().withScope(1);
+  ScopeSet Inner = Outer.withScope(2);
+  BT.add(X, Outer, 100);
+  BT.add(X, Inner, 200);
+
+  // A reference with both scopes sees the inner binding.
+  auto R = BT.resolve(X, Inner.withScope(3));
+  EXPECT_EQ(R.Label, 200u);
+  EXPECT_FALSE(R.Ambiguous);
+
+  // A reference with only the outer scope sees the outer binding.
+  R = BT.resolve(X, Outer);
+  EXPECT_EQ(R.Label, 100u);
+
+  // A reference with no scopes sees nothing.
+  R = BT.resolve(X, ScopeSet());
+  EXPECT_EQ(R.Label, 0u);
+}
+
+TEST_F(BindingFixture, AmbiguityDetected) {
+  Symbol *X = ST.intern("x");
+  BT.add(X, ScopeSet().withScope(1), 100);
+  BT.add(X, ScopeSet().withScope(2), 200);
+  auto R = BT.resolve(X, ScopeSet().withScope(1).withScope(2));
+  EXPECT_TRUE(R.Ambiguous);
+}
+
+TEST_F(BindingFixture, DifferentSymbolsDoNotCollide) {
+  BT.add(ST.intern("x"), ScopeSet(), 1);
+  auto R = BT.resolve(ST.intern("y"), ScopeSet().withScope(1));
+  EXPECT_EQ(R.Label, 0u);
+}
+
+TEST_F(BindingFixture, FreeIdentifierEqual) {
+  Symbol *X = ST.intern("x");
+  ScopeSet S1 = ScopeSet().withScope(1);
+  BT.add(X, S1, 42);
+  Syntax *A = makeId("x", S1);
+  Syntax *B = makeId("x", S1.withScope(9));
+  Syntax *C = makeId("x", ScopeSet());
+  // A and B resolve to the same binding.
+  EXPECT_TRUE(freeIdentifierEqual(BT, A, B));
+  // C is unbound; A is bound: not equal.
+  EXPECT_FALSE(freeIdentifierEqual(BT, A, C));
+  // Two unbound identifiers of the same name are free-identifier=?.
+  Syntax *D = makeId("zz", ScopeSet());
+  Syntax *E = makeId("zz", ScopeSet().withScope(3));
+  EXPECT_TRUE(freeIdentifierEqual(BT, D, E));
+}
+
+TEST_F(BindingFixture, BoundIdentifierEqual) {
+  ScopeSet S1 = ScopeSet().withScope(1);
+  Syntax *A = makeId("x", S1);
+  Syntax *B = makeId("x", S1);
+  Syntax *C = makeId("x", S1.withScope(2));
+  Syntax *D = makeId("y", S1);
+  EXPECT_TRUE(boundIdentifierEqual(A, B));
+  EXPECT_FALSE(boundIdentifierEqual(A, C));
+  EXPECT_FALSE(boundIdentifierEqual(A, D));
+}
+
+TEST_F(BindingFixture, AdjustScopeRebuildsTree) {
+  Value List =
+      H.list({makeSyntax(H, ST.internValue("a"), ScopeSet(), nullptr),
+              makeSyntax(H, ST.internValue("b"), ScopeSet(), nullptr)});
+  Value Wrapped = makeSyntax(H, List, ScopeSet(), nullptr);
+  Value Adjusted = adjustScope(H, Wrapped, 7, ScopeOp::Add);
+
+  // Original untouched.
+  EXPECT_FALSE(Wrapped.asSyntax()->Scopes.contains(7));
+  EXPECT_TRUE(Adjusted.asSyntax()->Scopes.contains(7));
+  Value Inner = syntaxE(Adjusted);
+  EXPECT_TRUE(Inner.asPair()->Car.asSyntax()->Scopes.contains(7));
+
+  // Flip removes it again everywhere.
+  Value Back = adjustScope(H, Adjusted, 7, ScopeOp::Flip);
+  EXPECT_FALSE(Back.asSyntax()->Scopes.contains(7));
+  EXPECT_FALSE(syntaxE(Back).asPair()->Car.asSyntax()->Scopes.contains(7));
+}
+
+TEST_F(BindingFixture, SyntaxToDatumStripsAll) {
+  Value Id = makeSyntax(H, ST.internValue("a"), ScopeSet().withScope(1),
+                        nullptr);
+  Value List = makeSyntax(H, H.cons(Id, Value::nil()), ScopeSet(), nullptr);
+  Value D = syntaxToDatum(H, List);
+  EXPECT_TRUE(D.isPair());
+  EXPECT_TRUE(D.asPair()->Car.isSymbol());
+}
+
+TEST_F(BindingFixture, DatumToSyntaxCopiesContextScopes) {
+  ScopeSet Ctx = ScopeSet().withScope(4);
+  Syntax *CtxId = makeId("ctx", Ctx);
+  Value D = H.list({ST.internValue("p"), Value::fixnum(1)});
+  Value S = datumToSyntax(H, *CtxId, D);
+  ASSERT_TRUE(S.isSyntax());
+  EXPECT_TRUE(S.asSyntax()->Scopes.contains(4));
+  Value Head = syntaxE(S).asPair()->Car;
+  ASSERT_TRUE(Head.isSyntax());
+  EXPECT_TRUE(Head.asSyntax()->Scopes.contains(4));
+  // Already-syntax parts are left alone.
+  Value Mixed = H.cons(S, Value::nil());
+  Value S2 = datumToSyntax(H, *CtxId, Mixed);
+  EXPECT_EQ(syntaxE(S2).asPair()->Car.asSyntax(), S.asSyntax());
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tests/SmokeTest.cpp - End-to-end pipeline smoke tests --------------===//
+
+#include "core/Engine.h"
+#include "syntax/Writer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgmp;
+
+namespace {
+
+std::string evalOk(Engine &E, const std::string &Src) {
+  EvalResult R = E.evalString(Src);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Ok ? writeToString(R.V) : "<error: " + R.Error + ">";
+}
+
+TEST(Smoke, Arithmetic) {
+  Engine E;
+  EXPECT_EQ(evalOk(E, "(+ 1 2 3)"), "6");
+  EXPECT_EQ(evalOk(E, "(* 2 (+ 3 4))"), "14");
+  EXPECT_EQ(evalOk(E, "(/ 5 2)"), "2.5");
+  EXPECT_EQ(evalOk(E, "(/ 6 2)"), "3");
+}
+
+TEST(Smoke, DefineAndCall) {
+  Engine E;
+  EXPECT_EQ(evalOk(E, "(define (square x) (* x x)) (square 7)"), "49");
+}
+
+TEST(Smoke, LambdaClosures) {
+  Engine E;
+  EXPECT_EQ(evalOk(E, "(define (adder n) (lambda (x) (+ x n)))"
+                      "((adder 3) 4)"),
+            "7");
+}
+
+TEST(Smoke, LetForms) {
+  Engine E;
+  EXPECT_EQ(evalOk(E, "(let ([x 1] [y 2]) (+ x y))"), "3");
+  EXPECT_EQ(evalOk(E, "(let* ([x 1] [y (+ x 1)]) (* x y))"), "2");
+  EXPECT_EQ(evalOk(E, "(letrec ([even? (lambda (n) (if (zero? n) #t "
+                      "(odd? (- n 1))))]"
+                      "         [odd? (lambda (n) (if (zero? n) #f "
+                      "(even? (- n 1))))])"
+                      "  (even? 10))"),
+            "#t");
+}
+
+TEST(Smoke, NamedLetLoopsInConstantStack) {
+  Engine E;
+  EXPECT_EQ(evalOk(E, "(let loop ([i 0] [acc 0])"
+                      "  (if (= i 1000000) acc (loop (+ i 1) (+ acc 1))))"),
+            "1000000");
+}
+
+TEST(Smoke, CondAndDerivedForms) {
+  Engine E;
+  EXPECT_EQ(evalOk(E, "(cond [(= 1 2) 'a] [(= 1 1) 'b] [else 'c])"), "b");
+  EXPECT_EQ(evalOk(E, "(and 1 2 3)"), "3");
+  EXPECT_EQ(evalOk(E, "(or #f #f 5)"), "5");
+  EXPECT_EQ(evalOk(E, "(when (= 1 1) 'yes)"), "yes");
+  EXPECT_EQ(evalOk(E, "(unless (= 1 1) 'no)"), "#<void>");
+}
+
+TEST(Smoke, SimpleMacro) {
+  Engine E;
+  EXPECT_EQ(evalOk(E, "(define-syntax (swap stx)"
+                      "  (syntax-case stx ()"
+                      "    [(_ a b) #'(b a)]))"
+                      "(swap 3 -)"),
+            "-3");
+}
+
+TEST(Smoke, MacroHygiene) {
+  Engine E;
+  // The macro-introduced `tmp` must not capture the user's `tmp`.
+  EXPECT_EQ(evalOk(E, "(define-syntax (my-or2 stx)"
+                      "  (syntax-case stx ()"
+                      "    [(_ a b) #'(let ([tmp a]) (if tmp tmp b))]))"
+                      "(let ([tmp 5]) (my-or2 #f tmp))"),
+            "5");
+}
+
+TEST(Smoke, EllipsisMacro) {
+  Engine E;
+  EXPECT_EQ(evalOk(E, "(define-syntax (my-list stx)"
+                      "  (syntax-case stx ()"
+                      "    [(_ e ...) #'(list e ...)]))"
+                      "(my-list 1 2 3)"),
+            "(1 2 3)");
+}
+
+TEST(Smoke, QuasisyntaxSplicing) {
+  Engine E;
+  EXPECT_EQ(evalOk(E, "(define-syntax (rev-call stx)"
+                      "  (syntax-case stx ()"
+                      "    [(_ f e ...)"
+                      "     #`(f #,@(reverse (syntax->datum #'(e ...))))]))"
+                      "(rev-call list 1 2 3)"),
+            "(3 2 1)");
+}
+
+TEST(Smoke, OutputCapture) {
+  Engine E;
+  evalOk(E, "(display \"hello\") (newline) (write \"x\")");
+  EXPECT_EQ(E.takeOutput(), "hello\n\"x\"");
+}
+
+TEST(Smoke, Errors) {
+  Engine E;
+  EvalResult R = E.evalString("(car 5)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("car"), std::string::npos);
+
+  R = E.evalString("(undefined-variable-xyz)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unbound"), std::string::npos);
+}
+
+} // namespace

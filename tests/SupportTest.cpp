@@ -1,0 +1,137 @@
+//===- tests/SupportTest.cpp - support/ unit tests ------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/SourceManager.h"
+#include "support/Text.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgmp;
+
+namespace {
+
+TEST(Text, FormatFlonumRoundTrips) {
+  for (double D : {0.0, 1.0, 0.5, -2.25, 3.141592653589793, 1e100, 1e-7,
+                   123456789.123456789}) {
+    std::string S = formatFlonum(D);
+    EXPECT_EQ(std::stod(S), D) << S;
+  }
+}
+
+TEST(Text, FormatFlonumAlwaysLooksFloaty) {
+  EXPECT_EQ(formatFlonum(1.0), "1.0");
+  EXPECT_EQ(formatFlonum(-3.0), "-3.0");
+  EXPECT_NE(formatFlonum(1e30).find_first_of(".e"), std::string::npos);
+}
+
+TEST(Text, EscapeStringLiteral) {
+  EXPECT_EQ(escapeStringLiteral("ab"), "\"ab\"");
+  EXPECT_EQ(escapeStringLiteral("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(escapeStringLiteral("a\nb\\"), "\"a\\nb\\\\\"");
+}
+
+TEST(Text, SplitChar) {
+  auto P = splitChar("a\tb\t\tc", '\t');
+  ASSERT_EQ(P.size(), 4u);
+  EXPECT_EQ(P[0], "a");
+  EXPECT_EQ(P[1], "b");
+  EXPECT_EQ(P[2], "");
+  EXPECT_EQ(P[3], "c");
+  EXPECT_EQ(splitChar("", ',').size(), 1u);
+}
+
+TEST(Text, ParseInt64) {
+  int64_t V;
+  EXPECT_TRUE(parseInt64("42", V));
+  EXPECT_EQ(V, 42);
+  EXPECT_TRUE(parseInt64("-7", V));
+  EXPECT_EQ(V, -7);
+  EXPECT_FALSE(parseInt64("", V));
+  EXPECT_FALSE(parseInt64("4x", V));
+  EXPECT_FALSE(parseInt64("1.5", V));
+}
+
+TEST(Text, ParseDouble) {
+  double V;
+  EXPECT_TRUE(parseDouble("2.5", V));
+  EXPECT_EQ(V, 2.5);
+  EXPECT_TRUE(parseDouble("-1e3", V));
+  EXPECT_EQ(V, -1000.0);
+  EXPECT_FALSE(parseDouble("abc", V));
+  EXPECT_FALSE(parseDouble("1.5x", V));
+}
+
+TEST(SourceManager, RegisterAndDescribe) {
+  SourceManager SM;
+  FileId Id = SM.addBuffer("a.scm", "(+ 1 2)");
+  EXPECT_EQ(SM.bufferName(Id), "a.scm");
+  EXPECT_EQ(SM.bufferText(Id), "(+ 1 2)");
+  EXPECT_EQ(SM.describe(Id, SourcePos{0, 3, 7}), "a.scm:3:7");
+}
+
+TEST(SourceManager, ReRegisterRefreshesContents) {
+  SourceManager SM;
+  FileId A = SM.addBuffer("x", "one");
+  FileId B = SM.addBuffer("x", "two");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(SM.bufferText(A), "two");
+  EXPECT_EQ(SM.numBuffers(), 1u);
+}
+
+TEST(Diagnostics, CountsAndRender) {
+  DiagnosticSink Sink;
+  Sink.report(DiagKind::Warning, "f:1:2", "watch out");
+  Sink.report(DiagKind::Error, "", "boom");
+  EXPECT_EQ(Sink.warningCount(), 1u);
+  EXPECT_EQ(Sink.errorCount(), 1u);
+  EXPECT_EQ(Sink.all()[0].render(), "f:1:2: warning: watch out");
+  EXPECT_EQ(Sink.all()[1].render(), "error: boom");
+  Sink.clear();
+  EXPECT_EQ(Sink.all().size(), 0u);
+  EXPECT_EQ(Sink.errorCount(), 0u);
+}
+
+TEST(Diagnostics, SchemeErrorRender) {
+  SchemeError E("bad thing", "f:3:4");
+  EXPECT_EQ(E.render(), "f:3:4: error: bad thing");
+  SchemeError E2("bad thing");
+  EXPECT_EQ(E2.render(), "error: bad thing");
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  bool Differs = false;
+  Rng A2(42);
+  for (int I = 0; I < 100; ++I)
+    Differs |= A2.next() != C.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Rng, UnitInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng R(11);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    if (R.chance(0.3))
+      ++Hits;
+  EXPECT_NEAR(Hits / 10000.0, 0.3, 0.03);
+}
+
+} // namespace

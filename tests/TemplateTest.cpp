@@ -1,0 +1,143 @@
+//===- tests/TemplateTest.cpp - Syntax template instantiation edges -------===//
+
+#include "TestUtil.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+struct TemplateFixture : ::testing::Test {
+  Engine E;
+  std::string run(const std::string &Src) { return evalOk(E, Src); }
+};
+
+TEST_F(TemplateFixture, StaticTemplateIsConstant) {
+  // A template with no pattern vars returns the same structure each time.
+  run("(define-syntax (k stx)"
+      "  (syntax-case stx () [(_) #''(a b (c 1))]))");
+  EXPECT_EQ(run("(k)"), "(a b (c 1))");
+  EXPECT_EQ(run("(k)"), "(a b (c 1))");
+}
+
+TEST_F(TemplateFixture, MixedStaticAndDynamicParts) {
+  run("(define-syntax (wrap stx)"
+      "  (syntax-case stx () [(_ e) #''(before (e inside) after)]))");
+  EXPECT_EQ(run("(wrap 42)"), "(before (42 inside) after)");
+}
+
+TEST_F(TemplateFixture, DottedTemplates) {
+  run("(define-syntax (dot stx)"
+      "  (syntax-case stx () [(_ a b) #''(a . b)]))");
+  EXPECT_EQ(run("(dot 1 2)"), "(1 . 2)");
+}
+
+TEST_F(TemplateFixture, VectorTemplates) {
+  run("(define-syntax (vec stx)"
+      "  (syntax-case stx () [(_ a b ...) #''#(a (b ...))]))");
+  EXPECT_EQ(run("(vec 1 2 3)"), "#(1 (2 3))");
+}
+
+TEST_F(TemplateFixture, EllipsisOverStaticSubparts) {
+  run("(define-syntax (tag stx)"
+      "  (syntax-case stx () [(_ e ...) #''((item e) ...)]))");
+  EXPECT_EQ(run("(tag 1 2)"), "((item 1) (item 2))");
+  EXPECT_EQ(run("(tag)"), "()");
+}
+
+TEST_F(TemplateFixture, TwoVarsLockstep) {
+  run("(define-syntax (pairup stx)"
+      "  (syntax-case stx () [(_ (a b) ...) #''((a . b) ...)]))");
+  EXPECT_EQ(run("(pairup (1 2) (3 4))"), "((1 . 2) (3 . 4))");
+}
+
+TEST_F(TemplateFixture, VarUsedTwiceInTemplate) {
+  run("(define-syntax (dup stx)"
+      "  (syntax-case stx () [(_ e) #''(e e)]))");
+  EXPECT_EQ(run("(dup 9)"), "(9 9)");
+}
+
+TEST_F(TemplateFixture, Depth0VarInsideEllipsisIsConstant) {
+  run("(define-syntax (spread stx)"
+      "  (syntax-case stx () [(_ c e ...) #''((c e) ...)]))");
+  EXPECT_EQ(run("(spread x 1 2 3)"), "((x 1) (x 2) (x 3))");
+}
+
+TEST_F(TemplateFixture, NestedEllipsisRebuilds) {
+  run("(define-syntax (grid stx)"
+      "  (syntax-case stx ()"
+      "    [(_ (row ...) ...) #''(((cell row) ...) ...)]))");
+  EXPECT_EQ(run("(grid (1 2) () (3))"),
+            "(((cell 1) (cell 2)) () ((cell 3)))");
+}
+
+TEST_F(TemplateFixture, UnsyntaxComputesAtExpansion) {
+  run("(define-syntax (sum-lits stx)"
+      "  (syntax-case stx ()"
+      "    [(_ a b) #`(quote #,(+ (syntax->datum #'a)"
+      "                           (syntax->datum #'b)))]))");
+  EXPECT_EQ(run("(sum-lits 20 22)"), "42");
+}
+
+TEST_F(TemplateFixture, UnsyntaxSplicingInMiddle) {
+  run("(define-syntax (sandwich stx)"
+      "  (syntax-case stx ()"
+      "    [(_ e ...)"
+      "     #`(quote (top #,@(reverse (syntax->list #'(e ...))) bottom))]))");
+  EXPECT_EQ(run("(sandwich 1 2 3)"), "(top 3 2 1 bottom)");
+}
+
+TEST_F(TemplateFixture, UnsyntaxSplicingEmptyList) {
+  run("(define-syntax (maybe stx)"
+      "  (syntax-case stx ()"
+      "    [(_) #`(quote (a #,@'() b))]))");
+  EXPECT_EQ(run("(maybe)"), "(a b)");
+}
+
+TEST_F(TemplateFixture, UnsyntaxNextToEllipsis) {
+  run("(define-syntax (both stx)"
+      "  (syntax-case stx ()"
+      "    [(_ e ...)"
+      "     #`(quote ((e ...) #,(length (syntax->list #'(e ...)))))]))");
+  EXPECT_EQ(run("(both a b c)"), "((a b c) 3)");
+}
+
+TEST_F(TemplateFixture, QuasisyntaxPreservesPatternVars) {
+  run("(define-syntax (q stx)"
+      "  (syntax-case stx ()"
+      "    [(_ a) #`(quote (a #,(* 2 3)))]))");
+  EXPECT_EQ(run("(q hello)"), "(hello 6)");
+}
+
+TEST_F(TemplateFixture, TemplatesInsideHelperLambdas) {
+  // Pattern variables are reachable from templates nested under lambdas
+  // inside the clause body (the Figure 6 pattern).
+  run("(define-syntax (each stx)"
+      "  (syntax-case stx ()"
+      "    [(_ e ...)"
+      "     #`(quote #,(map (lambda (x) (list (syntax->datum x)"
+      "                                       (syntax->datum #'(e ...))))"
+      "                     (syntax->list #'(e ...))))]))");
+  EXPECT_EQ(run("(each 1 2)"), "((1 (1 2)) (2 (1 2)))");
+}
+
+TEST_F(TemplateFixture, SourceObjectsSurviveSubstitution) {
+  // profile-query on a pattern variable sees the *user's* source
+  // location — the property Figure 7's clause-weight depends on.
+  E.setInstrumentation(true);
+  run("(define-syntax (src-of stx)"
+      "  (syntax-case stx ()"
+      "    [(_ e) #`(quote #,(syntax-source-file #'e))]))");
+  EXPECT_EQ(run("(src-of (+ 1 2))"), "\"<eval>\"");
+}
+
+TEST_F(TemplateFixture, EllipsisOverDepthZeroVarRejectedAtDefinition) {
+  // A depth-0 pattern variable cannot drive an ellipsis; the template
+  // compiler rejects the transformer when it is defined, before any use.
+  std::string Err = evalErr(E, "(define-syntax (bad stx)"
+                               "  (syntax-case stx ()"
+                               "    [(_ e) #''((e ...) ...)]))");
+  EXPECT_NE(Err.find("ellipsis"), std::string::npos) << Err;
+}
+
+} // namespace

@@ -1,0 +1,53 @@
+//===- tests/TestUtil.h - Shared test helpers -----------------*- C++ -*-===//
+
+#ifndef PGMP_TESTS_TESTUTIL_H
+#define PGMP_TESTS_TESTUTIL_H
+
+#include "core/Engine.h"
+#include "syntax/Writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace pgmp {
+namespace testutil {
+
+/// Evaluates \p Src and returns the written last value; fails the test on
+/// error.
+inline std::string evalOk(Engine &E, const std::string &Src) {
+  EvalResult R = E.evalString(Src);
+  EXPECT_TRUE(R.Ok) << R.Error << "\n  while evaluating: " << Src;
+  return R.Ok ? writeToString(R.V) : "<error>";
+}
+
+/// Evaluates \p Src expecting an error; returns the message.
+inline std::string evalErr(Engine &E, const std::string &Src) {
+  EvalResult R = E.evalString(Src);
+  EXPECT_FALSE(R.Ok) << "expected an error from: " << Src;
+  return R.Error;
+}
+
+/// Loads a scheme/ library, failing the test on error.
+inline void loadLib(Engine &E, const std::string &Name) {
+  EvalResult R = E.loadLibrary(Name);
+  ASSERT_TRUE(R.Ok) << R.Error;
+}
+
+/// A temporary file path unique to the current test.
+inline std::string tempPath(const std::string &Suffix) {
+  const ::testing::TestInfo *TI =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string Name = std::string(TI->test_suite_name()) + "_" + TI->name() +
+                     "_" + Suffix;
+  for (char &C : Name)
+    if (C == '/' || C == '.')
+      C = '_';
+  return "/tmp/pgmp_" + Name;
+}
+
+} // namespace testutil
+} // namespace pgmp
+
+#endif // PGMP_TESTS_TESTUTIL_H

@@ -1,0 +1,99 @@
+//===- tests/ThreePassTest.cpp - Section 4.3 protocol ---------------------===//
+
+#include "TestUtil.h"
+
+#include "core/ThreePass.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+// A program whose expansion depends on the source profile (the pgmp case
+// meta-program) — exactly the situation Section 4.3 worries about.
+const char *ProgramSrc =
+    "(define hits-a 0) (define hits-b 0) (define hits-c 0)\n"
+    "(define (dispatch c)\n"
+    "  (case c\n"
+    "    [(#\\a) (set! hits-a (+ hits-a 1))]\n"
+    "    [(#\\b) (set! hits-b (+ hits-b 1))]\n"
+    "    [else (set! hits-c (+ hits-c 1))]))\n";
+
+const char *WorkloadSrc =
+    "(for-each (lambda (i) (dispatch #\\b)) (iota 50))"
+    "(for-each (lambda (i) (dispatch #\\a)) (iota 5))"
+    "(for-each (lambda (i) (dispatch #\\x)) (iota 2))";
+
+ThreePassConfig makeConfig(const std::string &Dir) {
+  ThreePassConfig C;
+  C.Libraries = {"exclusive-cond", "pgmp-case"};
+  C.ProgramSource = ProgramSrc;
+  C.ProgramName = "dispatch.scm";
+  C.WorkloadSource = WorkloadSrc;
+  C.SourceProfilePath = Dir + "_src.prof";
+  C.BlockProfilePath = Dir + "_blk.prof";
+  return C;
+}
+
+TEST(ThreePass, FullProtocolProducesValidOptimizedBuild) {
+  ThreePassConfig C = makeConfig(tempPath("tp"));
+  OptimizedProgram Out;
+  std::string Err;
+  ASSERT_TRUE(runThreePasses(C, Out, Err)) << Err;
+  EXPECT_TRUE(Out.BlockProfileValid)
+      << "block profile must stay valid when the source profile is fixed: "
+      << Err;
+
+  // The optimized build still behaves correctly.
+  ASSERT_TRUE(Out.E->evalString(WorkloadSrc, "final-workload.scm").Ok);
+  EvalResult R = Out.E->evalString("(list hits-a hits-b hits-c)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(writeToString(R.V), "(5 50 2)");
+}
+
+TEST(ThreePass, BlockStructureStableAcrossPass2Reruns) {
+  // Re-running pass 2 with the same source profile regenerates the same
+  // block structure — the stability property the protocol relies on.
+  ThreePassConfig C = makeConfig(tempPath("tp"));
+  std::string Err, Blocks1, Blocks2;
+  ASSERT_TRUE(runPassOne(C, Err)) << Err;
+  ASSERT_TRUE(runPassTwo(C, Err, &Blocks1)) << Err;
+  ASSERT_TRUE(runPassTwo(C, Err, &Blocks2)) << Err;
+  EXPECT_EQ(Blocks1, Blocks2);
+}
+
+TEST(ThreePass, ChangingSourceProfileInvalidatesBlockProfile) {
+  // Pass 1+2 with one workload; then swap in a source profile from a
+  // *different* workload skew: meta-programs regenerate different code
+  // and the stored block profile no longer matches.
+  ThreePassConfig C = makeConfig(tempPath("tp"));
+  std::string Err;
+  ASSERT_TRUE(runPassOne(C, Err)) << Err;
+  ASSERT_TRUE(runPassTwo(C, Err)) << Err;
+
+  // Different skew: 'a' dominates, so pgmp-case orders clauses (a b)
+  // instead of (b a) — different expansion, different blocks.
+  ThreePassConfig C2 = C;
+  C2.WorkloadSource =
+      "(for-each (lambda (i) (dispatch #\\a)) (iota 60))"
+      "(for-each (lambda (i) (dispatch #\\b)) (iota 3))";
+  ASSERT_TRUE(runPassOne(C2, Err)) << Err; // overwrites the source profile
+
+  OptimizedProgram Out;
+  ASSERT_TRUE(runPassThree(C2, Out, Err));
+  EXPECT_FALSE(Out.BlockProfileValid)
+      << "a changed source profile must invalidate the block profile";
+}
+
+TEST(ThreePass, Pass3WithoutBlockProfileStillRuns) {
+  ThreePassConfig C = makeConfig(tempPath("tp"));
+  C.BlockProfilePath = "/nonexistent/block.prof";
+  std::string Err;
+  ASSERT_TRUE(runPassOne(C, Err)) << Err;
+  OptimizedProgram Out;
+  ASSERT_TRUE(runPassThree(C, Out, Err));
+  EXPECT_FALSE(Out.BlockProfileValid);
+  ASSERT_TRUE(Out.E->evalString(WorkloadSrc, "w.scm").Ok);
+}
+
+} // namespace

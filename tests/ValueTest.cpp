@@ -1,0 +1,190 @@
+//===- tests/ValueTest.cpp - Value representation unit tests --------------===//
+
+#include "syntax/Heap.h"
+#include "syntax/SymbolTable.h"
+#include "syntax/Writer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgmp;
+
+namespace {
+
+TEST(Value, ImmediateKindsAndAccessors) {
+  EXPECT_TRUE(Value::nil().isNil());
+  EXPECT_TRUE(Value::boolean(true).asBool());
+  EXPECT_FALSE(Value::boolean(false).asBool());
+  EXPECT_EQ(Value::fixnum(-5).asFixnum(), -5);
+  EXPECT_EQ(Value::flonum(2.5).asFlonum(), 2.5);
+  EXPECT_EQ(Value::charval('x').asChar(), uint32_t('x'));
+  EXPECT_TRUE(Value::eof().isEof());
+  EXPECT_TRUE(Value::undefined().isVoid());
+  EXPECT_TRUE(Value::unbound().isUnbound());
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value::boolean(false).isTruthy());
+  EXPECT_TRUE(Value::boolean(true).isTruthy());
+  EXPECT_TRUE(Value::fixnum(0).isTruthy());
+  EXPECT_TRUE(Value::nil().isTruthy());
+  EXPECT_TRUE(Value::undefined().isTruthy());
+}
+
+TEST(Value, NumberAsDouble) {
+  EXPECT_EQ(Value::fixnum(3).numberAsDouble(), 3.0);
+  EXPECT_EQ(Value::flonum(0.5).numberAsDouble(), 0.5);
+}
+
+TEST(Value, EqOnImmediates) {
+  EXPECT_TRUE(eqValues(Value::fixnum(7), Value::fixnum(7)));
+  EXPECT_FALSE(eqValues(Value::fixnum(7), Value::fixnum(8)));
+  EXPECT_FALSE(eqValues(Value::fixnum(7), Value::flonum(7.0)));
+  EXPECT_TRUE(eqValues(Value::charval('a'), Value::charval('a')));
+  EXPECT_TRUE(eqValues(Value::nil(), Value::nil()));
+}
+
+TEST(Value, EqOnHeapIsIdentity) {
+  Heap H;
+  Value A = H.string("x");
+  Value B = H.string("x");
+  EXPECT_FALSE(eqValues(A, B));
+  EXPECT_TRUE(eqValues(A, A));
+  EXPECT_TRUE(equalValues(A, B));
+}
+
+TEST(Value, EqualStructural) {
+  Heap H;
+  Value L1 = H.cons(Value::fixnum(1), H.cons(Value::fixnum(2), Value::nil()));
+  Value L2 = H.cons(Value::fixnum(1), H.cons(Value::fixnum(2), Value::nil()));
+  Value L3 = H.cons(Value::fixnum(1), H.cons(Value::fixnum(3), Value::nil()));
+  EXPECT_TRUE(equalValues(L1, L2));
+  EXPECT_FALSE(equalValues(L1, L3));
+
+  Value V1 = H.vector({Value::fixnum(1), H.string("a")});
+  Value V2 = H.vector({Value::fixnum(1), H.string("a")});
+  Value V3 = H.vector({Value::fixnum(1)});
+  EXPECT_TRUE(equalValues(V1, V2));
+  EXPECT_FALSE(equalValues(V1, V3));
+}
+
+TEST(Value, EqualHashConsistentWithEqual) {
+  Heap H;
+  Value L1 = H.cons(H.string("k"), H.vector({Value::fixnum(1)}));
+  Value L2 = H.cons(H.string("k"), H.vector({Value::fixnum(1)}));
+  EXPECT_TRUE(equalValues(L1, L2));
+  EXPECT_EQ(equalHash(L1), equalHash(L2));
+}
+
+TEST(Value, SymbolsInterned) {
+  SymbolTable ST;
+  Symbol *A = ST.intern("foo");
+  Symbol *B = ST.intern("foo");
+  Symbol *C = ST.intern("bar");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_TRUE(A->Interned);
+}
+
+TEST(Value, GensymsAreFreshAndUninterned) {
+  SymbolTable ST;
+  Symbol *A = ST.gensym("x");
+  Symbol *B = ST.gensym("x");
+  EXPECT_NE(A, B);
+  EXPECT_NE(A->Name, B->Name);
+  EXPECT_FALSE(A->Interned);
+  // The gensym's spelling differs from any interned 'x'.
+  EXPECT_NE(A, ST.intern("x"));
+}
+
+TEST(Heap, ListBuildAndWalk) {
+  Heap H;
+  Value L = H.list({Value::fixnum(1), Value::fixnum(2), Value::fixnum(3)});
+  EXPECT_EQ(listLength(L), 3);
+  auto V = listToVector(L);
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[1].asFixnum(), 2);
+  EXPECT_EQ(listLength(H.cons(Value::fixnum(1), Value::fixnum(2))), -1);
+}
+
+TEST(Heap, TracksAllocationCount) {
+  Heap H;
+  uint64_t Before = H.numObjects();
+  H.cons(Value::nil(), Value::nil());
+  H.string("s");
+  EXPECT_EQ(H.numObjects(), Before + 2);
+}
+
+TEST(HashTable, EqTableBasics) {
+  Heap H;
+  SymbolTable ST;
+  HashTable *T = H.hashtable(HashKind::Eq).asHash();
+  Value K1 = Value::object(ValueKind::Symbol, ST.intern("a"));
+  Value K2 = Value::object(ValueKind::Symbol, ST.intern("b"));
+  T->set(K1, Value::fixnum(1));
+  T->set(K2, Value::fixnum(2));
+  T->set(K1, Value::fixnum(10));
+  EXPECT_EQ(T->size(), 2u);
+  EXPECT_EQ(T->get(K1, Value::nil()).asFixnum(), 10);
+  EXPECT_TRUE(T->contains(K2));
+  EXPECT_TRUE(T->erase(K2));
+  EXPECT_FALSE(T->contains(K2));
+  EXPECT_FALSE(T->erase(K2));
+}
+
+TEST(HashTable, EqualTableKeysByStructure) {
+  Heap H;
+  HashTable *T = H.hashtable(HashKind::Equal).asHash();
+  Value K1 = H.string("key");
+  Value K2 = H.string("key");
+  T->set(K1, Value::fixnum(1));
+  EXPECT_EQ(T->get(K2, Value::nil()).asFixnum(), 1);
+  EXPECT_EQ(T->size(), 1u);
+}
+
+TEST(HashTable, InsertionOrderKeys) {
+  Heap H;
+  HashTable *T = H.hashtable(HashKind::Equal).asHash();
+  for (int I = 0; I < 20; ++I)
+    T->set(Value::fixnum(19 - I), Value::fixnum(I));
+  auto Keys = T->keysInInsertionOrder();
+  ASSERT_EQ(Keys.size(), 20u);
+  for (int I = 0; I < 20; ++I)
+    EXPECT_EQ(Keys[static_cast<size_t>(I)].asFixnum(), 19 - I);
+}
+
+TEST(Writer, Atoms) {
+  Heap H;
+  EXPECT_EQ(writeToString(Value::fixnum(42)), "42");
+  EXPECT_EQ(writeToString(Value::flonum(2.5)), "2.5");
+  EXPECT_EQ(writeToString(Value::boolean(true)), "#t");
+  EXPECT_EQ(writeToString(Value::charval(' ')), "#\\space");
+  EXPECT_EQ(writeToString(Value::charval('\n')), "#\\newline");
+  EXPECT_EQ(writeToString(Value::charval('z')), "#\\z");
+  EXPECT_EQ(writeToString(H.string("a\"b")), "\"a\\\"b\"");
+  EXPECT_EQ(displayToString(H.string("a\"b")), "a\"b");
+  EXPECT_EQ(writeToString(Value::nil()), "()");
+}
+
+TEST(Writer, ListsAndDotted) {
+  Heap H;
+  SymbolTable ST;
+  Value L = H.list({ST.internValue("a"), ST.internValue("b")});
+  EXPECT_EQ(writeToString(L), "(a b)");
+  Value D = H.cons(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_EQ(writeToString(D), "(1 . 2)");
+}
+
+TEST(Writer, QuoteSugar) {
+  Heap H;
+  SymbolTable ST;
+  Value Q = H.list({ST.internValue("quote"), ST.internValue("x")});
+  EXPECT_EQ(writeToString(Q), "'x");
+}
+
+TEST(Writer, Vectors) {
+  Heap H;
+  Value V = H.vector({Value::fixnum(1), Value::fixnum(2)});
+  EXPECT_EQ(writeToString(V), "#(1 2)");
+}
+
+} // namespace

@@ -1,0 +1,26 @@
+;; _helpers.scm -- assertion helpers for the Scheme-level test suites.
+;; Loaded by tests/SchemeSuiteTest.cpp before each suite file. A failed
+;; check raises, which the harness reports as a test failure with the
+;; check's message.
+
+(define checks-run 0)
+
+(define (check-equal actual expected msg)
+  (set! checks-run (+ checks-run 1))
+  (unless (equal? actual expected)
+    (error "check failed:" msg 'expected: expected 'got: actual)))
+
+(define (check-true v msg)
+  (check-equal (if v #t #f) #t msg))
+
+(define (check-false v msg)
+  (check-equal (if v #t #f) #f msg))
+
+(define (check-error thunk msg)
+  ;; We have no exception handlers in the object language, so
+  ;; check-error is approximated: the C++ harness runs files expecting
+  ;; success; suites use check-error only for conditions detectable
+  ;; without raising.
+  (set! checks-run (+ checks-run 1))
+  (unless (procedure? thunk)
+    (error "check-error needs a thunk:" msg)))

@@ -1,0 +1,73 @@
+;; case-study-suite.scm -- the Section 6 meta-programs used as ordinary
+;; libraries, without profile data (profile-guided behavior is covered by
+;; the C++ integration tests; this suite pins the plain semantics).
+;; The harness preloads: exclusive-cond, pgmp-case, object-system,
+;; profiled-list, profiled-seq.
+
+;; exclusive-cond behaves like cond when clauses are exclusive.
+(define (sign x)
+  (exclusive-cond
+    [(positive? x) 'pos]
+    [(negative? x) 'neg]
+    [else 'zero]))
+(check-equal (map sign '(3 -4 0)) '(pos neg zero) "exclusive-cond")
+
+;; case: membership, else, char and symbol keys, key evaluated once.
+(define key-evals 0)
+(define (token-kind t)
+  (set! key-evals (+ key-evals 1))
+  t)
+(define (kind t)
+  (case (token-kind t)
+    [(plus minus) 'additive]
+    [(star slash) 'multiplicative]
+    [(#\a #\b) 'letter]
+    [else 'other]))
+(check-equal (kind 'plus) 'additive "case symbols")
+(check-equal (kind 'slash) 'multiplicative "case second clause")
+(check-equal (kind #\b) 'letter "case chars")
+(check-equal (kind 42) 'other "case else")
+(check-equal key-evals 4 "key evaluated once per call")
+
+;; case with duplicate-free numeric keys.
+(define (small n)
+  (case n [(0 1 2) 'low] [(3 4 5) 'mid] [else 'high]))
+(check-equal (map small '(0 4 9)) '(low mid high) "case numbers")
+
+;; Object system: definition, fields, dispatch, instance predicates.
+(class Point ((x 0) (y 0))
+  (define-method (norm2 this)
+    (+ (sqr (field this x)) (sqr (field this y))))
+  (define-method (shift this dx)
+    (set-field! this x (+ (field this x) dx))))
+(class Tagged ((tag 'none))
+  (define-method (norm2 this) 0))
+
+(define p (new-instance 'Point (cons 'x 3) (cons 'y 4)))
+(check-equal (method p norm2) 25 "method call")
+(method p shift 10)
+(check-equal (field p x) 13 "mutating method")
+(check-true (instance-of? p 'Point) "instance-of?")
+(check-false (instance-of? p 'Tagged) "instance-of? other class")
+(check-equal (method (new-instance 'Tagged) norm2) 0
+             "second class dispatch")
+
+;; Profiled list behaves like a list.
+(define pl (profiled-list 5 6 7))
+(check-equal (p-car pl) 5 "p-car")
+(check-equal (p-length pl) 3 "p-length")
+(check-equal (p-list->list (p-cons 4 pl)) '(4 5 6 7) "p-cons")
+(check-true (p-null? (p-cdr (p-cdr (p-cdr pl)))) "p-null?")
+
+;; Profiled sequence defaults to a list and supports the generic ops.
+(define s (profiled-seq 'a 'b 'c))
+(check-equal (seq-kind s) 'list "seq defaults to list")
+(check-equal (seq-first s) 'a "seq-first")
+(check-equal (seq->list (seq-rest s)) '(b c) "seq-rest")
+(check-equal (seq-ref s 2) 'c "seq-ref")
+(check-equal (seq-length s) 3 "seq-length")
+(check-equal (seq-first (seq-push s 'z)) 'z "seq-push")
+(check-equal (seq-ref (seq-set s 1 'B) 1) 'B "seq-set")
+(check-false (seq-empty? s) "seq-empty? false")
+(check-true (seq-empty? (seq-rest (seq-rest (seq-rest s))))
+            "seq-empty? true")

@@ -1,0 +1,47 @@
+;; lists-suite.scm -- list and vector behavior, exercised as user code.
+
+(check-equal (append '(1 2) '(3) '() '(4)) '(1 2 3 4) "append")
+(check-equal (append) '() "append no args")
+(check-equal (append '(1) 2) '(1 . 2) "append improper tail")
+(check-equal (reverse '()) '() "reverse empty")
+(check-equal (map + '(1 2 3) '(10 20 30)) '(11 22 33) "map binary")
+(check-equal (filter odd? (iota 10)) '(1 3 5 7 9) "filter")
+(check-equal (fold-left - 0 '(1 2 3)) -6 "fold-left")
+(check-equal (fold-right - 0 '(1 2 3)) 2 "fold-right")
+(check-equal (assq 'c '((a . 1) (b . 2) (c . 3))) '(c . 3) "assq")
+(check-false (assq 'z '((a . 1))) "assq miss")
+(check-equal (list-tail '(1 2 3 4) 2) '(3 4) "list-tail")
+(check-equal (take (iota 10) 3) '(0 1 2) "take")
+(check-equal (drop (iota 5) 3) '(3 4) "drop")
+(check-equal (last '(1 2 3)) 3 "last")
+(check-equal (count even? (iota 10)) 5 "count")
+(check-equal (remove even? (iota 6)) '(1 3 5) "remove")
+(check-equal (list-set '(a b c) 2 'z) '(a b z) "list-set")
+
+;; Sorting is stable and total.
+(check-equal (sort '(5 3 9 1) <) '(1 3 5 9) "sort ascending")
+(check-equal (list-sort > '(5 3 9 1)) '(9 5 3 1) "list-sort descending")
+(check-equal (map cdr (sort '((1 . a) (0 . b) (1 . c))
+                            (lambda (x y) (< (car x) (car y)))))
+             '(b a c) "sort stability")
+
+;; Vectors.
+(check-equal (vector->list (vector-map add1 #(1 2 3))) '(2 3 4)
+             "vector-map")
+(check-equal (vector-length (make-vector 7 'x)) 7 "make-vector length")
+(check-equal (vector-ref (list->vector '(a b c)) 1) 'b "list->vector ref")
+(let ([v (vector 1 2 3)])
+  (vector-fill! v 0)
+  (check-equal (vector->list v) '(0 0 0) "vector-fill!"))
+
+;; Deep structural equality.
+(check-true (equal? '(1 (2 #(3 "x"))) '(1 (2 #(3 "x")))) "equal? deep")
+(check-false (equal? '(1 (2 3)) '(1 (2 4))) "equal? mismatch")
+
+;; Hashtables as association stores.
+(let ([h (make-equal-hashtable)])
+  (for-each (lambda (k) (hashtable-set! h (list k) (* k k))) (iota 20))
+  (check-equal (hashtable-size h) 20 "ht size")
+  (check-equal (hashtable-ref h '(7) #f) 49 "ht structural key")
+  (hashtable-delete! h '(7))
+  (check-false (hashtable-contains? h '(7)) "ht delete"))

@@ -1,0 +1,72 @@
+;; macros-suite.scm -- user-level macro programming patterns.
+
+;; A while loop built from syntax-case.
+(define-syntax (while stx)
+  (syntax-case stx ()
+    [(_ test body ...)
+     #'(let loop ()
+         (when test
+           body ...
+           (loop)))]))
+
+(define i 0)
+(define sum 0)
+(while (< i 10)
+  (set! sum (+ sum i))
+  (set! i (+ i 1)))
+(check-equal sum 45 "while loop")
+
+;; swap! via hygienic temporary.
+(define-syntax (swap! stx)
+  (syntax-case stx ()
+    [(_ a b) #'(let ([tmp a]) (set! a b) (set! b tmp))]))
+(define x 1)
+(define tmp 2) ;; deliberately named like the macro's temporary
+(swap! x tmp)
+(check-equal (list x tmp) '(2 1) "hygienic swap!")
+
+;; Recursive macro: unrolled repetition.
+(define-syntax (repeat stx)
+  (syntax-case stx ()
+    [(_ 0 e) #'(void)]
+    [(_ n e) (number? (syntax->datum #'n))
+     #`(begin e (repeat #,(- (syntax->datum #'n) 1) e))]))
+(define hits 0)
+(repeat 5 (set! hits (+ hits 1)))
+(check-equal hits 5 "repeat unrolls")
+
+;; let-alias: macro-generated binding forms compose with user code.
+(define-syntax (with-doubled stx)
+  (syntax-case stx ()
+    [(_ (name init) body ...)
+     #'(let ([name (* 2 init)]) body ...)]))
+(check-equal (with-doubled (k 21) k) 42 "macro binder")
+
+;; Macros that expand to definitions at top level.
+(define-syntax (defconst stx)
+  (syntax-case stx ()
+    [(_ name val) #'(define name val)]))
+(defconst answer 42)
+(check-equal answer 42 "macro-generated define")
+
+;; with-syntax + datum->syntax for computed identifiers.
+(define-syntax (define-flag stx)
+  (syntax-case stx ()
+    [(k name)
+     (with-syntax ([pred (datum->syntax #'k
+                           (string->symbol
+                            (string-append
+                             (symbol->string (syntax->datum #'name))
+                             "?")))])
+       #'(begin
+           (define state #f)
+           (define (pred) state)
+           (define (name v) (set! state v))))]))
+(define-flag ready)
+(ready #t)
+(check-true (ready?) "computed identifier")
+
+;; quasiquote data templates.
+(define n 3)
+(check-equal `(a ,n ,@(iota n) z) '(a 3 0 1 2 z) "quasiquote")
+(check-equal `(1 . ,n) '(1 . 3) "quasiquote dotted")

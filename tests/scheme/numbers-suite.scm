@@ -1,0 +1,49 @@
+;; numbers-suite.scm -- numeric tower behavior as user code.
+
+(check-equal (+ 1 2 3 4) 10 "variadic +")
+(check-equal (* 2 3 4) 24 "variadic *")
+(check-equal (- 10 1 2 3) 4 "variadic -")
+(check-equal (- 5) -5 "unary minus")
+(check-equal (/ 8 2 2) 2 "exact chained division")
+(check-equal (/ 1 8) 0.125 "inexact division")
+(check-equal (+ 1 0.5) 1.5 "contagion to flonum")
+(check-true (= 2 2.0) "numeric equality across exactness")
+(check-false (eqv? 2 2.0) "eqv? distinguishes exactness")
+
+(check-equal (quotient 17 5) 3 "quotient")
+(check-equal (remainder 17 5) 2 "remainder")
+(check-equal (remainder -17 5) -2 "remainder sign follows dividend")
+(check-equal (modulo -17 5) 3 "modulo sign follows divisor")
+
+(check-equal (expt 2 16) 65536 "integer expt")
+(check-equal (expt 2.0 0.5) (sqrt 2.0) "flonum expt")
+(check-equal (sqrt 144) 12 "exact sqrt of square")
+(check-equal (abs -7.5) 7.5 "flonum abs")
+(check-equal (min 3 1.5 2) 1.5 "min across kinds")
+(check-equal (max 3 1.5 2) 3 "max keeps exactness")
+
+(check-equal (floor 2.9) 2.0 "floor")
+(check-equal (ceiling -2.1) -2.0 "ceiling")
+(check-equal (truncate -2.9) -2.0 "truncate")
+(check-equal (floor 5) 5 "floor of fixnum is identity")
+
+(check-true (even? 0) "zero even")
+(check-true (odd? -3) "negative odd")
+(check-true (integer? 4.0) "integral flonum")
+(check-false (integer? 4.5) "fractional flonum")
+(check-true (fixnum? 3) "fixnum?")
+(check-true (flonum? 3.0) "flonum?")
+
+(check-equal (number->string 255) "255" "number->string")
+(check-equal (string->number "3.5") 3.5 "string->number flonum")
+(check-false (string->number "12abc") "string->number garbage")
+
+;; Big loop arithmetic stays exact.
+(check-equal (let loop ([i 0] [acc 0])
+               (if (= i 100000) acc (loop (+ i 1) (+ acc i))))
+             4999950000 "large exact sum")
+
+;; Chained comparisons.
+(check-true (< 1 2 3 4) "ascending chain")
+(check-false (<= 1 2 2 1) "non-monotonic chain")
+(check-true (>= 5 5 4) ">= chain")

@@ -1,0 +1,67 @@
+;; pgmp-suite.scm -- the PGMP API driven entirely from Scheme, including
+;; an in-process profile/optimize cycle using set-instrumentation!.
+
+;; Weights without data.
+(check-false (profile-data-available?) "no data at start")
+(check-equal (profile-query (make-profile-point)) 0.0 "query without data")
+
+;; Deterministic generated points.
+(check-equal (syntax-source-file (make-profile-point "base.scm"))
+             "base.scm%pgmp0" "first generated point")
+(check-equal (syntax-source-file (make-profile-point "base.scm"))
+             "base.scm%pgmp1" "second generated point")
+
+;; An in-language profile cycle: instrument, run, fold, query.
+(define pp-hot (make-profile-point "suite"))
+(define pp-cold (make-profile-point "suite"))
+
+(define-syntax (mark-hot stx)
+  (syntax-case stx ()
+    [(_ e) (annotate-expr #'e pp-hot)]))
+(define-syntax (mark-cold stx)
+  (syntax-case stx ()
+    [(_ e) (annotate-expr #'e pp-cold)]))
+
+(set-instrumentation! #t)
+(check-true (instrumentation?) "instrumentation on")
+(define (hot-path x) (mark-hot (* x 2)))
+(define (cold-path x) (mark-cold (* x 3)))
+(set-instrumentation! #f)
+
+(define (run-workload n)
+  (let loop ([i 0] [acc 0])
+    (if (= i n)
+        acc
+        (loop (+ i 1)
+              (+ acc (hot-path i) (if (zero? (modulo i 10))
+                                      (cold-path i)
+                                      0))))))
+(check-equal (run-workload 10) 90 "workload result sane")
+
+;; Fold counters into weights via store-profile, then inspect.
+(store-profile "/tmp/pgmp_scheme_suite.profile")
+(check-true (profile-data-available?) "data available after store")
+(check-equal (current-profile-datasets) 1 "one data set")
+(check-equal (profile-query-count pp-hot) 10 "hot raw count")
+(check-equal (profile-query-count pp-cold) 1 "cold raw count")
+(check-true (> (profile-query pp-hot) (profile-query pp-cold))
+            "hot outweighs cold")
+(check-true (<= (profile-query pp-hot) 1.0) "weights bounded")
+
+;; Reload merges as a second data set (Figure 3 averaging).
+(load-profile "/tmp/pgmp_scheme_suite.profile")
+(check-equal (current-profile-datasets) 2 "merged data sets")
+(check-equal (profile-query-count pp-hot) 20 "counts accumulate")
+
+;; clear-profile! resets everything.
+(clear-profile!)
+(check-false (profile-data-available?) "cleared")
+
+;; A meta-program can use weights to choose code at expansion time.
+(load-profile "/tmp/pgmp_scheme_suite.profile")
+(define-syntax (pick-hotter stx)
+  (syntax-case stx ()
+    [(_ a b)
+     (if (>= (profile-query #'a) (profile-query #'b)) #'a #'b)]))
+;; Neither literal has recorded weight; ties keep the first.
+(check-equal (pick-hotter 'left 'right) 'left "tie keeps first")

@@ -1,0 +1,47 @@
+;; strings-suite.scm -- strings and characters as user code.
+
+(check-equal (string-length "") 0 "empty length")
+(check-equal (string-append) "" "append nothing")
+(check-equal (string-append "foo" "" "bar") "foobar" "append")
+(check-equal (substring "hello world" 6) "world" "substring to end")
+(check-equal (substring "hello" 1 4) "ell" "substring range")
+(check-true (string=? "a" "a" "a") "string=? chain")
+(check-false (string=? "a" "b") "string=? mismatch")
+(check-true (string<? "abc" "abd") "string<?")
+
+(check-true (string-contains? "profile-guided" "file") "contains middle")
+(check-true (string-contains? "x" "") "empty needle")
+(check-false (string-contains? "" "x") "empty haystack")
+
+(check-equal (string->list "ab") '(#\a #\b) "string->list")
+(check-equal (list->string '(#\P #\G #\M #\P)) "PGMP" "list->string")
+(check-equal (string-upcase "MiXeD") "MIXED" "upcase")
+(check-equal (string-downcase "MiXeD") "mixed" "downcase")
+(check-equal (make-string 3 #\z) "zzz" "make-string")
+
+(let* ([s "shared"]
+       [copy (string-copy s)])
+  (check-true (string=? s copy) "copy equal")
+  (check-false (eq? s copy) "copy distinct identity"))
+
+;; Characters.
+(check-equal (char->integer #\0) 48 "char->integer")
+(check-equal (integer->char 65) #\A "integer->char")
+(check-true (char<? #\a #\b) "char<?")
+(check-true (char<=? #\a #\a) "char<=?")
+(check-equal (char-upcase #\q) #\Q "char-upcase")
+(check-equal (char-downcase #\Q) #\q "char-downcase")
+(check-true (char-alphabetic? #\z) "alphabetic")
+(check-false (char-alphabetic? #\5) "digit not alphabetic")
+(check-true (char-numeric? #\5) "numeric")
+(check-true (char-whitespace? #\tab) "whitespace tab")
+
+;; Symbols round-trip through strings.
+(check-equal (string->symbol "hello-world") 'hello-world "string->symbol")
+(check-equal (symbol->string 'abc) "abc" "symbol->string")
+(check-true (eq? (string->symbol "x") 'x) "interning")
+
+;; Building text with number->string in a loop.
+(check-equal (fold-left (lambda (acc n) (string-append acc (number->string n)))
+                        "" (iota 5))
+             "01234" "string building loop")

@@ -1,0 +1,218 @@
+//===- tools/pgmpi/main.cpp - PGMP Scheme driver --------------------------===//
+///
+/// \file
+/// Command-line driver: runs PGMP Scheme files through the full
+/// profile-guided workflow.
+///
+///   pgmpi [options] file.scm...
+///     --instrument           compile with source-expression counters
+///     --profile-out FILE     store-profile to FILE after running
+///     --profile-in FILE      load-profile from FILE before compiling
+///     --annotate-wrap        errortrace-style annotate-expr
+///     --dump-expansion       print expanded core forms instead of running
+///     --lib NAME             load scheme/NAME.scm first (repeatable)
+///     -e EXPR                evaluate EXPR (after files)
+///     --repl                 interactive read-eval-print loop (after
+///                            files), with profile state live
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "syntax/Writer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace pgmp;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: pgmpi [--instrument] [--profile-out F] "
+               "[--profile-in F]\n"
+               "             [--annotate-wrap] [--dump-expansion] "
+               "[--lib NAME]... [-e EXPR] file.scm...\n");
+  return 2;
+}
+
+/// Reads one balanced form (or a full line) per prompt; exits on EOF or
+/// (exit).
+static void runRepl(Engine &E) {
+  std::printf("pgmp repl — profile-guided meta-programming playground\n");
+  std::printf("(exit) or Ctrl-D quits; (help) lists PGMP operations\n");
+  std::string Pending;
+  while (true) {
+    std::fputs(Pending.empty() ? "pgmp> " : "....> ", stdout);
+    std::fflush(stdout);
+    char Line[4096];
+    if (!std::fgets(Line, sizeof(Line), stdin)) {
+      std::printf("\n");
+      return;
+    }
+    Pending += Line;
+    // Crude balance check so multi-line forms work.
+    int Depth = 0;
+    bool InString = false;
+    for (size_t I = 0; I < Pending.size(); ++I) {
+      char C = Pending[I];
+      if (InString) {
+        if (C == '\\')
+          ++I;
+        else if (C == '"')
+          InString = false;
+        continue;
+      }
+      if (C == '"')
+        InString = true;
+      else if (C == '(' || C == '[')
+        ++Depth;
+      else if (C == ')' || C == ']')
+        --Depth;
+      else if (C == ';')
+        while (I < Pending.size() && Pending[I] != '\n')
+          ++I;
+    }
+    if (Depth > 0 || InString)
+      continue;
+
+    std::string Input = Pending;
+    Pending.clear();
+    if (Input.find_first_not_of(" \t\n") == std::string::npos)
+      continue;
+    if (Input.find("(exit)") != std::string::npos)
+      return;
+    if (Input.find("(help)") != std::string::npos) {
+      std::printf(
+          "  (set-instrumentation! #t)   count source expressions\n"
+          "  (store-profile \"f\")         fold counters, write file\n"
+          "  (load-profile \"f\")          merge a stored data set\n"
+          "  (profile-query #'expr)      weight of an expression\n"
+          "  (make-profile-point)        fresh deterministic point\n"
+          "  (annotate-expr e pp)        re-point an expression\n");
+      continue;
+    }
+    EvalResult R = E.evalString(Input, "<repl>");
+    if (!R.Ok) {
+      std::printf("%s\n", R.Error.c_str());
+      continue;
+    }
+    if (!R.V.isVoid())
+      std::printf("%s\n", writeToString(R.V).c_str());
+  }
+}
+
+int main(int Argc, char **Argv) {
+  bool Instrument = false;
+  bool DumpExpansion = false;
+  bool AnnotateWrap = false;
+  bool Repl = false;
+  std::string ProfileOut, ProfileIn, EvalText;
+  std::vector<std::string> Libs, Files;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NeedsValue = [&](const char *Flag) -> std::string {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "pgmpi: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--instrument")
+      Instrument = true;
+    else if (Arg == "--dump-expansion")
+      DumpExpansion = true;
+    else if (Arg == "--annotate-wrap")
+      AnnotateWrap = true;
+    else if (Arg == "--repl")
+      Repl = true;
+    else if (Arg == "--profile-out")
+      ProfileOut = NeedsValue("--profile-out");
+    else if (Arg == "--profile-in")
+      ProfileIn = NeedsValue("--profile-in");
+    else if (Arg == "--lib")
+      Libs.push_back(NeedsValue("--lib"));
+    else if (Arg == "-e")
+      EvalText = NeedsValue("-e");
+    else if (Arg == "--help" || Arg == "-h")
+      return usage();
+    else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "pgmpi: unknown option %s\n", Arg.c_str());
+      return usage();
+    } else
+      Files.push_back(Arg);
+  }
+  if (Files.empty() && EvalText.empty() && !Repl)
+    return usage();
+
+  Engine E;
+  E.context().EchoStdout = true;
+  E.context().Diags.EchoToStderr = true;
+  E.setInstrumentation(Instrument);
+  if (AnnotateWrap)
+    E.setAnnotateMode(AnnotateMode::Wrap);
+
+  if (!ProfileIn.empty()) {
+    std::string Err;
+    if (!E.loadProfile(ProfileIn, &Err)) {
+      std::fprintf(stderr, "pgmpi: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  for (const std::string &Lib : Libs) {
+    EvalResult R = E.loadLibrary(Lib);
+    if (!R) {
+      std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+      return 1;
+    }
+  }
+
+  auto RunOne = [&](const std::string &Path) -> bool {
+    if (DumpExpansion) {
+      FileId Id;
+      if (!E.context().SrcMgr.addFile(Path, Id)) {
+        std::fprintf(stderr, "pgmpi: cannot open %s\n", Path.c_str());
+        return false;
+      }
+      EvalResult R = E.expandToString(
+          std::string(E.context().SrcMgr.bufferText(Id)), Path);
+      if (!R) {
+        std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+        return false;
+      }
+      std::fputs(R.V.asString()->Text.c_str(), stdout);
+      return true;
+    }
+    EvalResult R = E.evalFile(Path);
+    if (!R) {
+      std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+      return false;
+    }
+    return true;
+  };
+
+  for (const std::string &F : Files)
+    if (!RunOne(F))
+      return 1;
+
+  if (!EvalText.empty()) {
+    EvalResult R = E.evalString(EvalText, "<command-line>");
+    if (!R) {
+      std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+      return 1;
+    }
+  }
+
+  if (Repl)
+    runRepl(E);
+
+  if (!ProfileOut.empty()) {
+    std::string Err;
+    if (!E.storeProfile(ProfileOut, &Err)) {
+      std::fprintf(stderr, "pgmpi: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
