@@ -86,6 +86,11 @@ public:
   /// for annotate-expr (Section 4.2).
   void setAnnotateMode(AnnotateMode M) { Ctx.AnnotMode = M; }
 
+  /// Profile integrity policy: strict mode turns corrupt/stale/malformed
+  /// profile inputs into errors instead of degrade-with-warning.
+  void setStrictProfile(bool On) { Ctx.StrictProfile = On; }
+  bool strictProfile() const { return Ctx.StrictProfile; }
+
   /// Folds live counters into the profile database as one data set and
   /// resets them (also performed by storeProfile).
   void foldCountersIntoProfile();

@@ -61,18 +61,47 @@ double pgmp::pgmpapi::profileQuery(Context &Ctx, const Value &ExprOrPoint) {
 
 bool pgmp::pgmpapi::storeProfile(Context &Ctx, const std::string &Path,
                                  std::string &ErrorOut) {
-  Ctx.ProfileDb.addDataset(Ctx.Counters);
-  Ctx.Counters.reset();
-  if (!storeProfileFile(Ctx.ProfileDb, Path)) {
-    ErrorOut = "cannot write profile file: " + Path;
+  // Serialize a snapshot that already includes the live counters, but
+  // fold-and-reset only after the file is safely on disk: a failed store
+  // must not destroy the counter data it failed to persist.
+  ProfileDatabase Snapshot = Ctx.ProfileDb;
+  Snapshot.addDataset(Ctx.Counters);
+  std::string Err;
+  if (!storeProfileFile(Snapshot, Path, &Ctx.SrcMgr, &Err)) {
+    ErrorOut = "cannot write profile file: " + Path + " (" + Err + ")";
     return false;
   }
+  Ctx.ProfileDb.addDataset(Ctx.Counters);
+  Ctx.Counters.reset();
   return true;
 }
 
 bool pgmp::pgmpapi::loadProfile(Context &Ctx, const std::string &Path,
                                 std::string &ErrorOut) {
-  return loadProfileFile(Path, Ctx.Sources, Ctx.ProfileDb, ErrorOut);
+  std::string Err;
+  ProfileLoadReport Report;
+  if (loadProfileFile(Path, Ctx.Sources, Ctx.ProfileDb, Err, &Ctx.SrcMgr,
+                      &Report)) {
+    for (const std::string &W : Report.Warnings)
+      Ctx.Diags.report(DiagKind::Warning, Path, W);
+    return true;
+  }
+  // Degradation policy: corrupt, stale, or malformed profiles are data
+  // problems, not program errors — warn and continue unoptimized
+  // (profile-data-available? stays #f because nothing was merged). A
+  // missing or unreadable file, and any failure in strict mode, stays an
+  // error.
+  bool Degradable = Report.Status == ProfileLoadStatus::Malformed ||
+                    Report.Status == ProfileLoadStatus::Corrupt ||
+                    Report.Status == ProfileLoadStatus::Stale;
+  if (!Degradable || Ctx.StrictProfile) {
+    ErrorOut = Err;
+    return false;
+  }
+  Ctx.Diags.report(DiagKind::Warning, Path,
+                   "ignoring profile: " + Err +
+                       "; continuing without profile data");
+  return true;
 }
 
 //===----------------------------------------------------------------------===//

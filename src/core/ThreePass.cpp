@@ -2,6 +2,8 @@
 
 #include "core/ThreePass.h"
 
+#include "support/AtomicFile.h"
+#include "support/Checksum.h"
 #include "vm/BlockProfile.h"
 #include "vm/BlockReorder.h"
 
@@ -19,8 +21,26 @@ static bool loadLibraries(Engine &E, const ThreePassConfig &Config,
   return true;
 }
 
+/// Fingerprint of the source profile file's bytes, used to tie pass 2's
+/// block profile to the exact source profile that drove expansion
+/// (Section 4.3). 0 when the file cannot be read ("unknown").
+static uint64_t sourceProfileFingerprint(const std::string &Path) {
+  std::string Bytes, Err;
+  if (readFileAll(Path, Bytes, Err) != FileReadStatus::Ok)
+    return 0;
+  return fnv1a64(Bytes);
+}
+
+/// Registers the program text under its buffer name before the profile
+/// loads, so the profile's source fingerprints are checked against the
+/// code this pass will actually compile (staleness detection).
+static void preRegisterProgram(Engine &E, const ThreePassConfig &Config) {
+  E.context().SrcMgr.addBuffer(Config.ProgramName, Config.ProgramSource);
+}
+
 bool pgmp::runPassOne(const ThreePassConfig &Config, std::string &ErrorOut) {
   Engine E;
+  E.setStrictProfile(Config.StrictProfile);
   E.setInstrumentation(true);
   if (!loadLibraries(E, Config, ErrorOut))
     return false;
@@ -42,6 +62,8 @@ bool pgmp::runPassOne(const ThreePassConfig &Config, std::string &ErrorOut) {
 bool pgmp::runPassTwo(const ThreePassConfig &Config, std::string &ErrorOut,
                       std::string *BlocksOut) {
   Engine E;
+  E.setStrictProfile(Config.StrictProfile);
+  preRegisterProgram(E, Config);
   if (!E.loadProfile(Config.SourceProfilePath, &ErrorOut))
     return false;
   if (!loadLibraries(E, Config, ErrorOut))
@@ -66,8 +88,12 @@ bool pgmp::runPassTwo(const ThreePassConfig &Config, std::string &ErrorOut,
     return false;
   }
 
-  if (!storeBlockProfileFile(*Program, Config.BlockProfilePath)) {
-    ErrorOut = "cannot write block profile: " + Config.BlockProfilePath;
+  std::string StoreErr;
+  if (!storeBlockProfileFile(
+          *Program, Config.BlockProfilePath,
+          sourceProfileFingerprint(Config.SourceProfilePath), &StoreErr)) {
+    ErrorOut = "cannot write block profile: " + Config.BlockProfilePath +
+               " (" + StoreErr + ")";
     return false;
   }
   if (BlocksOut) {
@@ -82,6 +108,8 @@ bool pgmp::runPassThree(const ThreePassConfig &Config, OptimizedProgram &Out,
                         std::string &ErrorOut) {
   Out.E = std::make_unique<Engine>();
   Engine &E = *Out.E;
+  E.setStrictProfile(Config.StrictProfile);
+  preRegisterProgram(E, Config);
   if (!E.loadProfile(Config.SourceProfilePath, &ErrorOut))
     return false;
   if (!loadLibraries(E, Config, ErrorOut))
@@ -98,14 +126,24 @@ bool pgmp::runPassThree(const ThreePassConfig &Config, OptimizedProgram &Out,
   Out.Program = Out.Runner->lastModule();
 
   // Apply the block-level profile. Because the same source profile drove
-  // expansion, the block structure matches and the profile is valid.
+  // expansion, the block structure matches and the profile is valid —
+  // and the embedded source-profile fingerprint now checks exactly that,
+  // before any structural comparison.
   std::string BlockErr;
-  Out.BlockProfileValid =
-      loadBlockProfileFile(Config.BlockProfilePath, *Out.Program, BlockErr);
-  if (Out.BlockProfileValid)
+  Out.BlockProfileValid = loadBlockProfileFile(
+      Config.BlockProfilePath, *Out.Program, BlockErr,
+      sourceProfileFingerprint(Config.SourceProfilePath));
+  if (Out.BlockProfileValid) {
     applyProfileGuidedLayout(*Out.Program);
-  else
+  } else {
+    if (Config.StrictProfile) {
+      ErrorOut = BlockErr;
+      return false;
+    }
+    E.context().Diags.report(DiagKind::Warning, Config.BlockProfilePath,
+                             BlockErr);
     ErrorOut = BlockErr; // surfaced, but pass 3 still yields a program
+  }
   return true;
 }
 

@@ -45,6 +45,10 @@ struct ThreePassConfig {
   /// Where the two profiles live between passes.
   std::string SourceProfilePath;
   std::string BlockProfilePath;
+  /// Integrity policy: by default a corrupt/stale source profile degrades
+  /// to an unoptimized build (with a DiagKind::Warning) and an invalid
+  /// block profile just skips layout; in strict mode both abort the pass.
+  bool StrictProfile = false;
 };
 
 /// The final, fully optimized build produced by pass 3.

@@ -62,6 +62,11 @@ public:
   /// When true, the compiler instruments every source expression.
   bool InstrumentCompiles = false;
   AnnotateMode AnnotMode = AnnotateMode::Inline;
+  /// Profile integrity policy: by default corrupt/stale/malformed profile
+  /// files degrade gracefully — load-profile warns through Diags and the
+  /// session continues unoptimized (profile-data-available? stays #f).
+  /// When strict (pgmpi --strict-profile), they are hard errors instead.
+  bool StrictProfile = false;
 
   //===--------------------------------------------------------------------===//
   // Globals

@@ -7,6 +7,19 @@
 /// target database so several stored data sets combine by weighted
 /// average, as in Figure 3.
 ///
+/// Format v2 adds an integrity layer:
+///   - `source <file> <fnv1a64>` records fingerprint the content of each
+///     profiled source buffer at store time; at load time they are checked
+///     against the SourceManager so a profile collected on older code is
+///     detected as *stale* rather than silently consumed (the Section 4.3
+///     invalidation hazard, surfaced explicitly).
+///   - a `crc <crc32>` footer over everything above it detects torn and
+///     bit-flipped files.
+/// v1 files (no footer, no fingerprints) still load, with a warning.
+///
+/// Parsing is all-or-nothing: a malformed, corrupt, or stale file merges
+/// nothing into the target database.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PGMP_PROFILE_PROFILEIO_H
@@ -14,24 +27,73 @@
 
 #include "profile/ProfileDatabase.h"
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace pgmp {
 
-/// Serializes \p Db; returns the file text.
-std::string serializeProfile(const ProfileDatabase &Db);
+class SourceManager;
 
-/// Writes \p Db to \p Path. Returns false on I/O failure.
-bool storeProfileFile(const ProfileDatabase &Db, const std::string &Path);
+/// Why a profile failed to load (or Ok). Corrupt means the checksum layer
+/// fired (torn/bit-flipped file); Malformed means the record layer fired
+/// (bad syntax or invalid values); Stale means a source fingerprint no
+/// longer matches the code the engine is compiling.
+enum class ProfileLoadStatus : uint8_t {
+  Ok,
+  CannotOpen,
+  ReadError,
+  Malformed,
+  Corrupt,
+  Stale,
+};
+
+/// Structured findings from one parse/load, for diagnostics and
+/// `pgmpi profile-lint`.
+struct ProfileLoadReport {
+  ProfileLoadStatus Status = ProfileLoadStatus::Ok;
+  int Version = 0;
+  bool ChecksumChecked = false; ///< v2 footer present and verified
+  size_t NumPoints = 0;
+  uint64_t NumDatasets = 0;
+  /// `source` fingerprint records, as stored (file, fnv1a64).
+  std::vector<std::pair<std::string, uint64_t>> Fingerprints;
+  /// Files whose fingerprint mismatched the SourceManager's contents.
+  std::vector<std::string> StaleFiles;
+  /// Non-fatal findings (e.g. legacy v1 format).
+  std::vector<std::string> Warnings;
+};
+
+/// Serializes \p Db in format v2; returns the file text. When \p SM is
+/// given, content fingerprints are recorded for every profiled file with
+/// a registered buffer (ephemeral `<...>` buffers are skipped).
+std::string serializeProfile(const ProfileDatabase &Db,
+                             const SourceManager *SM = nullptr);
+
+/// Atomically writes \p Db to \p Path (temp file + fsync + rename); a
+/// failure never leaves a torn profile at \p Path. Returns false on I/O
+/// failure, with \p ErrorOut (when given) describing it.
+bool storeProfileFile(const ProfileDatabase &Db, const std::string &Path,
+                      const SourceManager *SM = nullptr,
+                      std::string *ErrorOut = nullptr);
 
 /// Parses \p Text and merges into \p Db, interning points in \p Sources.
-/// Returns false (with \p ErrorOut set) on malformed input.
+/// Returns false (with \p ErrorOut set) on malformed/corrupt/stale input,
+/// in which case \p Db is untouched. When \p SM is given, v2 source
+/// fingerprints are checked against its buffers (staleness detection).
+/// \p Report (optional) receives structured findings either way.
 bool parseProfile(const std::string &Text, SourceObjectTable &Sources,
-                  ProfileDatabase &Db, std::string &ErrorOut);
+                  ProfileDatabase &Db, std::string &ErrorOut,
+                  const SourceManager *SM = nullptr,
+                  ProfileLoadReport *Report = nullptr);
 
-/// Reads \p Path and merges into \p Db. Returns false on failure.
+/// Reads \p Path and merges into \p Db. Returns false on failure; see
+/// parseProfile for the integrity semantics.
 bool loadProfileFile(const std::string &Path, SourceObjectTable &Sources,
-                     ProfileDatabase &Db, std::string &ErrorOut);
+                     ProfileDatabase &Db, std::string &ErrorOut,
+                     const SourceManager *SM = nullptr,
+                     ProfileLoadReport *Report = nullptr);
 
 } // namespace pgmp
 

@@ -1,0 +1,113 @@
+//===- support/AtomicFile.cpp ---------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace pgmp;
+
+namespace {
+
+struct FaultState {
+  iofault::Kind K = iofault::Kind::None;
+  size_t BitOffset = 0;
+};
+
+FaultState ArmedFault;
+
+} // namespace
+
+void pgmp::iofault::arm(Kind K, size_t BitOffset) {
+  ArmedFault.K = K;
+  ArmedFault.BitOffset = BitOffset;
+}
+
+void pgmp::iofault::disarm() { ArmedFault = FaultState{}; }
+
+bool pgmp::iofault::armed() { return ArmedFault.K != Kind::None; }
+
+FileReadStatus pgmp::readFileAll(const std::string &Path, std::string &Out,
+                                 std::string &ErrorOut) {
+  Out.clear();
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    ErrorOut = "cannot open " + Path + ": " + std::strerror(errno);
+    return FileReadStatus::CannotOpen;
+  }
+  char Chunk[16384];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Out.append(Chunk, N);
+  if (std::ferror(F)) {
+    std::fclose(F);
+    Out.clear();
+    ErrorOut = "error reading " + Path;
+    return FileReadStatus::ReadError;
+  }
+  std::fclose(F);
+  return FileReadStatus::Ok;
+}
+
+bool pgmp::writeFileAtomic(const std::string &Path, std::string_view Data,
+                           std::string &ErrorOut) {
+  // Consume the armed fault up front so one arm() affects exactly one
+  // store attempt, even if the faulted stage is never reached.
+  iofault::Kind Fault = ArmedFault.K;
+  size_t BitOffset = ArmedFault.BitOffset;
+  ArmedFault = FaultState{};
+
+  std::string Tmp =
+      Path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    ErrorOut = "cannot create temporary file " + Tmp + ": " +
+               std::strerror(errno);
+    return false;
+  }
+
+  std::string Flipped;
+  std::string_view Payload = Data;
+  if (Fault == iofault::Kind::BitFlip && !Data.empty()) {
+    Flipped.assign(Data);
+    Flipped[BitOffset % Flipped.size()] ^= 0x01;
+    Payload = Flipped;
+  }
+
+  size_t ToWrite = Payload.size();
+  if (Fault == iofault::Kind::ShortWrite)
+    ToWrite /= 2;
+  size_t Written =
+      ToWrite ? std::fwrite(Payload.data(), 1, ToWrite, F) : 0;
+  if (Fault == iofault::Kind::WriteError || Written != Payload.size()) {
+    std::fclose(F);
+    std::remove(Tmp.c_str());
+    ErrorOut = Fault == iofault::Kind::WriteError
+                   ? "write failed (no space?) on " + Tmp
+                   : "short write to " + Tmp;
+    return false;
+  }
+
+  if (std::fflush(F) != 0 || Fault == iofault::Kind::FsyncError ||
+      ::fsync(::fileno(F)) != 0) {
+    std::fclose(F);
+    std::remove(Tmp.c_str());
+    ErrorOut = "cannot flush " + Tmp + " to disk";
+    return false;
+  }
+  if (std::fclose(F) != 0) {
+    std::remove(Tmp.c_str());
+    ErrorOut = "cannot close " + Tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  if (Fault == iofault::Kind::RenameError ||
+      std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    ErrorOut = "cannot rename " + Tmp + " to " + Path;
+    return false;
+  }
+  return true;
+}

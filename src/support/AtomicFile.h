@@ -1,0 +1,71 @@
+//===- support/AtomicFile.h - Crash-safe file persistence -----*- C++ -*-===//
+///
+/// \file
+/// Whole-file read/write helpers shared by the profile persistence paths
+/// (ProfileIO and BlockProfile). Writes are atomic: the data goes to a
+/// temporary file in the target's directory, is flushed and fsynced,
+/// then renamed over the target — a crash or I/O error mid-store never
+/// leaves a torn profile visible at the target path.
+///
+/// The iofault namespace exposes injectable failure points (short write,
+/// ENOSPC-style write error, fsync failure, rename failure, bit flip)
+/// so robustness tests can prove the crash-safety and corruption-
+/// detection claims instead of asserting them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SUPPORT_ATOMICFILE_H
+#define PGMP_SUPPORT_ATOMICFILE_H
+
+#include <string>
+#include <string_view>
+
+namespace pgmp {
+
+/// Outcome of readFileAll; "cannot open" and "read error" are distinct
+/// failures because their degradation policies differ (a missing file is
+/// a caller mistake; a failing read is an environment problem).
+enum class FileReadStatus { Ok, CannotOpen, ReadError };
+
+/// Reads all of \p Path into \p Out, checking ferror after every read.
+/// On failure \p Out is cleared and \p ErrorOut describes the problem.
+FileReadStatus readFileAll(const std::string &Path, std::string &Out,
+                           std::string &ErrorOut);
+
+/// Atomically replaces \p Path with \p Data (temp file + fsync + rename).
+/// On any failure the previous contents of \p Path are untouched, the
+/// temporary file is removed, and \p ErrorOut is set.
+bool writeFileAtomic(const std::string &Path, std::string_view Data,
+                     std::string &ErrorOut);
+
+namespace iofault {
+
+/// Failure points inside writeFileAtomic. Arming is one-shot: the next
+/// writeFileAtomic call consumes the armed fault (whether or not the
+/// fault's stage is reached), so tests cannot leak faults into later
+/// stores. BitFlip corrupts one byte of the payload but lets the write
+/// succeed — the corruption must then be caught by checksums at load.
+enum class Kind : uint8_t {
+  None,
+  ShortWrite,  ///< write stops halfway and reports failure
+  WriteError,  ///< write fails outright (ENOSPC-style)
+  FsyncError,  ///< data written but fsync fails
+  RenameError, ///< temp file complete but rename fails
+  BitFlip,     ///< payload byte at BitOffset is XORed; write "succeeds"
+};
+
+/// Arms \p K for the next writeFileAtomic call. \p BitOffset selects the
+/// corrupted byte for BitFlip (taken modulo the payload size).
+void arm(Kind K, size_t BitOffset = 0);
+
+/// Clears any armed fault.
+void disarm();
+
+/// True while a fault is armed (i.e. not yet consumed).
+bool armed();
+
+} // namespace iofault
+
+} // namespace pgmp
+
+#endif // PGMP_SUPPORT_ATOMICFILE_H

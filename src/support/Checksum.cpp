@@ -1,0 +1,91 @@
+//===- support/Checksum.cpp -----------------------------------------------===//
+
+#include "support/Checksum.h"
+
+#include <array>
+#include <cstdio>
+
+using namespace pgmp;
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+int hexDigit(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  return -1;
+}
+
+} // namespace
+
+uint32_t pgmp::crc32(std::string_view Data) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  uint32_t C = 0xFFFFFFFFu;
+  for (unsigned char Byte : Data)
+    C = Table[(C ^ Byte) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+uint64_t pgmp::fnv1a64(std::string_view Data) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char Byte : Data) {
+    H ^= Byte;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string pgmp::hex32(uint32_t V) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%08x", V);
+  return Buf;
+}
+
+std::string pgmp::hex64(uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+bool pgmp::parseHex32(std::string_view S, uint32_t &Out) {
+  if (S.empty() || S.size() > 8)
+    return false;
+  uint32_t V = 0;
+  for (char C : S) {
+    int D = hexDigit(C);
+    if (D < 0)
+      return false;
+    V = (V << 4) | static_cast<uint32_t>(D);
+  }
+  Out = V;
+  return true;
+}
+
+bool pgmp::parseHex64(std::string_view S, uint64_t &Out) {
+  if (S.empty() || S.size() > 16)
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    int D = hexDigit(C);
+    if (D < 0)
+      return false;
+    V = (V << 4) | static_cast<uint64_t>(D);
+  }
+  Out = V;
+  return true;
+}

@@ -1,0 +1,38 @@
+//===- support/Checksum.h - CRC32 and content fingerprints ----*- C++ -*-===//
+///
+/// \file
+/// Integrity primitives for the profile persistence layer: a CRC-32 used
+/// as a whole-file checksum footer (detects torn or bit-flipped profile
+/// files) and a 64-bit FNV-1a content fingerprint used to tie a stored
+/// profile to the exact source text it was collected against (detects
+/// stale profiles, the Section 4.3 invalidation hazard).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SUPPORT_CHECKSUM_H
+#define PGMP_SUPPORT_CHECKSUM_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pgmp {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of \p Data.
+uint32_t crc32(std::string_view Data);
+
+/// 64-bit FNV-1a hash of \p Data; the source-content fingerprint.
+uint64_t fnv1a64(std::string_view Data);
+
+/// Fixed-width lower-case hex rendering.
+std::string hex32(uint32_t V);
+std::string hex64(uint64_t V);
+
+/// Parses hex (either case, 1..8 / 1..16 digits). False on empty input,
+/// stray characters, or overflow.
+bool parseHex32(std::string_view S, uint32_t &Out);
+bool parseHex64(std::string_view S, uint64_t &Out);
+
+} // namespace pgmp
+
+#endif // PGMP_SUPPORT_CHECKSUM_H

@@ -38,6 +38,13 @@ std::string_view SourceManager::bufferText(FileId Id) const {
   return Buffers[Id].Contents;
 }
 
+const std::string *SourceManager::contentsByName(const std::string &Name) const {
+  auto It = IdsByName.find(Name);
+  if (It == IdsByName.end())
+    return nullptr;
+  return &Buffers[It->second].Contents;
+}
+
 const std::string &SourceManager::bufferName(FileId Id) const {
   assert(Id < Buffers.size() && "bad FileId");
   return Buffers[Id].Name;

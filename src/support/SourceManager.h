@@ -36,6 +36,11 @@ public:
 
   std::string_view bufferText(FileId Id) const;
   const std::string &bufferName(FileId Id) const;
+
+  /// Contents of the buffer registered under \p Name, or nullptr when no
+  /// such buffer exists. Used by profile integrity checks to fingerprint
+  /// source files at store time and re-check them at load time.
+  const std::string *contentsByName(const std::string &Name) const;
   uint32_t numBuffers() const { return static_cast<uint32_t>(Buffers.size()); }
 
   /// Renders "name:line:col" for diagnostics.

@@ -2,18 +2,23 @@
 
 #include "vm/BlockProfile.h"
 
+#include "support/AtomicFile.h"
+#include "support/Checksum.h"
 #include "support/Text.h"
 
 #include <cstdio>
 
 using namespace pgmp;
 
-static const char *const Magic = "pgmp-block-profile\t1";
+static const char *const MagicV1 = "pgmp-block-profile\t1";
+static const char *const MagicV2 = "pgmp-block-profile\t2";
 
-std::string pgmp::serializeBlockProfile(const VmModule &Module) {
+std::string pgmp::serializeBlockProfile(const VmModule &Module,
+                                        uint64_t SourceProfileFp) {
   std::string Out;
-  Out += Magic;
+  Out += MagicV2;
   Out += "\n";
+  Out += "source-profile\t" + hex64(SourceProfileFp) + "\n";
   for (size_t FI = 0; FI < Module.Functions.size(); ++FI) {
     const VmFunction &Fn = *Module.Functions[FI];
     Out += "fn\t" + std::to_string(FI) + "\t" + Fn.Name + "\t" +
@@ -23,27 +28,117 @@ std::string pgmp::serializeBlockProfile(const VmModule &Module) {
       Out += "block\t" + std::to_string(FI) + "\t" + std::to_string(BI) +
              "\t" + std::to_string(Fn.Blocks[BI].ProfileCount) + "\n";
   }
+  Out += "crc\t" + hex32(crc32(Out)) + "\n";
   return Out;
 }
 
-bool pgmp::applyBlockProfile(const std::string &Text, VmModule &Module,
-                             std::string &ErrorOut) {
-  auto Lines = splitChar(Text, '\n');
-  if (Lines.empty() || Lines[0] != Magic) {
-    ErrorOut = "bad block profile header";
-    return false;
+namespace {
+
+/// Shared header/footer validation for apply and lint. Returns 0 on
+/// failure (with ErrorOut set), else the version; v2 sets CrcLine to the
+/// verified footer's line index.
+int checkEnvelope(const std::string &Text,
+                  const std::vector<std::string_view> &Lines,
+                  size_t &CrcLine, std::string &ErrorOut) {
+  if (Lines.empty() ||
+      (Lines[0] != MagicV1 && Lines[0] != MagicV2)) {
+    ErrorOut = !Lines.empty() && Lines[0].starts_with("pgmp-block-profile\t")
+                   ? "unsupported block profile version '" +
+                         std::string(Lines[0]) + "'"
+                   : "bad block profile header";
+    return 0;
   }
+  int Version = Lines[0] == MagicV1 ? 1 : 2;
+  CrcLine = 0;
+  if (Version == 2) {
+    bool HaveCrc = false;
+    for (size_t I = Lines.size(); I-- > 1;) {
+      if (Lines[I].empty())
+        continue;
+      auto Fields = splitChar(Lines[I], '\t');
+      uint32_t Stored = 0;
+      if (Fields[0] != "crc" || Fields.size() != 2 ||
+          !parseHex32(Fields[1], Stored)) {
+        ErrorOut = "block profile missing checksum footer (file truncated?)";
+        return 0;
+      }
+      size_t Offset = static_cast<size_t>(Lines[I].data() - Text.data());
+      if (crc32(std::string_view(Text).substr(0, Offset)) != Stored) {
+        ErrorOut = "block profile checksum mismatch (file corrupt)";
+        return 0;
+      }
+      CrcLine = I;
+      HaveCrc = true;
+      break;
+    }
+    if (!HaveCrc) {
+      ErrorOut = "block profile missing checksum footer (file truncated?)";
+      return 0;
+    }
+  }
+  return Version;
+}
+
+} // namespace
+
+bool pgmp::applyBlockProfile(const std::string &Text, VmModule &Module,
+                             std::string &ErrorOut,
+                             uint64_t ExpectedSourceFp,
+                             BlockProfileLoadReport *Report) {
+  BlockProfileLoadReport Local;
+  if (!Report)
+    Report = &Local;
+  *Report = BlockProfileLoadReport{};
+
+  auto Lines = splitChar(Text, '\n');
+  size_t CrcLine = 0;
+  int Version = checkEnvelope(Text, Lines, CrcLine, ErrorOut);
+  if (!Version)
+    return false;
+  Report->Version = Version;
+  Report->ChecksumChecked = Version >= 2;
+
   size_t FunctionsSeen = 0;
+  bool SawSourceFp = false;
+  // All-or-nothing: counts are staged here and committed only once the
+  // whole file has validated.
+  std::vector<std::pair<size_t, std::pair<size_t, uint64_t>>> Pending;
+
   for (size_t I = 1; I < Lines.size(); ++I) {
     std::string_view Line = Lines[I];
-    if (Line.empty())
+    if (Line.empty() || (Version >= 2 && I == CrcLine))
       continue;
     auto Fields = splitChar(Line, '\t');
+    std::string LineNo = std::to_string(I + 1);
+
+    if (Fields[0] == "source-profile" && Version >= 2) {
+      uint64_t Fp;
+      if (Fields.size() != 2 || !parseHex64(Fields[1], Fp)) {
+        ErrorOut = "bad source-profile record on line " + LineNo;
+        return false;
+      }
+      if (SawSourceFp) {
+        ErrorOut = "duplicate source-profile record on line " + LineNo;
+        return false;
+      }
+      SawSourceFp = true;
+      Report->SourceProfileFingerprint = Fp;
+      // The explicit Section 4.3 check: a block profile stored while a
+      // different source profile drove expansion is invalid regardless
+      // of whether the block structure happens to match.
+      if (Fp && ExpectedSourceFp && Fp != ExpectedSourceFp) {
+        ErrorOut = "block profile invalidated: stored against a different "
+                   "source profile (Section 4.3 invariant)";
+        return false;
+      }
+      continue;
+    }
+
     if (Fields[0] == "fn") {
       int64_t Idx, NumBlocks;
       if (Fields.size() != 5 || !parseInt64(Fields[1], Idx) ||
-          !parseInt64(Fields[3], NumBlocks)) {
-        ErrorOut = "bad fn record on line " + std::to_string(I + 1);
+          !parseInt64(Fields[3], NumBlocks) || Idx < 0 || NumBlocks < 0) {
+        ErrorOut = "bad fn record on line " + LineNo;
         return false;
       }
       if (static_cast<size_t>(Idx) >= Module.Functions.size()) {
@@ -68,11 +163,17 @@ bool pgmp::applyBlockProfile(const std::string &Text, VmModule &Module,
       ++FunctionsSeen;
       continue;
     }
+
     if (Fields[0] == "block") {
       int64_t FIdx, BIdx, Count;
       if (Fields.size() != 4 || !parseInt64(Fields[1], FIdx) ||
-          !parseInt64(Fields[2], BIdx) || !parseInt64(Fields[3], Count)) {
-        ErrorOut = "bad block record on line " + std::to_string(I + 1);
+          !parseInt64(Fields[2], BIdx) || !parseInt64(Fields[3], Count) ||
+          FIdx < 0 || BIdx < 0) {
+        ErrorOut = "bad block record on line " + LineNo;
+        return false;
+      }
+      if (Count < 0) {
+        ErrorOut = "block record with negative count on line " + LineNo;
         return false;
       }
       if (static_cast<size_t>(FIdx) >= Module.Functions.size() ||
@@ -81,44 +182,104 @@ bool pgmp::applyBlockProfile(const std::string &Text, VmModule &Module,
         ErrorOut = "block profile invalidated: block out of range";
         return false;
       }
-      Module.Functions[static_cast<size_t>(FIdx)]
-          ->Blocks[static_cast<size_t>(BIdx)]
-          .ProfileCount += static_cast<uint64_t>(Count);
+      Pending.push_back({static_cast<size_t>(FIdx),
+                         {static_cast<size_t>(BIdx),
+                          static_cast<uint64_t>(Count)}});
       continue;
     }
-    ErrorOut = "unknown record on line " + std::to_string(I + 1);
+
+    if (Fields[0] == "crc" && Version >= 2) {
+      ErrorOut = "misplaced checksum footer on line " + LineNo;
+      return false;
+    }
+
+    ErrorOut = "unknown record on line " + LineNo;
     return false;
   }
+
   if (FunctionsSeen != Module.Functions.size()) {
     ErrorOut = "block profile invalidated: function count mismatch";
+    return false;
+  }
+  if (Version == 1)
+    Report->Warnings.push_back(
+        "legacy v1 block profile format: no checksum or source-profile "
+        "fingerprint");
+
+  for (const auto &[FIdx, Block] : Pending)
+    Module.Functions[FIdx]->Blocks[Block.first].ProfileCount += Block.second;
+  Report->NumFunctions = FunctionsSeen;
+  return true;
+}
+
+bool pgmp::storeBlockProfileFile(const VmModule &Module,
+                                 const std::string &Path,
+                                 uint64_t SourceProfileFp,
+                                 std::string *ErrorOut) {
+  std::string Err;
+  if (!writeFileAtomic(Path, serializeBlockProfile(Module, SourceProfileFp),
+                       Err)) {
+    if (ErrorOut)
+      *ErrorOut = Err;
     return false;
   }
   return true;
 }
 
-bool pgmp::storeBlockProfileFile(const VmModule &Module,
-                                 const std::string &Path) {
-  std::string Text = serializeBlockProfile(Module);
-  std::FILE *F = std::fopen(Path.c_str(), "wb");
-  if (!F)
-    return false;
-  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
-  std::fclose(F);
-  return Written == Text.size();
-}
-
 bool pgmp::loadBlockProfileFile(const std::string &Path, VmModule &Module,
-                                std::string &ErrorOut) {
-  std::FILE *F = std::fopen(Path.c_str(), "rb");
-  if (!F) {
-    ErrorOut = "cannot open block profile: " + Path;
+                                std::string &ErrorOut,
+                                uint64_t ExpectedSourceFp,
+                                BlockProfileLoadReport *Report) {
+  std::string Text, Err;
+  FileReadStatus Status = readFileAll(Path, Text, Err);
+  if (Status != FileReadStatus::Ok) {
+    ErrorOut = Status == FileReadStatus::CannotOpen
+                   ? "cannot open block profile: " + Path
+                   : "error reading block profile: " + Path;
     return false;
   }
-  std::string Text;
-  char Chunk[4096];
-  size_t N;
-  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
-    Text.append(Chunk, N);
-  std::fclose(F);
-  return applyBlockProfile(Text, Module, ErrorOut);
+  return applyBlockProfile(Text, Module, ErrorOut, ExpectedSourceFp, Report);
+}
+
+bool pgmp::lintBlockProfileText(const std::string &Text,
+                                std::vector<std::string> &Findings) {
+  auto Lines = splitChar(Text, '\n');
+  size_t CrcLine = 0;
+  std::string Err;
+  int Version = checkEnvelope(Text, Lines, CrcLine, Err);
+  if (!Version) {
+    Findings.push_back(Err);
+    return false;
+  }
+  size_t Before = Findings.size();
+  if (Version == 1)
+    Findings.push_back("legacy v1 block profile format: no checksum or "
+                       "source-profile fingerprint");
+  for (size_t I = 1; I < Lines.size(); ++I) {
+    std::string_view Line = Lines[I];
+    if (Line.empty() || (Version >= 2 && I == CrcLine))
+      continue;
+    auto Fields = splitChar(Line, '\t');
+    std::string LineNo = std::to_string(I + 1);
+    int64_t A, B, C;
+    uint64_t Fp;
+    if (Fields[0] == "source-profile" && Version >= 2) {
+      if (Fields.size() != 2 || !parseHex64(Fields[1], Fp))
+        Findings.push_back("bad source-profile record on line " + LineNo);
+    } else if (Fields[0] == "fn") {
+      // Fields[4] is the structural hash, compared textually on apply —
+      // it may exceed int64 range, so only require it be present.
+      if (Fields.size() != 5 || !parseInt64(Fields[1], A) ||
+          !parseInt64(Fields[3], B) || Fields[4].empty() || A < 0 || B < 0)
+        Findings.push_back("bad fn record on line " + LineNo);
+    } else if (Fields[0] == "block") {
+      if (Fields.size() != 4 || !parseInt64(Fields[1], A) ||
+          !parseInt64(Fields[2], B) || !parseInt64(Fields[3], C) || A < 0 ||
+          B < 0 || C < 0)
+        Findings.push_back("bad block record on line " + LineNo);
+    } else {
+      Findings.push_back("unknown record on line " + LineNo);
+    }
+  }
+  return Findings.size() == Before;
 }

@@ -9,6 +9,14 @@
 /// keep optimizing against the *same source profile*, the generated
 /// low-level code (and hence the block profile) remains valid.
 ///
+/// Format v2 makes that invariant checkable *explicitly*: the file embeds
+/// a fingerprint of the source profile that drove pass 2, so pass 3 can
+/// reject a block profile stored against a different source profile
+/// before any structural comparison — plus a CRC32 footer so torn or
+/// bit-flipped files are detected rather than ingested. v1 files (no
+/// footer, no fingerprint) still load, with a warning. Applying is
+/// all-or-nothing: a rejected profile leaves the module's counts alone.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PGMP_VM_BLOCKPROFILE_H
@@ -16,23 +24,56 @@
 
 #include "vm/Bytecode.h"
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace pgmp {
 
-/// Serializes every function's block counters.
-std::string serializeBlockProfile(const VmModule &Module);
+/// Structured findings from one block-profile load, for diagnostics and
+/// `pgmpi profile-lint`.
+struct BlockProfileLoadReport {
+  int Version = 0;
+  bool ChecksumChecked = false; ///< v2 footer present and verified
+  /// Fingerprint of the source profile the block profile was stored
+  /// against (0 = not recorded / v1).
+  uint64_t SourceProfileFingerprint = 0;
+  size_t NumFunctions = 0;
+  std::vector<std::string> Warnings;
+};
+
+/// Serializes every function's block counters in format v2.
+/// \p SourceProfileFp fingerprints the source profile in effect when the
+/// counts were collected (0 = unknown; the Section 4.3 check is skipped).
+std::string serializeBlockProfile(const VmModule &Module,
+                                  uint64_t SourceProfileFp = 0);
 
 /// Applies a stored block profile onto \p Module. Fails (returns false,
-/// setting \p ErrorOut) if the profile's shape does not match the
-/// module's — i.e. the block-level profile has been invalidated by a
-/// source-level change.
+/// setting \p ErrorOut) if the profile is corrupt, malformed, or its
+/// shape does not match the module's — i.e. the block-level profile has
+/// been invalidated by a source-level change. When both the stored and
+/// \p ExpectedSourceFp fingerprints are known and differ, the profile is
+/// rejected as stored against a different source profile (the explicit
+/// Section 4.3 validation). On failure the module's counts are untouched.
 bool applyBlockProfile(const std::string &Text, VmModule &Module,
-                       std::string &ErrorOut);
+                       std::string &ErrorOut, uint64_t ExpectedSourceFp = 0,
+                       BlockProfileLoadReport *Report = nullptr);
 
-bool storeBlockProfileFile(const VmModule &Module, const std::string &Path);
+/// Atomically writes the block profile (temp file + fsync + rename).
+bool storeBlockProfileFile(const VmModule &Module, const std::string &Path,
+                           uint64_t SourceProfileFp = 0,
+                           std::string *ErrorOut = nullptr);
+
 bool loadBlockProfileFile(const std::string &Path, VmModule &Module,
-                          std::string &ErrorOut);
+                          std::string &ErrorOut,
+                          uint64_t ExpectedSourceFp = 0,
+                          BlockProfileLoadReport *Report = nullptr);
+
+/// Structural lint of a serialized block profile without a module to
+/// validate against: header/version, checksum footer, record syntax, and
+/// value sanity. Returns true when clean; appends findings otherwise.
+bool lintBlockProfileText(const std::string &Text,
+                          std::vector<std::string> &Findings);
 
 } // namespace pgmp
 

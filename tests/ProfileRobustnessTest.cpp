@@ -1,0 +1,609 @@
+//===- tests/ProfileRobustnessTest.cpp - profile integrity layer ----------===//
+//
+// The tentpole claims of the integrity layer, proven rather than assumed:
+//   - no corrupt, truncated, stale, or torn profile input crashes the
+//     engine or merges garbage into a ProfileDatabase;
+//   - atomic stores never leave a partially written profile visible at
+//     the target path, even under injected I/O faults;
+//   - corrupt/stale inputs degrade to warning + clean-profile fallback by
+//     default, and to structured errors in strict mode;
+//   - the three-pass protocol validates the Section 4.3 invariant
+//     explicitly through the embedded source-profile fingerprint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/ThreePass.h"
+#include "profile/ProfileIO.h"
+#include "support/AtomicFile.h"
+#include "support/Checksum.h"
+#include "vm/BlockProfile.h"
+#include "vm/Vm.h"
+
+#include <cstdio>
+#include <unistd.h>
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::string Out, Err;
+  EXPECT_EQ(readFileAll(Path, Out, Err), FileReadStatus::Ok) << Err;
+  return Out;
+}
+
+void spit(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr) << "cannot write " << Path;
+  ASSERT_EQ(std::fwrite(Text.data(), 1, Text.size(), F), Text.size());
+  std::fclose(F);
+}
+
+bool fileExists(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (F)
+    std::fclose(F);
+  return F != nullptr;
+}
+
+/// A populated database with deterministic contents.
+void populate(SourceObjectTable &Sources, ProfileDatabase &Db) {
+  const SourceObject *A = Sources.intern("app.scm", 0, 10, 1, 1);
+  const SourceObject *B = Sources.intern("app.scm", 12, 20, 2, 1);
+  Db.mergeEntry(A, ProfileDatabase::Entry{0.75, 30});
+  Db.mergeEntry(B, ProfileDatabase::Entry{0.25, 10});
+  Db.mergeDatasetCount(1);
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed-input matrix (satellite: table-driven robustness test)
+//===----------------------------------------------------------------------===//
+
+/// Rebuilds a valid v2 profile body with the given point/extra lines and
+/// a correct checksum footer, so cases can corrupt exactly one aspect.
+std::string v2Profile(const std::string &Records) {
+  std::string Out = "pgmp-profile\t2\ndatasets\t1\n" + Records;
+  Out += "crc\t" + hex32(crc32(Out)) + "\n";
+  return Out;
+}
+
+const char *const GoodPoint = "point\tapp.scm\t0\t10\t1\t1\t-\t0.5\t20\n";
+
+TEST(ProfileRobustness, MalformedInputsRejectedWithoutCrash) {
+  struct Case {
+    const char *Name;
+    std::string Text;
+    const char *ErrNeedle; ///< must appear in the error message
+  };
+  const Case Cases[] = {
+      {"empty file", "", "bad profile file header"},
+      {"wrong magic", "not a profile\nstuff\n", "bad profile file header"},
+      {"future version", "pgmp-profile\t99\ndatasets\t1\n",
+       "unsupported profile version"},
+      {"missing footer", "pgmp-profile\t2\ndatasets\t1\n",
+       "missing checksum footer"},
+      {"truncated mid-file",
+       v2Profile(GoodPoint).substr(0, v2Profile(GoodPoint).size() / 2),
+       "checksum"},
+      {"bad footer hex", "pgmp-profile\t2\ndatasets\t1\ncrc\tzzzz\n",
+       "missing checksum footer"},
+      {"wrong checksum",
+       "pgmp-profile\t2\ndatasets\t1\ncrc\t00000000\n", "checksum mismatch"},
+      {"duplicate datasets",
+       v2Profile("datasets\t1\n"), "duplicate datasets record"},
+      {"unknown record", v2Profile("mystery\trecord\n"), "unknown record"},
+      {"short point", v2Profile("point\tapp.scm\t0\t10\n"), "bad point line"},
+      {"NaN weight", v2Profile("point\tapp.scm\t0\t10\t1\t1\t-\tnan\t20\n"),
+       "invalid weight"},
+      {"Inf weight", v2Profile("point\tapp.scm\t0\t10\t1\t1\t-\tinf\t20\n"),
+       "invalid weight"},
+      {"negative weight",
+       v2Profile("point\tapp.scm\t0\t10\t1\t1\t-\t-0.5\t20\n"),
+       "invalid weight"},
+      {"negative count",
+       v2Profile("point\tapp.scm\t0\t10\t1\t1\t-\t0.5\t-3\n"),
+       "negative count"},
+      {"begin > end", v2Profile("point\tapp.scm\t10\t4\t1\t1\t-\t0.5\t20\n"),
+       "begin > end"},
+      {"offset overflow",
+       v2Profile("point\tapp.scm\t0\t99999999999\t1\t1\t-\t0.5\t20\n"),
+       "out-of-range"},
+      {"duplicate point", v2Profile(std::string(GoodPoint) + GoodPoint),
+       "duplicate point record"},
+      {"bad source record", v2Profile("source\tapp.scm\n"),
+       "bad source record"},
+      {"duplicate source record",
+       v2Profile("source\tapp.scm\t00ff\nsource\tapp.scm\t00ff\n"),
+       "duplicate source record"},
+      {"misplaced footer",
+       v2Profile("crc\t00000000\n" + std::string(GoodPoint)),
+       "misplaced checksum footer"},
+      {"missing datasets",
+       []() {
+         std::string T = std::string("pgmp-profile\t2\n") + GoodPoint;
+         return T + "crc\t" + hex32(crc32(T)) + "\n";
+       }(),
+       "missing datasets"},
+  };
+
+  for (const Case &C : Cases) {
+    SourceObjectTable Sources;
+    ProfileDatabase Db;
+    ProfileLoadReport Report;
+    std::string Err;
+    EXPECT_FALSE(parseProfile(C.Text, Sources, Db, Err, nullptr, &Report))
+        << C.Name;
+    EXPECT_NE(Err.find(C.ErrNeedle), std::string::npos)
+        << C.Name << ": got error '" << Err << "'";
+    // All-or-nothing: nothing merged from a rejected file.
+    EXPECT_FALSE(Db.hasData()) << C.Name;
+    EXPECT_EQ(Db.numPoints(), 0u) << C.Name;
+  }
+}
+
+TEST(ProfileRobustness, BitFlipAnywhereIsDetected) {
+  SourceObjectTable Sources;
+  ProfileDatabase Db;
+  populate(Sources, Db);
+  std::string Text = serializeProfile(Db);
+  // Flip one bit of every byte in turn; no variant may load or crash.
+  for (size_t I = 0; I < Text.size(); ++I) {
+    std::string Broken = Text;
+    Broken[I] ^= 0x04;
+    SourceObjectTable S2;
+    ProfileDatabase D2;
+    std::string Err;
+    EXPECT_FALSE(parseProfile(Broken, S2, D2, Err)) << "flip at byte " << I;
+    EXPECT_FALSE(D2.hasData()) << "flip at byte " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// v2 round trip, v1 compatibility
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileRobustness, V2RoundTripVerifiesChecksum) {
+  SourceObjectTable Sources;
+  ProfileDatabase Db;
+  populate(Sources, Db);
+  std::string Text = serializeProfile(Db);
+  EXPECT_EQ(Text.rfind("pgmp-profile\t2", 0), 0u);
+  EXPECT_NE(Text.find("\ncrc\t"), std::string::npos);
+
+  SourceObjectTable S2;
+  ProfileDatabase D2;
+  ProfileLoadReport Report;
+  std::string Err;
+  ASSERT_TRUE(parseProfile(Text, S2, D2, Err, nullptr, &Report)) << Err;
+  EXPECT_EQ(Report.Version, 2);
+  EXPECT_TRUE(Report.ChecksumChecked);
+  EXPECT_EQ(Report.NumPoints, 2u);
+  EXPECT_EQ(Report.NumDatasets, 1u);
+  EXPECT_EQ(D2.numPoints(), 2u);
+}
+
+TEST(ProfileRobustness, V1ProfileStillLoadsWithWarning) {
+  const std::string V1 = "pgmp-profile\t1\n"
+                         "datasets\t1\n"
+                         "point\tapp.scm\t0\t10\t1\t1\t-\t0.5\t20\n";
+  SourceObjectTable Sources;
+  ProfileDatabase Db;
+  ProfileLoadReport Report;
+  std::string Err;
+  ASSERT_TRUE(parseProfile(V1, Sources, Db, Err, nullptr, &Report)) << Err;
+  EXPECT_EQ(Report.Version, 1);
+  EXPECT_FALSE(Report.ChecksumChecked);
+  ASSERT_FALSE(Report.Warnings.empty());
+  EXPECT_NE(Report.Warnings[0].find("v1"), std::string::npos);
+  EXPECT_TRUE(Db.hasData());
+
+  // Engine level: the legacy warning reaches the diagnostic sink.
+  std::string Path = tempPath("v1.prof");
+  spit(Path, V1);
+  Engine E;
+  ASSERT_TRUE(E.loadProfile(Path));
+  EXPECT_GE(E.context().Diags.warningCount(), 1u);
+  EXPECT_EQ(evalOk(E, "(profile-data-available?)"), "#t");
+}
+
+TEST(ProfileRobustness, SourceFingerprintsRecordedAtStoreTime) {
+  std::string Path = tempPath("fp.prof");
+  Engine E;
+  E.setInstrumentation(true);
+  ASSERT_TRUE(E.evalString("(define (f) 1) (f) (f)", "app.scm").Ok);
+  ASSERT_TRUE(E.storeProfile(Path));
+  std::string Text = slurp(Path);
+  EXPECT_NE(Text.find("source\tapp.scm\t"), std::string::npos) << Text;
+  // Ephemeral buffers are never fingerprinted.
+  EXPECT_EQ(Text.find("source\t<"), std::string::npos) << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Degradation policy: warn + clean fallback by default, error in strict
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileRobustness, CorruptProfileDegradesGracefullyByDefault) {
+  std::string Path = tempPath("corrupt.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    ASSERT_TRUE(E.evalString("(define (f) 1) (f) (f)", "app.scm").Ok);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  std::string Text = slurp(Path);
+  Text[Text.size() / 2] ^= 0x10;
+  spit(Path, Text);
+
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path)) << "default mode must degrade, not fail";
+  EXPECT_GE(E2.context().Diags.warningCount(), 1u);
+  EXPECT_EQ(evalOk(E2, "(profile-data-available?)"), "#f");
+
+  // Scheme level: load-profile returns normally, state stays clean.
+  Engine E3;
+  EXPECT_EQ(evalOk(E3, "(load-profile \"" + Path + "\")"
+                       "(profile-data-available?)"),
+            "#f");
+}
+
+TEST(ProfileRobustness, CorruptProfileIsAnErrorInStrictMode) {
+  std::string Path = tempPath("corrupt.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    ASSERT_TRUE(E.evalString("(define (f) 1) (f)", "app.scm").Ok);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  std::string Text = slurp(Path);
+  Text[Text.size() / 2] ^= 0x10;
+  spit(Path, Text);
+
+  Engine E2;
+  E2.setStrictProfile(true);
+  std::string Err;
+  EXPECT_FALSE(E2.loadProfile(Path, &Err));
+  EXPECT_NE(Err.find("checksum"), std::string::npos) << Err;
+
+  // Scheme level: strict mode raises through load-profile.
+  Engine E3;
+  E3.setStrictProfile(true);
+  std::string SchemeErr = evalErr(E3, "(load-profile \"" + Path + "\")");
+  EXPECT_NE(SchemeErr.find("load-profile"), std::string::npos) << SchemeErr;
+}
+
+TEST(ProfileRobustness, MissingProfileIsStillAHardError) {
+  Engine E;
+  std::string Err;
+  EXPECT_FALSE(E.loadProfile("/nonexistent/profile.dat", &Err));
+  EXPECT_NE(Err.find("cannot open"), std::string::npos) << Err;
+}
+
+TEST(ProfileRobustness, StaleProfileDetectedAgainstChangedSource) {
+  std::string Path = tempPath("stale.prof");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    ASSERT_TRUE(E.evalString("(define (f) 1) (f) (f)", "app.scm").Ok);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+
+  // Same buffer name, different code: the profile is stale.
+  Engine E2;
+  ASSERT_TRUE(E2.evalString("(define (g) 2) (g)", "app.scm").Ok);
+  ASSERT_TRUE(E2.loadProfile(Path)) << "default mode must degrade";
+  EXPECT_GE(E2.context().Diags.warningCount(), 1u);
+  EXPECT_EQ(evalOk(E2, "(profile-data-available?)"), "#f");
+
+  Engine E3;
+  E3.setStrictProfile(true);
+  ASSERT_TRUE(E3.evalString("(define (g) 2) (g)", "app.scm").Ok);
+  std::string Err;
+  EXPECT_FALSE(E3.loadProfile(Path, &Err));
+  EXPECT_NE(Err.find("stale"), std::string::npos) << Err;
+
+  // Matching code: loads fine.
+  Engine E4;
+  E4.setStrictProfile(true);
+  ASSERT_TRUE(E4.evalString("(define (f) 1) (f) (f)", "app.scm").Ok);
+  ASSERT_TRUE(E4.loadProfile(Path));
+  EXPECT_EQ(evalOk(E4, "(profile-data-available?)"), "#t");
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic stores under injected I/O faults
+//===----------------------------------------------------------------------===//
+
+struct FaultGuard {
+  ~FaultGuard() { iofault::disarm(); }
+};
+
+TEST(ProfileRobustness, TornStoreNeverReplacesPreviousProfile) {
+  FaultGuard Guard;
+  SourceObjectTable Sources;
+  ProfileDatabase Db;
+  populate(Sources, Db);
+
+  const iofault::Kind Faults[] = {
+      iofault::Kind::ShortWrite, iofault::Kind::WriteError,
+      iofault::Kind::FsyncError, iofault::Kind::RenameError};
+
+  for (iofault::Kind K : Faults) {
+    std::string Path =
+        tempPath("torn_" + std::to_string(static_cast<int>(K)));
+    std::string TmpPath =
+        Path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::string Err;
+
+    // Fault on first-ever store: target must not appear at all.
+    std::remove(Path.c_str());
+    iofault::arm(K);
+    EXPECT_FALSE(storeProfileFile(Db, Path, nullptr, &Err))
+        << "fault " << static_cast<int>(K);
+    EXPECT_FALSE(Err.empty());
+    EXPECT_FALSE(fileExists(Path)) << "fault " << static_cast<int>(K);
+    EXPECT_FALSE(fileExists(TmpPath)) << "temp litter left behind";
+
+    // Healthy store, then fault: previous bytes must survive untouched.
+    ASSERT_TRUE(storeProfileFile(Db, Path, nullptr, &Err)) << Err;
+    std::string Before = slurp(Path);
+    ProfileDatabase Db2;
+    populate(Sources, Db2);
+    Db2.mergeEntry(Sources.intern("app.scm", 30, 40, 3, 1),
+                   ProfileDatabase::Entry{0.5, 99});
+    iofault::arm(K);
+    EXPECT_FALSE(storeProfileFile(Db2, Path, nullptr, &Err));
+    EXPECT_EQ(slurp(Path), Before) << "fault " << static_cast<int>(K);
+    EXPECT_FALSE(fileExists(TmpPath)) << "temp litter left behind";
+
+    // And the fault is one-shot: the retry succeeds and loads cleanly.
+    ASSERT_TRUE(storeProfileFile(Db2, Path, nullptr, &Err)) << Err;
+    SourceObjectTable S3;
+    ProfileDatabase D3;
+    ASSERT_TRUE(loadProfileFile(Path, S3, D3, Err)) << Err;
+    EXPECT_EQ(D3.numPoints(), 3u);
+  }
+}
+
+TEST(ProfileRobustness, InjectedBitFlipIsCaughtAtLoad) {
+  FaultGuard Guard;
+  SourceObjectTable Sources;
+  ProfileDatabase Db;
+  populate(Sources, Db);
+  std::string Path = tempPath("flip.prof");
+  std::string Err;
+
+  iofault::arm(iofault::Kind::BitFlip,
+               serializeProfile(Db).size() / 2);
+  ASSERT_TRUE(storeProfileFile(Db, Path, nullptr, &Err))
+      << "bit flips corrupt silently; the write itself succeeds";
+
+  SourceObjectTable S2;
+  ProfileDatabase D2;
+  ProfileLoadReport Report;
+  EXPECT_FALSE(loadProfileFile(Path, S2, D2, Err, nullptr, &Report));
+  EXPECT_EQ(Report.Status, ProfileLoadStatus::Corrupt) << Err;
+  EXPECT_FALSE(D2.hasData());
+}
+
+TEST(ProfileRobustness, FailedStoreKeepsLiveCounters) {
+  FaultGuard Guard;
+  std::string Path = tempPath("keep.prof");
+  std::remove(Path.c_str()); // may survive from a previous run
+  Engine E;
+  E.setInstrumentation(true);
+  ASSERT_TRUE(E.evalString("(define (f) 1) (f) (f) (f)", "app.scm").Ok);
+
+  iofault::arm(iofault::Kind::WriteError);
+  std::string Err;
+  EXPECT_FALSE(E.storeProfile(Path, &Err));
+  EXPECT_FALSE(fileExists(Path));
+  // The failed store must not have folded-and-reset the counters: the
+  // retry still has data to persist.
+  ASSERT_TRUE(E.storeProfile(Path, &Err)) << Err;
+
+  Engine E2;
+  ASSERT_TRUE(E2.loadProfile(Path));
+  EXPECT_EQ(evalOk(E2, "(profile-data-available?)"), "#t");
+  EXPECT_EQ(evalOk(E2, "(current-profile-datasets)"), "1");
+}
+
+//===----------------------------------------------------------------------===//
+// Block profiles: checksum, fingerprint, all-or-nothing apply
+//===----------------------------------------------------------------------===//
+
+struct BlockFixture : ::testing::Test {
+  Engine E;
+  VmRunner Runner{E};
+
+  VmModule *compile(const std::string &Src) {
+    VmCompileOptions Opts;
+    Opts.ProfileBlocks = true;
+    EvalResult R = Runner.evalString(Src, "blk.scm", Opts);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return Runner.lastModule();
+  }
+};
+
+TEST_F(BlockFixture, V2RoundTripWithMatchingFingerprint) {
+  VmModule *M = compile("(define (pick x) (if x 'a 'b)) (pick #t) (pick #f)");
+  std::string Text = serializeBlockProfile(*M, 0x1234);
+  EXPECT_EQ(Text.rfind("pgmp-block-profile\t2", 0), 0u);
+  BlockProfileLoadReport Report;
+  std::string Err;
+  ASSERT_TRUE(applyBlockProfile(Text, *M, Err, 0x1234, &Report)) << Err;
+  EXPECT_EQ(Report.Version, 2);
+  EXPECT_TRUE(Report.ChecksumChecked);
+  EXPECT_EQ(Report.SourceProfileFingerprint, 0x1234u);
+}
+
+TEST_F(BlockFixture, MismatchedSourceProfileFingerprintRejected) {
+  VmModule *M = compile("(define (pick x) (if x 'a 'b)) (pick #t)");
+  std::string Text = serializeBlockProfile(*M, 0x1234);
+  std::string Err;
+  EXPECT_FALSE(applyBlockProfile(Text, *M, Err, 0x9999));
+  EXPECT_NE(Err.find("different source profile"), std::string::npos) << Err;
+  // Unknown on either side skips the check (v1 compatibility).
+  EXPECT_TRUE(applyBlockProfile(Text, *M, Err, 0)) << Err;
+}
+
+TEST_F(BlockFixture, CorruptBlockProfileRejectedWithoutMutation) {
+  VmModule *M = compile("(define (pick x) (if x 'a 'b)) (pick #t)");
+  std::string Text = serializeBlockProfile(*M);
+
+  uint64_t CountsBefore = 0;
+  for (const auto &Fn : M->Functions)
+    for (const auto &B : Fn->Blocks)
+      CountsBefore += B.ProfileCount;
+
+  for (size_t I = 0; I < Text.size(); I += 7) {
+    std::string Broken = Text;
+    Broken[I] ^= 0x02;
+    std::string Err;
+    EXPECT_FALSE(applyBlockProfile(Broken, *M, Err)) << "flip at " << I;
+  }
+  uint64_t CountsAfter = 0;
+  for (const auto &Fn : M->Functions)
+    for (const auto &B : Fn->Blocks)
+      CountsAfter += B.ProfileCount;
+  EXPECT_EQ(CountsBefore, CountsAfter)
+      << "rejected profiles must not touch the module";
+}
+
+TEST_F(BlockFixture, V1BlockProfileStillLoads) {
+  VmModule *M = compile("(define (pick x) (if x 'a 'b)) (pick #t)");
+  // Hand-build the legacy format from the module's own structure.
+  std::string V1 = "pgmp-block-profile\t1\n";
+  for (size_t FI = 0; FI < M->Functions.size(); ++FI) {
+    const VmFunction &Fn = *M->Functions[FI];
+    V1 += "fn\t" + std::to_string(FI) + "\t" + Fn.Name + "\t" +
+          std::to_string(Fn.Blocks.size()) + "\t" +
+          std::to_string(Fn.structuralHash()) + "\n";
+    for (size_t BI = 0; BI < Fn.Blocks.size(); ++BI)
+      V1 += "block\t" + std::to_string(FI) + "\t" + std::to_string(BI) +
+            "\t1\n";
+  }
+  BlockProfileLoadReport Report;
+  std::string Err;
+  ASSERT_TRUE(applyBlockProfile(V1, *M, Err, 0, &Report)) << Err;
+  EXPECT_EQ(Report.Version, 1);
+  ASSERT_FALSE(Report.Warnings.empty());
+  EXPECT_NE(Report.Warnings[0].find("v1"), std::string::npos);
+}
+
+TEST_F(BlockFixture, LintFlagsCorruptionAndPassesCleanFiles) {
+  VmModule *M = compile("(define (pick x) (if x 'a 'b)) (pick #t)");
+  std::string Text = serializeBlockProfile(*M, 0xfeed);
+  std::vector<std::string> Findings;
+  EXPECT_TRUE(lintBlockProfileText(Text, Findings)) << Findings.size();
+  EXPECT_TRUE(Findings.empty());
+
+  std::string Broken = Text;
+  Broken[Broken.size() / 3] ^= 0x08;
+  EXPECT_FALSE(lintBlockProfileText(Broken, Findings));
+  EXPECT_FALSE(Findings.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Three-pass protocol: the Section 4.3 invariant, now explicit
+//===----------------------------------------------------------------------===//
+
+const char *ProgramSrc =
+    "(define hits-a 0) (define hits-b 0) (define hits-c 0)\n"
+    "(define (dispatch c)\n"
+    "  (case c\n"
+    "    [(#\\a) (set! hits-a (+ hits-a 1))]\n"
+    "    [(#\\b) (set! hits-b (+ hits-b 1))]\n"
+    "    [else (set! hits-c (+ hits-c 1))]))\n";
+
+ThreePassConfig makeConfig(const std::string &Dir) {
+  ThreePassConfig C;
+  C.Libraries = {"exclusive-cond", "pgmp-case"};
+  C.ProgramSource = ProgramSrc;
+  C.ProgramName = "dispatch.scm";
+  C.WorkloadSource =
+      "(for-each (lambda (i) (dispatch #\\b)) (iota 50))"
+      "(for-each (lambda (i) (dispatch #\\a)) (iota 5))";
+  C.SourceProfilePath = Dir + "_src.prof";
+  C.BlockProfilePath = Dir + "_blk.prof";
+  return C;
+}
+
+TEST(ProfileRobustness, ThreePassRejectsSwappedSourceProfileExplicitly) {
+  ThreePassConfig C = makeConfig(tempPath("tp"));
+  std::string Err;
+  ASSERT_TRUE(runPassOne(C, Err)) << Err;
+  ASSERT_TRUE(runPassTwo(C, Err)) << Err;
+
+  // A different workload skew re-stores a different source profile; the
+  // block profile's embedded fingerprint now fails *before* any
+  // structural comparison — the Section 4.3 hazard caught by name.
+  ThreePassConfig C2 = C;
+  C2.WorkloadSource =
+      "(for-each (lambda (i) (dispatch #\\a)) (iota 60))"
+      "(for-each (lambda (i) (dispatch #\\b)) (iota 3))";
+  ASSERT_TRUE(runPassOne(C2, Err)) << Err;
+
+  OptimizedProgram Out;
+  ASSERT_TRUE(runPassThree(C2, Out, Err));
+  EXPECT_FALSE(Out.BlockProfileValid);
+  EXPECT_NE(Err.find("different source profile"), std::string::npos) << Err;
+}
+
+TEST(ProfileRobustness, ThreePassStrictModeFailsOnInvalidBlockProfile) {
+  ThreePassConfig C = makeConfig(tempPath("tp"));
+  std::string Err;
+  ASSERT_TRUE(runPassOne(C, Err)) << Err;
+  ASSERT_TRUE(runPassTwo(C, Err)) << Err;
+
+  ThreePassConfig C2 = C;
+  C2.WorkloadSource = "(for-each (lambda (i) (dispatch #\\a)) (iota 60))";
+  ASSERT_TRUE(runPassOne(C2, Err)) << Err;
+
+  C2.StrictProfile = true;
+  OptimizedProgram Out;
+  EXPECT_FALSE(runPassThree(C2, Out, Err));
+}
+
+TEST(ProfileRobustness, ThreePassDetectsStaleProgramSource) {
+  ThreePassConfig C = makeConfig(tempPath("tp"));
+  std::string Err;
+  ASSERT_TRUE(runPassOne(C, Err)) << Err;
+
+  // The program changes between pass 1 and pass 2 — the profile's
+  // fingerprint of dispatch.scm no longer matches.
+  ThreePassConfig C2 = C;
+  C2.ProgramSource = std::string(ProgramSrc) + "(define extra 1)\n";
+  C2.StrictProfile = true;
+  EXPECT_FALSE(runPassTwo(C2, Err));
+  EXPECT_NE(Err.find("stale"), std::string::npos) << Err;
+
+  // Default mode degrades: pass 2 still produces a (unoptimized) build.
+  C2.StrictProfile = false;
+  EXPECT_TRUE(runPassTwo(C2, Err)) << Err;
+
+  // Unchanged program: strict mode is satisfied.
+  C.StrictProfile = true;
+  EXPECT_TRUE(runPassTwo(C, Err)) << Err;
+}
+
+TEST(ProfileRobustness, ThreePassCorruptSourceProfileDegrades) {
+  ThreePassConfig C = makeConfig(tempPath("tp"));
+  std::string Err;
+  ASSERT_TRUE(runPassOne(C, Err)) << Err;
+  std::string Text = slurp(C.SourceProfilePath);
+  Text[Text.size() / 2] ^= 0x20;
+  spit(C.SourceProfilePath, Text);
+
+  // Default: the whole pipeline still yields a working (if unoptimized)
+  // program; strict: pass 2 refuses.
+  std::string Blocks;
+  EXPECT_TRUE(runPassTwo(C, Err, &Blocks)) << Err;
+  C.StrictProfile = true;
+  EXPECT_FALSE(runPassTwo(C, Err));
+  EXPECT_NE(Err.find("checksum"), std::string::npos) << Err;
+}
+
+} // namespace

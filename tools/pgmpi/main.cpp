@@ -8,6 +8,8 @@
 ///     --instrument           compile with source-expression counters
 ///     --profile-out FILE     store-profile to FILE after running
 ///     --profile-in FILE      load-profile from FILE before compiling
+///     --strict-profile       corrupt/stale profiles are errors, not
+///                            degrade-with-warning
 ///     --annotate-wrap        errortrace-style annotate-expr
 ///     --dump-expansion       print expanded core forms instead of running
 ///     --lib NAME             load scheme/NAME.scm first (repeatable)
@@ -15,10 +17,19 @@
 ///     --repl                 interactive read-eval-print loop (after
 ///                            files), with profile state live
 ///
+///   pgmpi profile-lint FILE...
+///     validates stored profiles (source or block level): format version,
+///     checksum footer, record syntax, and source fingerprints against
+///     the files on disk. Exit 1 when any finding is reported.
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/Engine.h"
+#include "profile/ProfileIO.h"
+#include "support/AtomicFile.h"
+#include "support/Checksum.h"
 #include "syntax/Writer.h"
+#include "vm/BlockProfile.h"
 
 #include <cstdio>
 #include <cstring>
@@ -30,10 +41,89 @@ using namespace pgmp;
 static int usage() {
   std::fprintf(stderr,
                "usage: pgmpi [--instrument] [--profile-out F] "
-               "[--profile-in F]\n"
+               "[--profile-in F] [--strict-profile]\n"
                "             [--annotate-wrap] [--dump-expansion] "
-               "[--lib NAME]... [-e EXPR] file.scm...\n");
+               "[--lib NAME]... [-e EXPR] file.scm...\n"
+               "       pgmpi profile-lint FILE...\n");
   return 2;
+}
+
+/// Validates one stored profile file and prints findings; returns the
+/// number of problems found.
+static int lintOneProfile(const std::string &Path) {
+  std::string Bytes, Err;
+  if (readFileAll(Path, Bytes, Err) != FileReadStatus::Ok) {
+    std::printf("%s: ERROR: %s\n", Path.c_str(), Err.c_str());
+    return 1;
+  }
+
+  if (Bytes.rfind("pgmp-block-profile\t", 0) == 0) {
+    std::vector<std::string> Findings;
+    bool Clean = lintBlockProfileText(Bytes, Findings);
+    std::printf("%s: block profile, %zu bytes\n", Path.c_str(), Bytes.size());
+    for (const std::string &F : Findings)
+      std::printf("  FINDING: %s\n", F.c_str());
+    if (Clean)
+      std::printf("  ok: checksum verified, all records well-formed\n");
+    return static_cast<int>(Findings.size());
+  }
+
+  SourceObjectTable Sources;
+  ProfileDatabase Db;
+  ProfileLoadReport Report;
+  std::string ParseErr;
+  bool Ok = parseProfile(Bytes, Sources, Db, ParseErr, nullptr, &Report);
+  std::printf("%s: source profile v%d, %zu bytes\n", Path.c_str(),
+              Report.Version, Bytes.size());
+  int Problems = 0;
+  if (!Ok) {
+    std::printf("  ERROR: %s\n", ParseErr.c_str());
+    ++Problems;
+  } else {
+    std::printf("  ok: %llu dataset(s), %zu point(s), checksum %s\n",
+                static_cast<unsigned long long>(Report.NumDatasets),
+                Report.NumPoints,
+                Report.ChecksumChecked ? "verified" : "absent (v1)");
+  }
+  for (const std::string &W : Report.Warnings)
+    std::printf("  WARNING: %s\n", W.c_str());
+  Problems += static_cast<int>(Report.Warnings.size());
+
+  // Check recorded source fingerprints against the files on disk, when
+  // they exist there (in-memory buffer names are skipped silently).
+  for (const auto &[File, Fp] : Report.Fingerprints) {
+    std::string Contents, ReadErr;
+    if (readFileAll(File, Contents, ReadErr) != FileReadStatus::Ok) {
+      std::printf("  fingerprint %s: source not found on disk (unchecked)\n",
+                  File.c_str());
+      continue;
+    }
+    if (fnv1a64(Contents) == Fp) {
+      std::printf("  fingerprint %s: matches\n", File.c_str());
+    } else {
+      std::printf("  STALE: %s changed since this profile was stored\n",
+                  File.c_str());
+      ++Problems;
+    }
+  }
+  return Problems;
+}
+
+static int runProfileLint(int Argc, char **Argv) {
+  std::vector<std::string> Files;
+  for (int I = 2; I < Argc; ++I) {
+    if (Argv[I][0] == '-') {
+      std::fprintf(stderr, "pgmpi: profile-lint takes only file arguments\n");
+      return 2;
+    }
+    Files.push_back(Argv[I]);
+  }
+  if (Files.empty())
+    return usage();
+  int Problems = 0;
+  for (const std::string &F : Files)
+    Problems += lintOneProfile(F);
+  return Problems ? 1 : 0;
 }
 
 /// Reads one balanced form (or a full line) per prompt; exits on EOF or
@@ -103,9 +193,13 @@ static void runRepl(Engine &E) {
 }
 
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && std::strcmp(Argv[1], "profile-lint") == 0)
+    return runProfileLint(Argc, Argv);
+
   bool Instrument = false;
   bool DumpExpansion = false;
   bool AnnotateWrap = false;
+  bool StrictProfile = false;
   bool Repl = false;
   std::string ProfileOut, ProfileIn, EvalText;
   std::vector<std::string> Libs, Files;
@@ -125,6 +219,8 @@ int main(int Argc, char **Argv) {
       DumpExpansion = true;
     else if (Arg == "--annotate-wrap")
       AnnotateWrap = true;
+    else if (Arg == "--strict-profile")
+      StrictProfile = true;
     else if (Arg == "--repl")
       Repl = true;
     else if (Arg == "--profile-out")
@@ -150,10 +246,17 @@ int main(int Argc, char **Argv) {
   E.context().EchoStdout = true;
   E.context().Diags.EchoToStderr = true;
   E.setInstrumentation(Instrument);
+  E.setStrictProfile(StrictProfile);
   if (AnnotateWrap)
     E.setAnnotateMode(AnnotateMode::Wrap);
 
   if (!ProfileIn.empty()) {
+    // Register the script buffers before loading so the profile's source
+    // fingerprints are checked against the code about to be compiled.
+    for (const std::string &F : Files) {
+      FileId Id;
+      (void)E.context().SrcMgr.addFile(F, Id); // missing files error later
+    }
     std::string Err;
     if (!E.loadProfile(ProfileIn, &Err)) {
       std::fprintf(stderr, "pgmpi: %s\n", Err.c_str());
