@@ -26,6 +26,10 @@ inline void require(bool Ok, const std::string &What) {
   }
 }
 
+inline void require(const ProfileOpResult &R, const std::string &What) {
+  require(R.ok(), What + (R.Error.empty() ? "" : ": " + R.Error));
+}
+
 inline void requireEval(Engine &E, const std::string &Src,
                         const std::string &Name = "<bench>") {
   EvalResult R = E.evalString(Src, Name);

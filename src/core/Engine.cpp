@@ -25,7 +25,22 @@ Engine::Engine() : Ctx(), Exp(Ctx) {
                      "prelude not loaded: " + R.Error);
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Best-effort flush of an unwritten trace; explicit writeTrace() is the
+  // error-reporting path.
+  if (!TracePath.empty()) {
+    std::string Err;
+    (void)Ctx.Trace.write(TracePath, Err);
+  }
+}
+
+/// Reads the next form under the Read phase timer; the read/expand/
+/// compile/eval split is what makes "where does expansion time go?"
+/// answerable per top-level form without touching any hot loop.
+static std::optional<Value> readOneTimed(Context &Ctx, Reader &Rd) {
+  ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Read);
+  return Rd.readOne();
+}
 
 EvalResult Engine::evalString(const std::string &Source,
                               const std::string &Name) {
@@ -34,10 +49,22 @@ EvalResult Engine::evalString(const std::string &Source,
     Ctx.SrcMgr.addBuffer(Name, Source);
     Reader Rd(Ctx.TheHeap, Ctx.Symbols, Ctx.Sources, Source, Name);
     Value Last = Value::undefined();
-    while (auto Form = Rd.readOne()) {
-      for (Value Core : Exp.expandTopLevel(*Form)) {
-        auto Unit = compileCore(Ctx, Core);
-        Last = evalExpr(Ctx, Unit->Root, nullptr);
+    while (auto Form = readOneTimed(Ctx, Rd)) {
+      std::vector<Value> Cores;
+      {
+        ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Expand);
+        Cores = Exp.expandTopLevel(*Form);
+      }
+      for (Value Core : Cores) {
+        std::unique_ptr<CodeUnit> Unit;
+        {
+          ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Compile);
+          Unit = compileCore(Ctx, Core);
+        }
+        {
+          ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Eval);
+          Last = evalExpr(Ctx, Unit->Root, nullptr);
+        }
         Ctx.adoptCode(std::move(Unit));
       }
     }
@@ -88,8 +115,13 @@ EvalResult Engine::expandToString(const std::string &Source,
     std::string Out;
     WriteOptions Opts;
     Opts.SyntaxAsDatum = true;
-    while (auto Form = Rd.readOne()) {
-      for (Value Core : Exp.expandTopLevel(*Form)) {
+    while (auto Form = readOneTimed(Ctx, Rd)) {
+      std::vector<Value> Cores;
+      {
+        ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Expand);
+        Cores = Exp.expandTopLevel(*Form);
+      }
+      for (Value Core : Cores) {
         Out += writeValue(Core, Opts);
         Out += "\n";
       }
@@ -103,24 +135,58 @@ EvalResult Engine::expandToString(const std::string &Source,
 }
 
 void Engine::foldCountersIntoProfile() {
+  ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::CounterFold);
+  uint64_t Before = Ctx.ProfileDb.numDatasets();
+  Ctx.Stats.bump(Stat::CounterIncrements, Ctx.Counters.totalIncrements());
   Ctx.ProfileDb.addDataset(Ctx.Counters);
+  if (Ctx.ProfileDb.numDatasets() > Before)
+    Ctx.Stats.bump(Stat::DatasetMerges);
   Ctx.Counters.reset();
 }
 
+ProfileOpResult Engine::storeProfile(const std::string &Path) {
+  return pgmpapi::storeProfile(Ctx, Path);
+}
+
+ProfileOpResult Engine::loadProfile(const std::string &Path) {
+  return pgmpapi::loadProfile(Ctx, Path);
+}
+
 bool Engine::storeProfile(const std::string &Path, std::string *ErrorOut) {
-  std::string Err;
-  bool Ok = pgmpapi::storeProfile(Ctx, Path, Err);
-  if (!Ok && ErrorOut)
-    *ErrorOut = Err;
-  return Ok;
+  ProfileOpResult R = storeProfile(Path);
+  if (!R && ErrorOut)
+    *ErrorOut = R.Error;
+  return R.ok();
 }
 
 bool Engine::loadProfile(const std::string &Path, std::string *ErrorOut) {
+  ProfileOpResult R = loadProfile(Path);
+  if (!R && ErrorOut)
+    *ErrorOut = R.Error;
+  return R.ok();
+}
+
+void Engine::setTracePath(const std::string &Path) {
+  TracePath = Path;
+  Ctx.Trace.enable(!Path.empty());
+}
+
+ProfileOpResult Engine::writeTrace() {
+  if (TracePath.empty())
+    return ProfileOpResult::failure(
+        "no trace path configured (call setTracePath first)");
+  ProfileOpResult R = writeTrace(TracePath);
+  if (R.ok())
+    TracePath.clear(); // flushed: the destructor must not rewrite it
+  return R;
+}
+
+ProfileOpResult Engine::writeTrace(const std::string &Path) {
   std::string Err;
-  bool Ok = pgmpapi::loadProfile(Ctx, Path, Err);
-  if (!Ok && ErrorOut)
-    *ErrorOut = Err;
-  return Ok;
+  if (!Ctx.Trace.write(Path, Err))
+    return ProfileOpResult::failure("cannot write trace file: " + Path +
+                                    " (" + Err + ")");
+  return ProfileOpResult{};
 }
 
 void Engine::clearProfile() {

@@ -20,6 +20,7 @@
 #ifndef PGMP_CORE_ENGINE_H
 #define PGMP_CORE_ENGINE_H
 
+#include "core/ProfileOpResult.h"
 #include "expander/Expander.h"
 #include "interp/Context.h"
 
@@ -95,13 +96,48 @@ public:
   /// resets them (also performed by storeProfile).
   void foldCountersIntoProfile();
 
-  bool storeProfile(const std::string &Path, std::string *ErrorOut = nullptr);
-  bool loadProfile(const std::string &Path, std::string *ErrorOut = nullptr);
+  /// Stores / loads a profile; see ProfileOpResult.h for the structured
+  /// result (operator bool keeps `if (!E.loadProfile(p))` working, and is
+  /// true for degraded loads, matching the old degradation policy).
+  ProfileOpResult storeProfile(const std::string &Path);
+  ProfileOpResult loadProfile(const std::string &Path);
+
+  /// Deprecated bool/ErrorOut shims; use the ProfileOpResult overloads.
+  [[deprecated("use storeProfile(Path) returning ProfileOpResult")]]
+  bool storeProfile(const std::string &Path, std::string *ErrorOut);
+  [[deprecated("use loadProfile(Path) returning ProfileOpResult")]]
+  bool loadProfile(const std::string &Path, std::string *ErrorOut);
+
   void clearProfile();
 
   /// Weight of the point covering [Begin, End) of buffer \p File.
+  /// nullopt means "no profile data loaded" — distinct from 0.0, which
+  /// means "data is loaded and this point was never hit" (profile-query
+  /// collapses both to 0; profile-query* preserves the distinction).
   std::optional<double> weightOf(const std::string &File, uint32_t Begin,
                                  uint32_t End);
+
+  //===--------------------------------------------------------------------===//
+  // Observability (phase timers, self-metrics, trace export)
+  //===--------------------------------------------------------------------===//
+
+  /// Toggles pipeline stats: per-phase wall-clock timers and profiler
+  /// self-metrics. Near-zero cost when off (the default).
+  void setStatsEnabled(bool On) { Ctx.Stats.enable(On); }
+  bool statsEnabled() const { return Ctx.Stats.enabled(); }
+
+  /// The accumulated stats; see StatsRegistry::snapshot()/render().
+  const StatsRegistry &stats() const { return Ctx.Stats; }
+  void resetStats() { Ctx.Stats.reset(); }
+
+  /// Enables trace-event collection and sets where writeTrace() (and the
+  /// destructor, best-effort) will write Chrome trace_event JSON.
+  void setTracePath(const std::string &Path);
+
+  /// Writes the collected trace to the setTracePath() target (or \p Path)
+  /// and marks it flushed so the destructor does not rewrite it.
+  ProfileOpResult writeTrace();
+  ProfileOpResult writeTrace(const std::string &Path);
 
   //===--------------------------------------------------------------------===//
   // Output capture
@@ -113,6 +149,7 @@ public:
 private:
   Context Ctx;
   Expander Exp;
+  std::string TracePath;
 };
 
 } // namespace pgmp

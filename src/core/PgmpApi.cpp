@@ -7,6 +7,7 @@
 #include "syntax/Syntax.h"
 
 #include <algorithm>
+#include <cstdint>
 
 using namespace pgmp;
 using namespace pgmp::prims;
@@ -17,6 +18,7 @@ using namespace pgmp::prims;
 
 Value pgmp::pgmpapi::makeProfilePoint(Context &Ctx,
                                       const std::string &BaseFile) {
+  Ctx.Stats.bump(Stat::PointsCreated);
   const SourceObject *Src = Ctx.Sources.makeGeneratedPoint(BaseFile);
   // A profile point is a syntax object carrying the source object.
   return makeSyntax(Ctx.TheHeap, Value::boolean(false), ScopeSet(), Src);
@@ -26,6 +28,7 @@ Value pgmp::pgmpapi::annotateExpr(Context &Ctx, Value Expr,
                                   const SourceObject *Point) {
   if (!Expr.isSyntax())
     raiseError("annotate-expr: expression must be a syntax object");
+  Ctx.Stats.bump(Stat::AnnotateExprCalls);
   Syntax *E = Expr.asSyntax();
 
   if (Ctx.AnnotMode == AnnotateMode::Inline) {
@@ -53,38 +56,71 @@ Value pgmp::pgmpapi::annotateExpr(Context &Ctx, Value Expr,
 }
 
 double pgmp::pgmpapi::profileQuery(Context &Ctx, const Value &ExprOrPoint) {
-  const SourceObject *Src = syntaxSource(ExprOrPoint);
-  if (!Src)
-    return 0.0;
-  return Ctx.ProfileDb.weight(Src).value_or(0.0);
+  return profileQueryOpt(Ctx, ExprOrPoint).value_or(0.0);
 }
 
-bool pgmp::pgmpapi::storeProfile(Context &Ctx, const std::string &Path,
-                                 std::string &ErrorOut) {
+std::optional<double> pgmp::pgmpapi::profileQueryOpt(Context &Ctx,
+                                                     const Value &ExprOrPoint) {
+  Ctx.Stats.bump(Stat::ProfileQueries);
+  const SourceObject *Src = syntaxSource(ExprOrPoint);
+  if (!Src)
+    return std::nullopt;
+  return Ctx.ProfileDb.weight(Src);
+}
+
+ProfileOpResult pgmp::pgmpapi::storeProfile(Context &Ctx,
+                                            const std::string &Path) {
+  ProfileOpResult R;
+  Ctx.Stats.bump(Stat::ProfileStores);
   // Serialize a snapshot that already includes the live counters, but
   // fold-and-reset only after the file is safely on disk: a failed store
   // must not destroy the counter data it failed to persist.
   ProfileDatabase Snapshot = Ctx.ProfileDb;
-  Snapshot.addDataset(Ctx.Counters);
-  std::string Err;
-  if (!storeProfileFile(Snapshot, Path, &Ctx.SrcMgr, &Err)) {
-    ErrorOut = "cannot write profile file: " + Path + " (" + Err + ")";
-    return false;
+  {
+    ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::CounterFold);
+    Snapshot.addDataset(Ctx.Counters);
   }
+  std::string Err;
+  {
+    ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::ProfileStore);
+    if (!storeProfileFile(Snapshot, Path, &Ctx.SrcMgr, &Err))
+      return ProfileOpResult::failure("cannot write profile file: " + Path +
+                                      " (" + Err + ")");
+  }
+  uint64_t Increments = Ctx.Counters.totalIncrements();
+  bool CountersFolded = Snapshot.numDatasets() > Ctx.ProfileDb.numDatasets();
+  Ctx.Stats.bump(Stat::CounterIncrements, Increments);
   Ctx.ProfileDb.addDataset(Ctx.Counters);
   Ctx.Counters.reset();
-  return true;
+  if (CountersFolded)
+    Ctx.Stats.bump(Stat::DatasetMerges);
+  R.DatasetsMerged = CountersFolded ? 1 : 0;
+  R.PointsLoaded = Snapshot.numPoints();
+  return R;
 }
 
-bool pgmp::pgmpapi::loadProfile(Context &Ctx, const std::string &Path,
-                                std::string &ErrorOut) {
+ProfileOpResult pgmp::pgmpapi::loadProfile(Context &Ctx,
+                                           const std::string &Path) {
+  ProfileOpResult R;
+  Ctx.Stats.bump(Stat::ProfileLoads);
   std::string Err;
   ProfileLoadReport Report;
-  if (loadProfileFile(Path, Ctx.Sources, Ctx.ProfileDb, Err, &Ctx.SrcMgr,
-                      &Report)) {
-    for (const std::string &W : Report.Warnings)
-      Ctx.Diags.report(DiagKind::Warning, Path, W);
-    return true;
+  bool Ok;
+  {
+    ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::ProfileLoad);
+    Ok = loadProfileFile(Path, Ctx.Sources, Ctx.ProfileDb, Err, &Ctx.SrcMgr,
+                         &Report);
+  }
+  if (Ok) {
+    // Single funnel for load warnings: attach the path once and forward
+    // to the diagnostic sink; the result carries a copy for the caller.
+    Ctx.Diags.reportAll(DiagKind::Warning, Path, Report.Warnings);
+    R.Warnings = Report.Warnings;
+    R.DatasetsMerged = Report.NumDatasets;
+    R.PointsLoaded = Report.NumPoints;
+    Ctx.Stats.bump(Stat::DatasetMerges, Report.NumDatasets);
+    Ctx.Stats.bump(Stat::ProfilePointsLoaded, Report.NumPoints);
+    return R;
   }
   // Degradation policy: corrupt, stale, or malformed profiles are data
   // problems, not program errors — warn and continue unoptimized
@@ -94,14 +130,30 @@ bool pgmp::pgmpapi::loadProfile(Context &Ctx, const std::string &Path,
   bool Degradable = Report.Status == ProfileLoadStatus::Malformed ||
                     Report.Status == ProfileLoadStatus::Corrupt ||
                     Report.Status == ProfileLoadStatus::Stale;
-  if (!Degradable || Ctx.StrictProfile) {
-    ErrorOut = Err;
-    return false;
-  }
-  Ctx.Diags.report(DiagKind::Warning, Path,
-                   "ignoring profile: " + Err +
+  if (!Degradable || Ctx.StrictProfile)
+    return ProfileOpResult::failure(std::move(Err));
+  R.Status = ProfileOpStatus::Degraded;
+  R.Error = Err;
+  R.Warnings.push_back("ignoring profile: " + Err +
                        "; continuing without profile data");
-  return true;
+  Ctx.Diags.reportAll(DiagKind::Warning, Path, R.Warnings);
+  return R;
+}
+
+bool pgmp::pgmpapi::storeProfile(Context &Ctx, const std::string &Path,
+                                 std::string &ErrorOut) {
+  ProfileOpResult R = storeProfile(Ctx, Path);
+  if (!R)
+    ErrorOut = R.Error;
+  return R.ok();
+}
+
+bool pgmp::pgmpapi::loadProfile(Context &Ctx, const std::string &Path,
+                                std::string &ErrorOut) {
+  ProfileOpResult R = loadProfile(Ctx, Path);
+  if (!R)
+    ErrorOut = R.Error;
+  return R.ok();
 }
 
 //===----------------------------------------------------------------------===//
@@ -135,6 +187,13 @@ Value primProfileQuery(Context &Ctx, Value *A, size_t) {
   return Value::flonum(pgmpapi::profileQuery(Ctx, A[0]));
 }
 
+/// (profile-query* e) — weight, or #f when no data is loaded / the value
+/// carries no profile point. The non-collapsing sibling of profile-query.
+Value primProfileQueryStar(Context &Ctx, Value *A, size_t) {
+  std::optional<double> W = pgmpapi::profileQueryOpt(Ctx, A[0]);
+  return W ? Value::flonum(*W) : Value::boolean(false);
+}
+
 Value primProfileQueryCount(Context &Ctx, Value *A, size_t) {
   const SourceObject *Src = syntaxSource(A[0]);
   if (!Src)
@@ -146,17 +205,18 @@ Value primProfileQueryCount(Context &Ctx, Value *A, size_t) {
 }
 
 Value primStoreProfile(Context &Ctx, Value *A, size_t) {
-  std::string Err;
-  if (!pgmpapi::storeProfile(Ctx, wantString("store-profile", A[0])->Text,
-                             Err))
-    raiseError("store-profile: " + Err);
+  ProfileOpResult R =
+      pgmpapi::storeProfile(Ctx, wantString("store-profile", A[0])->Text);
+  if (!R)
+    raiseError("store-profile: " + R.Error);
   return Value::undefined();
 }
 
 Value primLoadProfile(Context &Ctx, Value *A, size_t) {
-  std::string Err;
-  if (!pgmpapi::loadProfile(Ctx, wantString("load-profile", A[0])->Text, Err))
-    raiseError("load-profile: " + Err);
+  ProfileOpResult R =
+      pgmpapi::loadProfile(Ctx, wantString("load-profile", A[0])->Text);
+  if (!R)
+    raiseError("load-profile: " + R.Error);
   return Value::undefined();
 }
 
@@ -217,6 +277,26 @@ Value primInstrumentationP(Context &Ctx, Value *, size_t) {
   return Value::boolean(Ctx.InstrumentCompiles);
 }
 
+/// (pgmp-stats) — pipeline self-metrics as an alist of (name . value)
+/// pairs: every counter, then per-phase entry counts and nanoseconds.
+/// All zero until (set-pgmp-stats! #t) or Engine::setStatsEnabled.
+Value primPgmpStats(Context &Ctx, Value *, size_t) {
+  std::vector<Value> Rows;
+  for (const auto &[Name, Count] : Ctx.Stats.snapshot())
+    Rows.push_back(Ctx.TheHeap.cons(
+        Value::object(ValueKind::Symbol, Ctx.Symbols.intern(Name)),
+        Value::fixnum(
+            static_cast<int64_t>(std::min<uint64_t>(Count, INT64_MAX)))));
+  return Ctx.TheHeap.list(Rows);
+}
+
+/// (set-pgmp-stats! b) — toggles pipeline stats collection, so a Scheme
+/// meta-program can measure its own expansion/instrumentation cost.
+Value primSetPgmpStats(Context &Ctx, Value *A, size_t) {
+  Ctx.Stats.enable(A[0].isTruthy());
+  return Value::undefined();
+}
+
 /// (compile-warning msg...) — lets meta-programs emit the Perflint-style
 /// compile-time recommendations of Section 6.3 through the diagnostic
 /// sink, where tests can observe them.
@@ -237,6 +317,7 @@ void pgmp::installPgmpApi(Context &Ctx) {
   Ctx.definePrimitive("make-profile-point", 0, 1, primMakeProfilePoint);
   Ctx.definePrimitive("annotate-expr", 2, 2, primAnnotateExpr);
   Ctx.definePrimitive("profile-query", 1, 1, primProfileQuery);
+  Ctx.definePrimitive("profile-query*", 1, 1, primProfileQueryStar);
   Ctx.definePrimitive("profile-query-count", 1, 1, primProfileQueryCount);
   Ctx.definePrimitive("store-profile", 1, 1, primStoreProfile);
   Ctx.definePrimitive("load-profile", 1, 1, primLoadProfile);
@@ -248,5 +329,7 @@ void pgmp::installPgmpApi(Context &Ctx) {
   Ctx.definePrimitive("profile-dump", 0, 1, primProfileDump);
   Ctx.definePrimitive("set-instrumentation!", 1, 1, primSetInstrumentation);
   Ctx.definePrimitive("instrumentation?", 0, 0, primInstrumentationP);
+  Ctx.definePrimitive("pgmp-stats", 0, 0, primPgmpStats);
+  Ctx.definePrimitive("set-pgmp-stats!", 1, 1, primSetPgmpStats);
   Ctx.definePrimitive("compile-warning", 1, -1, primCompileWarning);
 }

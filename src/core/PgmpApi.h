@@ -13,10 +13,23 @@
 ///
 /// plus introspection helpers used by the case studies and tests:
 ///
+///   (profile-query* e)               -> weight, or #f when no profile
+///                                       data is loaded / e has no point
 ///   (profile-data-available?)        -> boolean
 ///   (profile-query-count e)          -> raw total count
 ///   (current-profile-datasets)       -> fixnum
 ///   (clear-profile!)                 -> void
+///   (pgmp-stats)                     -> alist of pipeline self-metrics
+///   (set-pgmp-stats! b)              -> void (toggle stats collection)
+///
+/// `profile-query` collapses two distinct situations to 0.0 — "no profile
+/// data is loaded at all" and "data is loaded but this point was never
+/// hit" — mirroring the paper's API, where meta-programs treat unknown as
+/// cold. When the distinction matters (e.g. to fall back to heuristics
+/// when no training data exists), use `profile-query*`, which returns #f
+/// in the no-data / no-point cases, or check (profile-data-available?)
+/// first. The C++ equivalents are profileQuery (collapsing) and
+/// profileQueryOpt / Engine::weightOf (distinguishing, via optional).
 ///
 /// A profile point is represented as a syntax object whose source object
 /// is the point — uniformly with "an object with an associated profile
@@ -27,7 +40,10 @@
 #ifndef PGMP_CORE_PGMPAPI_H
 #define PGMP_CORE_PGMPAPI_H
 
+#include "core/ProfileOpResult.h"
 #include "interp/Context.h"
+
+#include <optional>
 
 namespace pgmp {
 
@@ -49,12 +65,28 @@ Value annotateExpr(Context &Ctx, Value Expr, const SourceObject *Point);
 /// also 0 when no data sets are loaded (see profile-data-available?).
 double profileQuery(Context &Ctx, const Value &ExprOrPoint);
 
+/// profile-query*: like profileQuery, but keeps the distinction the
+/// collapsed form loses — nullopt when no profile data is loaded or the
+/// value carries no profile point; a weight (possibly 0.0 for a cold
+/// point) otherwise.
+std::optional<double> profileQueryOpt(Context &Ctx, const Value &ExprOrPoint);
+
 /// store-profile: folds the live counters into the database as one data
-/// set, resets the counters, then serializes the database.
+/// set, resets the counters, then serializes the database. On failure
+/// the live counters are preserved.
+ProfileOpResult storeProfile(Context &Ctx, const std::string &Path);
+
+/// load-profile: merges a stored database into the current one. Under the
+/// default degradation policy a corrupt/stale/malformed file yields
+/// Status Degraded (nothing merged, warning through Diagnostics); in
+/// strict mode, and for missing/unreadable files, Status Failed.
+ProfileOpResult loadProfile(Context &Ctx, const std::string &Path);
+
+/// Deprecated bool/ErrorOut shims; use the ProfileOpResult overloads.
+[[deprecated("use storeProfile(Ctx, Path) returning ProfileOpResult")]]
 bool storeProfile(Context &Ctx, const std::string &Path,
                   std::string &ErrorOut);
-
-/// load-profile: merges a stored database into the current one.
+[[deprecated("use loadProfile(Ctx, Path) returning ProfileOpResult")]]
 bool loadProfile(Context &Ctx, const std::string &Path,
                  std::string &ErrorOut);
 

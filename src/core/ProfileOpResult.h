@@ -1,0 +1,76 @@
+//===- core/ProfileOpResult.h - Structured profile-op results -*- C++ -*-===//
+///
+/// \file
+/// The structured result type of the profile persistence API
+/// (Engine::storeProfile / loadProfile and their pgmpapi equivalents),
+/// replacing the old `bool f(Path, std::string &ErrorOut)` pattern. One
+/// value carries everything a caller previously had to reassemble from
+/// the bool, the out-parameter, and the diagnostic sink:
+///
+///   - Status: Ok, Degraded (the operation was tolerated under the
+///     degrade-with-warning policy and the session continues without the
+///     data), or Failed.
+///   - Error: the rendered failure (Failed) or degradation reason
+///     (Degraded); empty on Ok.
+///   - Warnings: non-fatal findings (e.g. "legacy v1 format"). They are
+///     also reported through the Context's DiagnosticSink with the file
+///     path attached, so callers need not copy them anywhere.
+///   - DatasetsMerged / PointsLoaded: what actually changed in the
+///     profile database.
+///
+/// Migration from the bool/ErrorOut forms:
+///
+///   std::string Err;                       auto R = E.loadProfile(P);
+///   if (!E.loadProfile(P, &Err))     =>    if (!R)
+///     use(Err);                              use(R.Error);
+///
+/// Boolean tests keep their old meaning: operator bool is true for both
+/// Ok and Degraded, exactly as the old API returned true when a load
+/// degraded gracefully.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_CORE_PROFILEOPRESULT_H
+#define PGMP_CORE_PROFILEOPRESULT_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pgmp {
+
+/// Outcome of one profile store/load (or trace export) operation.
+enum class ProfileOpStatus : uint8_t {
+  Ok,       ///< operation fully succeeded
+  Degraded, ///< input ignored under the degrade-with-warning policy
+  Failed,   ///< operation failed; Error describes why
+};
+
+/// Structured result of one profile-subsystem operation.
+struct ProfileOpResult {
+  ProfileOpStatus Status = ProfileOpStatus::Ok;
+  /// Rendered failure (Failed) or degradation reason (Degraded).
+  std::string Error;
+  /// Non-fatal findings; already reported through Diagnostics.
+  std::vector<std::string> Warnings;
+  /// Data sets merged into (store: folded + persisted from) the database.
+  uint64_t DatasetsMerged = 0;
+  /// Point records loaded (load) or serialized (store).
+  size_t PointsLoaded = 0;
+
+  bool ok() const { return Status != ProfileOpStatus::Failed; }
+  bool degraded() const { return Status == ProfileOpStatus::Degraded; }
+  explicit operator bool() const { return ok(); }
+
+  static ProfileOpResult failure(std::string Err) {
+    ProfileOpResult R;
+    R.Status = ProfileOpStatus::Failed;
+    R.Error = std::move(Err);
+    return R;
+  }
+};
+
+} // namespace pgmp
+
+#endif // PGMP_CORE_PROFILEOPRESULT_H

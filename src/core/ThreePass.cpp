@@ -38,10 +38,34 @@ static void preRegisterProgram(Engine &E, const ThreePassConfig &Config) {
   E.context().SrcMgr.addBuffer(Config.ProgramName, Config.ProgramSource);
 }
 
+/// Turns on stats collection for a pass when the config asks for stage
+/// reports.
+static void beginStage(Engine &E, const ThreePassConfig &Config) {
+  if (Config.StageStatsOut)
+    E.setStatsEnabled(true);
+}
+
+/// Captures the pass's stats into Config.StageStatsOut.
+static void endStage(Engine &E, const ThreePassConfig &Config,
+                     const char *Pass) {
+  if (!Config.StageStatsOut)
+    return;
+  const StatsRegistry &S = E.stats();
+  ThreePassStageStats Row;
+  Row.Pass = Pass;
+  Row.Rendered = S.render();
+  Row.CounterIncrements = S.count(Stat::CounterIncrements);
+  Row.InstrumentedNodes = S.count(Stat::InstrumentedNodes);
+  Row.CompiledNodes = S.count(Stat::CompiledNodes);
+  Row.EvalNanos = S.phaseNanos(Phase::Eval);
+  Config.StageStatsOut->push_back(std::move(Row));
+}
+
 bool pgmp::runPassOne(const ThreePassConfig &Config, std::string &ErrorOut) {
   Engine E;
   E.setStrictProfile(Config.StrictProfile);
   E.setInstrumentation(true);
+  beginStage(E, Config);
   if (!loadLibraries(E, Config, ErrorOut))
     return false;
   EvalResult R = E.evalString(Config.ProgramSource, Config.ProgramName);
@@ -54,8 +78,11 @@ bool pgmp::runPassOne(const ThreePassConfig &Config, std::string &ErrorOut) {
     ErrorOut = "pass 1 workload: " + R.Error;
     return false;
   }
-  if (!E.storeProfile(Config.SourceProfilePath, &ErrorOut))
+  if (ProfileOpResult PR = E.storeProfile(Config.SourceProfilePath); !PR) {
+    ErrorOut = PR.Error;
     return false;
+  }
+  endStage(E, Config, "pass1");
   return true;
 }
 
@@ -63,9 +90,12 @@ bool pgmp::runPassTwo(const ThreePassConfig &Config, std::string &ErrorOut,
                       std::string *BlocksOut) {
   Engine E;
   E.setStrictProfile(Config.StrictProfile);
+  beginStage(E, Config);
   preRegisterProgram(E, Config);
-  if (!E.loadProfile(Config.SourceProfilePath, &ErrorOut))
+  if (ProfileOpResult PR = E.loadProfile(Config.SourceProfilePath); !PR) {
+    ErrorOut = PR.Error;
     return false;
+  }
   if (!loadLibraries(E, Config, ErrorOut))
     return false;
 
@@ -101,6 +131,7 @@ bool pgmp::runPassTwo(const ThreePassConfig &Config, std::string &ErrorOut,
     for (const auto &Fn : Program->Functions)
       *BlocksOut += Fn->Name + ":" + std::to_string(Fn->Blocks.size()) + ";";
   }
+  endStage(E, Config, "pass2");
   return true;
 }
 
@@ -109,9 +140,12 @@ bool pgmp::runPassThree(const ThreePassConfig &Config, OptimizedProgram &Out,
   Out.E = std::make_unique<Engine>();
   Engine &E = *Out.E;
   E.setStrictProfile(Config.StrictProfile);
+  beginStage(E, Config);
   preRegisterProgram(E, Config);
-  if (!E.loadProfile(Config.SourceProfilePath, &ErrorOut))
+  if (ProfileOpResult PR = E.loadProfile(Config.SourceProfilePath); !PR) {
+    ErrorOut = PR.Error;
     return false;
+  }
   if (!loadLibraries(E, Config, ErrorOut))
     return false;
 
@@ -130,9 +164,14 @@ bool pgmp::runPassThree(const ThreePassConfig &Config, OptimizedProgram &Out,
   // and the embedded source-profile fingerprint now checks exactly that,
   // before any structural comparison.
   std::string BlockErr;
+  BlockProfileLoadReport BlockReport;
   Out.BlockProfileValid = loadBlockProfileFile(
       Config.BlockProfilePath, *Out.Program, BlockErr,
-      sourceProfileFingerprint(Config.SourceProfilePath));
+      sourceProfileFingerprint(Config.SourceProfilePath), &BlockReport);
+  // Non-fatal block-profile findings flow through the same diagnostic
+  // funnel as source-profile load warnings, path attached once.
+  E.context().Diags.reportAll(DiagKind::Warning, Config.BlockProfilePath,
+                              BlockReport.Warnings);
   if (Out.BlockProfileValid) {
     applyProfileGuidedLayout(*Out.Program);
   } else {
@@ -144,6 +183,7 @@ bool pgmp::runPassThree(const ThreePassConfig &Config, OptimizedProgram &Out,
                              BlockErr);
     ErrorOut = BlockErr; // surfaced, but pass 3 still yields a program
   }
+  endStage(E, Config, "pass3");
   return true;
 }
 

@@ -33,6 +33,19 @@
 
 namespace pgmp {
 
+/// Per-stage observability: one entry per pass that ran, carrying the
+/// engine's stats so instrumentation overhead is a measured number for
+/// each stage of the protocol (pass 1 pays source counters, pass 2 block
+/// counters, pass 3 neither).
+struct ThreePassStageStats {
+  std::string Pass;     ///< "pass1" | "pass2" | "pass3"
+  std::string Rendered; ///< StatsRegistry::render() at end of the pass
+  uint64_t CounterIncrements = 0;
+  uint64_t InstrumentedNodes = 0;
+  uint64_t CompiledNodes = 0;
+  uint64_t EvalNanos = 0;
+};
+
 /// What to build and how to exercise it.
 struct ThreePassConfig {
   /// scheme/ libraries to load first (meta-program definitions).
@@ -49,6 +62,9 @@ struct ThreePassConfig {
   /// to an unoptimized build (with a DiagKind::Warning) and an invalid
   /// block profile just skips layout; in strict mode both abort the pass.
   bool StrictProfile = false;
+  /// When set, each pass enables engine stats and appends its stage
+  /// report here (observability of the protocol itself).
+  std::vector<ThreePassStageStats> *StageStatsOut = nullptr;
 };
 
 /// The final, fully optimized build produced by pass 3.

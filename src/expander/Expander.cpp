@@ -283,6 +283,7 @@ public:
   }
 
   Value invokeMacro(Value UseStx, Value Transformer) {
+    Ctx.Stats.bump(Stat::MacroExpansions);
     ScopeId Intro = Ctx.freshScope();
     Value Input = adjustScope(Ctx.TheHeap, UseStx, Intro, ScopeOp::Flip);
     Value Args[1] = {Input};

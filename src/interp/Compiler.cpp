@@ -64,8 +64,11 @@ private:
   Expr *finish(Expr *E, const Value &Stx) {
     const SourceObject *Src = syntaxSource(Stx);
     E->Src = Src;
-    if (Src && Ctx.InstrumentCompiles)
+    Ctx.Stats.bump(Stat::CompiledNodes);
+    if (Src && Ctx.InstrumentCompiles) {
       E->Counter = Ctx.Counters.counterFor(Src);
+      Ctx.Stats.bump(Stat::InstrumentedNodes);
+    }
     return E;
   }
 
@@ -613,6 +616,7 @@ Expr *CompilerImpl::compile(Value Stx, CompileFrame *Frame, bool Tail) {
 } // namespace
 
 std::unique_ptr<CodeUnit> pgmp::compileCore(Context &Ctx, Value CoreStx) {
+  Ctx.Stats.bump(Stat::CompiledUnits);
   auto Unit = std::make_unique<CodeUnit>();
   CompilerImpl C(Ctx, *Unit);
   Unit->Root = C.compile(CoreStx, /*Frame=*/nullptr, /*Tail=*/false);

@@ -17,6 +17,8 @@
 #include "profile/SourceObject.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 #include "syntax/Heap.h"
 #include "syntax/SymbolTable.h"
 #include "syntax/Syntax.h"
@@ -67,6 +69,17 @@ public:
   /// session continues unoptimized (profile-data-available? stays #f).
   /// When strict (pgmpi --strict-profile), they are hard errors instead.
   bool StrictProfile = false;
+
+  //===--------------------------------------------------------------------===//
+  // Pipeline observability
+  //===--------------------------------------------------------------------===//
+
+  /// Per-phase timers and profiler self-metrics (support/Stats.h). Off by
+  /// default; Engine::setStatsEnabled / (set-pgmp-stats! #t) turn it on.
+  StatsRegistry Stats;
+  /// Chrome trace_event sink (support/Trace.h). Off by default;
+  /// Engine::setTracePath / pgmpi --trace turn it on.
+  TraceSink Trace;
 
   //===--------------------------------------------------------------------===//
   // Globals

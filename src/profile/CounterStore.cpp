@@ -29,6 +29,13 @@ uint64_t CounterStore::maxCount() const {
   return Max;
 }
 
+uint64_t CounterStore::totalIncrements() const {
+  uint64_t Sum = 0;
+  for (uint64_t C : Slots)
+    Sum += C;
+  return Sum;
+}
+
 std::vector<std::pair<const SourceObject *, uint64_t>>
 CounterStore::snapshot() const {
   std::vector<std::pair<const SourceObject *, uint64_t>> Out;

@@ -33,6 +33,10 @@ public:
   /// Largest counter value (0 when empty) — the weight denominator.
   uint64_t maxCount() const;
 
+  /// Sum of all counter values — the total number of instrumented-code
+  /// counter bumps since the last reset (a profiler self-metric).
+  uint64_t totalIncrements() const;
+
   /// All (point, count) pairs, in creation order.
   std::vector<std::pair<const SourceObject *, uint64_t>> snapshot() const;
 

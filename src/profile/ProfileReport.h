@@ -1,0 +1,55 @@
+//===- profile/ProfileReport.h - Hot-spot reports -------------*- C++ -*-===//
+///
+/// \file
+/// Renders a stored source profile as a human-readable hot-spot report:
+/// the top-N profile points by weight, with counts, locations, and a
+/// source excerpt when the profiled text is available (from a
+/// SourceManager or from the file on disk). Backs `pgmpi report` and is a
+/// library entry point so embedders and tests can render the same table
+/// deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_PROFILE_PROFILEREPORT_H
+#define PGMP_PROFILE_PROFILEREPORT_H
+
+#include "profile/ProfileIO.h"
+
+#include <string>
+
+namespace pgmp {
+
+class SourceManager;
+
+struct ProfileReportOptions {
+  /// Number of points to list, weightiest first.
+  size_t TopN = 20;
+  /// Attach a source excerpt per point when the text can be found.
+  bool WithExcerpts = true;
+  /// Allow reading profiled files from disk for excerpts (golden tests
+  /// turn this off and supply a SourceManager instead).
+  bool ReadSourcesFromDisk = true;
+  /// Maximum excerpt width before truncation with "...".
+  size_t ExcerptWidth = 40;
+};
+
+/// Renders the report for an already-parsed database. \p Meta carries the
+/// version/dataset metadata from the parse; \p Name labels the profile in
+/// the header. Excerpts come from \p SM first, then (when allowed) disk.
+std::string renderProfileReport(const ProfileDatabase &Db,
+                                const ProfileLoadReport &Meta,
+                                const std::string &Name,
+                                const ProfileReportOptions &Opts = {},
+                                const SourceManager *SM = nullptr);
+
+/// Reads and parses the profile at \p Path, then renders its report into
+/// \p Out. Returns false with \p ErrorOut set when the file is missing,
+/// corrupt, or malformed (integrity failures are lint's job to explain in
+/// detail; the report only needs a loadable profile).
+bool renderProfileReportFile(const std::string &Path, std::string &Out,
+                             std::string &ErrorOut,
+                             const ProfileReportOptions &Opts = {});
+
+} // namespace pgmp
+
+#endif // PGMP_PROFILE_PROFILEREPORT_H

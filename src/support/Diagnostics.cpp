@@ -32,6 +32,12 @@ void DiagnosticSink::report(DiagKind Kind, std::string Where,
     std::fprintf(stderr, "%s\n", Diags.back().render().c_str());
 }
 
+void DiagnosticSink::reportAll(DiagKind Kind, const std::string &Where,
+                               const std::vector<std::string> &Messages) {
+  for (const std::string &M : Messages)
+    report(Kind, Where, M);
+}
+
 void DiagnosticSink::clear() {
   Diags.clear();
   NumErrors = 0;

@@ -39,6 +39,13 @@ class DiagnosticSink {
 public:
   void report(DiagKind Kind, std::string Where, std::string Message);
 
+  /// Reports every message in \p Messages at \p Kind with the same
+  /// \p Where. The single funnel for the profile subsystem's warning
+  /// channels (ProfileLoadReport, BlockProfileLoadReport): call sites
+  /// attach the source path once instead of hand-rolling copy loops.
+  void reportAll(DiagKind Kind, const std::string &Where,
+                 const std::vector<std::string> &Messages);
+
   const std::vector<Diagnostic> &all() const { return Diags; }
   unsigned errorCount() const { return NumErrors; }
   unsigned warningCount() const { return NumWarnings; }

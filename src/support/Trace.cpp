@@ -1,0 +1,97 @@
+//===- support/Trace.cpp --------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/AtomicFile.h"
+#include "support/Stats.h"
+
+#include <cstdio>
+
+using namespace pgmp;
+
+void TraceSink::enable(bool On) {
+  if (On && !Enabled && EpochNs == 0)
+    EpochNs = statsNowNanos();
+  Enabled = On;
+}
+
+void TraceSink::record(const char *Name, const char *Category,
+                       uint64_t StartNs, uint64_t EndNs) {
+  if (!Enabled)
+    return;
+  Events.push_back(
+      {Name, Category, StartNs, EndNs > StartNs ? EndNs - StartNs : 0, false});
+}
+
+void TraceSink::instant(const std::string &Name, const char *Category,
+                        uint64_t AtNs) {
+  if (!Enabled)
+    return;
+  Events.push_back({Name, Category, AtNs, 0, true});
+}
+
+/// Escapes a string for a JSON string literal (quotes, backslashes, and
+/// control characters).
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Renders microseconds with fixed millisecond-grade precision.
+static std::string jsonMicros(uint64_t Nanos) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", static_cast<double>(Nanos) / 1e3);
+  return Buf;
+}
+
+std::string TraceSink::renderJson() const {
+  std::string Out = "{\"traceEvents\":[";
+  // Metadata record naming the process, as the trace viewers expect.
+  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+         "\"args\":{\"name\":\"pgmp\"}}";
+  for (const Event &E : Events) {
+    uint64_t Rel = E.StartNs >= EpochNs ? E.StartNs - EpochNs : 0;
+    Out += ",{\"name\":\"" + jsonEscape(E.Name) + "\",\"cat\":\"" +
+           E.Category + "\",\"ph\":\"" + (E.Instant ? "i" : "X") +
+           "\",\"ts\":" + jsonMicros(Rel);
+    if (E.Instant)
+      Out += ",\"s\":\"p\"";
+    else
+      Out += ",\"dur\":" + jsonMicros(E.DurNs);
+    Out += ",\"pid\":1,\"tid\":1}";
+  }
+  Out += "],\"displayTimeUnit\":\"ms\"}";
+  return Out;
+}
+
+bool TraceSink::write(const std::string &Path, std::string &ErrorOut) const {
+  return writeFileAtomic(Path, renderJson(), ErrorOut);
+}

@@ -1,0 +1,62 @@
+//===- support/Trace.h - Chrome trace_event export ------------*- C++ -*-===//
+///
+/// \file
+/// A structured trace-event sink: pipeline phases (and any other
+/// instrumented scopes) are recorded as complete events and exported as
+/// Chrome trace_event JSON — loadable in chrome://tracing, Perfetto, or
+/// speedscope. Disabled by default; when disabled, recording is one
+/// branch and the pipeline never reads the clock on its behalf.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_SUPPORT_TRACE_H
+#define PGMP_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgmp {
+
+/// Collects trace events; export with renderJson()/write().
+class TraceSink {
+public:
+  void enable(bool On);
+  bool enabled() const { return Enabled; }
+
+  /// Records one complete ("ph":"X") event. Timestamps are nanoseconds
+  /// from statsNowNanos(); rendering rebases them to the first enable()
+  /// call and converts to microseconds, as the format expects.
+  void record(const char *Name, const char *Category, uint64_t StartNs,
+              uint64_t EndNs);
+
+  /// Records an instant ("ph":"i") marker event at \p AtNs.
+  void instant(const std::string &Name, const char *Category, uint64_t AtNs);
+
+  size_t numEvents() const { return Events.size(); }
+  void clear() { Events.clear(); }
+
+  /// The full trace as a Chrome trace_event JSON object:
+  ///   {"traceEvents":[...],"displayTimeUnit":"ms"}
+  std::string renderJson() const;
+
+  /// Atomically writes renderJson() to \p Path. False on I/O failure,
+  /// with \p ErrorOut describing it.
+  bool write(const std::string &Path, std::string &ErrorOut) const;
+
+private:
+  struct Event {
+    std::string Name;
+    const char *Category;
+    uint64_t StartNs;
+    uint64_t DurNs;
+    bool Instant;
+  };
+  std::vector<Event> Events;
+  bool Enabled = false;
+  uint64_t EpochNs = 0;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_SUPPORT_TRACE_H

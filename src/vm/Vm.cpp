@@ -197,12 +197,32 @@ EvalResult VmRunner::evalString(const std::string &Source,
     Ctx.SrcMgr.addBuffer(Name, Source);
     Reader Rd(Ctx.TheHeap, Ctx.Symbols, Ctx.Sources, Source, Name);
     Value Last = Value::undefined();
-    while (auto Form = Rd.readOne()) {
-      for (Value Core : E.expander().expandTopLevel(*Form)) {
-        auto Unit = compileCore(Ctx, Core);
-        VmFunction *Top = compileExprToVm(Ctx, Unit->Root, *Module, Opts);
+    auto ReadOne = [&] {
+      ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Read);
+      return Rd.readOne();
+    };
+    while (auto Form = ReadOne()) {
+      std::vector<Value> Cores;
+      {
+        ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Expand);
+        Cores = E.expander().expandTopLevel(*Form);
+      }
+      for (Value Core : Cores) {
+        std::unique_ptr<CodeUnit> Unit;
+        {
+          ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Compile);
+          Unit = compileCore(Ctx, Core);
+        }
+        VmFunction *Top;
+        {
+          ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::VmCompile);
+          Top = compileExprToVm(Ctx, Unit->Root, *Module, Opts);
+        }
         Ctx.adoptCode(std::move(Unit));
-        Last = runVmFunction(Ctx, Top, nullptr, nullptr, 0);
+        {
+          ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Eval);
+          Last = runVmFunction(Ctx, Top, nullptr, nullptr, 0);
+        }
       }
     }
     Modules.push_back(std::move(Module));

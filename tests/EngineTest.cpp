@@ -107,9 +107,10 @@ TEST(Engine, StoreProfileFailsOnBadPath) {
   Engine E;
   E.setInstrumentation(true);
   evalOk(E, "(define (f) 1) (f)");
-  std::string Err;
-  EXPECT_FALSE(E.storeProfile("/nonexistent-dir/x.profile", &Err));
-  EXPECT_FALSE(Err.empty());
+  ProfileOpResult R = E.storeProfile("/nonexistent-dir/x.profile");
+  EXPECT_FALSE(R);
+  EXPECT_EQ(R.Status, ProfileOpStatus::Failed);
+  EXPECT_FALSE(R.Error.empty());
 }
 
 } // namespace

@@ -1,0 +1,660 @@
+//===- tests/ObservabilityTest.cpp - Pipeline observability ---------------===//
+//
+// The observability layer's contract, proven rather than assumed:
+//   - StatsRegistry and TraceSink are no-ops (not just cheap) when
+//     disabled, and the default-off engine records nothing;
+//   - enabled engines attribute wall-clock time and self-metrics to the
+//     right pipeline phases, including the profile I/O phases;
+//   - --trace output is well-formed Chrome trace_event JSON (validated by
+//     an actual parser, not substring checks);
+//   - ProfileOpResult carries the structured outcome of store/load, and
+//     degraded loads warn through the one diagnostic funnel;
+//   - `pgmpi report`'s renderer produces a byte-stable table (golden);
+//   - the three-pass protocol reports per-stage stats.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/ThreePass.h"
+#include "profile/ProfileIO.h"
+#include "profile/ProfileReport.h"
+#include "support/AtomicFile.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::string Out, Err;
+  EXPECT_EQ(readFileAll(Path, Out, Err), FileReadStatus::Ok) << Err;
+  return Out;
+}
+
+void spit(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr) << "cannot write " << Path;
+  ASSERT_EQ(std::fwrite(Text.data(), 1, Text.size(), F), Text.size());
+  std::fclose(F);
+}
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON reader
+//===----------------------------------------------------------------------===//
+//
+// Just enough JSON to hold trace output to the "Chrome can load this"
+// standard: objects, arrays, strings with escapes, and numbers. Any
+// syntax error fails the parse, which is the point — a substring check
+// would accept truncated output.
+
+struct JsonValue {
+  enum Kind { Object, Array, String, Number, Bool, Null } K = Null;
+  std::vector<std::pair<std::string, JsonValue>> Fields; // Object
+  std::vector<JsonValue> Items;                          // Array
+  std::string Str;                                       // String
+  double Num = 0;                                        // Number
+  bool B = false;                                        // Bool
+
+  const JsonValue *field(const std::string &Name) const {
+    for (const auto &[FName, V] : Fields)
+      if (FName == Name)
+        return &V;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &Text) : Text(Text) {}
+
+  bool parse(JsonValue &Out) {
+    if (!value(Out))
+      return false;
+    skipWs();
+    return Pos == Text.size(); // no trailing garbage
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+  bool eat(char C) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool lit(const char *S, JsonValue &Out, JsonValue::Kind K, bool B) {
+    size_t N = strlen(S);
+    if (Text.compare(Pos, N, S) != 0)
+      return false;
+    Pos += N;
+    Out.K = K;
+    Out.B = B;
+    return true;
+  }
+  bool string(std::string &Out) {
+    if (!eat('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          return false;
+        char E = Text[Pos++];
+        switch (E) {
+        case '"': Out += '"'; break;
+        case '\\': Out += '\\'; break;
+        case '/': Out += '/'; break;
+        case 'b': Out += '\b'; break;
+        case 'f': Out += '\f'; break;
+        case 'n': Out += '\n'; break;
+        case 'r': Out += '\r'; break;
+        case 't': Out += '\t'; break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return false;
+          for (int I = 0; I < 4; ++I)
+            if (!isxdigit(static_cast<unsigned char>(Text[Pos + I])))
+              return false;
+          Pos += 4;
+          Out += '?'; // decoded value irrelevant for these tests
+          break;
+        }
+        default:
+          return false;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false; // control chars must be escaped
+      Out += C;
+    }
+    return false; // unterminated
+  }
+  bool value(JsonValue &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out.K = JsonValue::Object;
+      skipWs();
+      if (eat('}'))
+        return true;
+      do {
+        std::string Key;
+        JsonValue V;
+        skipWs();
+        if (!string(Key) || !eat(':') || !value(V))
+          return false;
+        Out.Fields.emplace_back(std::move(Key), std::move(V));
+      } while (eat(','));
+      return eat('}');
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.K = JsonValue::Array;
+      skipWs();
+      if (eat(']'))
+        return true;
+      do {
+        JsonValue V;
+        if (!value(V))
+          return false;
+        Out.Items.push_back(std::move(V));
+      } while (eat(','));
+      return eat(']');
+    }
+    if (C == '"') {
+      Out.K = JsonValue::String;
+      return string(Out.Str);
+    }
+    if (C == 't')
+      return lit("true", Out, JsonValue::Bool, true);
+    if (C == 'f')
+      return lit("false", Out, JsonValue::Bool, false);
+    if (C == 'n')
+      return lit("null", Out, JsonValue::Null, false);
+    // number
+    size_t Start = Pos;
+    if (C == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    try {
+      Out.Num = std::stod(Text.substr(Start, Pos - Start));
+    } catch (...) {
+      return false;
+    }
+    Out.K = JsonValue::Number;
+    return true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// StatsRegistry / ScopedPhase units
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, DisabledRegistryIsANoOp) {
+  StatsRegistry S;
+  EXPECT_FALSE(S.enabled());
+  S.bump(Stat::CompiledUnits);
+  S.bump(Stat::CounterIncrements, 1000);
+  S.addPhaseTime(Phase::Eval, 12345);
+  EXPECT_EQ(S.count(Stat::CompiledUnits), 0u);
+  EXPECT_EQ(S.count(Stat::CounterIncrements), 0u);
+  EXPECT_EQ(S.phaseNanos(Phase::Eval), 0u);
+  EXPECT_EQ(S.phaseEntries(Phase::Eval), 0u);
+}
+
+TEST(Stats, EnabledRegistryAccumulatesAndResets) {
+  StatsRegistry S;
+  S.enable(true);
+  S.bump(Stat::MacroExpansions);
+  S.bump(Stat::MacroExpansions, 4);
+  S.addPhaseTime(Phase::Expand, 100);
+  S.addPhaseTime(Phase::Expand, 50);
+  EXPECT_EQ(S.count(Stat::MacroExpansions), 5u);
+  EXPECT_EQ(S.phaseNanos(Phase::Expand), 150u);
+  EXPECT_EQ(S.phaseEntries(Phase::Expand), 2u);
+
+  S.reset();
+  EXPECT_TRUE(S.enabled()) << "reset clears data, not the enable flag";
+  EXPECT_EQ(S.count(Stat::MacroExpansions), 0u);
+  EXPECT_EQ(S.phaseEntries(Phase::Expand), 0u);
+}
+
+TEST(Stats, SnapshotIsCompleteAndUniquelyNamed) {
+  StatsRegistry S;
+  S.enable(true);
+  auto Snap = S.snapshot();
+  // Every counter, then entries + nanos per phase.
+  EXPECT_EQ(Snap.size(), NumStats + 2 * NumPhases);
+  std::set<std::string> Names;
+  for (const auto &[Name, Value] : Snap)
+    Names.insert(Name);
+  EXPECT_EQ(Names.size(), Snap.size()) << "snapshot names must be unique";
+}
+
+TEST(Stats, ScopedPhaseRecordsOnlyWhenSomethingIsEnabled) {
+  StatsRegistry S;
+  TraceSink T;
+  { ScopedPhase P(S, &T, Phase::Read); }
+  EXPECT_EQ(S.phaseEntries(Phase::Read), 0u);
+  EXPECT_EQ(T.numEvents(), 0u);
+
+  S.enable(true);
+  { ScopedPhase P(S, &T, Phase::Read); }
+  EXPECT_EQ(S.phaseEntries(Phase::Read), 1u);
+  EXPECT_EQ(T.numEvents(), 0u) << "trace stays off independently";
+
+  T.enable(true);
+  { ScopedPhase P(S, &T, Phase::Read); }
+  EXPECT_EQ(S.phaseEntries(Phase::Read), 2u);
+  EXPECT_EQ(T.numEvents(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine integration
+//===----------------------------------------------------------------------===//
+
+TEST(Observability, EngineStatsOffByDefault) {
+  Engine E;
+  EXPECT_FALSE(E.statsEnabled());
+  evalOk(E, "(define (f x) (* x x)) (f 12)");
+  for (size_t I = 0; I < NumStats; ++I)
+    EXPECT_EQ(E.stats().count(static_cast<Stat>(I)), 0u);
+  for (size_t I = 0; I < NumPhases; ++I)
+    EXPECT_EQ(E.stats().phaseEntries(static_cast<Phase>(I)), 0u);
+}
+
+TEST(Observability, EngineStatsCoverPipelinePhases) {
+  Engine E;
+  E.setStatsEnabled(true);
+  evalOk(E, "(define-syntax (twice stx)"
+            "  (syntax-case stx () [(_ e) #'(begin e e)]))"
+            "(define (f x) (* x x))"
+            "(twice (f 3))");
+  const StatsRegistry &S = E.stats();
+  EXPECT_GT(S.count(Stat::CompiledUnits), 0u);
+  EXPECT_GT(S.count(Stat::CompiledNodes), 0u);
+  EXPECT_GT(S.count(Stat::MacroExpansions), 0u);
+  EXPECT_GT(S.phaseEntries(Phase::Read), 0u);
+  EXPECT_GT(S.phaseEntries(Phase::Expand), 0u);
+  EXPECT_GT(S.phaseEntries(Phase::Compile), 0u);
+  EXPECT_GT(S.phaseEntries(Phase::Eval), 0u);
+  EXPECT_EQ(S.count(Stat::InstrumentedNodes), 0u)
+      << "no instrumentation requested";
+
+  E.resetStats();
+  EXPECT_EQ(E.stats().count(Stat::CompiledUnits), 0u);
+}
+
+TEST(Observability, ProfileWorkflowSelfMetrics) {
+  std::string Path = tempPath("metrics.profile");
+  Engine E;
+  E.setStatsEnabled(true);
+  E.setInstrumentation(true);
+  evalOk(E, "(define (f x) (* x x)) (f 1) (f 2) (f 3)");
+  EXPECT_GT(E.stats().count(Stat::InstrumentedNodes), 0u);
+  EXPECT_LE(E.stats().count(Stat::InstrumentedNodes),
+            E.stats().count(Stat::CompiledNodes));
+
+  ProfileOpResult Store = E.storeProfile(Path);
+  ASSERT_TRUE(Store) << Store.Error;
+  const StatsRegistry &S = E.stats();
+  EXPECT_EQ(S.count(Stat::ProfileStores), 1u);
+  EXPECT_EQ(S.count(Stat::DatasetMerges), 1u);
+  EXPECT_GT(S.count(Stat::CounterIncrements), 0u);
+  EXPECT_GT(S.phaseEntries(Phase::CounterFold), 0u);
+  EXPECT_GT(S.phaseEntries(Phase::ProfileStore), 0u);
+
+  Engine E2;
+  E2.setStatsEnabled(true);
+  ProfileOpResult Load = E2.loadProfile(Path);
+  ASSERT_TRUE(Load) << Load.Error;
+  EXPECT_EQ(E2.stats().count(Stat::ProfileLoads), 1u);
+  EXPECT_EQ(E2.stats().count(Stat::DatasetMerges), 1u);
+  EXPECT_GT(E2.stats().count(Stat::ProfilePointsLoaded), 0u);
+  EXPECT_GT(E2.stats().phaseEntries(Phase::ProfileLoad), 0u);
+}
+
+TEST(Observability, RenderMentionsNonZeroCountersOnly) {
+  Engine E;
+  E.setStatsEnabled(true);
+  evalOk(E, "(+ 1 2)");
+  std::string R = E.stats().render();
+  EXPECT_NE(R.find("compiled-units"), std::string::npos);
+  EXPECT_EQ(R.find("annotate-expr-calls"), std::string::npos)
+      << "zero counters stay out of the report:\n" << R;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace export
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, DisabledSinkRecordsNothing) {
+  TraceSink T;
+  T.record("read", "pipeline", 0, 100);
+  T.instant("marker", "pipeline", 50);
+  EXPECT_EQ(T.numEvents(), 0u);
+}
+
+TEST(Trace, EmittedJsonParsesAndDescribesPhases) {
+  std::string Path = tempPath("trace.json");
+  {
+    Engine E;
+    E.setTracePath(Path);
+    evalOk(E, "(define (f x) (* x x)) (f 4)");
+    ProfileOpResult W = E.writeTrace();
+    ASSERT_TRUE(W) << W.Error;
+    // The path is flushed: a second explicit write has no target.
+    EXPECT_FALSE(E.writeTrace());
+  }
+
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(slurp(Path)).parse(Root)) << "invalid trace JSON";
+  ASSERT_EQ(Root.K, JsonValue::Object);
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->K, JsonValue::Array);
+  ASSERT_FALSE(Events->Items.empty());
+
+  std::set<std::string> Names;
+  for (const JsonValue &Ev : Events->Items) {
+    ASSERT_EQ(Ev.K, JsonValue::Object);
+    const JsonValue *Name = Ev.field("name");
+    const JsonValue *Ph = Ev.field("ph");
+    ASSERT_NE(Name, nullptr);
+    ASSERT_NE(Ph, nullptr);
+    Names.insert(Name->Str);
+    if (Ph->Str == "X") {
+      const JsonValue *Ts = Ev.field("ts");
+      const JsonValue *Dur = Ev.field("dur");
+      ASSERT_NE(Ts, nullptr);
+      ASSERT_NE(Dur, nullptr);
+      EXPECT_GE(Ts->Num, 0.0);
+      EXPECT_GE(Dur->Num, 0.0);
+    }
+  }
+  EXPECT_TRUE(Names.count("read"));
+  EXPECT_TRUE(Names.count("expand"));
+  EXPECT_TRUE(Names.count("compile"));
+  EXPECT_TRUE(Names.count("eval"));
+}
+
+TEST(Trace, EscapesHostileEventNames) {
+  TraceSink T;
+  T.enable(true);
+  T.instant("quote\" backslash\\ newline\n", "pipeline", 10);
+  JsonValue Root;
+  std::string Json = T.renderJson();
+  ASSERT_TRUE(JsonParser(Json).parse(Root)) << Json;
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  // Metadata event first, then ours with the name intact after unescaping.
+  ASSERT_EQ(Events->Items.size(), 2u);
+  EXPECT_EQ(Events->Items[1].field("name")->Str,
+            "quote\" backslash\\ newline\n");
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileOpResult API
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileOpResultApi, StoreAndLoadReportStructuredOutcome) {
+  std::string Path = tempPath("roundtrip.profile");
+  Engine E;
+  E.setInstrumentation(true);
+  evalOk(E, "(define (f x) x) (f 1) (f 2)");
+  ProfileOpResult Store = E.storeProfile(Path);
+  ASSERT_TRUE(Store) << Store.Error;
+  EXPECT_EQ(Store.Status, ProfileOpStatus::Ok);
+  EXPECT_FALSE(Store.degraded());
+  EXPECT_EQ(Store.DatasetsMerged, 1u);
+  EXPECT_GT(Store.PointsLoaded, 0u);
+  EXPECT_TRUE(Store.Error.empty());
+
+  Engine E2;
+  ProfileOpResult Load = E2.loadProfile(Path);
+  ASSERT_TRUE(Load) << Load.Error;
+  EXPECT_EQ(Load.Status, ProfileOpStatus::Ok);
+  EXPECT_EQ(Load.DatasetsMerged, 1u);
+  EXPECT_EQ(Load.PointsLoaded, Store.PointsLoaded);
+}
+
+TEST(ProfileOpResultApi, DegradedLoadWarnsThroughDiagnostics) {
+  std::string Path = tempPath("corrupt.profile");
+  spit(Path, "pgmp-profile\t2\ndatasets\t1\ncrc\t00000000\n");
+
+  Engine E;
+  ProfileOpResult R = E.loadProfile(Path);
+  EXPECT_TRUE(R) << "non-strict corrupt load degrades, not fails";
+  EXPECT_EQ(R.Status, ProfileOpStatus::Degraded);
+  EXPECT_TRUE(R.degraded());
+  ASSERT_FALSE(R.Warnings.empty());
+  EXPECT_NE(R.Error.find("checksum"), std::string::npos) << R.Error;
+
+  // The same warning reached the diagnostic sink, tagged with the path —
+  // the single funnel shared by every profile warning channel.
+  const std::vector<Diagnostic> &Diags = E.context().Diags.all();
+  ASSERT_FALSE(Diags.empty());
+  bool Found = false;
+  for (const Diagnostic &D : Diags)
+    if (D.Kind == DiagKind::Warning && D.Where == Path &&
+        D.Message.find("ignoring profile") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+  EXPECT_EQ(evalOk(E, "(profile-data-available?)"), "#f");
+}
+
+TEST(ProfileOpResultApi, LegacyV1WarningsFlowThroughDiagnostics) {
+  // A v1 profile loads with a "legacy format" style warning; it must
+  // surface both in the result and in the sink.
+  std::string Path = tempPath("v1.profile");
+  spit(Path, "pgmp-profile\t1\ndatasets\t1\n"
+             "point\tapp.scm\t0\t10\t1\t1\t-\t0.5\t20\n");
+  Engine E;
+  ProfileOpResult R = E.loadProfile(Path);
+  ASSERT_TRUE(R) << R.Error;
+  ASSERT_FALSE(R.Warnings.empty());
+  EXPECT_EQ(E.context().Diags.warningCount(), R.Warnings.size());
+  EXPECT_EQ(E.context().Diags.all()[0].Where, Path);
+}
+
+TEST(ProfileOpResultApi, FailureFactoryAndBoolSemantics) {
+  ProfileOpResult F = ProfileOpResult::failure("boom");
+  EXPECT_FALSE(F);
+  EXPECT_FALSE(F.ok());
+  EXPECT_EQ(F.Status, ProfileOpStatus::Failed);
+  EXPECT_EQ(F.Error, "boom");
+
+  ProfileOpResult D;
+  D.Status = ProfileOpStatus::Degraded;
+  EXPECT_TRUE(D) << "degraded counts as ok for control flow";
+  EXPECT_TRUE(D.degraded());
+}
+
+//===----------------------------------------------------------------------===//
+// Scheme-level: profile-query*, pgmp-stats
+//===----------------------------------------------------------------------===//
+
+TEST(Observability, ProfileQueryStarDistinguishesNoDataFromZero) {
+  std::string Path = tempPath("query.profile");
+  {
+    Engine Trainer;
+    Trainer.setInstrumentation(true);
+    evalOk(Trainer, "(define (f x) x) (f 1)");
+    ProfileOpResult R = Trainer.storeProfile(Path);
+    ASSERT_TRUE(R) << R.Error;
+  }
+
+  Engine E;
+  // Nothing loaded: profile-query collapses to 0, the * variant says #f.
+  evalOk(E, "(define p (make-profile-point \"k\"))");
+  EXPECT_EQ(evalOk(E, "(profile-query p)"), "0.0");
+  EXPECT_EQ(evalOk(E, "(profile-query* p)"), "#f");
+
+  ASSERT_TRUE(E.loadProfile(Path));
+  // Loaded, but this generated point has no data: still a real number
+  // now, because "no data for this point" is 0, not "no data at all".
+  EXPECT_EQ(evalOk(E, "(profile-query* p)"), "0.0");
+}
+
+TEST(Observability, PgmpStatsPrimitiveExposesCounters) {
+  Engine E;
+  evalOk(E, "(set-pgmp-stats! #t)");
+  evalOk(E, "(define (f x) (* x x)) (f 5)");
+  EXPECT_EQ(evalOk(E, "(number? (cdr (assq 'compiled-units (pgmp-stats))))"),
+            "#t");
+  EXPECT_EQ(evalOk(E, "(> (cdr (assq 'compiled-units (pgmp-stats))) 0)"),
+            "#t");
+  evalOk(E, "(set-pgmp-stats! #f)");
+  evalOk(E, "(define snap (cdr (assq 'compiled-units (pgmp-stats))))");
+  evalOk(E, "(+ 1 2)");
+  EXPECT_EQ(evalOk(E, "(= snap (cdr (assq 'compiled-units (pgmp-stats))))"),
+            "#t")
+      << "disabled stats stop counting";
+}
+
+//===----------------------------------------------------------------------===//
+// Hot-spot report (golden)
+//===----------------------------------------------------------------------===//
+
+TEST(Report, GoldenTableFromInMemorySources) {
+  SourceManager SM;
+  SM.addBuffer("app.scm", "(define (hot x)\n  (* x x))\n(hot 3)\n");
+
+  SourceObjectTable Sources;
+  ProfileDatabase Db;
+  const SourceObject *A = Sources.intern("app.scm", 18, 25, 2, 3);
+  const SourceObject *B = Sources.intern("app.scm", 27, 34, 3, 1);
+  Db.mergeEntry(A, ProfileDatabase::Entry{1.0, 40});
+  Db.mergeEntry(B, ProfileDatabase::Entry{0.5, 20});
+  Db.mergeDatasetCount(1);
+
+  ProfileLoadReport Meta;
+  Meta.Version = 2;
+  ProfileReportOptions Opts;
+  Opts.ReadSourcesFromDisk = false; // deterministic: SM only
+  std::string Report = renderProfileReport(Db, Meta, "app.profile", Opts, &SM);
+  EXPECT_EQ(Report,
+            "app.profile: v2, 1 dataset(s), 2 point(s)\n"
+            "hot spots (top 2 of 2):\n"
+            " rank  weight         count  location     source\n"
+            "    1  1.0000            40  app.scm:2:3  (* x x)\n"
+            "    2  0.5000            20  app.scm:3:1  (hot 3)\n");
+}
+
+TEST(Report, TruncatesExcerptsAndRespectsTopN) {
+  SourceManager SM;
+  std::string Long = "(begin " + std::string(100, 'x') + ")";
+  SM.addBuffer("long.scm", Long);
+  SourceObjectTable Sources;
+  ProfileDatabase Db;
+  const SourceObject *A =
+      Sources.intern("long.scm", 0, static_cast<uint32_t>(Long.size()), 1, 1);
+  const SourceObject *B = Sources.intern("long.scm", 0, 6, 1, 1);
+  Db.mergeEntry(A, ProfileDatabase::Entry{1.0, 9});
+  Db.mergeEntry(B, ProfileDatabase::Entry{0.9, 5});
+  Db.mergeDatasetCount(1);
+
+  ProfileLoadReport Meta;
+  Meta.Version = 2;
+  ProfileReportOptions Opts;
+  Opts.ReadSourcesFromDisk = false;
+  Opts.TopN = 1;
+  Opts.ExcerptWidth = 16;
+  std::string Report = renderProfileReport(Db, Meta, "p", Opts, &SM);
+  EXPECT_NE(Report.find("top 1 of 2"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("..."), std::string::npos) << Report;
+  EXPECT_EQ(Report.find(std::string(20, 'x')), std::string::npos)
+      << "excerpt must be truncated:\n" << Report;
+}
+
+TEST(Report, FileEntryPointRoundTripsARealProfile) {
+  std::string Src = tempPath("app.scm");
+  spit(Src, "(define (f x) (* x x))\n(f 2) (f 3) (f 4)\n");
+  std::string Path = tempPath("report.profile");
+  {
+    Engine E;
+    E.setInstrumentation(true);
+    EvalResult R = E.evalFile(Src);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    ProfileOpResult Store = E.storeProfile(Path);
+    ASSERT_TRUE(Store) << Store.Error;
+  }
+  std::string Out, Err;
+  ASSERT_TRUE(renderProfileReportFile(Path, Out, Err)) << Err;
+  EXPECT_NE(Out.find("hot spots"), std::string::npos);
+  EXPECT_NE(Out.find("v2, 1 dataset(s)"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("(* x x)"), std::string::npos)
+      << "excerpt should be read from the on-disk source:\n" << Out;
+}
+
+TEST(Report, MissingProfileFails) {
+  std::string Out, Err;
+  EXPECT_FALSE(renderProfileReportFile("/nonexistent/p.profile", Out, Err));
+  EXPECT_NE(Err.find("cannot read"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Three-pass stage stats
+//===----------------------------------------------------------------------===//
+
+TEST(Observability, ThreePassReportsPerStageStats) {
+  ThreePassConfig C;
+  C.Libraries = {"exclusive-cond", "pgmp-case"};
+  C.ProgramSource =
+      "(define hits 0)\n"
+      "(define (dispatch c)\n"
+      "  (case c [(#\\a) (set! hits (+ hits 1))] [else 'other]))\n";
+  C.ProgramName = "dispatch.scm";
+  C.WorkloadSource = "(for-each (lambda (i) (dispatch #\\a)) (iota 20))";
+  std::string Base = tempPath("tps");
+  C.SourceProfilePath = Base + "_src.prof";
+  C.BlockProfilePath = Base + "_blk.prof";
+  std::vector<ThreePassStageStats> Stages;
+  C.StageStatsOut = &Stages;
+
+  OptimizedProgram Out;
+  std::string Err;
+  ASSERT_TRUE(runThreePasses(C, Out, Err)) << Err;
+  ASSERT_EQ(Stages.size(), 3u);
+  EXPECT_EQ(Stages[0].Pass, "pass1");
+  EXPECT_EQ(Stages[1].Pass, "pass2");
+  EXPECT_EQ(Stages[2].Pass, "pass3");
+
+  // Pass 1 pays source-expression counters; pass 3 runs uninstrumented.
+  EXPECT_GT(Stages[0].InstrumentedNodes, 0u);
+  EXPECT_GT(Stages[0].CounterIncrements, 0u);
+  EXPECT_EQ(Stages[2].InstrumentedNodes, 0u);
+  for (const ThreePassStageStats &St : Stages) {
+    EXPECT_GT(St.CompiledNodes, 0u) << St.Pass;
+    EXPECT_FALSE(St.Rendered.empty()) << St.Pass;
+  }
+}
+
+} // namespace

@@ -263,9 +263,9 @@ TEST(ProfileRobustness, CorruptProfileIsAnErrorInStrictMode) {
 
   Engine E2;
   E2.setStrictProfile(true);
-  std::string Err;
-  EXPECT_FALSE(E2.loadProfile(Path, &Err));
-  EXPECT_NE(Err.find("checksum"), std::string::npos) << Err;
+  ProfileOpResult R = E2.loadProfile(Path);
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.Error.find("checksum"), std::string::npos) << R.Error;
 
   // Scheme level: strict mode raises through load-profile.
   Engine E3;
@@ -276,9 +276,9 @@ TEST(ProfileRobustness, CorruptProfileIsAnErrorInStrictMode) {
 
 TEST(ProfileRobustness, MissingProfileIsStillAHardError) {
   Engine E;
-  std::string Err;
-  EXPECT_FALSE(E.loadProfile("/nonexistent/profile.dat", &Err));
-  EXPECT_NE(Err.find("cannot open"), std::string::npos) << Err;
+  ProfileOpResult R = E.loadProfile("/nonexistent/profile.dat");
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.Error.find("cannot open"), std::string::npos) << R.Error;
 }
 
 TEST(ProfileRobustness, StaleProfileDetectedAgainstChangedSource) {
@@ -300,9 +300,9 @@ TEST(ProfileRobustness, StaleProfileDetectedAgainstChangedSource) {
   Engine E3;
   E3.setStrictProfile(true);
   ASSERT_TRUE(E3.evalString("(define (g) 2) (g)", "app.scm").Ok);
-  std::string Err;
-  EXPECT_FALSE(E3.loadProfile(Path, &Err));
-  EXPECT_NE(Err.find("stale"), std::string::npos) << Err;
+  ProfileOpResult R = E3.loadProfile(Path);
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.Error.find("stale"), std::string::npos) << R.Error;
 
   // Matching code: loads fine.
   Engine E4;
@@ -397,12 +397,12 @@ TEST(ProfileRobustness, FailedStoreKeepsLiveCounters) {
   ASSERT_TRUE(E.evalString("(define (f) 1) (f) (f) (f)", "app.scm").Ok);
 
   iofault::arm(iofault::Kind::WriteError);
-  std::string Err;
-  EXPECT_FALSE(E.storeProfile(Path, &Err));
+  EXPECT_FALSE(E.storeProfile(Path));
   EXPECT_FALSE(fileExists(Path));
   // The failed store must not have folded-and-reset the counters: the
   // retry still has data to persist.
-  ASSERT_TRUE(E.storeProfile(Path, &Err)) << Err;
+  ProfileOpResult Retry = E.storeProfile(Path);
+  ASSERT_TRUE(Retry) << Retry.Error;
 
   Engine E2;
   ASSERT_TRUE(E2.loadProfile(Path));

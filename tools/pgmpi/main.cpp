@@ -16,6 +16,14 @@
 ///     -e EXPR                evaluate EXPR (after files)
 ///     --repl                 interactive read-eval-print loop (after
 ///                            files), with profile state live
+///     --stats                print pipeline stats (phase timers and
+///                            profiler self-metrics) to stderr at exit
+///     --trace FILE           write Chrome trace_event JSON of the
+///                            pipeline phases to FILE (chrome://tracing)
+///
+///   pgmpi report [--top N] FILE...
+///     hot-spot report for stored source profiles: the top-N points by
+///     weight with counts, locations, and source excerpts.
 ///
 ///   pgmpi profile-lint FILE...
 ///     validates stored profiles (source or block level): format version,
@@ -26,8 +34,10 @@
 
 #include "core/Engine.h"
 #include "profile/ProfileIO.h"
+#include "profile/ProfileReport.h"
 #include "support/AtomicFile.h"
 #include "support/Checksum.h"
+#include "support/Text.h"
 #include "syntax/Writer.h"
 #include "vm/BlockProfile.h"
 
@@ -43,9 +53,45 @@ static int usage() {
                "usage: pgmpi [--instrument] [--profile-out F] "
                "[--profile-in F] [--strict-profile]\n"
                "             [--annotate-wrap] [--dump-expansion] "
-               "[--lib NAME]... [-e EXPR] file.scm...\n"
+               "[--lib NAME]... [-e EXPR]\n"
+               "             [--stats] [--trace F] file.scm...\n"
+               "       pgmpi report [--top N] FILE...\n"
                "       pgmpi profile-lint FILE...\n");
   return 2;
+}
+
+/// `pgmpi report`: hot-spot tables for stored source profiles.
+static int runReport(int Argc, char **Argv) {
+  ProfileReportOptions Opts;
+  std::vector<std::string> Files;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--top") {
+      int64_t N;
+      if (I + 1 >= Argc || !parseInt64(Argv[I + 1], N) || N < 0) {
+        std::fprintf(stderr, "pgmpi: --top needs a non-negative number\n");
+        return 2;
+      }
+      Opts.TopN = static_cast<size_t>(N);
+      ++I;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "pgmpi: report: unknown option %s\n", Arg.c_str());
+      return 2;
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+  if (Files.empty())
+    return usage();
+  for (const std::string &F : Files) {
+    std::string Out, Err;
+    if (!renderProfileReportFile(F, Out, Err, Opts)) {
+      std::fprintf(stderr, "pgmpi: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fputs(Out.c_str(), stdout);
+  }
+  return 0;
 }
 
 /// Validates one stored profile file and prints findings; returns the
@@ -195,13 +241,16 @@ static void runRepl(Engine &E) {
 int main(int Argc, char **Argv) {
   if (Argc > 1 && std::strcmp(Argv[1], "profile-lint") == 0)
     return runProfileLint(Argc, Argv);
+  if (Argc > 1 && std::strcmp(Argv[1], "report") == 0)
+    return runReport(Argc, Argv);
 
   bool Instrument = false;
   bool DumpExpansion = false;
   bool AnnotateWrap = false;
   bool StrictProfile = false;
   bool Repl = false;
-  std::string ProfileOut, ProfileIn, EvalText;
+  bool Stats = false;
+  std::string ProfileOut, ProfileIn, EvalText, TraceOut;
   std::vector<std::string> Libs, Files;
 
   for (int I = 1; I < Argc; ++I) {
@@ -223,6 +272,10 @@ int main(int Argc, char **Argv) {
       StrictProfile = true;
     else if (Arg == "--repl")
       Repl = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg == "--trace")
+      TraceOut = NeedsValue("--trace");
     else if (Arg == "--profile-out")
       ProfileOut = NeedsValue("--profile-out");
     else if (Arg == "--profile-in")
@@ -247,6 +300,9 @@ int main(int Argc, char **Argv) {
   E.context().Diags.EchoToStderr = true;
   E.setInstrumentation(Instrument);
   E.setStrictProfile(StrictProfile);
+  E.setStatsEnabled(Stats);
+  if (!TraceOut.empty())
+    E.setTracePath(TraceOut);
   if (AnnotateWrap)
     E.setAnnotateMode(AnnotateMode::Wrap);
 
@@ -257,9 +313,8 @@ int main(int Argc, char **Argv) {
       FileId Id;
       (void)E.context().SrcMgr.addFile(F, Id); // missing files error later
     }
-    std::string Err;
-    if (!E.loadProfile(ProfileIn, &Err)) {
-      std::fprintf(stderr, "pgmpi: %s\n", Err.c_str());
+    if (ProfileOpResult R = E.loadProfile(ProfileIn); !R) {
+      std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
       return 1;
     }
   }
@@ -311,11 +366,18 @@ int main(int Argc, char **Argv) {
     runRepl(E);
 
   if (!ProfileOut.empty()) {
-    std::string Err;
-    if (!E.storeProfile(ProfileOut, &Err)) {
-      std::fprintf(stderr, "pgmpi: %s\n", Err.c_str());
+    if (ProfileOpResult R = E.storeProfile(ProfileOut); !R) {
+      std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
       return 1;
     }
   }
+  if (!TraceOut.empty()) {
+    if (ProfileOpResult R = E.writeTrace(); !R) {
+      std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+      return 1;
+    }
+  }
+  if (Stats)
+    std::fputs(E.stats().render().c_str(), stderr);
   return 0;
 }
