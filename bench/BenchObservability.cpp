@@ -27,8 +27,9 @@ const char *Program =
 
 void BM_EvalWithStats(benchmark::State &State) {
   int Mode = static_cast<int>(State.range(0));
-  Engine E;
-  E.setStatsEnabled(Mode >= 1);
+  EngineOptions Opts;
+  Opts.StatsEnabled = Mode >= 1;
+  Engine E(Opts);
   if (Mode == 2)
     E.context().Trace.enable(true);
   requireEval(E, Program, "spin.scm");

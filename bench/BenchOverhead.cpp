@@ -44,21 +44,12 @@ const char *KernelAnnotated =
 
 void BM_Overhead(benchmark::State &State) {
   int Mode = static_cast<int>(State.range(0));
-  Engine E;
-  switch (Mode) {
-  case 0:
-    requireEval(E, KernelPlain, "kernel.scm");
-    break;
-  case 1:
-    E.setInstrumentation(true);
-    requireEval(E, KernelPlain, "kernel.scm");
-    break;
-  default:
-    E.setAnnotateMode(AnnotateMode::Wrap);
-    E.setInstrumentation(true);
-    requireEval(E, KernelAnnotated, "kernel.scm");
-    break;
-  }
+  EngineOptions Opts;
+  Opts.Instrument = Mode >= 1;
+  if (Mode >= 2)
+    Opts.Annotate = AnnotateMode::Wrap;
+  Engine E(Opts);
+  requireEval(E, Mode >= 2 ? KernelAnnotated : KernelPlain, "kernel.scm");
   Value *Fn = E.context().globalCell(E.context().Symbols.intern("work"));
   {
     // Warm the code paths and allocator before timing.

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+#===-- scripts/tier1.sh - tier-1 gate: build, tests, TSan concurrency ----===//
+#
+# The tier-1 gate for this repo:
+#   1. Release build + full ctest suite   (the historical tier-1 contract)
+#   2. TSan build + the concurrency tests (ParallelProfile, ShardedCounterStore,
+#      ProfileSnapshot) — the sharded counter runtime must be provably
+#      race-free, not just pass-by-luck.
+#
+# Usage: scripts/tier1.sh [--skip-tsan]
+#
+#===----------------------------------------------------------------------===//
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: release build + full test suite =="
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+ctest --preset default
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "== tier-1: TSan pass skipped (--skip-tsan) =="
+  exit 0
+fi
+
+echo "== tier-1: TSan build + concurrency tests =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+# TSAN_OPTIONS makes any report a hard failure even if the process would
+# otherwise exit 0.
+TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan
+
+echo "== tier-1: all gates passed =="

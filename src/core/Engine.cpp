@@ -16,13 +16,26 @@ using namespace pgmp;
 #define PGMP_SCHEME_DIR "scheme"
 #endif
 
-Engine::Engine() : Ctx(), Exp(Ctx) {
+Engine::Engine() : Engine(EngineOptions{}) {}
+
+Engine::Engine(const EngineOptions &Opts) : Ctx(), Exp(Ctx) {
   installAllPrims(Ctx);
   installPgmpApi(Ctx);
   EvalResult R = loadLibrary("prelude");
   if (!R.Ok)
     Ctx.Diags.report(DiagKind::Warning, "",
                      "prelude not loaded: " + R.Error);
+  // Applied after the prelude so the options govern user code only — the
+  // prelude is never instrumented, counted, or traced, matching the old
+  // construct-then-set protocol byte for byte.
+  Ctx.InstrumentCompiles = Opts.Instrument;
+  Ctx.AnnotMode = Opts.Annotate;
+  Ctx.StrictProfile = Opts.StrictProfile;
+  Ctx.Stats.enable(Opts.StatsEnabled);
+  Ctx.EchoStdout = Opts.EchoStdout;
+  Ctx.Diags.EchoToStderr = Opts.EchoDiagnostics;
+  if (!Opts.TracePath.empty())
+    configureTracePath(Opts.TracePath);
 }
 
 Engine::~Engine() {
@@ -166,7 +179,7 @@ bool Engine::loadProfile(const std::string &Path, std::string *ErrorOut) {
   return R.ok();
 }
 
-void Engine::setTracePath(const std::string &Path) {
+void Engine::configureTracePath(const std::string &Path) {
   TracePath = Path;
   Ctx.Trace.enable(!Path.empty());
 }
@@ -174,7 +187,7 @@ void Engine::setTracePath(const std::string &Path) {
 ProfileOpResult Engine::writeTrace() {
   if (TracePath.empty())
     return ProfileOpResult::failure(
-        "no trace path configured (call setTracePath first)");
+        "no trace path configured (set EngineOptions::TracePath)");
   ProfileOpResult R = writeTrace(TracePath);
   if (R.ok())
     TracePath.clear(); // flushed: the destructor must not rewrite it
@@ -194,10 +207,14 @@ void Engine::clearProfile() {
   Ctx.Counters.reset();
 }
 
+const SourceObject *Engine::profilePoint(const std::string &File,
+                                         uint32_t Begin, uint32_t End) {
+  return Ctx.Sources.intern(File, Begin, End, 1, 1);
+}
+
 std::optional<double> Engine::weightOf(const std::string &File,
                                        uint32_t Begin, uint32_t End) {
-  const SourceObject *Src = Ctx.Sources.intern(File, Begin, End, 1, 1);
-  return Ctx.ProfileDb.weight(Src);
+  return snapshot().weightOpt(profilePoint(File, Begin, End));
 }
 
 std::string Engine::takeOutput() {

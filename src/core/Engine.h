@@ -6,8 +6,9 @@
 /// evaluator, counter-based profiler, and the Figure 4 API. A typical
 /// profile-guided build is:
 ///
-///   Engine E1;                      // pass 1: profile
-///   E1.setInstrumentation(true);
+///   EngineOptions Prof;
+///   Prof.Instrument = true;
+///   Engine E1(Prof);                // pass 1: profile
 ///   E1.evalFile("app.scm");         // runs instrumented
 ///   E1.storeProfile("app.profile");
 ///
@@ -15,14 +16,25 @@
 ///   E2.loadProfile("app.profile");  // meta-programs now see weights
 ///   E2.evalFile("app.scm");         // expands optimized
 ///
+/// Profile data is read through one surface: `snapshot()` returns an
+/// immutable ProfileSnapshot whose weight/weightOpt/count methods carry
+/// the semantics the three historical read paths (profileQuery,
+/// profileQueryOpt, weightOf) used to split between them.
+///
+/// One Engine is one thread's session: evaluate on the thread that owns
+/// it. To profile a workload across N threads, use EnginePool, which runs
+/// one Engine per worker and merges their counters deterministically.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PGMP_CORE_ENGINE_H
 #define PGMP_CORE_ENGINE_H
 
+#include "core/EngineOptions.h"
 #include "core/ProfileOpResult.h"
 #include "expander/Expander.h"
 #include "interp/Context.h"
+#include "profile/ProfileSnapshot.h"
 
 #include <memory>
 #include <optional>
@@ -42,6 +54,10 @@ struct EvalResult {
 class Engine {
 public:
   Engine();
+  /// Constructs with \p Opts applied after the prelude loads (so the
+  /// prelude itself is never instrumented or counted, matching the old
+  /// construct-then-set protocol).
+  explicit Engine(const EngineOptions &Opts);
   ~Engine();
   Engine(const Engine &) = delete;
   Engine &operator=(const Engine &) = delete;
@@ -80,16 +96,11 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Instrument code compiled from now on (source-expression counters).
+  /// The one intentionally-runtime toggle: a session can run its own
+  /// profile/optimize cycle. Everything else is EngineOptions.
   void setInstrumentation(bool On) { Ctx.InstrumentCompiles = On; }
   bool instrumentation() const { return Ctx.InstrumentCompiles; }
 
-  /// Chez-style inline counters vs Racket errortrace-style call wrapping
-  /// for annotate-expr (Section 4.2).
-  void setAnnotateMode(AnnotateMode M) { Ctx.AnnotMode = M; }
-
-  /// Profile integrity policy: strict mode turns corrupt/stale/malformed
-  /// profile inputs into errors instead of degrade-with-warning.
-  void setStrictProfile(bool On) { Ctx.StrictProfile = On; }
   bool strictProfile() const { return Ctx.StrictProfile; }
 
   /// Folds live counters into the profile database as one data set and
@@ -102,42 +113,62 @@ public:
   ProfileOpResult storeProfile(const std::string &Path);
   ProfileOpResult loadProfile(const std::string &Path);
 
-  /// Deprecated bool/ErrorOut shims; use the ProfileOpResult overloads.
-  [[deprecated("use storeProfile(Path) returning ProfileOpResult")]]
-  bool storeProfile(const std::string &Path, std::string *ErrorOut);
-  [[deprecated("use loadProfile(Path) returning ProfileOpResult")]]
-  bool loadProfile(const std::string &Path, std::string *ErrorOut);
-
   void clearProfile();
 
-  /// Weight of the point covering [Begin, End) of buffer \p File.
-  /// nullopt means "no profile data loaded" — distinct from 0.0, which
-  /// means "data is loaded and this point was never hit" (profile-query
-  /// collapses both to 0; profile-query* preserves the distinction).
-  std::optional<double> weightOf(const std::string &File, uint32_t Begin,
-                                 uint32_t End);
+  //===--------------------------------------------------------------------===//
+  // Profile queries — the one read path
+  //===--------------------------------------------------------------------===//
+
+  /// An immutable view of the current profile data; see ProfileSnapshot.
+  /// Cheap (O(1) between profile mutations) and safe to query from any
+  /// thread or to keep across further loads.
+  ProfileSnapshot snapshot() const { return Ctx.ProfileDb.snapshot(); }
+
+  /// The interned profile point covering [Begin, End) of buffer \p File —
+  /// the key for snapshot().weight()/weightOpt()/count().
+  const SourceObject *profilePoint(const std::string &File, uint32_t Begin,
+                                   uint32_t End);
 
   //===--------------------------------------------------------------------===//
   // Observability (phase timers, self-metrics, trace export)
   //===--------------------------------------------------------------------===//
 
-  /// Toggles pipeline stats: per-phase wall-clock timers and profiler
-  /// self-metrics. Near-zero cost when off (the default).
-  void setStatsEnabled(bool On) { Ctx.Stats.enable(On); }
   bool statsEnabled() const { return Ctx.Stats.enabled(); }
 
   /// The accumulated stats; see StatsRegistry::snapshot()/render().
   const StatsRegistry &stats() const { return Ctx.Stats; }
   void resetStats() { Ctx.Stats.reset(); }
 
-  /// Enables trace-event collection and sets where writeTrace() (and the
-  /// destructor, best-effort) will write Chrome trace_event JSON.
-  void setTracePath(const std::string &Path);
-
-  /// Writes the collected trace to the setTracePath() target (or \p Path)
-  /// and marks it flushed so the destructor does not rewrite it.
+  /// Writes the collected trace to the EngineOptions::TracePath target
+  /// (or \p Path) and marks it flushed so the destructor does not rewrite
+  /// it.
   ProfileOpResult writeTrace();
   ProfileOpResult writeTrace(const std::string &Path);
+
+  //===--------------------------------------------------------------------===//
+  // Deprecated configuration and query shims (one release)
+  //===--------------------------------------------------------------------===//
+
+  [[deprecated("pass EngineOptions::Annotate to the constructor")]]
+  void setAnnotateMode(AnnotateMode M) { Ctx.AnnotMode = M; }
+  [[deprecated("pass EngineOptions::StrictProfile to the constructor")]]
+  void setStrictProfile(bool On) { Ctx.StrictProfile = On; }
+  [[deprecated("pass EngineOptions::StatsEnabled to the constructor")]]
+  void setStatsEnabled(bool On) { Ctx.Stats.enable(On); }
+  [[deprecated("pass EngineOptions::TracePath to the constructor")]]
+  void setTracePath(const std::string &Path) { configureTracePath(Path); }
+
+  /// Weight of the point covering [Begin, End) of buffer \p File;
+  /// nullopt means "no profile data loaded".
+  [[deprecated("use snapshot().weightOpt(profilePoint(File, Begin, End))")]]
+  std::optional<double> weightOf(const std::string &File, uint32_t Begin,
+                                 uint32_t End);
+
+  /// Deprecated bool/ErrorOut shims; use the ProfileOpResult overloads.
+  [[deprecated("use storeProfile(Path) returning ProfileOpResult")]]
+  bool storeProfile(const std::string &Path, std::string *ErrorOut);
+  [[deprecated("use loadProfile(Path) returning ProfileOpResult")]]
+  bool loadProfile(const std::string &Path, std::string *ErrorOut);
 
   //===--------------------------------------------------------------------===//
   // Output capture
@@ -147,6 +178,8 @@ public:
   std::string takeOutput();
 
 private:
+  void configureTracePath(const std::string &Path);
+
   Context Ctx;
   Expander Exp;
   std::string TracePath;

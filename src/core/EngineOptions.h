@@ -1,0 +1,68 @@
+//===- core/EngineOptions.h - Construction-time engine config -*- C++ -*-===//
+///
+/// \file
+/// One struct holding everything an embedder used to configure through a
+/// growing pile of Engine::set* calls (setStrictProfile, setTracePath,
+/// setStatsEnabled, setAnnotateMode, ...). Pass it to the Engine
+/// constructor — or to EnginePool, which applies the same options to
+/// every worker:
+///
+///   EngineOptions Opts;
+///   Opts.Instrument = true;
+///   Opts.StatsEnabled = true;
+///   Engine E(Opts);
+///
+/// Options take effect for code evaluated *after* construction; the
+/// prelude library loaded by the constructor is never instrumented or
+/// counted, exactly as under the old post-construction setter protocol.
+/// The setters remain as [[deprecated]] shims for one release; the only
+/// non-deprecated runtime toggle is setInstrumentation, which the paper's
+/// profile/optimize cycle genuinely flips mid-session.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_CORE_ENGINEOPTIONS_H
+#define PGMP_CORE_ENGINEOPTIONS_H
+
+#include <cstdint>
+#include <string>
+
+namespace pgmp {
+
+enum class AnnotateMode : uint8_t; // interp/Context.h
+
+/// Construction-time configuration for one Engine (or every worker of an
+/// EnginePool). Default-constructed options reproduce a plain `Engine E;`.
+struct EngineOptions {
+  /// Compile with source-expression counters (pass-1 profiling runs).
+  bool Instrument = false;
+
+  /// annotate-expr style: Inline (Chez, counter bump) or Wrap (Racket
+  /// errortrace, nullary-call wrapping). Zero-initialized to
+  /// AnnotateMode::Inline; the enum is defined in interp/Context.h, which
+  /// every Engine user already sees through core/Engine.h.
+  AnnotateMode Annotate{};
+
+  /// Profile integrity policy: strict turns corrupt/stale/malformed
+  /// profile inputs into errors instead of degrade-with-warning.
+  bool StrictProfile = false;
+
+  /// Pipeline stats: per-phase wall-clock timers and profiler
+  /// self-metrics. Near-zero cost when off (the default).
+  bool StatsEnabled = false;
+
+  /// Non-empty enables trace-event collection; Engine::writeTrace() (and
+  /// the destructor, best-effort) write Chrome trace_event JSON here.
+  std::string TracePath;
+
+  /// Mirror display/write output to stdout (pgmpi-style drivers).
+  bool EchoStdout = false;
+
+  /// Mirror diagnostics to stderr as they are reported.
+  bool EchoDiagnostics = false;
+
+};
+
+} // namespace pgmp
+
+#endif // PGMP_CORE_ENGINEOPTIONS_H

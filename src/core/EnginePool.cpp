@@ -1,0 +1,130 @@
+//===- core/EnginePool.cpp ------------------------------------------------===//
+
+#include "core/EnginePool.h"
+
+#include "profile/ProfileIO.h"
+
+#include <thread>
+
+using namespace pgmp;
+
+EnginePool::EnginePool(size_t Jobs, const EngineOptions &Opts) {
+  if (Jobs == 0)
+    Jobs = 1;
+  Workers.reserve(Jobs);
+  for (size_t I = 0; I < Jobs; ++I)
+    Workers.push_back(std::make_unique<Engine>(Opts));
+}
+
+EnginePool::~EnginePool() = default;
+
+EnginePool::PoolResult EnginePool::run(const WorkerTask &Task) {
+  PoolResult R;
+  R.PerWorker.resize(Workers.size());
+  std::vector<std::thread> Threads;
+  Threads.reserve(Workers.size());
+  for (size_t I = 0; I < Workers.size(); ++I)
+    Threads.emplace_back([this, &Task, &R, I] {
+      // Each thread touches only its own worker and its own result slot;
+      // evalString already converts SchemeErrors, so only foreign
+      // exceptions need catching here.
+      try {
+        R.PerWorker[I] = Task(*Workers[I], I);
+      } catch (const std::exception &E) {
+        R.PerWorker[I].Ok = false;
+        R.PerWorker[I].Error = E.what();
+      } catch (...) {
+        R.PerWorker[I].Ok = false;
+        R.PerWorker[I].Error = "unknown exception";
+      }
+    });
+  // The join is load-bearing: it is the happens-before edge that makes
+  // aggregating the workers' counter pages race-free.
+  for (std::thread &T : Threads)
+    T.join();
+  for (size_t I = 0; I < Workers.size(); ++I)
+    if (!R.PerWorker[I].Ok) {
+      R.Ok = false;
+      R.Error = "worker " + std::to_string(I) + ": " + R.PerWorker[I].Error;
+      break;
+    }
+  return R;
+}
+
+EnginePool::PoolResult
+EnginePool::runFiles(const std::vector<std::string> &Files) {
+  return run([&Files](Engine &E, size_t) {
+    EvalResult Last;
+    Last.Ok = true; // an empty workload is vacuously fine
+    for (const std::string &F : Files) {
+      Last = E.evalFile(F);
+      if (!Last)
+        break;
+    }
+    return Last;
+  });
+}
+
+ProfileOpResult EnginePool::loadProfileAll(const std::string &Path) {
+  ProfileOpResult R;
+  for (std::unique_ptr<Engine> &W : Workers) {
+    R = W->loadProfile(Path);
+    if (!R)
+      return R;
+  }
+  return R;
+}
+
+void EnginePool::preRegisterFile(const std::string &Path) {
+  for (std::unique_ptr<Engine> &W : Workers) {
+    FileId Id;
+    (void)W->context().SrcMgr.addFile(Path, Id); // missing files error later
+  }
+}
+
+void EnginePool::mergeCountersInto(ProfileDatabase &Db,
+                                   SourceObjectTable &Sources) {
+  for (std::unique_ptr<Engine> &W : Workers) {
+    ProfileDatabase::CounterRows Rows = W->context().Counters.snapshot();
+    // Worker points live in the worker's own interning table; translate
+    // to the target table so the merged database speaks its identities.
+    for (auto &[Src, Count] : Rows)
+      Src = Sources.intern(Src->File, Src->BeginOffset, Src->EndOffset,
+                           Src->Line, Src->Column, Src->Generated);
+    Db.addDataset(Rows); // all-zero data sets are ignored, as always
+  }
+}
+
+ProfileOpResult EnginePool::storeMergedProfile(const std::string &Path) {
+  Context &C0 = Workers[0]->context();
+  C0.Stats.bump(Stat::ProfileStores);
+  // Same protocol as Engine::storeProfile: serialize a merged snapshot
+  // first, commit the merge and reset counters only once the file is
+  // safely on disk — a failed store must not destroy the counter data it
+  // failed to persist.
+  ProfileDatabase Merged = C0.ProfileDb;
+  uint64_t Before = Merged.numDatasets();
+  {
+    ScopedPhase Timer(C0.Stats, &C0.Trace, Phase::CounterFold);
+    mergeCountersInto(Merged, C0.Sources);
+  }
+  std::string Err;
+  {
+    ScopedPhase Timer(C0.Stats, &C0.Trace, Phase::ProfileStore);
+    if (!storeProfileFile(Merged, Path, &C0.SrcMgr, &Err))
+      return ProfileOpResult::failure("cannot write profile file: " + Path +
+                                      " (" + Err + ")");
+  }
+  uint64_t DatasetsFolded = Merged.numDatasets() - Before;
+  for (std::unique_ptr<Engine> &W : Workers) {
+    Context &C = W->context();
+    C.Stats.bump(Stat::CounterIncrements, C.Counters.totalIncrements());
+    C.Counters.reset();
+  }
+  C0.Stats.bump(Stat::DatasetMerges, DatasetsFolded);
+  C0.ProfileDb = Merged;
+  ProfileOpResult R;
+  R.DatasetsMerged = DatasetsFolded;
+  R.PointsLoaded = Merged.numPoints();
+  return R;
+}

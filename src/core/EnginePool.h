@@ -1,0 +1,111 @@
+//===- core/EnginePool.h - Parallel workload driver -----------*- C++ -*-===//
+///
+/// \file
+/// Runs one instrumented Scheme workload across N worker engines, one OS
+/// thread each, and merges their counters into a single profile that is
+/// *bit-identical* to running the same data sets sequentially.
+///
+/// ## Model
+///
+/// An Engine (heap, symbol table, expander state) is one thread's
+/// session; sharing one across threads is not safe and never will be
+/// cheap. The pool therefore scales the paper's workflow the way a
+/// production profiler farm does: N isolated workers each run the
+/// workload (one data set per worker), and the coordinator folds the
+/// resulting counter pages into one ProfileDatabase.
+///
+/// ## Determinism
+///
+/// Figure 3's merge (weight = count / max-count per data set; data sets
+/// combine by summed weights / dataset count) uses floating-point
+/// addition, which is not associative — so the fold order is the
+/// contract. The pool always folds worker data sets in worker-index
+/// order, on the coordinating thread, after joining every worker. The
+/// result is bit-identical to a sequential engine producing the same data
+/// sets in the same order; `pgmpi run --jobs 8` and a loop of eight
+/// sequential runs write byte-identical profile files.
+///
+/// Worker counters reference worker-local interned profile points; the
+/// merge re-interns each point into the coordinator's table, so the
+/// merged database speaks the coordinator's point identities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_CORE_ENGINEPOOL_H
+#define PGMP_CORE_ENGINEPOOL_H
+
+#include "core/Engine.h"
+#include "core/EngineOptions.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pgmp {
+
+class EnginePool {
+public:
+  /// Builds \p Jobs workers (at least one), each configured with \p Opts.
+  /// Workers are constructed sequentially on the calling thread; worker 0
+  /// doubles as the coordinator whose point table, source manager, and
+  /// profile database receive the merged results.
+  explicit EnginePool(size_t Jobs, const EngineOptions &Opts = {});
+  ~EnginePool();
+  EnginePool(const EnginePool &) = delete;
+  EnginePool &operator=(const EnginePool &) = delete;
+
+  size_t size() const { return Workers.size(); }
+  Engine &engine(size_t I) { return *Workers[I]; }
+
+  /// One worker's task: evaluate whatever constitutes the workload on
+  /// \p E (worker index \p I), returning the last EvalResult.
+  using WorkerTask = std::function<EvalResult(Engine &E, size_t I)>;
+
+  struct PoolResult {
+    bool Ok = true;
+    std::vector<EvalResult> PerWorker; ///< one entry per worker, in order
+    std::string Error; ///< first failure, labeled with its worker index
+    explicit operator bool() const { return Ok; }
+  };
+
+  /// Runs \p Task on every worker concurrently (one thread per worker)
+  /// and joins them all before returning — the quiescent point the
+  /// counter-aggregation contract requires.
+  PoolResult run(const WorkerTask &Task);
+
+  /// Convenience: every worker evaluates \p Files in order (the same
+  /// workload per worker — N workers produce N data sets).
+  PoolResult runFiles(const std::vector<std::string> &Files);
+
+  /// Loads a stored profile into every worker (sequentially — profile
+  /// loads are I/O-bound and order must be deterministic), so parallel
+  /// optimizing builds all see the same weights. Returns the first
+  /// non-ok result, or the last result when all succeed.
+  ProfileOpResult loadProfileAll(const std::string &Path);
+
+  /// Folds every worker's live counters into \p Db — one data set per
+  /// worker holding any counts, in worker-index order — re-interning the
+  /// points into \p Sources. Does not reset the counters; call only at a
+  /// quiescent point (run() returning is one).
+  void mergeCountersInto(ProfileDatabase &Db, SourceObjectTable &Sources);
+
+  /// The pool equivalent of Engine::storeProfile: merges all workers'
+  /// counters on top of the coordinator's database, stores atomically,
+  /// and on success commits the merge and resets every worker's counters
+  /// (on failure counters are preserved, like storeProfile). DatasetsMerged
+  /// reports how many workers contributed a non-empty data set.
+  ProfileOpResult storeMergedProfile(const std::string &Path);
+
+  /// Registers \p Path's contents in every worker's source manager, so a
+  /// subsequent loadProfileAll checks staleness against the code about to
+  /// be compiled (mirrors pgmpi's pre-registration).
+  void preRegisterFile(const std::string &Path);
+
+private:
+  std::vector<std::unique_ptr<Engine>> Workers;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_CORE_ENGINEPOOL_H

@@ -4,6 +4,7 @@
 
 #include "interp/PrimsCommon.h"
 #include "profile/ProfileIO.h"
+#include "profile/ProfileReport.h"
 #include "syntax/Syntax.h"
 
 #include <algorithm>
@@ -55,17 +56,22 @@ Value pgmp::pgmpapi::annotateExpr(Context &Ctx, Value Expr,
                     ScopeSet(), Point);
 }
 
+ProfileSnapshot pgmp::pgmpapi::snapshot(Context &Ctx) {
+  Ctx.Stats.bump(Stat::ProfileQueries);
+  return Ctx.ProfileDb.snapshot();
+}
+
+const SourceObject *pgmp::pgmpapi::point(const Value &ExprOrPoint) {
+  return syntaxSource(ExprOrPoint);
+}
+
 double pgmp::pgmpapi::profileQuery(Context &Ctx, const Value &ExprOrPoint) {
-  return profileQueryOpt(Ctx, ExprOrPoint).value_or(0.0);
+  return snapshot(Ctx).weight(point(ExprOrPoint));
 }
 
 std::optional<double> pgmp::pgmpapi::profileQueryOpt(Context &Ctx,
                                                      const Value &ExprOrPoint) {
-  Ctx.Stats.bump(Stat::ProfileQueries);
-  const SourceObject *Src = syntaxSource(ExprOrPoint);
-  if (!Src)
-    return std::nullopt;
-  return Ctx.ProfileDb.weight(Src);
+  return snapshot(Ctx).weightOpt(point(ExprOrPoint));
 }
 
 ProfileOpResult pgmp::pgmpapi::storeProfile(Context &Ctx,
@@ -184,24 +190,20 @@ Value primAnnotateExpr(Context &Ctx, Value *A, size_t) {
 }
 
 Value primProfileQuery(Context &Ctx, Value *A, size_t) {
-  return Value::flonum(pgmpapi::profileQuery(Ctx, A[0]));
+  return Value::flonum(pgmpapi::snapshot(Ctx).weight(pgmpapi::point(A[0])));
 }
 
 /// (profile-query* e) — weight, or #f when no data is loaded / the value
 /// carries no profile point. The non-collapsing sibling of profile-query.
 Value primProfileQueryStar(Context &Ctx, Value *A, size_t) {
-  std::optional<double> W = pgmpapi::profileQueryOpt(Ctx, A[0]);
+  std::optional<double> W =
+      pgmpapi::snapshot(Ctx).weightOpt(pgmpapi::point(A[0]));
   return W ? Value::flonum(*W) : Value::boolean(false);
 }
 
 Value primProfileQueryCount(Context &Ctx, Value *A, size_t) {
-  const SourceObject *Src = syntaxSource(A[0]);
-  if (!Src)
-    return Value::fixnum(0);
-  auto It = Ctx.ProfileDb.entries().find(Src);
-  if (It == Ctx.ProfileDb.entries().end())
-    return Value::fixnum(0);
-  return Value::fixnum(static_cast<int64_t>(It->second.TotalCount));
+  uint64_t Count = pgmpapi::snapshot(Ctx).count(pgmpapi::point(A[0]));
+  return Value::fixnum(static_cast<int64_t>(Count));
 }
 
 Value primStoreProfile(Context &Ctx, Value *A, size_t) {
@@ -235,33 +237,20 @@ Value primClearProfile(Context &Ctx, Value *, size_t) {
 }
 
 /// (profile-dump [n]) — the hottest profile points as a list of
-/// (location weight count) triples, weightiest first. A poor man's
-/// profiler report for the REPL and scripts.
+/// (location weight count) triples, weightiest first. Shares the
+/// canonical report ordering with `pgmpi report` (profileHotRows), so the
+/// REPL and the CLI never disagree about what is hot.
 Value primProfileDump(Context &Ctx, Value *A, size_t N) {
   int64_t Limit = N == 1 ? wantFixnum("profile-dump", A[0]) : 20;
-  std::vector<std::pair<const SourceObject *, double>> Rows;
-  for (const auto &[Src, E] : Ctx.ProfileDb.entries()) {
-    (void)E;
-    Rows.push_back({Src, Ctx.ProfileDb.weight(Src).value_or(0.0)});
-  }
-  std::sort(Rows.begin(), Rows.end(), [](const auto &X, const auto &Y) {
-    if (X.second != Y.second)
-      return X.second > Y.second;
-    return X.first->key() < Y.first->key(); // deterministic ties
-  });
+  std::vector<ProfileHotRow> Rows = profileHotRows(Ctx.ProfileDb.snapshot());
   if (Limit >= 0 && Rows.size() > static_cast<size_t>(Limit))
     Rows.resize(static_cast<size_t>(Limit));
 
   std::vector<Value> Out;
-  for (const auto &[Src, W] : Rows) {
-    auto It = Ctx.ProfileDb.entries().find(Src);
-    uint64_t Count = It == Ctx.ProfileDb.entries().end()
-                         ? 0
-                         : It->second.TotalCount;
+  for (const ProfileHotRow &R : Rows)
     Out.push_back(Ctx.TheHeap.list(
-        {Ctx.TheHeap.string(Src->describe()), Value::flonum(W),
-         Value::fixnum(static_cast<int64_t>(Count))}));
-  }
+        {Ctx.TheHeap.string(R.Src->describe()), Value::flonum(R.Weight),
+         Value::fixnum(static_cast<int64_t>(R.Count))}));
   return Ctx.TheHeap.list(Out);
 }
 
@@ -279,7 +268,7 @@ Value primInstrumentationP(Context &Ctx, Value *, size_t) {
 
 /// (pgmp-stats) — pipeline self-metrics as an alist of (name . value)
 /// pairs: every counter, then per-phase entry counts and nanoseconds.
-/// All zero until (set-pgmp-stats! #t) or Engine::setStatsEnabled.
+/// All zero until (set-pgmp-stats! #t) or EngineOptions::StatsEnabled.
 Value primPgmpStats(Context &Ctx, Value *, size_t) {
   std::vector<Value> Rows;
   for (const auto &[Name, Count] : Ctx.Stats.snapshot())

@@ -28,8 +28,10 @@
 /// cold. When the distinction matters (e.g. to fall back to heuristics
 /// when no training data exists), use `profile-query*`, which returns #f
 /// in the no-data / no-point cases, or check (profile-data-available?)
-/// first. The C++ equivalents are profileQuery (collapsing) and
-/// profileQueryOpt / Engine::weightOf (distinguishing, via optional).
+/// first. The C++ side reads through one surface: ProfileSnapshot
+/// (Engine::snapshot() / pgmpapi::snapshot), whose weight() collapses and
+/// whose weightOpt() distinguishes; the old profileQuery /
+/// profileQueryOpt free functions are deprecated shims over it.
 ///
 /// A profile point is represented as a syntax object whose source object
 /// is the point — uniformly with "an object with an associated profile
@@ -61,14 +63,20 @@ Value makeProfilePoint(Context &Ctx, const std::string &BaseFile);
 /// Wrap wraps it in a generated nullary call (errortrace-style).
 Value annotateExpr(Context &Ctx, Value Expr, const SourceObject *Point);
 
-/// profile-query: weight of the expression's point; 0 when unknown, and
-/// also 0 when no data sets are loaded (see profile-data-available?).
-double profileQuery(Context &Ctx, const Value &ExprOrPoint);
+/// The unified read path: an immutable snapshot of \p Ctx's profile data
+/// (counts the query against the profiler self-metrics). Query with
+/// snapshot.weight(point(Ctx, v)) / .weightOpt(...) / .count(...).
+ProfileSnapshot snapshot(Context &Ctx);
 
-/// profile-query*: like profileQuery, but keeps the distinction the
-/// collapsed form loses — nullopt when no profile data is loaded or the
-/// value carries no profile point; a weight (possibly 0.0 for a cold
-/// point) otherwise.
+/// The profile point carried by \p ExprOrPoint (its syntax source), or
+/// null when the value carries none — the key for ProfileSnapshot
+/// queries.
+const SourceObject *point(const Value &ExprOrPoint);
+
+/// Deprecated read shims over snapshot(); one release.
+[[deprecated("use snapshot(Ctx).weight(point(ExprOrPoint))")]]
+double profileQuery(Context &Ctx, const Value &ExprOrPoint);
+[[deprecated("use snapshot(Ctx).weightOpt(point(ExprOrPoint))")]]
 std::optional<double> profileQueryOpt(Context &Ctx, const Value &ExprOrPoint);
 
 /// store-profile: folds the live counters into the database as one data

@@ -38,11 +38,16 @@ static void preRegisterProgram(Engine &E, const ThreePassConfig &Config) {
   E.context().SrcMgr.addBuffer(Config.ProgramName, Config.ProgramSource);
 }
 
-/// Turns on stats collection for a pass when the config asks for stage
-/// reports.
-static void beginStage(Engine &E, const ThreePassConfig &Config) {
-  if (Config.StageStatsOut)
-    E.setStatsEnabled(true);
+/// Engine configuration for one pass of the protocol: the config's
+/// integrity policy, plus stats collection when stage reports were asked
+/// for. Pass 1 additionally turns on source instrumentation.
+static EngineOptions stageOptions(const ThreePassConfig &Config,
+                                  bool Instrument = false) {
+  EngineOptions Opts;
+  Opts.Instrument = Instrument;
+  Opts.StrictProfile = Config.StrictProfile;
+  Opts.StatsEnabled = Config.StageStatsOut != nullptr;
+  return Opts;
 }
 
 /// Captures the pass's stats into Config.StageStatsOut.
@@ -62,10 +67,7 @@ static void endStage(Engine &E, const ThreePassConfig &Config,
 }
 
 bool pgmp::runPassOne(const ThreePassConfig &Config, std::string &ErrorOut) {
-  Engine E;
-  E.setStrictProfile(Config.StrictProfile);
-  E.setInstrumentation(true);
-  beginStage(E, Config);
+  Engine E(stageOptions(Config, /*Instrument=*/true));
   if (!loadLibraries(E, Config, ErrorOut))
     return false;
   EvalResult R = E.evalString(Config.ProgramSource, Config.ProgramName);
@@ -88,9 +90,7 @@ bool pgmp::runPassOne(const ThreePassConfig &Config, std::string &ErrorOut) {
 
 bool pgmp::runPassTwo(const ThreePassConfig &Config, std::string &ErrorOut,
                       std::string *BlocksOut) {
-  Engine E;
-  E.setStrictProfile(Config.StrictProfile);
-  beginStage(E, Config);
+  Engine E(stageOptions(Config));
   preRegisterProgram(E, Config);
   if (ProfileOpResult PR = E.loadProfile(Config.SourceProfilePath); !PR) {
     ErrorOut = PR.Error;
@@ -137,10 +137,8 @@ bool pgmp::runPassTwo(const ThreePassConfig &Config, std::string &ErrorOut,
 
 bool pgmp::runPassThree(const ThreePassConfig &Config, OptimizedProgram &Out,
                         std::string &ErrorOut) {
-  Out.E = std::make_unique<Engine>();
+  Out.E = std::make_unique<Engine>(stageOptions(Config));
   Engine &E = *Out.E;
-  E.setStrictProfile(Config.StrictProfile);
-  beginStage(E, Config);
   preRegisterProgram(E, Config);
   if (ProfileOpResult PR = E.loadProfile(Config.SourceProfilePath); !PR) {
     ErrorOut = PR.Error;

@@ -8,7 +8,11 @@
 
 using namespace pgmp;
 
-Context::Context() = default;
+Context::Context() {
+  // Shard lifecycle self-metrics land in this context's registry (no-ops
+  // until stats are enabled).
+  Counters.setStats(&Stats);
+}
 Context::~Context() = default;
 
 Value *Context::globalCell(Symbol *Sym) {

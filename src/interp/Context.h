@@ -12,8 +12,8 @@
 #define PGMP_INTERP_CONTEXT_H
 
 #include "expander/Binding.h"
-#include "profile/CounterStore.h"
 #include "profile/ProfileDatabase.h"
+#include "profile/ShardedCounterStore.h"
 #include "profile/SourceObject.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
@@ -57,8 +57,11 @@ public:
   // Profiler state
   //===--------------------------------------------------------------------===//
 
-  /// Live counters of the current instrumented run.
-  CounterStore Counters;
+  /// Live counters of the current instrumented run. Sharded per thread:
+  /// instrumented code compiled and run on any thread bumps its own page,
+  /// and fold/store aggregate at quiescent points (see
+  /// ShardedCounterStore for the threading contract).
+  ShardedCounterStore Counters;
   /// (current-profile-information): weights merged over data sets.
   ProfileDatabase ProfileDb;
   /// When true, the compiler instruments every source expression.

@@ -2,18 +2,55 @@
 
 #include "profile/ProfileDatabase.h"
 
+#include "profile/ShardedCounterStore.h"
+
 using namespace pgmp;
 
-void ProfileDatabase::addDataset(const CounterStore &Counters) {
-  uint64_t Max = Counters.maxCount();
+ProfileDatabase::ProfileDatabase(const ProfileDatabase &Other)
+    : Entries(Other.Entries), NumDatasets(Other.NumDatasets) {}
+
+ProfileDatabase &ProfileDatabase::operator=(const ProfileDatabase &Other) {
+  if (this == &Other)
+    return *this;
+  Entries = Other.Entries;
+  NumDatasets = Other.NumDatasets;
+  ++Version; // the old snapshot cache no longer reflects this state
+  return *this;
+}
+
+void ProfileDatabase::addDataset(const CounterRows &Rows) {
+  uint64_t Max = 0;
+  for (const auto &[Src, Count] : Rows)
+    Max = std::max(Max, Count);
   if (Max == 0)
     return;
-  for (const auto &[Src, Count] : Counters.snapshot()) {
+  for (const auto &[Src, Count] : Rows) {
     Entry &E = Entries[Src];
     E.WeightSum += static_cast<double>(Count) / static_cast<double>(Max);
     E.TotalCount += Count;
   }
   ++NumDatasets;
+  ++Version;
+}
+
+void ProfileDatabase::addDataset(const CounterStore &Counters) {
+  addDataset(Counters.snapshot());
+}
+
+void ProfileDatabase::addDataset(const ShardedCounterStore &Counters) {
+  addDataset(Counters.snapshot());
+}
+
+ProfileSnapshot ProfileDatabase::snapshot() const {
+  std::lock_guard<std::mutex> Lock(SnapMu);
+  if (!Cache || CacheVersion != Version) {
+    auto Data = std::make_shared<ProfileSnapshotData>();
+    Data->Entries = Entries;
+    Data->NumDatasets = NumDatasets;
+    Cache = std::move(Data);
+    CacheVersion = Version;
+  }
+  return ProfileSnapshot(Cache);
 }
 
 std::optional<double> ProfileDatabase::weight(const SourceObject *Src) const {
@@ -28,10 +65,12 @@ std::optional<double> ProfileDatabase::weight(const SourceObject *Src) const {
 void ProfileDatabase::clear() {
   Entries.clear();
   NumDatasets = 0;
+  ++Version;
 }
 
 void ProfileDatabase::mergeEntry(const SourceObject *Src, const Entry &E) {
   Entry &Mine = Entries[Src];
   Mine.WeightSum += E.WeightSum;
   Mine.TotalCount += E.TotalCount;
+  ++Version;
 }

@@ -7,30 +7,62 @@
 /// the weights (Figure 3). The database therefore stores, per point, the
 /// running weight sum plus the number of data sets merged so far.
 ///
+/// Reads go through ProfileSnapshot (snapshot()), an immutable shareable
+/// view that is safe to query from any thread; snapshots are cached per
+/// database version, so taking one is O(1) until the next mutation.
+/// Mutations (addDataset / mergeEntry / clear) are synchronized against
+/// snapshot() but not against each other — one writer at a time, which is
+/// how the engine uses it (EnginePool merges worker data sets from the
+/// coordinating thread, in worker order, so the Figure-3 weighted-average
+/// merge stays bit-identical to a sequential run).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PGMP_PROFILE_PROFILEDATABASE_H
 #define PGMP_PROFILE_PROFILEDATABASE_H
 
 #include "profile/CounterStore.h"
+#include "profile/ProfileSnapshot.h"
 #include "profile/SourceObject.h"
 
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 namespace pgmp {
 
+class ShardedCounterStore;
+
 /// Accumulated profile information across one or more data sets.
 class ProfileDatabase {
 public:
-  /// Folds one instrumented run into the database as a new data set.
-  /// Weights are counts normalized by the run's hottest point; a data set
-  /// whose counters are all zero is ignored.
+  /// One run's counters, already aggregated: (point, count) rows. The
+  /// common currency between CounterStore, ShardedCounterStore, and the
+  /// EnginePool merge (which re-interns rows into the target engine's
+  /// point table before folding).
+  using CounterRows = std::vector<std::pair<const SourceObject *, uint64_t>>;
+
+  ProfileDatabase() = default;
+  ProfileDatabase(const ProfileDatabase &Other);
+  ProfileDatabase &operator=(const ProfileDatabase &Other);
+
+  /// Folds one run's (point, count) rows into the database as a new data
+  /// set. Weights are counts normalized by the run's hottest point; a
+  /// data set whose counters are all zero is ignored.
+  void addDataset(const CounterRows &Rows);
+
+  /// Convenience overloads folding a live counter store's snapshot.
   void addDataset(const CounterStore &Counters);
+  void addDataset(const ShardedCounterStore &Counters);
+
+  /// An immutable view of the current state; see ProfileSnapshot. Cached:
+  /// repeated calls between mutations share one backing copy.
+  ProfileSnapshot snapshot() const;
 
   /// Weight of \p Src averaged over all data sets. Points never seen get
   /// weight 0 when any data is loaded; nullopt when the database is empty.
+  /// (Equivalent to snapshot().weightOpt(Src) without the copy.)
   std::optional<double> weight(const SourceObject *Src) const;
 
   /// True once at least one data set is present.
@@ -40,16 +72,17 @@ public:
   size_t numPoints() const { return Entries.size(); }
   void clear();
 
-  /// Per-point persisted state.
-  struct Entry {
-    double WeightSum = 0; ///< sum of per-dataset weights
-    uint64_t TotalCount = 0;
-  };
+  /// Per-point persisted state (see ProfileSnapshot.h; the alias keeps
+  /// the long-standing ProfileDatabase::Entry spelling working).
+  using Entry = ProfileEntry;
 
   /// Direct merge used by load-profile: folds previously stored state in,
   /// preserving associativity of merges.
   void mergeEntry(const SourceObject *Src, const Entry &E);
-  void mergeDatasetCount(uint64_t N) { NumDatasets += N; }
+  void mergeDatasetCount(uint64_t N) {
+    NumDatasets += N;
+    ++Version;
+  }
 
   const std::unordered_map<const SourceObject *, Entry> &entries() const {
     return Entries;
@@ -58,6 +91,14 @@ public:
 private:
   std::unordered_map<const SourceObject *, Entry> Entries;
   uint64_t NumDatasets = 0;
+
+  /// Snapshot cache: rebuilt lazily when Version has moved past
+  /// CacheVersion. Guarded by SnapMu so concurrent readers can take
+  /// snapshots while agreeing on one shared backing copy.
+  uint64_t Version = 1;
+  mutable std::mutex SnapMu;
+  mutable std::shared_ptr<const ProfileSnapshotData> Cache;
+  mutable uint64_t CacheVersion = 0;
 };
 
 } // namespace pgmp

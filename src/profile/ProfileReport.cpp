@@ -70,27 +70,29 @@ std::string flattenExcerpt(std::string_view Text, size_t Width) {
 
 } // namespace
 
+std::vector<ProfileHotRow> pgmp::profileHotRows(const ProfileSnapshot &S) {
+  std::vector<ProfileHotRow> Rows;
+  Rows.reserve(S.points());
+  for (const auto &[Src, E] : S.entries())
+    Rows.push_back({Src, S.weight(Src), E.TotalCount});
+  std::sort(Rows.begin(), Rows.end(),
+            [](const ProfileHotRow &A, const ProfileHotRow &B) {
+              if (A.Weight != B.Weight)
+                return A.Weight > B.Weight;
+              if (A.Count != B.Count)
+                return A.Count > B.Count;
+              return A.Src->key() < B.Src->key(); // deterministic ties
+            });
+  return Rows;
+}
+
 std::string pgmp::renderProfileReport(const ProfileDatabase &Db,
                                       const ProfileLoadReport &Meta,
                                       const std::string &Name,
                                       const ProfileReportOptions &Opts,
                                       const SourceManager *SM) {
-  struct Row {
-    const SourceObject *Src;
-    double Weight;
-    uint64_t Count;
-  };
-  std::vector<Row> Rows;
-  Rows.reserve(Db.numPoints());
-  for (const auto &[Src, E] : Db.entries())
-    Rows.push_back({Src, Db.weight(Src).value_or(0.0), E.TotalCount});
-  std::sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
-    if (A.Weight != B.Weight)
-      return A.Weight > B.Weight;
-    if (A.Count != B.Count)
-      return A.Count > B.Count;
-    return A.Src->key() < B.Src->key(); // deterministic ties
-  });
+  // Sorted once here; every consumer of the table shares this ordering.
+  std::vector<ProfileHotRow> Rows = profileHotRows(Db.snapshot());
   size_t Shown = std::min(Opts.TopN, Rows.size());
 
   char Buf[64];
@@ -122,7 +124,7 @@ std::string pgmp::renderProfileReport(const ProfileDatabase &Db,
   Out += "\n";
 
   for (size_t I = 0; I < Shown; ++I) {
-    const Row &R = Rows[I];
+    const ProfileHotRow &R = Rows[I];
     std::snprintf(Buf, sizeof(Buf), "%5zu  %.4f  %12llu  ", I + 1, R.Weight,
                   static_cast<unsigned long long>(R.Count));
     Out += Buf;

@@ -14,12 +14,28 @@
 #define PGMP_PROFILE_PROFILEREPORT_H
 
 #include "profile/ProfileIO.h"
+#include "profile/ProfileSnapshot.h"
 
 #include <string>
+#include <vector>
 
 namespace pgmp {
 
 class SourceManager;
+
+/// One report row: a profile point with its averaged weight and raw
+/// count.
+struct ProfileHotRow {
+  const SourceObject *Src = nullptr;
+  double Weight = 0;
+  uint64_t Count = 0;
+};
+
+/// The canonical hot-spot ordering, computed once per report: rows sorted
+/// by weight, then count, then point key (fully deterministic, so two
+/// interleavings of the same workload render identical tables). Shared by
+/// `pgmpi report` and the Scheme-level (profile-dump).
+std::vector<ProfileHotRow> profileHotRows(const ProfileSnapshot &S);
 
 struct ProfileReportOptions {
   /// Number of points to list, weightiest first.

@@ -1,0 +1,139 @@
+//===- profile/ShardedCounterStore.cpp ------------------------------------===//
+
+#include "profile/ShardedCounterStore.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace pgmp;
+
+namespace {
+
+/// Process-unique store ids. Monotonic and never reused, so thread-local
+/// registry entries for destroyed stores can never alias a new store.
+uint64_t nextStoreId() {
+  static std::atomic<uint64_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// The calling thread's shard pointers, keyed by (store id), tagged with
+/// the store generation that created them. Entries for dead stores or
+/// stale generations are ignored (and eventually overwritten); they are
+/// never dereferenced.
+struct TlsShardRef {
+  uint64_t Generation = 0;
+  void *Shard = nullptr;
+};
+
+thread_local std::unordered_map<uint64_t, TlsShardRef> TlsShards;
+
+} // namespace
+
+ShardedCounterStore::ShardedCounterStore() : StoreId(nextStoreId()) {}
+
+ShardedCounterStore::~ShardedCounterStore() = default;
+
+ShardedCounterStore::Shard &ShardedCounterStore::localShardLocked() {
+  TlsShardRef &Ref = TlsShards[StoreId];
+  if (!Ref.Shard || Ref.Generation != Generation) {
+    Shards.push_back(std::make_unique<Shard>());
+    Ref.Shard = Shards.back().get();
+    Ref.Generation = Generation;
+    if (Stats)
+      Stats->bump(Stat::CounterShards);
+  }
+  return *static_cast<Shard *>(Ref.Shard);
+}
+
+uint64_t *ShardedCounterStore::counterFor(const SourceObject *Src) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t Slot;
+  auto It = Index.find(Src);
+  if (It != Index.end()) {
+    Slot = It->second;
+  } else {
+    Slot = Order.size();
+    Order.push_back(Src);
+    Index.emplace(Src, Slot);
+  }
+  Shard &S = localShardLocked();
+  if (S.Slots.size() <= Slot)
+    S.Slots.resize(Slot + 1, 0);
+  return &S.Slots[Slot];
+}
+
+uint64_t ShardedCounterStore::sumSlotLocked(size_t Slot) const {
+  uint64_t Sum = 0;
+  for (const auto &S : Shards)
+    if (Slot < S->Slots.size())
+      Sum += S->Slots[Slot];
+  return Sum;
+}
+
+uint64_t ShardedCounterStore::count(const SourceObject *Src) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Src);
+  return It == Index.end() ? 0 : sumSlotLocked(It->second);
+}
+
+uint64_t ShardedCounterStore::maxCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t Max = 0;
+  for (size_t Slot = 0; Slot < Order.size(); ++Slot)
+    Max = std::max(Max, sumSlotLocked(Slot));
+  return Max;
+}
+
+uint64_t ShardedCounterStore::totalIncrements() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t Sum = 0;
+  for (const auto &S : Shards)
+    for (uint64_t C : S->Slots)
+      Sum += C;
+  return Sum;
+}
+
+std::vector<std::pair<const SourceObject *, uint64_t>>
+ShardedCounterStore::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::pair<const SourceObject *, uint64_t>> Out;
+  Out.reserve(Order.size());
+  for (size_t Slot = 0; Slot < Order.size(); ++Slot)
+    Out.push_back({Order[Slot], sumSlotLocked(Slot)});
+  if (Stats)
+    Stats->bump(Stat::ShardMerges, Shards.size());
+  return Out;
+}
+
+void ShardedCounterStore::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &S : Shards)
+    std::fill(S->Slots.begin(), S->Slots.end(), 0);
+  ++Epoch;
+}
+
+void ShardedCounterStore::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Shards.clear();
+  Order.clear();
+  Index.clear();
+  ++Generation; // orphan every thread's cached shard pointer
+  ++Epoch;
+}
+
+size_t ShardedCounterStore::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Order.size();
+}
+
+size_t ShardedCounterStore::numShards() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Shards.size();
+}
+
+uint64_t ShardedCounterStore::epoch() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Epoch;
+}

@@ -64,6 +64,10 @@ const char *StatsRegistry::statName(Stat S) {
     return "profile-loads";
   case Stat::ProfilePointsLoaded:
     return "profile-points-loaded";
+  case Stat::CounterShards:
+    return "counter-shards";
+  case Stat::ShardMerges:
+    return "shard-merges";
   }
   return "?";
 }

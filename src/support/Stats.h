@@ -56,9 +56,11 @@ enum class Stat : uint8_t {
   CounterIncrements,  ///< total counter bumps, accumulated at fold time
   ProfileStores,      ///< store-profile operations attempted
   ProfileLoads,       ///< load-profile operations attempted
-  ProfilePointsLoaded ///< point records merged by load-profile
+  ProfilePointsLoaded, ///< point records merged by load-profile
+  CounterShards,      ///< per-thread counter shards created
+  ShardMerges         ///< shard pages aggregated by counter snapshots
 };
-inline constexpr size_t NumStats = 12;
+inline constexpr size_t NumStats = 14;
 
 /// Monotonic clock in nanoseconds (steady_clock).
 uint64_t statsNowNanos();

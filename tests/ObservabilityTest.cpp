@@ -291,8 +291,7 @@ TEST(Observability, EngineStatsOffByDefault) {
 }
 
 TEST(Observability, EngineStatsCoverPipelinePhases) {
-  Engine E;
-  E.setStatsEnabled(true);
+  Engine E(withStats());
   evalOk(E, "(define-syntax (twice stx)"
             "  (syntax-case stx () [(_ e) #'(begin e e)]))"
             "(define (f x) (* x x))"
@@ -314,9 +313,9 @@ TEST(Observability, EngineStatsCoverPipelinePhases) {
 
 TEST(Observability, ProfileWorkflowSelfMetrics) {
   std::string Path = tempPath("metrics.profile");
-  Engine E;
-  E.setStatsEnabled(true);
-  E.setInstrumentation(true);
+  EngineOptions Opts = withStats();
+  Opts.Instrument = true;
+  Engine E(Opts);
   evalOk(E, "(define (f x) (* x x)) (f 1) (f 2) (f 3)");
   EXPECT_GT(E.stats().count(Stat::InstrumentedNodes), 0u);
   EXPECT_LE(E.stats().count(Stat::InstrumentedNodes),
@@ -331,8 +330,7 @@ TEST(Observability, ProfileWorkflowSelfMetrics) {
   EXPECT_GT(S.phaseEntries(Phase::CounterFold), 0u);
   EXPECT_GT(S.phaseEntries(Phase::ProfileStore), 0u);
 
-  Engine E2;
-  E2.setStatsEnabled(true);
+  Engine E2(withStats());
   ProfileOpResult Load = E2.loadProfile(Path);
   ASSERT_TRUE(Load) << Load.Error;
   EXPECT_EQ(E2.stats().count(Stat::ProfileLoads), 1u);
@@ -342,8 +340,7 @@ TEST(Observability, ProfileWorkflowSelfMetrics) {
 }
 
 TEST(Observability, RenderMentionsNonZeroCountersOnly) {
-  Engine E;
-  E.setStatsEnabled(true);
+  Engine E(withStats());
   evalOk(E, "(+ 1 2)");
   std::string R = E.stats().render();
   EXPECT_NE(R.find("compiled-units"), std::string::npos);
@@ -365,8 +362,9 @@ TEST(Trace, DisabledSinkRecordsNothing) {
 TEST(Trace, EmittedJsonParsesAndDescribesPhases) {
   std::string Path = tempPath("trace.json");
   {
-    Engine E;
-    E.setTracePath(Path);
+    EngineOptions Opts;
+    Opts.TracePath = Path;
+    Engine E(Opts);
     evalOk(E, "(define (f x) (* x x)) (f 4)");
     ProfileOpResult W = E.writeTrace();
     ASSERT_TRUE(W) << W.Error;

@@ -76,15 +76,17 @@ TEST_F(ApiFixture, AnnotateExprReplacesPoint) {
 }
 
 TEST_F(ApiFixture, AnnotateExprWrapModeGeneratesThunkCall) {
-  E.setAnnotateMode(AnnotateMode::Wrap);
-  Value Pp = pgmpapi::makeProfilePoint(E.context(), "x.scm");
-  EvalResult R = E.evalString("#'(+ 1 2)");
+  EngineOptions Opts;
+  Opts.Annotate = AnnotateMode::Wrap;
+  Engine En(Opts);
+  Value Pp = pgmpapi::makeProfilePoint(En.context(), "x.scm");
+  EvalResult R = En.evalString("#'(+ 1 2)");
   ASSERT_TRUE(R.Ok);
   Value Annotated =
-      pgmpapi::annotateExpr(E.context(), R.V, syntaxSource(Pp));
+      pgmpapi::annotateExpr(En.context(), R.V, syntaxSource(Pp));
   // Shape: ((lambda () (+ 1 2)))
   std::string Shape =
-      writeValue(syntaxToDatum(E.context().TheHeap, Annotated));
+      writeValue(syntaxToDatum(En.context().TheHeap, Annotated));
   EXPECT_EQ(Shape, "((lambda () (+ 1 2)))");
   EXPECT_EQ(syntaxSource(Annotated), syntaxSource(Pp));
 }
@@ -93,9 +95,10 @@ TEST_F(ApiFixture, WrapModeCountsMatchInlineMode) {
   // Section 4.2: wrapping "does not change the counters used to
   // calculate profile weights".
   auto CountWith = [](AnnotateMode M) {
-    Engine En;
-    En.setAnnotateMode(M);
-    En.setInstrumentation(true);
+    EngineOptions Opts;
+    Opts.Annotate = M;
+    Opts.Instrument = true;
+    Engine En(Opts);
     EXPECT_TRUE(En.evalString(
         "(define pp (make-profile-point \"w.scm\"))"
         "(define-syntax (probe stx)"
@@ -169,9 +172,11 @@ TEST_F(ApiFixture, WeightOfCppApi) {
   run("(define (f) (+ 1 2)) (f) (f)");
   E.foldCountersIntoProfile();
   // The body (+ 1 2) occupies offsets 12..19 of buffer "<eval>".
-  auto W = E.weightOf("<eval>", 12, 19);
+  ProfileSnapshot S = E.snapshot();
+  auto W = S.weightOpt(E.profilePoint("<eval>", 12, 19));
   ASSERT_TRUE(W.has_value());
   EXPECT_GT(*W, 0.0);
+  EXPECT_GT(S.count(E.profilePoint("<eval>", 12, 19)), 0u);
 }
 
 } // namespace

@@ -261,15 +261,13 @@ TEST(ProfileRobustness, CorruptProfileIsAnErrorInStrictMode) {
   Text[Text.size() / 2] ^= 0x10;
   spit(Path, Text);
 
-  Engine E2;
-  E2.setStrictProfile(true);
+  Engine E2(withStrictProfile());
   ProfileOpResult R = E2.loadProfile(Path);
   EXPECT_FALSE(R);
   EXPECT_NE(R.Error.find("checksum"), std::string::npos) << R.Error;
 
   // Scheme level: strict mode raises through load-profile.
-  Engine E3;
-  E3.setStrictProfile(true);
+  Engine E3(withStrictProfile());
   std::string SchemeErr = evalErr(E3, "(load-profile \"" + Path + "\")");
   EXPECT_NE(SchemeErr.find("load-profile"), std::string::npos) << SchemeErr;
 }
@@ -297,16 +295,14 @@ TEST(ProfileRobustness, StaleProfileDetectedAgainstChangedSource) {
   EXPECT_GE(E2.context().Diags.warningCount(), 1u);
   EXPECT_EQ(evalOk(E2, "(profile-data-available?)"), "#f");
 
-  Engine E3;
-  E3.setStrictProfile(true);
+  Engine E3(withStrictProfile());
   ASSERT_TRUE(E3.evalString("(define (g) 2) (g)", "app.scm").Ok);
   ProfileOpResult R = E3.loadProfile(Path);
   EXPECT_FALSE(R);
   EXPECT_NE(R.Error.find("stale"), std::string::npos) << R.Error;
 
   // Matching code: loads fine.
-  Engine E4;
-  E4.setStrictProfile(true);
+  Engine E4(withStrictProfile());
   ASSERT_TRUE(E4.evalString("(define (f) 1) (f) (f)", "app.scm").Ok);
   ASSERT_TRUE(E4.loadProfile(Path));
   EXPECT_EQ(evalOk(E4, "(profile-data-available?)"), "#t");

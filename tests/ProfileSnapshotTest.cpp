@@ -1,0 +1,146 @@
+//===- tests/ProfileSnapshotTest.cpp - The unified read path --------------===//
+//
+// ProfileSnapshot is the one profile read surface (replacing the three
+// historical paths: profileQuery, profileQueryOpt, Engine::weightOf) and
+// EngineOptions the one configuration surface (replacing the Engine::set*
+// pile). These tests pin their semantics:
+//   - weight() collapses no-data and never-hit to 0.0 (profile-query);
+//   - weightOpt() distinguishes them (profile-query*);
+//   - snapshots are immutable point-in-time views, shared O(1) between
+//     database mutations;
+//   - EngineOptions reproduce the old construct-then-set behavior
+//     exactly, including the never-instrumented prelude.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <optional>
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ProfileSnapshot semantics
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileSnapshot, EmptyDatabaseHasNoData) {
+  Engine E;
+  ProfileSnapshot S = E.snapshot();
+  EXPECT_FALSE(S.hasData());
+  EXPECT_EQ(S.datasets(), 0u);
+  EXPECT_EQ(S.points(), 0u);
+  const SourceObject *P = E.profilePoint("x.scm", 0, 3);
+  EXPECT_EQ(S.weight(P), 0.0) << "no data collapses to cold";
+  EXPECT_FALSE(S.weightOpt(P).has_value()) << "no data is distinguishable";
+  EXPECT_EQ(S.count(P), 0u);
+  EXPECT_FALSE(S.weightOpt(nullptr).has_value());
+  EXPECT_EQ(S.weight(nullptr), 0.0);
+}
+
+TEST(ProfileSnapshot, ColdPointDistinguishedFromNoData) {
+  Engine E(withInstrumentation());
+  evalOk(E, "(define (f) 1) (f)");
+  E.foldCountersIntoProfile();
+  ProfileSnapshot S = E.snapshot();
+  EXPECT_TRUE(S.hasData());
+  EXPECT_EQ(S.datasets(), 1u);
+  const SourceObject *Cold = E.profilePoint("never-ran.scm", 0, 3);
+  std::optional<double> W = S.weightOpt(Cold);
+  ASSERT_TRUE(W.has_value()) << "data is loaded: cold is 0.0, not nullopt";
+  EXPECT_EQ(*W, 0.0);
+  EXPECT_EQ(S.weight(Cold), 0.0);
+  EXPECT_EQ(S.count(Cold), 0u);
+}
+
+TEST(ProfileSnapshot, WeightsAndCountsOfHotPoints) {
+  Engine E(withInstrumentation());
+  //         0123456789012345678
+  evalOk(E, "(define (f) (+ 1 2)) (f) (f) (f)");
+  E.foldCountersIntoProfile();
+  ProfileSnapshot S = E.snapshot();
+  const SourceObject *Body = E.profilePoint("<eval>", 12, 19);
+  EXPECT_GT(S.weight(Body), 0.0);
+  EXPECT_LE(S.weight(Body), 1.0);
+  EXPECT_EQ(S.count(Body), 3u) << "(f) ran three times";
+}
+
+TEST(ProfileSnapshot, IsAnImmutablePointInTimeView) {
+  Engine E(withInstrumentation());
+  evalOk(E, "(define (f) 1) (f)");
+  E.foldCountersIntoProfile();
+  ProfileSnapshot Before = E.snapshot();
+  uint64_t Datasets = Before.datasets();
+  size_t Points = Before.points();
+  ASSERT_GT(Points, 0u);
+
+  E.clearProfile();
+  EXPECT_FALSE(E.snapshot().hasData()) << "the database moved on";
+  EXPECT_EQ(Before.datasets(), Datasets) << "the old view did not";
+  EXPECT_EQ(Before.points(), Points);
+}
+
+TEST(ProfileSnapshot, BackingDataSharedBetweenMutations) {
+  Engine E(withInstrumentation());
+  evalOk(E, "(define (f) 1) (f)");
+  E.foldCountersIntoProfile();
+  ProfileSnapshot A = E.snapshot();
+  ProfileSnapshot B = E.snapshot();
+  EXPECT_EQ(&A.entries(), &B.entries())
+      << "snapshots between mutations share one backing copy";
+  evalOk(E, "(f)");
+  E.foldCountersIntoProfile();
+  ProfileSnapshot C = E.snapshot();
+  EXPECT_NE(&A.entries(), &C.entries()) << "a mutation rebuilds the cache";
+}
+
+TEST(ProfileSnapshot, SchemeQueriesAgreeWithSnapshot) {
+  // The Scheme primitives read through the same snapshot surface; the
+  // three query forms must stay mutually consistent.
+  Engine E(withInstrumentation());
+  evalOk(E, "(define pp (make-profile-point \"q.scm\"))"
+            "(define-syntax (probe stx)"
+            "  (syntax-case stx ()"
+            "    [(_ e) (annotate-expr #'e pp)]))"
+            "(define (f x) (probe (* x 2)))"
+            "(f 1) (f 2)");
+  E.foldCountersIntoProfile();
+  EXPECT_EQ(evalOk(E, "(profile-query-count pp)"), "2");
+  EXPECT_EQ(evalOk(E, "(= (profile-query pp) (profile-query* pp))"), "#t");
+}
+
+//===----------------------------------------------------------------------===//
+// EngineOptions
+//===----------------------------------------------------------------------===//
+
+TEST(EngineOptions, DefaultsReproducePlainEngine) {
+  Engine A;
+  Engine B{EngineOptions{}};
+  EXPECT_EQ(A.instrumentation(), B.instrumentation());
+  EXPECT_EQ(A.strictProfile(), B.strictProfile());
+  EXPECT_EQ(A.statsEnabled(), B.statsEnabled());
+  EXPECT_EQ(evalOk(A, "(+ 1 2)"), evalOk(B, "(+ 1 2)"));
+}
+
+TEST(EngineOptions, PreludeIsNeverInstrumented) {
+  Engine E(withInstrumentation());
+  EXPECT_TRUE(E.instrumentation());
+  EXPECT_EQ(E.context().Counters.size(), 0u)
+      << "options apply after the prelude: no prelude counters";
+  evalOk(E, "(+ 1 2)");
+  EXPECT_GT(E.context().Counters.size(), 0u) << "user code is instrumented";
+}
+
+TEST(EngineOptions, OptionsMatchTheOldSetterProtocol) {
+  EngineOptions Opts;
+  Opts.StrictProfile = true;
+  Opts.StatsEnabled = true;
+  Engine E(Opts);
+  EXPECT_TRUE(E.strictProfile());
+  EXPECT_TRUE(E.statsEnabled());
+  EXPECT_FALSE(E.instrumentation());
+}
+
+} // namespace

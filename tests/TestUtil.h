@@ -35,6 +35,26 @@ inline void loadLib(Engine &E, const std::string &Name) {
   ASSERT_TRUE(R.Ok) << R.Error;
 }
 
+/// EngineOptions builders for the common test configurations — engines
+/// are configured at construction (the setter era is deprecated).
+inline EngineOptions withStats() {
+  EngineOptions Opts;
+  Opts.StatsEnabled = true;
+  return Opts;
+}
+
+inline EngineOptions withInstrumentation() {
+  EngineOptions Opts;
+  Opts.Instrument = true;
+  return Opts;
+}
+
+inline EngineOptions withStrictProfile() {
+  EngineOptions Opts;
+  Opts.StrictProfile = true;
+  return Opts;
+}
+
 /// A temporary file path unique to the current test.
 inline std::string tempPath(const std::string &Suffix) {
   const ::testing::TestInfo *TI =

@@ -21,6 +21,13 @@
 ///     --trace FILE           write Chrome trace_event JSON of the
 ///                            pipeline phases to FILE (chrome://tracing)
 ///
+///   pgmpi run --jobs N --profile-out FILE [options] file.scm...
+///     parallel profiling driver: N worker engines each evaluate the
+///     workload (one data set per worker) and the merged profile is
+///     stored to FILE — bit-identical to running the same data sets
+///     sequentially. Accepts --profile-in, --lib, --strict-profile,
+///     --annotate-wrap, and --stats with their usual meanings.
+///
 ///   pgmpi report [--top N] FILE...
 ///     hot-spot report for stored source profiles: the top-N points by
 ///     weight with counts, locations, and source excerpts.
@@ -33,6 +40,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Engine.h"
+#include "core/EnginePool.h"
 #include "profile/ProfileIO.h"
 #include "profile/ProfileReport.h"
 #include "support/AtomicFile.h"
@@ -55,9 +63,111 @@ static int usage() {
                "             [--annotate-wrap] [--dump-expansion] "
                "[--lib NAME]... [-e EXPR]\n"
                "             [--stats] [--trace F] file.scm...\n"
+               "       pgmpi run --jobs N --profile-out F [--profile-in F]\n"
+               "             [--strict-profile] [--annotate-wrap] "
+               "[--lib NAME]... [--stats]\n"
+               "             file.scm...\n"
                "       pgmpi report [--top N] FILE...\n"
                "       pgmpi profile-lint FILE...\n");
   return 2;
+}
+
+/// `pgmpi run`: the parallel profiling driver. N worker engines evaluate
+/// the workload concurrently (instrumented — that is the subcommand's
+/// purpose), each contributing one data set; the merged profile written
+/// to --profile-out is bit-identical to a sequential engine folding the
+/// same data sets in worker order.
+static int runParallel(int Argc, char **Argv) {
+  int64_t Jobs = 1;
+  bool StrictProfile = false, AnnotateWrap = false, Stats = false;
+  std::string ProfileOut, ProfileIn;
+  std::vector<std::string> Libs, Files;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NeedsValue = [&](const char *Flag) -> std::string {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "pgmpi: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--jobs") {
+      if (!parseInt64(NeedsValue("--jobs"), Jobs) || Jobs < 1) {
+        std::fprintf(stderr, "pgmpi: --jobs needs a positive number\n");
+        return 2;
+      }
+    } else if (Arg == "--profile-out")
+      ProfileOut = NeedsValue("--profile-out");
+    else if (Arg == "--profile-in")
+      ProfileIn = NeedsValue("--profile-in");
+    else if (Arg == "--lib")
+      Libs.push_back(NeedsValue("--lib"));
+    else if (Arg == "--strict-profile")
+      StrictProfile = true;
+    else if (Arg == "--annotate-wrap")
+      AnnotateWrap = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "pgmpi: run: unknown option %s\n", Arg.c_str());
+      return 2;
+    } else
+      Files.push_back(Arg);
+  }
+  if (Files.empty())
+    return usage();
+  if (ProfileOut.empty()) {
+    std::fprintf(stderr, "pgmpi: run needs --profile-out\n");
+    return 2;
+  }
+
+  EngineOptions Opts;
+  Opts.Instrument = true;
+  Opts.StrictProfile = StrictProfile;
+  Opts.StatsEnabled = Stats;
+  // Worker stdout stays captured per engine: N interleaved echoes would
+  // be nondeterministic noise. Diagnostics still reach stderr.
+  Opts.EchoDiagnostics = true;
+  if (AnnotateWrap)
+    Opts.Annotate = AnnotateMode::Wrap;
+
+  EnginePool Pool(static_cast<size_t>(Jobs), Opts);
+  if (!ProfileIn.empty()) {
+    // As in the sequential path: register the script buffers first so the
+    // profile's source fingerprints are checked against this code.
+    for (const std::string &F : Files)
+      Pool.preRegisterFile(F);
+    if (ProfileOpResult R = Pool.loadProfileAll(ProfileIn); !R) {
+      std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+      return 1;
+    }
+  }
+  EnginePool::PoolResult R = Pool.run([&](Engine &E, size_t) {
+    EvalResult Last;
+    Last.Ok = true;
+    for (const std::string &Lib : Libs) {
+      Last = E.loadLibrary(Lib);
+      if (!Last)
+        return Last;
+    }
+    for (const std::string &F : Files) {
+      Last = E.evalFile(F);
+      if (!Last)
+        return Last;
+    }
+    return Last;
+  });
+  if (!R) {
+    std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+    return 1;
+  }
+  if (ProfileOpResult S = Pool.storeMergedProfile(ProfileOut); !S) {
+    std::fprintf(stderr, "pgmpi: %s\n", S.Error.c_str());
+    return 1;
+  }
+  if (Stats)
+    std::fputs(Pool.engine(0).stats().render().c_str(), stderr);
+  return 0;
 }
 
 /// `pgmpi report`: hot-spot tables for stored source profiles.
@@ -243,6 +353,8 @@ int main(int Argc, char **Argv) {
     return runProfileLint(Argc, Argv);
   if (Argc > 1 && std::strcmp(Argv[1], "report") == 0)
     return runReport(Argc, Argv);
+  if (Argc > 1 && std::strcmp(Argv[1], "run") == 0)
+    return runParallel(Argc, Argv);
 
   bool Instrument = false;
   bool DumpExpansion = false;
@@ -295,16 +407,16 @@ int main(int Argc, char **Argv) {
   if (Files.empty() && EvalText.empty() && !Repl)
     return usage();
 
-  Engine E;
-  E.context().EchoStdout = true;
-  E.context().Diags.EchoToStderr = true;
-  E.setInstrumentation(Instrument);
-  E.setStrictProfile(StrictProfile);
-  E.setStatsEnabled(Stats);
-  if (!TraceOut.empty())
-    E.setTracePath(TraceOut);
+  EngineOptions Opts;
+  Opts.Instrument = Instrument;
+  Opts.StrictProfile = StrictProfile;
+  Opts.StatsEnabled = Stats;
+  Opts.TracePath = TraceOut;
+  Opts.EchoStdout = true;
+  Opts.EchoDiagnostics = true;
   if (AnnotateWrap)
-    E.setAnnotateMode(AnnotateMode::Wrap);
+    Opts.Annotate = AnnotateMode::Wrap;
+  Engine E(Opts);
 
   if (!ProfileIn.empty()) {
     // Register the script buffers before loading so the profile's source
