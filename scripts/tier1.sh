@@ -3,7 +3,10 @@
 #
 # The tier-1 gate for this repo:
 #   1. Release build + full ctest suite   (the historical tier-1 contract)
-#   2. TSan build + the concurrency tests (ParallelProfile, ShardedCounterStore,
+#   2. Bench smoke: every benchmark binary runs one quick iteration, so a
+#      bench that only compiles but crashes at runtime (bad flag plumbing,
+#      tier-up in a fresh engine, ...) fails the gate instead of rotting.
+#   3. TSan build + the concurrency tests (ParallelProfile, ShardedCounterStore,
 #      ProfileSnapshot) — the sharded counter runtime must be provably
 #      race-free, not just pass-by-luck.
 #
@@ -23,6 +26,15 @@ echo "== tier-1: release build + full test suite =="
 cmake --preset default
 cmake --build --preset default -j "$JOBS"
 ctest --preset default
+
+echo "== tier-1: bench smoke (one quick iteration per binary) =="
+# Note: the bundled google-benchmark wants a plain double here ("0.01"),
+# not the newer "0.01s" form.
+for BENCH in build/bench/bench*; do
+  [[ -x "$BENCH" ]] || continue
+  echo "-- $BENCH"
+  "$BENCH" --benchmark_min_time=0.01 --benchmark_repetitions=1 > /dev/null
+done
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tier-1: TSan pass skipped (--skip-tsan) =="

@@ -9,6 +9,7 @@
 #include "reader/Reader.h"
 #include "support/Diagnostics.h"
 #include "syntax/Writer.h"
+#include "vm/Vm.h"
 
 using namespace pgmp;
 
@@ -34,6 +35,11 @@ Engine::Engine(const EngineOptions &Opts) : Ctx(), Exp(Ctx) {
   Ctx.Stats.enable(Opts.StatsEnabled);
   Ctx.EchoStdout = Opts.EchoStdout;
   Ctx.Diags.EchoToStderr = Opts.EchoDiagnostics;
+  Ctx.TierExec = Opts.Tier;
+  Ctx.TierThreshold = Opts.TierThreshold;
+  Ctx.TierHotWeight = Opts.TierHotWeight;
+  if (Opts.Tier != TierMode::Off)
+    installVm(Ctx);
   if (!Opts.TracePath.empty())
     configureTracePath(Opts.TracePath);
 }

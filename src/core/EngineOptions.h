@@ -30,6 +30,7 @@
 namespace pgmp {
 
 enum class AnnotateMode : uint8_t; // interp/Context.h
+enum class TierMode : uint8_t;     // interp/Context.h
 
 /// Construction-time configuration for one Engine (or every worker of an
 /// EnginePool). Default-constructed options reproduce a plain `Engine E;`.
@@ -54,6 +55,21 @@ struct EngineOptions {
   /// Non-empty enables trace-event collection; Engine::writeTrace() (and
   /// the destructor, best-effort) write Chrome trace_event JSON here.
   std::string TracePath;
+
+  /// Tiered execution: promote hot closures from the tree-walking
+  /// interpreter to the bytecode VM. Zero-initialized to TierMode::Off
+  /// (the enum is defined in interp/Context.h, visible through
+  /// core/Engine.h). Tiered code bumps the exact same source-expression
+  /// counters as the interpreter, so instrumented profiles are
+  /// byte-identical across tier modes.
+  TierMode Tier{};
+
+  /// Auto-mode invocation threshold before a closure tiers up.
+  uint32_t TierThreshold = 64;
+
+  /// Loaded-profile weight at or above which a closure is pre-marked hot
+  /// and tiers on first invocation (profile-guided pre-tiering).
+  double TierHotWeight = 0.05;
 
   /// Mirror display/write output to stdout (pgmpi-style drivers).
   bool EchoStdout = false;

@@ -47,6 +47,8 @@ static EngineOptions stageOptions(const ThreePassConfig &Config,
   Opts.Instrument = Instrument;
   Opts.StrictProfile = Config.StrictProfile;
   Opts.StatsEnabled = Config.StageStatsOut != nullptr;
+  Opts.Tier = Config.Tier;
+  Opts.TierThreshold = Config.TierThreshold;
   return Opts;
 }
 

@@ -62,6 +62,11 @@ struct ThreePassConfig {
   /// to an unoptimized build (with a DiagKind::Warning) and an invalid
   /// block profile just skips layout; in strict mode both abort the pass.
   bool StrictProfile = false;
+  /// Tiered execution for every pass. Safe in pass 1 because tiered code
+  /// bumps the same source counters as the interpreter — the stored
+  /// source profile is byte-identical either way.
+  TierMode Tier{};
+  uint32_t TierThreshold = 64;
   /// When set, each pass enables engine stats and appends its stage
   /// report here (observability of the protocol itself).
   std::vector<ThreePassStageStats> *StageStatsOut = nullptr;

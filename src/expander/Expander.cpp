@@ -287,6 +287,15 @@ public:
     ScopeId Intro = Ctx.freshScope();
     Value Input = adjustScope(Ctx.TheHeap, UseStx, Intro, ScopeOp::Flip);
     Value Args[1] = {Input};
+    // Transformers are phase-1 code: they must never tier up to the VM
+    // (their bodies may contain syntax-case/template nodes, and tiering
+    // them would waste compile time on code that runs a handful of
+    // times). The depth guard covers closures the transformer calls too.
+    struct PhaseOneGuard {
+      Context &Ctx;
+      explicit PhaseOneGuard(Context &Ctx) : Ctx(Ctx) { ++Ctx.PhaseOneDepth; }
+      ~PhaseOneGuard() { --Ctx.PhaseOneDepth; }
+    } Guard(Ctx);
     Value Out = Ctx.apply(Transformer, Args, 1);
     if (!Out.isSyntax() && !Out.isPair())
       raiseError("macro transformer returned a non-syntax value: " +

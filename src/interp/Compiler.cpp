@@ -476,7 +476,21 @@ Expr *CompilerImpl::compileLambda(const std::vector<Value> &Elems, Value Stx,
   L->Body = Body.size() == 1 ? Body[0]
                              : finish(Unit.make<BeginExpr>(std::move(Body)),
                                       Elems.back());
-  return finish(L, Stx);
+  finish(L, Stx);
+
+  // Profile-guided pre-tiering: a lambda whose body was hot in a loaded
+  // profile skips the Auto warm-up and compiles to bytecode on its first
+  // invocation. Consulted once at compile time — the snapshot is O(1)
+  // when the database hasn't changed.
+  if (Ctx.TierExec == TierMode::Auto && L->Body->Src) {
+    ProfileSnapshot Snap = Ctx.ProfileDb.snapshot();
+    if (Snap.hasData() &&
+        Snap.weightOpt(L->Body->Src).value_or(0.0) >= Ctx.TierHotWeight) {
+      L->TierHot = true;
+      Ctx.Stats.bump(Stat::TierPremarkedHot);
+    }
+  }
+  return L;
 }
 
 Expr *CompilerImpl::compileSyntaxCase(const std::vector<Value> &Elems,

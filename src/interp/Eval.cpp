@@ -17,27 +17,52 @@ static std::string describeCallee(const Value &Fn) {
   return writeToString(Fn);
 }
 
-/// Checks closure arity and builds its frame.
+[[noreturn]] static void arityError(const LambdaExpr *L, size_t NumArgs) {
+  raiseError("procedure " +
+             (L->Name.empty() ? std::string("#<anonymous>") : L->Name) +
+             " expects " + std::to_string(L->Params.size()) +
+             (L->HasRest ? "+" : "") + " arguments, got " +
+             std::to_string(NumArgs));
+}
+
+/// Checks closure arity and builds its frame. Non-rest lambdas (the
+/// overwhelmingly common case) take a branch-free copy loop; rest lambdas
+/// cons only when surplus arguments actually exist.
 static EnvObj *buildFrame(Context &Ctx, Closure *C, Value *Args,
                           size_t NumArgs) {
   const LambdaExpr *L = C->Template;
   size_t Fixed = L->Params.size();
-  if (NumArgs < Fixed || (!L->HasRest && NumArgs > Fixed))
-    raiseError("procedure " +
-               (L->Name.empty() ? std::string("#<anonymous>") : L->Name) +
-               " expects " + std::to_string(Fixed) +
-               (L->HasRest ? "+" : "") + " arguments, got " +
-               std::to_string(NumArgs));
-  EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(C->Captured, L->numSlots());
+  if (!L->HasRest) {
+    if (NumArgs != Fixed)
+      arityError(L, NumArgs);
+    EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(C->Captured, Fixed);
+    for (size_t I = 0; I < Fixed; ++I)
+      Frame->Slots[I] = Args[I];
+    return Frame;
+  }
+  if (NumArgs < Fixed)
+    arityError(L, NumArgs);
+  EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(C->Captured, Fixed + 1);
   for (size_t I = 0; I < Fixed; ++I)
     Frame->Slots[I] = Args[I];
-  if (L->HasRest) {
-    Value Rest = Value::nil();
+  Value Rest = Value::nil();
+  if (NumArgs > Fixed)
     for (size_t I = NumArgs; I > Fixed; --I)
       Rest = Ctx.TheHeap.cons(Args[I - 1], Rest);
-    Frame->Slots[Fixed] = Rest;
-  }
+  Frame->Slots[Fixed] = Rest;
   return Frame;
+}
+
+const VmFunction *pgmp::tieredFunctionFor(Context &Ctx, const LambdaExpr *L) {
+  if (L->Tiered)
+    return L->Tiered;
+  if (Ctx.TierExec == TierMode::Off || L->TierBlocked || !Ctx.TierCompileHook ||
+      Ctx.PhaseOneDepth != 0)
+    return nullptr;
+  if (Ctx.TierExec == TierMode::Auto && !L->TierHot &&
+      ++L->TierInvokes < Ctx.TierThreshold)
+    return nullptr;
+  return Ctx.TierCompileHook(Ctx, L);
 }
 
 Value pgmp::applyProcedure(Context &Ctx, Value Fn, Value *Args,
@@ -52,6 +77,8 @@ Value pgmp::applyProcedure(Context &Ctx, Value Fn, Value *Args,
   }
   if (Fn.isClosure()) {
     Closure *C = Fn.asClosure();
+    if (const VmFunction *VF = tieredFunctionFor(Ctx, C->Template))
+      return Ctx.TierRunHook(Ctx, VF, C->Captured, Args, NumArgs);
     EnvObj *Frame = buildFrame(Ctx, C, Args, NumArgs);
     return evalExpr(Ctx, C->Template->Body, Frame);
   }
@@ -147,17 +174,23 @@ tail:
   case ExprKind::Call: {
     const auto *C = static_cast<const CallExpr *>(E);
     Value Fn = evalExpr(Ctx, C->Fn, Env);
-    // Fast path storage for the common small-arity case.
+    // Fast path storage for the common small-arity case; the slow path
+    // reserves once and appends, so no Value is default-constructed only
+    // to be overwritten.
     Value ArgBuf[8];
     std::vector<Value> ArgVec;
-    Value *Args = ArgBuf;
+    Value *Args;
     size_t N = C->Args.size();
-    if (N > 8) {
-      ArgVec.resize(N);
+    if (N <= 8) {
+      Args = ArgBuf;
+      for (size_t I = 0; I < N; ++I)
+        Args[I] = evalExpr(Ctx, C->Args[I], Env);
+    } else {
+      ArgVec.reserve(N);
+      for (size_t I = 0; I < N; ++I)
+        ArgVec.push_back(evalExpr(Ctx, C->Args[I], Env));
       Args = ArgVec.data();
     }
-    for (size_t I = 0; I < N; ++I)
-      Args[I] = evalExpr(Ctx, C->Args[I], Env);
 
     if (Fn.isPrimitive()) {
       Primitive *P = Fn.asPrimitive();
@@ -174,6 +207,8 @@ tail:
     }
 
     Closure *Cl = Fn.asClosure();
+    if (const VmFunction *VF = tieredFunctionFor(Ctx, Cl->Template))
+      return Ctx.TierRunHook(Ctx, VF, Cl->Captured, Args, N);
     EnvObj *Frame = buildFrame(Ctx, Cl, Args, N);
     if (C->Tail) {
       E = Cl->Template->Body;

@@ -25,6 +25,7 @@ namespace pgmp {
 struct SourceObject;
 struct Pattern;
 struct Template;
+class VmFunction;
 
 /// Node kinds of the core IR.
 enum class ExprKind : uint8_t {
@@ -95,6 +96,14 @@ public:
   bool HasRest = false;         ///< extra slot collecting rest args
   Expr *Body = nullptr;
   std::string Name; ///< procedure name for diagnostics
+
+  /// Tiered execution state, shared by every closure over this template.
+  /// Mutable because tier-up is runtime bookkeeping on otherwise-immutable
+  /// IR; an Engine is single-threaded, so plain fields suffice.
+  mutable const VmFunction *Tiered = nullptr; ///< bytecode body once hot
+  mutable uint32_t TierInvokes = 0; ///< applies observed pre-tier (Auto)
+  mutable bool TierHot = false;     ///< pre-marked hot by a loaded profile
+  mutable bool TierBlocked = false; ///< VM compile failed (phase-1 nodes)
 
   size_t numSlots() const { return Params.size() + (HasRest ? 1 : 0); }
 };

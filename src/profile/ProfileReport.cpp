@@ -151,6 +151,24 @@ std::string pgmp::renderProfileReport(const ProfileDatabase &Db,
       Out.pop_back();
     Out += "\n";
   }
+
+  if (Opts.TierHotWeight > 0) {
+    // Rows are weight-sorted, so the candidates are a prefix.
+    size_t NumHot = 0;
+    while (NumHot < Rows.size() && Rows[NumHot].Weight >= Opts.TierHotWeight)
+      ++NumHot;
+    std::snprintf(Buf, sizeof(Buf), "tier candidates (weight >= %.4f): ",
+                  Opts.TierHotWeight);
+    Out += Buf;
+    Out += std::to_string(NumHot) + " of " + std::to_string(Rows.size()) +
+           " point(s)\n";
+    for (size_t I = 0; I < NumHot && I < Opts.TopN; ++I) {
+      std::snprintf(Buf, sizeof(Buf), "  %.4f  ", Rows[I].Weight);
+      Out += Buf;
+      Out += Rows[I].Src->describe();
+      Out += "\n";
+    }
+  }
   return Out;
 }
 

@@ -47,6 +47,10 @@ struct ProfileReportOptions {
   bool ReadSourcesFromDisk = true;
   /// Maximum excerpt width before truncation with "...".
   size_t ExcerptWidth = 40;
+  /// When positive, append a tier-candidate section: the points whose
+  /// weight reaches this threshold — i.e. the closures an engine running
+  /// with TierMode::Auto and the same TierHotWeight would pre-tier.
+  double TierHotWeight = 0;
 };
 
 /// Renders the report for an already-parsed database. \p Meta carries the

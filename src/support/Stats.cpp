@@ -34,6 +34,8 @@ const char *StatsRegistry::phaseName(Phase P) {
     return "profile-store";
   case Phase::ProfileLoad:
     return "profile-load";
+  case Phase::TierCompile:
+    return "tier-compile";
   }
   return "?";
 }
@@ -68,6 +70,12 @@ const char *StatsRegistry::statName(Stat S) {
     return "counter-shards";
   case Stat::ShardMerges:
     return "shard-merges";
+  case Stat::TierUps:
+    return "tier-ups";
+  case Stat::TierCompileFails:
+    return "tier-compile-fails";
+  case Stat::TierPremarkedHot:
+    return "tier-premarked-hot";
   }
   return "?";
 }

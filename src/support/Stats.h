@@ -40,8 +40,9 @@ enum class Phase : uint8_t {
   CounterFold,  ///< folding live counters into the profile database
   ProfileStore, ///< serializing + atomically writing a profile
   ProfileLoad,  ///< reading + parsing + merging a profile
+  TierCompile,  ///< lowering hot lambdas to bytecode (tier-up)
 };
-inline constexpr size_t NumPhases = 8;
+inline constexpr size_t NumPhases = 9;
 
 /// Profiler self-metric counters.
 enum class Stat : uint8_t {
@@ -58,9 +59,12 @@ enum class Stat : uint8_t {
   ProfileLoads,       ///< load-profile operations attempted
   ProfilePointsLoaded, ///< point records merged by load-profile
   CounterShards,      ///< per-thread counter shards created
-  ShardMerges         ///< shard pages aggregated by counter snapshots
+  ShardMerges,        ///< shard pages aggregated by counter snapshots
+  TierUps,            ///< lambdas promoted to a bytecode body
+  TierCompileFails,   ///< tier-up compiles rejected (phase-1-only bodies)
+  TierPremarkedHot    ///< lambdas pre-marked hot from a loaded profile
 };
-inline constexpr size_t NumStats = 14;
+inline constexpr size_t NumStats = 17;
 
 /// Monotonic clock in nanoseconds (steady_clock).
 uint64_t statsNowNanos();

@@ -62,6 +62,84 @@ void VmFunction::linearize() {
       assert(false && "block does not end in a terminator");
     }
   }
+
+  computeMaxStack();
+
+  // A function is frameless when nothing can observe its frame object:
+  // MakeClosure is the only instruction that captures the current frame,
+  // and rest-argument functions need a real slot vector for the consed
+  // list. The parameter bound matches the VM's inline local buffer.
+  Frameless = !HasRest && NumParams <= 8 && FrameSlots == NumParams;
+  for (const Block &B : Blocks)
+    for (const Instr &I : B.Code)
+      if (I.K == Op::MakeClosure)
+        Frameless = false;
+}
+
+void VmFunction::computeMaxStack() {
+  // The block graph is acyclic (loops are TailCall restarts of the whole
+  // invocation), so a single forward worklist pass over entry depths
+  // converges. Depths are tracked as int64 to keep the assertion below
+  // meaningful if a compiler bug ever underflows.
+  std::vector<int64_t> EntryDepth(Blocks.size(), -1);
+  std::vector<uint32_t> Work;
+  EntryDepth[0] = 0;
+  Work.push_back(0);
+  int64_t Max = 0;
+  auto Propagate = [&](int32_t Succ, int64_t Depth) {
+    if (Succ < 0)
+      return;
+    if (EntryDepth[Succ] < Depth) {
+      EntryDepth[Succ] = Depth;
+      Work.push_back(static_cast<uint32_t>(Succ));
+    }
+  };
+  while (!Work.empty()) {
+    uint32_t Id = Work.back();
+    Work.pop_back();
+    const Block &B = Blocks[Id];
+    int64_t Cur = EntryDepth[Id];
+    for (const Instr &I : B.Code) {
+      switch (I.K) {
+      case Op::Const:
+      case Op::LocalRef:
+      case Op::GlobalRef:
+      case Op::MakeClosure:
+        ++Cur;
+        break;
+      case Op::SetLocal:
+      case Op::SetGlobal:
+      case Op::DefineGlobal:
+        break; // pop one, push void: net zero, peak unchanged
+      case Op::Call:
+        Cur -= I.A; // pops fn + A args, pushes result
+        break;
+      case Op::TailCall:
+        Cur -= I.A + 1; // consumes fn + args; invocation restarts
+        break;
+      case Op::Jump:
+        Propagate(I.A, Cur);
+        break;
+      case Op::BranchFalse:
+      case Op::BranchTrue:
+        --Cur;
+        Propagate(I.A, Cur);
+        Propagate(B.FallThrough, Cur);
+        break;
+      case Op::Return:
+      case Op::Pop:
+        --Cur;
+        break;
+      case Op::ProfileBlock:
+      case Op::ProfileSrc:
+        break;
+      }
+      assert(Cur >= 0 && "operand stack underflow in MaxStack analysis");
+      if (Cur > Max)
+        Max = Cur;
+    }
+  }
+  MaxStack = static_cast<uint32_t>(Max);
 }
 
 uint64_t VmFunction::totalBlockCount() const {
@@ -88,7 +166,7 @@ uint64_t VmFunction::structuralHash() const {
     Mix(0xB10C);
     Mix(static_cast<uint64_t>(B.FallThrough) + 7);
     for (const Instr &I : B.Code) {
-      if (I.K == Op::ProfileBlock)
+      if (I.K == Op::ProfileBlock || I.K == Op::ProfileSrc)
         continue;
       Mix(static_cast<uint64_t>(I.K));
       // Operand indices are allocated in encounter order, so two
@@ -154,6 +232,8 @@ std::string pgmp::disassemble(const VmFunction &Fn) {
       return "pop";
     case Op::ProfileBlock:
       return "profile";
+    case Op::ProfileSrc:
+      return "profile-src";
     }
     return "?";
   };

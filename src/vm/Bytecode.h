@@ -40,6 +40,8 @@ enum class Op : uint8_t {
   Return,       ///< pop return value
   Pop,          ///< drop top of stack
   ProfileBlock, ///< bump block counter A (present only when profiling)
+  ProfileSrc,   ///< bump source counter SrcCounters[A] (tiered/instrumented
+                ///< code only; mirrors the interpreter's per-node bump)
 };
 
 struct Instr {
@@ -75,6 +77,22 @@ public:
   std::vector<Symbol *> CellNames;
   std::vector<VmFunction *> SubFunctions; ///< for MakeClosure
 
+  /// Source-expression counters referenced by ProfileSrc instructions.
+  /// These point into the engine's sharded counter store — the *same*
+  /// counters the interpreter bumps — which is what keeps instrumented
+  /// profiles byte-identical across tier modes.
+  std::vector<uint64_t *> SrcCounters;
+
+  /// Worst-case operand-stack depth of any path through the function
+  /// (filled by linearize()); lets the VM run on a fixed-size buffer.
+  uint32_t MaxStack = 0;
+
+  /// True when invocations need no heap frame: no MakeClosure can capture
+  /// it, no rest list is consed, and the few parameters fit the VM's
+  /// inline local buffer. Locals then live on the C++ stack and calls
+  /// allocate nothing (filled by linearize()).
+  bool Frameless = false;
+
   /// Emission order of blocks; changed by the block-reordering PGO.
   std::vector<uint32_t> Layout;
 
@@ -83,15 +101,20 @@ public:
   std::vector<int32_t> BlockStart; ///< pc of each block id in Linear
 
   /// Rebuilds Linear/BlockStart from Blocks and Layout, inserting
-  /// explicit jumps where the layout breaks a fallthrough.
+  /// explicit jumps where the layout breaks a fallthrough. Also refreshes
+  /// MaxStack.
   void linearize();
+
+  /// Recomputes MaxStack from the block graph (called by linearize()).
+  void computeMaxStack();
 
   /// Sum of all block counters (for tests).
   uint64_t totalBlockCount() const;
 
   /// Fingerprint of the block structure and code, ignoring ProfileBlock
-  /// instructions so instrumented and final builds of the same source
-  /// compare equal. Used to detect invalidated block profiles.
+  /// and ProfileSrc instructions so instrumented and final builds of the
+  /// same source compare equal. Used to detect invalidated block
+  /// profiles.
   uint64_t structuralHash() const;
 };
 

@@ -50,6 +50,14 @@ public:
     return static_cast<int32_t>(Fn->Cells.size() - 1);
   }
 
+  int32_t srcCounter(uint64_t *C) {
+    for (size_t I = 0; I < Fn->SrcCounters.size(); ++I)
+      if (Fn->SrcCounters[I] == C)
+        return static_cast<int32_t>(I);
+    Fn->SrcCounters.push_back(C);
+    return static_cast<int32_t>(Fn->SrcCounters.size() - 1);
+  }
+
   VmModule &Module;
   VmFunction *Fn;
   const VmCompileOptions &Opts;
@@ -87,6 +95,10 @@ private:
   }
 
   void compile(FnBuilder &B, const Expr *E, bool Tail) {
+    // The interpreter bumps a node's counter on entry, before any child
+    // evaluates; emitting the bump first reproduces that order exactly.
+    if (Opts.ProfileSources && E->Counter)
+      B.emit(Instr{Op::ProfileSrc, B.srcCounter(E->Counter), 0});
     switch (E->K) {
     case ExprKind::Const:
       B.emit(Instr{Op::Const,
@@ -195,4 +207,11 @@ VmFunction *pgmp::compileExprToVm(Context &Ctx, const Expr *Root,
   if (!Module.Top)
     Module.Top = Top;
   return Top;
+}
+
+VmFunction *pgmp::compileLambdaToVm(Context &Ctx, const LambdaExpr *L,
+                                    VmModule &Module,
+                                    const VmCompileOptions &Opts) {
+  VmCompiler C(Ctx, Module, Opts);
+  return C.compileFunction(L, "<tiered>", L->Body);
 }

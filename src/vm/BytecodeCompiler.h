@@ -25,12 +25,25 @@ namespace pgmp {
 struct VmCompileOptions {
   /// Insert a counter bump at every basic block entry.
   bool ProfileBlocks = false;
+
+  /// Emit a ProfileSrc bump of each instrumented node's source counter at
+  /// the node's entry — the same `uint64_t *` the interpreter increments,
+  /// in the same order, so tiered execution of instrumented code yields
+  /// byte-identical profiles to interpreter-only runs.
+  bool ProfileSources = false;
 };
 
 /// Compiles one top-level Expr into \p Module; returns the new top-level
 /// thunk (0-argument function). Raises SchemeError on unsupported nodes.
 VmFunction *compileExprToVm(Context &Ctx, const Expr *Root, VmModule &Module,
                             const VmCompileOptions &Opts);
+
+/// Compiles one lambda's body into \p Module for tiered execution;
+/// returns the function (arity taken from \p L). Raises SchemeError when
+/// the body contains phase-1-only nodes, in which case nothing observable
+/// happens to \p Module beyond dead functions.
+VmFunction *compileLambdaToVm(Context &Ctx, const LambdaExpr *L,
+                              VmModule &Module, const VmCompileOptions &Opts);
 
 } // namespace pgmp
 

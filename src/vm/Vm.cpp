@@ -9,26 +9,45 @@
 
 using namespace pgmp;
 
+// The VM's operand stack lives in uninitialized raw storage.
+static_assert(std::is_trivially_copyable_v<Value> &&
+                  std::is_trivially_destructible_v<Value>,
+              "vm stack buffers assume Value needs no construction");
+
 namespace {
 
-/// Builds the frame for a VM function call, checking arity.
+[[noreturn]] void vmArityError(const VmFunction *Fn, size_t NumArgs) {
+  raiseError("vm procedure " +
+             (Fn->Name.empty() ? std::string("<anonymous>") : Fn->Name) +
+             " expects " + std::to_string(Fn->NumParams) +
+             (Fn->HasRest ? "+" : "") + " arguments, got " +
+             std::to_string(NumArgs));
+}
+
+/// Builds the frame for a VM function call, checking arity. Mirrors the
+/// interpreter's buildFrame: non-rest functions take a branch-free copy
+/// loop; rest functions cons only when surplus arguments exist.
 EnvObj *buildVmFrame(Context &Ctx, const VmFunction *Fn, EnvObj *Captured,
                      Value *Args, size_t NumArgs) {
   size_t Fixed = Fn->NumParams;
-  if (NumArgs < Fixed || (!Fn->HasRest && NumArgs > Fixed))
-    raiseError("vm procedure " +
-               (Fn->Name.empty() ? std::string("<anonymous>") : Fn->Name) +
-               " expects " + std::to_string(Fixed) + (Fn->HasRest ? "+" : "") +
-               " arguments, got " + std::to_string(NumArgs));
+  if (!Fn->HasRest) {
+    if (NumArgs != Fixed)
+      vmArityError(Fn, NumArgs);
+    EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(Captured, Fn->FrameSlots);
+    for (size_t I = 0; I < Fixed; ++I)
+      Frame->Slots[I] = Args[I];
+    return Frame;
+  }
+  if (NumArgs < Fixed)
+    vmArityError(Fn, NumArgs);
   EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(Captured, Fn->FrameSlots);
   for (size_t I = 0; I < Fixed; ++I)
     Frame->Slots[I] = Args[I];
-  if (Fn->HasRest) {
-    Value Rest = Value::nil();
+  Value Rest = Value::nil();
+  if (NumArgs > Fixed)
     for (size_t I = NumArgs; I > Fixed; --I)
       Rest = Ctx.TheHeap.cons(Args[I - 1], Rest);
-    Frame->Slots[Fixed] = Rest;
-  }
+  Frame->Slots[Fixed] = Rest;
   return Frame;
 }
 
@@ -36,32 +55,94 @@ EnvObj *buildVmFrame(Context &Ctx, const VmFunction *Fn, EnvObj *Captured,
 
 Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
                           Value *Args, size_t NumArgs) {
-  EnvObj *Frame = buildVmFrame(Ctx, Fn, Captured, Args, NumArgs);
-  std::vector<Value> Stack;
+  // Frameless functions (leaf-style: nothing captures the frame) keep
+  // their locals in LocalBuf — no EnvObj, no slot vector, no allocation
+  // per call. Framed functions bind a heap frame as before. Either way,
+  // depth-0 local refs go through Slots0 and deeper refs walk Chain.
+  Value LocalBuf[8];
+  EnvObj *Frame = nullptr; ///< non-null only in framed mode
+  Value *Slots0 = nullptr;
+  EnvObj *Chain = nullptr;
+  auto BindFrame = [&](const VmFunction *F, EnvObj *Env, Value *A, size_t N) {
+    if (F->Frameless) {
+      if (N != F->NumParams)
+        vmArityError(F, N);
+      for (size_t J = 0; J < N; ++J)
+        LocalBuf[J] = A[J];
+      Frame = nullptr;
+      Slots0 = LocalBuf;
+    } else {
+      Frame = buildVmFrame(Ctx, F, Env, A, N);
+      Slots0 = Frame->Slots.data();
+    }
+    Chain = Env;
+  };
+  BindFrame(Fn, Captured, Args, NumArgs);
+
+  // Operand stack: a fixed inline buffer covers almost every function
+  // (MaxStack is the analyzed worst case); deeper functions fall back to
+  // a heap buffer. Growth only ever happens at Sp == 0 (entry or a tail
+  // restart), so no live values need copying. Raw storage on purpose:
+  // Value is trivially copyable and zeroing 48 of them per invocation is
+  // measurable on leaf-heavy workloads.
+  constexpr size_t InlineCap = 48;
+  alignas(Value) unsigned char InlineRaw[InlineCap * sizeof(Value)];
+  std::vector<Value> HeapBuf;
+  Value *Stack = reinterpret_cast<Value *>(InlineRaw);
+  size_t Cap = InlineCap;
+  size_t Sp = 0;
+  auto EnsureCap = [&](size_t Need) {
+    if (Need <= Cap)
+      return;
+    assert(Sp == 0 && "vm stack growth with live operands");
+    HeapBuf.resize(Need < Cap * 2 ? Cap * 2 : Need);
+    Stack = HeapBuf.data();
+    Cap = HeapBuf.size();
+  };
+  EnsureCap(Fn->MaxStack);
+
   size_t Pc = 0;
 
-  auto Pop = [&Stack]() {
-    assert(!Stack.empty() && "vm stack underflow");
-    Value V = Stack.back();
-    Stack.pop_back();
-    return V;
+  auto Pop = [&]() {
+    assert(Sp > 0 && "vm stack underflow");
+    return Stack[--Sp];
+  };
+  auto Push = [&](Value V) {
+    assert(Sp < Cap && "vm stack overflow past MaxStack analysis");
+    Stack[Sp++] = V;
   };
 
+  // Dispatch-loop counters live in locals and flush to the owning
+  // module's RunStats at returns and function switches; a per-instruction
+  // memory increment costs more than the bookkeeping is worth.
   VmModule::Stats *Stats = &Fn->Owner->RunStats;
+  uint64_t Instrs = 0, Jumps = 0;
+  auto FlushStats = [&] {
+    Stats->InstructionsExecuted += Instrs;
+    Stats->JumpsTaken += Jumps;
+    Instrs = 0;
+    Jumps = 0;
+  };
+
   while (true) {
     assert(Pc < Fn->Linear.size() && "vm pc out of range");
     const Instr &I = Fn->Linear[Pc];
-    ++Stats->InstructionsExecuted;
+    ++Instrs;
     switch (I.K) {
     case Op::Const:
-      Stack.push_back(Fn->Pool[static_cast<size_t>(I.A)]);
+      Push(Fn->Pool[static_cast<size_t>(I.A)]);
       ++Pc;
       break;
     case Op::LocalRef: {
-      EnvObj *F = Frame;
-      for (int32_t D = 0; D < I.A; ++D)
+      if (I.A == 0) {
+        Push(Slots0[static_cast<size_t>(I.B)]);
+        ++Pc;
+        break;
+      }
+      EnvObj *F = Chain;
+      for (int32_t D = 1; D < I.A; ++D)
         F = F->Parent;
-      Stack.push_back(F->Slots[static_cast<size_t>(I.B)]);
+      Push(F->Slots[static_cast<size_t>(I.B)]);
       ++Pc;
       break;
     }
@@ -70,17 +151,21 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       if (Cell->isUnbound())
         raiseError("unbound variable " +
                    Fn->CellNames[static_cast<size_t>(I.A)]->Name);
-      Stack.push_back(*Cell);
+      Push(*Cell);
       ++Pc;
       break;
     }
     case Op::SetLocal: {
       Value V = Pop();
-      EnvObj *F = Frame;
-      for (int32_t D = 0; D < I.A; ++D)
-        F = F->Parent;
-      F->Slots[static_cast<size_t>(I.B)] = V;
-      Stack.push_back(Value::undefined());
+      if (I.A == 0) {
+        Slots0[static_cast<size_t>(I.B)] = V;
+      } else {
+        EnvObj *F = Chain;
+        for (int32_t D = 1; D < I.A; ++D)
+          F = F->Parent;
+        F->Slots[static_cast<size_t>(I.B)] = V;
+      }
+      Push(Value::undefined());
       ++Pc;
       break;
     }
@@ -90,62 +175,94 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
         raiseError("set! of unbound variable " +
                    Fn->CellNames[static_cast<size_t>(I.A)]->Name);
       *Cell = Pop();
-      Stack.push_back(Value::undefined());
+      Push(Value::undefined());
       ++Pc;
       break;
     }
     case Op::DefineGlobal:
       *Fn->Cells[static_cast<size_t>(I.A)] = Pop();
-      Stack.push_back(Value::undefined());
+      Push(Value::undefined());
       ++Pc;
       break;
     case Op::MakeClosure: {
+      // Frameless analysis guarantees a real frame exists here.
+      assert(Frame && "MakeClosure in a frameless function");
       const VmFunction *Sub = Fn->SubFunctions[static_cast<size_t>(I.A)];
-      Stack.push_back(Value::object(
-          ValueKind::VmClosure, Ctx.TheHeap.make<VmClosure>(Sub, Frame)));
+      Push(Value::object(ValueKind::VmClosure,
+                         Ctx.TheHeap.make<VmClosure>(Sub, Frame)));
       ++Pc;
       break;
     }
     case Op::Call:
     case Op::TailCall: {
       size_t N = static_cast<size_t>(I.A);
-      assert(Stack.size() >= N + 1 && "vm call stack underflow");
-      Value *CallArgs = Stack.data() + (Stack.size() - N);
-      Value Callee = Stack[Stack.size() - N - 1];
+      assert(Sp >= N + 1 && "vm call stack underflow");
+      Value *CallArgs = Stack + (Sp - N);
+      Value Callee = Stack[Sp - N - 1];
 
-      if (I.K == Op::TailCall && Callee.isVmClosure()) {
-        // Reuse this invocation: rebind and restart.
+      // Resolve callees with a bytecode body up front: VM closures, and
+      // interpreter closures whose template has tiered (or tiers right
+      // now — heat-up counts VM-driven applies too).
+      const VmFunction *Target = nullptr;
+      EnvObj *TargetEnv = nullptr;
+      if (Callee.isVmClosure()) {
         VmClosure *C = asVmClosure(Callee);
-        Frame = buildVmFrame(Ctx, C->Fn, C->Captured, CallArgs, N);
-        Fn = const_cast<VmFunction *>(C->Fn);
+        Target = C->Fn;
+        TargetEnv = C->Captured;
+      } else if (Callee.isClosure()) {
+        Closure *C = Callee.asClosure();
+        if (const VmFunction *VF = tieredFunctionFor(Ctx, C->Template)) {
+          Target = VF;
+          TargetEnv = C->Captured;
+        }
+      }
+
+      if (I.K == Op::TailCall && Target) {
+        // Reuse this invocation: rebind and restart. This keeps hot tail
+        // loops in the dispatch loop instead of growing the C++ stack
+        // through applyProcedure.
+        BindFrame(Target, TargetEnv, CallArgs, N);
+        FlushStats();
+        Fn = const_cast<VmFunction *>(Target);
         Stats = &Fn->Owner->RunStats;
-        Stack.clear();
+        Sp = 0;
+        EnsureCap(Fn->MaxStack);
         Pc = 0;
         break;
       }
 
       Value Result;
-      if (Callee.isVmClosure()) {
-        VmClosure *C = asVmClosure(Callee);
-        Result = runVmFunction(Ctx, const_cast<VmFunction *>(C->Fn),
-                               C->Captured, CallArgs, N);
+      if (Target) {
+        Result = runVmFunction(Ctx, const_cast<VmFunction *>(Target),
+                               TargetEnv, CallArgs, N);
+      } else if (Callee.isPrimitive()) {
+        // Inlined primitive dispatch: arithmetic dominates call counts in
+        // numeric kernels, and applyProcedure would re-branch on kind.
+        Primitive *P = Callee.asPrimitive();
+        if (static_cast<int>(N) < P->MinArgs ||
+            (P->MaxArgs >= 0 && static_cast<int>(N) > P->MaxArgs))
+          raiseError("primitive " + P->Name + " got " + std::to_string(N) +
+                     " arguments");
+        Result = P->Fn(Ctx, CallArgs, N);
       } else {
         Result = applyProcedure(Ctx, Callee, CallArgs, N);
       }
-      if (I.K == Op::TailCall)
+      if (I.K == Op::TailCall) {
+        FlushStats();
         return Result;
-      Stack.resize(Stack.size() - N - 1);
-      Stack.push_back(Result);
+      }
+      Sp -= N + 1;
+      Push(Result);
       ++Pc;
       break;
     }
     case Op::Jump:
-      ++Stats->JumpsTaken;
+      ++Jumps;
       Pc = static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
       break;
     case Op::BranchFalse:
       if (!Pop().isTruthy()) {
-        ++Stats->JumpsTaken;
+        ++Jumps;
         Pc = static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
       } else {
         ++Pc;
@@ -153,13 +270,14 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       break;
     case Op::BranchTrue:
       if (Pop().isTruthy()) {
-        ++Stats->JumpsTaken;
+        ++Jumps;
         Pc = static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
       } else {
         ++Pc;
       }
       break;
     case Op::Return:
+      FlushStats();
       return Pop();
     case Op::Pop:
       Pop();
@@ -167,6 +285,10 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       break;
     case Op::ProfileBlock:
       ++Fn->Blocks[static_cast<size_t>(I.A)].ProfileCount;
+      ++Pc;
+      break;
+    case Op::ProfileSrc:
+      ++*Fn->SrcCounters[static_cast<size_t>(I.A)];
       ++Pc;
       break;
     }
@@ -179,7 +301,44 @@ static Value vmApplyHook(Context &Ctx, Value Fn, Value *Args, size_t N) {
                        Args, N);
 }
 
-void pgmp::installVm(Context &Ctx) { Ctx.VmApplyHook = vmApplyHook; }
+/// Tier-up compilation: lower one hot lambda to bytecode and cache it on
+/// the template. Each tiered lambda gets its own little module, parked on
+/// the Context type-erased so interp/ stays vm-free; modules live as long
+/// as the Context because closures keep running their code.
+static const VmFunction *tierCompileHook(Context &Ctx, const LambdaExpr *L) {
+  ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::TierCompile);
+  auto Module = std::make_shared<VmModule>();
+  VmCompileOptions Opts;
+  // Source-counter bumps are gated per node on Expr::Counter, so this is
+  // free for uninstrumented units and mandatory for instrumented ones —
+  // profiles must not depend on the tier that executed the code.
+  Opts.ProfileSources = true;
+  try {
+    VmFunction *Fn = compileLambdaToVm(Ctx, L, *Module, Opts);
+    Ctx.TierModules.push_back(std::move(Module));
+    L->Tiered = Fn;
+    Ctx.Stats.bump(Stat::TierUps);
+    return Fn;
+  } catch (const SchemeError &) {
+    // Phase-1-only nodes (syntax-case, templates) in the body: this
+    // lambda stays interpreted forever.
+    L->TierBlocked = true;
+    Ctx.Stats.bump(Stat::TierCompileFails);
+    return nullptr;
+  }
+}
+
+static Value tierRunHook(Context &Ctx, const VmFunction *Fn, EnvObj *Captured,
+                         Value *Args, size_t NumArgs) {
+  return runVmFunction(Ctx, const_cast<VmFunction *>(Fn), Captured, Args,
+                       NumArgs);
+}
+
+void pgmp::installVm(Context &Ctx) {
+  Ctx.VmApplyHook = vmApplyHook;
+  Ctx.TierCompileHook = tierCompileHook;
+  Ctx.TierRunHook = tierRunHook;
+}
 
 //===----------------------------------------------------------------------===//
 // VmRunner

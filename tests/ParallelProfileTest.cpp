@@ -225,6 +225,37 @@ TEST(ParallelProfile, MergedProfileBitIdenticalToSequential) {
   EXPECT_EQ(A, B) << "parallel merge must be bit-identical to sequential";
 }
 
+TEST(ParallelProfile, TieredWorkersMergeBitIdenticalToInterpreted) {
+  // Counter fidelity under `run --jobs 8` with tiering: workers whose hot
+  // closures tier up to bytecode mid-workload must merge to a profile
+  // byte-identical to an interpreter-only pool. Threshold 4 forces the
+  // tier-up to happen inside the recursive loop, the worst case for the
+  // invariant.
+  constexpr size_t Jobs = 8;
+  std::string Tiered = tempPath("tiered.profile");
+  std::string Interp = tempPath("interp.profile");
+  auto RunPool = [](EngineOptions Opts, const std::string &Path) {
+    EnginePool Pool(Jobs, Opts);
+    EnginePool::PoolResult R = Pool.run([](Engine &E, size_t) {
+      return E.evalString(Workload, WorkloadName);
+    });
+    ASSERT_TRUE(R.Ok) << R.Error;
+    ProfileOpResult St = Pool.storeMergedProfile(Path);
+    ASSERT_TRUE(St) << St.Error;
+  };
+  {
+    EngineOptions Opts = withInstrumentation();
+    Opts.Tier = TierMode::Auto;
+    Opts.TierThreshold = 4;
+    RunPool(Opts, Tiered);
+  }
+  RunPool(withInstrumentation(), Interp);
+  std::string A = slurp(Tiered), B = slurp(Interp);
+  EXPECT_FALSE(A.empty());
+  EXPECT_EQ(A, B) << "tiered workers must bump the same counters as the "
+                     "interpreter";
+}
+
 TEST(ParallelProfile, ReportIdenticalAcrossInterleavings) {
   // Stagger the workers two opposite ways so the two runs interleave
   // differently; the report table (sorted once, deterministic

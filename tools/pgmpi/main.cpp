@@ -62,14 +62,30 @@ static int usage() {
                "[--profile-in F] [--strict-profile]\n"
                "             [--annotate-wrap] [--dump-expansion] "
                "[--lib NAME]... [-e EXPR]\n"
+               "             [--tier off|auto|always] [--tier-threshold N]\n"
                "             [--stats] [--trace F] file.scm...\n"
                "       pgmpi run --jobs N --profile-out F [--profile-in F]\n"
                "             [--strict-profile] [--annotate-wrap] "
                "[--lib NAME]... [--stats]\n"
-               "             file.scm...\n"
-               "       pgmpi report [--top N] FILE...\n"
+               "             [--tier off|auto|always] [--tier-threshold N] "
+               "file.scm...\n"
+               "       pgmpi report [--top N] [--tier] [--tier-weight W] "
+               "FILE...\n"
                "       pgmpi profile-lint FILE...\n");
   return 2;
+}
+
+/// Parses a --tier value; exits with a usage error on anything else.
+static TierMode parseTierMode(const std::string &Text) {
+  if (Text == "off")
+    return TierMode::Off;
+  if (Text == "auto")
+    return TierMode::Auto;
+  if (Text == "always")
+    return TierMode::Always;
+  std::fprintf(stderr, "pgmpi: --tier needs off, auto, or always (got %s)\n",
+               Text.c_str());
+  std::exit(2);
 }
 
 /// `pgmpi run`: the parallel profiling driver. N worker engines evaluate
@@ -80,6 +96,8 @@ static int usage() {
 static int runParallel(int Argc, char **Argv) {
   int64_t Jobs = 1;
   bool StrictProfile = false, AnnotateWrap = false, Stats = false;
+  TierMode Tier = TierMode::Off;
+  int64_t TierThreshold = -1;
   std::string ProfileOut, ProfileIn;
   std::vector<std::string> Libs, Files;
   for (int I = 2; I < Argc; ++I) {
@@ -108,7 +126,16 @@ static int runParallel(int Argc, char **Argv) {
       AnnotateWrap = true;
     else if (Arg == "--stats")
       Stats = true;
-    else if (!Arg.empty() && Arg[0] == '-') {
+    else if (Arg == "--tier")
+      Tier = parseTierMode(NeedsValue("--tier"));
+    else if (Arg == "--tier-threshold") {
+      if (!parseInt64(NeedsValue("--tier-threshold"), TierThreshold) ||
+          TierThreshold < 1) {
+        std::fprintf(stderr,
+                     "pgmpi: --tier-threshold needs a positive number\n");
+        return 2;
+      }
+    } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "pgmpi: run: unknown option %s\n", Arg.c_str());
       return 2;
     } else
@@ -130,6 +157,9 @@ static int runParallel(int Argc, char **Argv) {
   Opts.EchoDiagnostics = true;
   if (AnnotateWrap)
     Opts.Annotate = AnnotateMode::Wrap;
+  Opts.Tier = Tier;
+  if (TierThreshold > 0)
+    Opts.TierThreshold = static_cast<uint32_t>(TierThreshold);
 
   EnginePool Pool(static_cast<size_t>(Jobs), Opts);
   if (!ProfileIn.empty()) {
@@ -183,6 +213,17 @@ static int runReport(int Argc, char **Argv) {
         return 2;
       }
       Opts.TopN = static_cast<size_t>(N);
+      ++I;
+    } else if (Arg == "--tier") {
+      if (Opts.TierHotWeight <= 0)
+        Opts.TierHotWeight = 0.05; // EngineOptions::TierHotWeight default
+    } else if (Arg == "--tier-weight") {
+      double W;
+      if (I + 1 >= Argc || !parseDouble(Argv[I + 1], W) || W <= 0) {
+        std::fprintf(stderr, "pgmpi: --tier-weight needs a positive number\n");
+        return 2;
+      }
+      Opts.TierHotWeight = W;
       ++I;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "pgmpi: report: unknown option %s\n", Arg.c_str());
@@ -362,6 +403,8 @@ int main(int Argc, char **Argv) {
   bool StrictProfile = false;
   bool Repl = false;
   bool Stats = false;
+  TierMode Tier = TierMode::Off;
+  int64_t TierThreshold = -1;
   std::string ProfileOut, ProfileIn, EvalText, TraceOut;
   std::vector<std::string> Libs, Files;
 
@@ -388,6 +431,16 @@ int main(int Argc, char **Argv) {
       Stats = true;
     else if (Arg == "--trace")
       TraceOut = NeedsValue("--trace");
+    else if (Arg == "--tier")
+      Tier = parseTierMode(NeedsValue("--tier"));
+    else if (Arg == "--tier-threshold") {
+      if (!parseInt64(NeedsValue("--tier-threshold"), TierThreshold) ||
+          TierThreshold < 1) {
+        std::fprintf(stderr,
+                     "pgmpi: --tier-threshold needs a positive number\n");
+        return 2;
+      }
+    }
     else if (Arg == "--profile-out")
       ProfileOut = NeedsValue("--profile-out");
     else if (Arg == "--profile-in")
@@ -416,6 +469,9 @@ int main(int Argc, char **Argv) {
   Opts.EchoDiagnostics = true;
   if (AnnotateWrap)
     Opts.Annotate = AnnotateMode::Wrap;
+  Opts.Tier = Tier;
+  if (TierThreshold > 0)
+    Opts.TierThreshold = static_cast<uint32_t>(TierThreshold);
   Engine E(Opts);
 
   if (!ProfileIn.empty()) {
