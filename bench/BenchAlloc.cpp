@@ -1,0 +1,95 @@
+//===- bench/BenchAlloc.cpp - Arena allocation hot paths ------------------===//
+//
+// Allocation-dominated kernels for the bump-pointer arena (PR 5): the
+// paths the profiles point at once dispatch is lean are cons cells and
+// closure frames, with a vector/string mix covering the destructible
+// side list. All three run on the plain interpreter (tier off) so the
+// numbers isolate allocation, not tier promotion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace pgmp;
+using namespace pgmp::bench;
+
+namespace {
+
+// Pure list churn: every iteration conses a fresh 400-element list and
+// folds it, so the inner loop is cons + pair reads and almost nothing
+// else.
+const char *ConsKernel =
+    "(define (build n acc)\n"
+    "  (if (= n 0) acc (build (- n 1) (cons n acc))))\n"
+    "(define (sum l acc)\n"
+    "  (if (null? l) acc (sum (cdr l) (+ acc (car l)))))\n"
+    "(define (work n)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n) acc (loop (+ i 1) (sum (build 400 '()) acc)))))\n";
+
+// Frame churn: a non-tail helper call per element forces a fresh EnvObj
+// per call (the inline-slot fast path), plus a closure allocation per
+// outer iteration so captured frames stay live across calls.
+const char *FrameKernel =
+    "(define (work n)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n)\n"
+    "        acc\n"
+    "        (let ([step (lambda (a b c) (+ a b c 1))])\n"
+    "          (loop (+ i 1)\n"
+    "                (+ (step i acc 1) (step acc i 2) (step 1 2 i)))))))\n";
+
+// Vector/string mix: objects with non-trivial destructors, exercising
+// the side-list branch of make<T> alongside plain conses.
+const char *MixKernel =
+    "(define (work n)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n)\n"
+    "        acc\n"
+    "        (let ([v (make-vector 8 i)]\n"
+    "              [s (number->string i)])\n"
+    "          (vector-set! v 0 (+ i 1))\n"
+    "          (loop (+ i 1)\n"
+    "                (+ acc (vector-ref v 0) (string-length s)))))))\n";
+
+void runAllocBench(benchmark::State &State, const char *Kernel, int64_t N,
+                   int64_t ItemsPerIter) {
+  EngineOptions Opts;
+  Opts.Tier = TierMode::Off; // isolate interpreter-path allocation
+  Engine E(Opts);
+  requireEval(E, Kernel, "alloc-kernel.scm");
+  Value *Fn = E.context().globalCell(E.context().Symbols.intern("work"));
+  {
+    Value Args[1] = {Value::fixnum(N)};
+    for (int I = 0; I < 3; ++I)
+      E.context().apply(*Fn, Args, 1);
+  }
+  for (auto _ : State) {
+    Value Args[1] = {Value::fixnum(N)};
+    benchmark::DoNotOptimize(E.context().apply(*Fn, Args, 1));
+  }
+  State.SetItemsProcessed(State.iterations() * ItemsPerIter);
+}
+
+void BM_ConsChurn(benchmark::State &State) {
+  // 250 outer iterations x 400 conses = 100k pairs per timed iteration.
+  runAllocBench(State, ConsKernel, 250, 250 * 400);
+}
+
+void BM_FrameChurn(benchmark::State &State) {
+  // 20k outer iterations x (1 closure + 3 frames).
+  runAllocBench(State, FrameKernel, 20000, 20000 * 4);
+}
+
+void BM_VectorStringMix(benchmark::State &State) {
+  // 20k iterations x (1 vector + 1 string + loop frames).
+  runAllocBench(State, MixKernel, 20000, 20000 * 2);
+}
+
+} // namespace
+
+BENCHMARK(BM_ConsChurn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FrameChurn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VectorStringMix)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+#===-- scripts/bench_snapshot.sh - record the perf trajectory ------------===//
+#
+# Runs every benchmark binary in build/bench/ and folds the per-benchmark
+# real times into one committed JSON summary, so the repo's performance
+# trajectory is a recorded series instead of folklore. Usage:
+#
+#   scripts/bench_snapshot.sh [OUT.json]     (default: BENCH_SNAPSHOT.json)
+#
+# Build the release preset first (scripts/tier1.sh does). Times are
+# milliseconds of benchmark real time; treat cross-machine comparisons
+# with suspicion and same-machine before/after pairs as the signal.
+#
+#===----------------------------------------------------------------------===//
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_SNAPSHOT.json}"
+MIN_TIME="${BENCH_MIN_TIME:-0.25}"
+TMPDIR_SNAP="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_SNAP"' EXIT
+
+FOUND=0
+for BENCH in build/bench/bench*; do
+  [[ -x "$BENCH" ]] || continue
+  FOUND=1
+  NAME="$(basename "$BENCH")"
+  echo "-- $NAME"
+  # Note: the bundled google-benchmark wants a plain double ("0.25"),
+  # not the newer "0.25s" form.
+  "$BENCH" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+    > "$TMPDIR_SNAP/$NAME.json"
+done
+
+if [[ "$FOUND" == 0 ]]; then
+  echo "error: no benchmark binaries in build/bench/ (build first)" >&2
+  exit 1
+fi
+
+jq -s '{
+  schema: 1,
+  generated: (.[0].context.date // "unknown"),
+  host: {
+    num_cpus: (.[0].context.num_cpus // 0),
+    mhz_per_cpu: (.[0].context.mhz_per_cpu // 0)
+  },
+  benchmarks: (
+    [ .[] as $file
+      | $file.context.executable as $exe
+      | $file.benchmarks[]
+      | select(.run_type != "aggregate")
+      | { binary: ($exe | split("/") | last),
+          name: .name,
+          real_ms: ((.real_time
+                     * (if .time_unit == "ns" then 1e-6
+                        elif .time_unit == "us" then 1e-3
+                        elif .time_unit == "ms" then 1
+                        else 1e3 end) * 1000 | round) / 1000),
+          items_per_second: (.items_per_second // null) }
+    ]
+  )
+}' "$TMPDIR_SNAP"/*.json > "$OUT"
+
+echo "wrote $OUT ($(jq '.benchmarks | length' "$OUT") benchmark entries)"

@@ -7,8 +7,9 @@
 #      bench that only compiles but crashes at runtime (bad flag plumbing,
 #      tier-up in a fresh engine, ...) fails the gate instead of rotting.
 #   3. TSan build + the concurrency tests (ParallelProfile, ShardedCounterStore,
-#      ProfileSnapshot) — the sharded counter runtime must be provably
-#      race-free, not just pass-by-luck.
+#      ProfileSnapshot, Heap) — the sharded counter runtime and the
+#      per-engine arena heaps must be provably race-free, not just
+#      pass-by-luck.
 #
 # Usage: scripts/tier1.sh [--skip-tsan]
 #

@@ -48,9 +48,21 @@ Engine::~Engine() {
   // Best-effort flush of an unwritten trace; explicit writeTrace() is the
   // error-reporting path.
   if (!TracePath.empty()) {
+    recordHeapTraceCounters();
     std::string Err;
     (void)Ctx.Trace.write(TracePath, Err);
   }
+}
+
+void Engine::recordHeapTraceCounters() {
+  if (!Ctx.Trace.enabled())
+    return;
+  uint64_t Now = statsNowNanos();
+  const Heap::AllocStats &A = Ctx.TheHeap.allocStats();
+  Ctx.Trace.counter("heap-bytes-allocated", "heap", Now, A.BytesAllocated);
+  Ctx.Trace.counter("heap-bytes-reserved", "heap", Now, A.BytesReserved);
+  Ctx.Trace.counter("heap-chunks", "heap", Now, A.ChunksAcquired);
+  Ctx.Trace.counter("heap-objects", "heap", Now, Ctx.TheHeap.numObjects());
 }
 
 /// Reads the next form under the Read phase timer; the read/expand/
@@ -201,6 +213,7 @@ ProfileOpResult Engine::writeTrace() {
 }
 
 ProfileOpResult Engine::writeTrace(const std::string &Path) {
+  recordHeapTraceCounters();
   std::string Err;
   if (!Ctx.Trace.write(Path, Err))
     return ProfileOpResult::failure("cannot write trace file: " + Path +

@@ -141,7 +141,9 @@ public:
 
   /// Writes the collected trace to the EngineOptions::TracePath target
   /// (or \p Path) and marks it flushed so the destructor does not rewrite
-  /// it.
+  /// it. Final heap allocation gauges ("ph":"C" counter samples:
+  /// bytes allocated/reserved, chunks, objects) are recorded just before
+  /// the write so every exported trace carries the memory picture.
   ProfileOpResult writeTrace();
   ProfileOpResult writeTrace(const std::string &Path);
 
@@ -179,6 +181,9 @@ public:
 
 private:
   void configureTracePath(const std::string &Path);
+  /// Samples the heap allocation counters into the trace (no-op when
+  /// tracing is off).
+  void recordHeapTraceCounters();
 
   Context Ctx;
   Expander Exp;

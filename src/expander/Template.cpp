@@ -30,8 +30,8 @@ Value lookupVar(InstantiateState &St, const VarRefTemplate *V) {
     assert(E && "template var depth exceeds env chain");
     E = E->Parent;
   }
-  assert(E && V->Index < E->Slots.size() && "bad template var coordinates");
-  return E->Slots[V->Index];
+  assert(E && V->Index < E->NumSlots && "bad template var coordinates");
+  return E->slots()[V->Index];
 }
 
 Value instantiate(InstantiateState &St, const Template *Tpl);

@@ -12,6 +12,14 @@ Context::Context() {
   // Shard lifecycle self-metrics land in this context's registry (no-ops
   // until stats are enabled).
   Counters.setStats(&Stats);
+  // The heap's allocation counters are always on (a few adds per
+  // allocation); the registry reads them on demand so (pgmp-stats) and
+  // --stats report heap rows without a per-allocation stats branch.
+  Stats.setExtraSource(
+      [](const void *Source, std::vector<std::pair<std::string, uint64_t>> &Out) {
+        static_cast<const Heap *>(Source)->appendStats(Out);
+      },
+      &TheHeap);
 }
 Context::~Context() = default;
 

@@ -35,21 +35,16 @@ static EnvObj *buildFrame(Context &Ctx, Closure *C, Value *Args,
   if (!L->HasRest) {
     if (NumArgs != Fixed)
       arityError(L, NumArgs);
-    EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(C->Captured, Fixed);
-    for (size_t I = 0; I < Fixed; ++I)
-      Frame->Slots[I] = Args[I];
-    return Frame;
+    return Ctx.TheHeap.makeEnvFrom(C->Captured, Fixed, Args, Fixed);
   }
   if (NumArgs < Fixed)
     arityError(L, NumArgs);
-  EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(C->Captured, Fixed + 1);
-  for (size_t I = 0; I < Fixed; ++I)
-    Frame->Slots[I] = Args[I];
+  EnvObj *Frame = Ctx.TheHeap.makeEnvFrom(C->Captured, Fixed + 1, Args, Fixed);
   Value Rest = Value::nil();
   if (NumArgs > Fixed)
     for (size_t I = NumArgs; I > Fixed; --I)
       Rest = Ctx.TheHeap.cons(Args[I - 1], Rest);
-  Frame->Slots[Fixed] = Rest;
+  Frame->slots()[Fixed] = Rest;
   return Frame;
 }
 
@@ -114,8 +109,8 @@ tail:
       assert(Frame && "local ref depth exceeds env chain");
       Frame = Frame->Parent;
     }
-    assert(Frame && R->Index < Frame->Slots.size() && "bad local ref");
-    return Frame->Slots[R->Index];
+    assert(Frame && R->Index < Frame->NumSlots && "bad local ref");
+    return Frame->slots()[R->Index];
   }
 
   case ExprKind::GlobalRef: {
@@ -153,7 +148,7 @@ tail:
       assert(Frame && "set! depth exceeds env chain");
       Frame = Frame->Parent;
     }
-    Frame->Slots[S->Index] = V;
+    Frame->slots()[S->Index] = V;
     return Value::undefined();
   }
 
@@ -222,9 +217,9 @@ tail:
     const auto *SC = static_cast<const SyntaxCaseExpr *>(E);
     Value Scrut = evalExpr(Ctx, SC->Scrutinee, Env);
     for (const SyntaxCaseClause &Clause : SC->Clauses) {
-      EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(Env, Clause.NumVars);
+      EnvObj *Frame = Ctx.TheHeap.makeEnv(Env, Clause.NumVars);
       if (!matchPattern(Ctx, Clause.Pat, Scrut,
-                        Clause.NumVars ? Frame->Slots.data() : nullptr))
+                        Clause.NumVars ? Frame->slots() : nullptr))
         continue;
       if (Clause.Fender &&
           !evalExpr(Ctx, Clause.Fender, Frame).isTruthy())

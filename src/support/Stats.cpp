@@ -95,6 +95,8 @@ std::vector<std::pair<std::string, uint64_t>> StatsRegistry::snapshot() const {
     Out.emplace_back(Name + "-entries", Phases[I].Entries);
     Out.emplace_back(Name + "-ns", Phases[I].Nanos);
   }
+  if (ExtraFn)
+    ExtraFn(ExtraSource, Out);
   return Out;
 }
 
@@ -117,6 +119,17 @@ std::string StatsRegistry::render() const {
                   statName(static_cast<Stat>(I)),
                   static_cast<unsigned long long>(Counts[I]));
     Out += Buf;
+  }
+  if (ExtraFn) {
+    std::vector<std::pair<std::string, uint64_t>> Extra;
+    ExtraFn(ExtraSource, Extra);
+    for (const auto &[Name, N] : Extra) {
+      if (!N)
+        continue;
+      std::snprintf(Buf, sizeof(Buf), "  %-22s %12llu\n", Name.c_str(),
+                    static_cast<unsigned long long>(N));
+      Out += Buf;
+    }
   }
   return Out;
 }

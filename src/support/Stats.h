@@ -100,12 +100,27 @@ public:
   /// Zeroes all counters and timers; keeps the enabled flag.
   void reset();
 
+  /// Callback appending externally owned (name, value) rows — used by the
+  /// Context to expose the heap's always-on allocation counters through
+  /// the same snapshot/render surface without the allocator paying a
+  /// stats-enabled branch. \p Source is the opaque provider pointer.
+  using ExtraStatsFn = void (*)(const void *Source,
+                                std::vector<std::pair<std::string, uint64_t>> &);
+
+  /// Registers (or clears, with nullptr) the extra-stats provider. The
+  /// provider must outlive the registry's snapshot()/render() calls.
+  void setExtraSource(ExtraStatsFn Fn, const void *Source) {
+    ExtraFn = Fn;
+    ExtraSource = Source;
+  }
+
   /// Deterministically ordered (name, value) pairs: every counter, then
-  /// per-phase entry counts and nanoseconds. Feeds (pgmp-stats) and the
-  /// --stats report.
+  /// per-phase entry counts and nanoseconds, then any extra-source rows.
+  /// Feeds (pgmp-stats) and the --stats report.
   std::vector<std::pair<std::string, uint64_t>> snapshot() const;
 
-  /// Human-readable multi-line summary (counters + phase timings).
+  /// Human-readable multi-line summary (counters + phase timings + any
+  /// non-zero extra-source rows).
   std::string render() const;
 
   static const char *phaseName(Phase P);
@@ -119,6 +134,8 @@ private:
   bool Enabled = false;
   std::array<uint64_t, NumStats> Counts{};
   std::array<PhaseAccum, NumPhases> Phases{};
+  ExtraStatsFn ExtraFn = nullptr;
+  const void *ExtraSource = nullptr;
 };
 
 /// RAII phase timer: accumulates into a StatsRegistry and (optionally)

@@ -19,15 +19,23 @@ void TraceSink::record(const char *Name, const char *Category,
                        uint64_t StartNs, uint64_t EndNs) {
   if (!Enabled)
     return;
-  Events.push_back(
-      {Name, Category, StartNs, EndNs > StartNs ? EndNs - StartNs : 0, false});
+  Events.push_back({Name, Category, StartNs,
+                    EndNs > StartNs ? EndNs - StartNs : 0,
+                    EventKind::Complete});
 }
 
 void TraceSink::instant(const std::string &Name, const char *Category,
                         uint64_t AtNs) {
   if (!Enabled)
     return;
-  Events.push_back({Name, Category, AtNs, 0, true});
+  Events.push_back({Name, Category, AtNs, 0, EventKind::Instant});
+}
+
+void TraceSink::counter(const std::string &Name, const char *Category,
+                        uint64_t AtNs, uint64_t Value) {
+  if (!Enabled)
+    return;
+  Events.push_back({Name, Category, AtNs, Value, EventKind::Counter});
 }
 
 /// Escapes a string for a JSON string literal (quotes, backslashes, and
@@ -79,13 +87,22 @@ std::string TraceSink::renderJson() const {
          "\"args\":{\"name\":\"pgmp\"}}";
   for (const Event &E : Events) {
     uint64_t Rel = E.StartNs >= EpochNs ? E.StartNs - EpochNs : 0;
+    const char *Ph = E.Kind == EventKind::Instant
+                         ? "i"
+                         : (E.Kind == EventKind::Counter ? "C" : "X");
     Out += ",{\"name\":\"" + jsonEscape(E.Name) + "\",\"cat\":\"" +
-           E.Category + "\",\"ph\":\"" + (E.Instant ? "i" : "X") +
-           "\",\"ts\":" + jsonMicros(Rel);
-    if (E.Instant)
+           E.Category + "\",\"ph\":\"" + Ph + "\",\"ts\":" + jsonMicros(Rel);
+    switch (E.Kind) {
+    case EventKind::Instant:
       Out += ",\"s\":\"p\"";
-    else
+      break;
+    case EventKind::Counter:
+      Out += ",\"args\":{\"value\":" + std::to_string(E.DurNs) + "}";
+      break;
+    case EventKind::Complete:
       Out += ",\"dur\":" + jsonMicros(E.DurNs);
+      break;
+    }
     Out += ",\"pid\":1,\"tid\":1}";
   }
   Out += "],\"displayTimeUnit\":\"ms\"}";

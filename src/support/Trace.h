@@ -33,6 +33,11 @@ public:
   /// Records an instant ("ph":"i") marker event at \p AtNs.
   void instant(const std::string &Name, const char *Category, uint64_t AtNs);
 
+  /// Records a counter ("ph":"C") sample at \p AtNs; viewers draw these
+  /// as a stacked area track. Used for heap allocation gauges.
+  void counter(const std::string &Name, const char *Category, uint64_t AtNs,
+               uint64_t Value);
+
   size_t numEvents() const { return Events.size(); }
   void clear() { Events.clear(); }
 
@@ -45,12 +50,13 @@ public:
   bool write(const std::string &Path, std::string &ErrorOut) const;
 
 private:
+  enum class EventKind : uint8_t { Complete, Instant, Counter };
   struct Event {
     std::string Name;
     const char *Category;
     uint64_t StartNs;
-    uint64_t DurNs;
-    bool Instant;
+    uint64_t DurNs; ///< duration (Complete) or sampled value (Counter)
+    EventKind Kind;
   };
   std::vector<Event> Events;
   bool Enabled = false;

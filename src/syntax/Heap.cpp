@@ -10,12 +10,52 @@
 using namespace pgmp;
 
 Heap::~Heap() {
-  Obj *O = Head;
-  while (O) {
-    Obj *Next = O->NextAllocated;
-    delete O;
-    O = Next;
+  // Only the destructible side list is walked; trivially-destructible
+  // objects (pairs, closures, boxes, env frames) are reclaimed with the
+  // chunks. Newest-first order is fine: heap objects never own each
+  // other, they only point, and nothing dereferences during teardown.
+  for (DtorNode *N = DtorHead; N; N = N->Next)
+    N->Destroy(N + 1);
+}
+
+void *Heap::allocateSlow(size_t Bytes) {
+  ++Stats.ChunksAcquired;
+  if (Bytes > ChunkBytes) {
+    // Oversize (e.g. a frame with thousands of slots): dedicated chunk of
+    // exactly the requested size; the current bump chunk keeps its tail.
+    ++Stats.OversizeChunks;
+    Stats.BytesReserved += Bytes;
+    Chunks.push_back(std::make_unique<char[]>(Bytes));
+    return Chunks.back().get();
   }
+  Stats.BytesReserved += ChunkBytes;
+  Chunks.push_back(std::make_unique<char[]>(ChunkBytes));
+  char *Base = Chunks.back().get();
+  Cur = Base + Bytes;
+  End = Base + ChunkBytes;
+  return Base;
+}
+
+uint64_t Heap::numObjects() const {
+  uint64_t N = 0;
+  for (uint64_t C : Stats.ObjectsByKind)
+    N += C;
+  return N;
+}
+
+void Heap::appendStats(
+    std::vector<std::pair<std::string, uint64_t>> &Out) const {
+  Out.emplace_back("heap-bytes-allocated", Stats.BytesAllocated);
+  // The arena never frees before teardown, so reserved == peak footprint.
+  Out.emplace_back("heap-bytes-reserved", Stats.BytesReserved);
+  Out.emplace_back("heap-chunks", Stats.ChunksAcquired);
+  Out.emplace_back("heap-oversize-chunks", Stats.OversizeChunks);
+  Out.emplace_back("heap-objects", numObjects());
+  for (size_t K = 0; K < NumValueKinds; ++K)
+    if (Stats.ObjectsByKind[K])
+      Out.emplace_back(std::string("heap-objects-") +
+                           valueKindName(static_cast<ValueKind>(K)),
+                       Stats.ObjectsByKind[K]);
 }
 
 Value Heap::list(const std::vector<Value> &Elems) {
@@ -90,24 +130,34 @@ bool HashTable::contains(const Value &Key) const {
 void HashTable::set(const Value &Key, const Value &Val) {
   auto It = Table.find(Key);
   if (It != Table.end()) {
+    // Value update: the key set (and so the cached order) is unchanged.
     It->second.first = Val;
     return;
   }
   Table.emplace(Key, std::make_pair(Val, NextInsertIndex++));
+  ++Version;
 }
 
-bool HashTable::erase(const Value &Key) { return Table.erase(Key) > 0; }
+bool HashTable::erase(const Value &Key) {
+  if (Table.erase(Key) == 0)
+    return false;
+  ++Version;
+  return true;
+}
 
-std::vector<Value> HashTable::keysInInsertionOrder() const {
+const std::vector<Value> &HashTable::keysInInsertionOrder() const {
+  if (OrderCacheVersion == Version)
+    return OrderCache;
   std::vector<std::pair<uint64_t, Value>> Ordered;
   Ordered.reserve(Table.size());
   for (const auto &[K, V] : Table)
     Ordered.push_back({V.second, K});
   std::sort(Ordered.begin(), Ordered.end(),
             [](const auto &A, const auto &B) { return A.first < B.first; });
-  std::vector<Value> Keys;
-  Keys.reserve(Ordered.size());
+  OrderCache.clear();
+  OrderCache.reserve(Ordered.size());
   for (auto &[Idx, K] : Ordered)
-    Keys.push_back(K);
-  return Keys;
+    OrderCache.push_back(K);
+  OrderCacheVersion = Version;
+  return OrderCache;
 }

@@ -1,11 +1,27 @@
-//===- syntax/Heap.h - Heap objects and allocation ------------*- C++ -*-===//
+//===- syntax/Heap.h - Arena heap objects and allocation ------*- C++ -*-===//
 ///
 /// \file
 /// Heap object definitions (pairs, strings, vectors, hash tables,
 /// closures, primitives, boxes, environment frames) and the Heap that owns
-/// them. The heap is an arena: objects live until the owning engine is
-/// destroyed. Symbols are interned separately (see SymbolTable.h) and
-/// syntax objects are defined in Syntax.h; both are still Heap-allocated.
+/// them. The heap is a block-based bump-pointer arena: `make<T>` bumps a
+/// pointer inside a fixed-size chunk on the fast path and acquires a new
+/// chunk on overflow, so a cons or a closure frame costs pointer
+/// arithmetic, not a malloc. Objects live until the owning engine is
+/// destroyed (there is no mid-evaluation collector; see DESIGN.md
+/// Section 6), and their addresses are stable for their whole lifetime.
+///
+/// Obj carries no vtable: the Kind byte is the only discriminator, and
+/// teardown runs through a side list that records just the objects whose
+/// type has a non-trivial destructor (strings, vectors, hash tables,
+/// syntax, primitives). Bulk destruction is therefore O(destructible
+/// objects), and trivially-destructible kinds — pairs, closures, boxes,
+/// env frames — are reclaimed by freeing the chunks alone.
+///
+/// Environment frames store their slots inline after the EnvObj header
+/// (single allocation per frame); create them with makeEnv/makeEnvFrom,
+/// not make<EnvObj>. Symbols are interned separately (see SymbolTable.h)
+/// and syntax objects are defined in Syntax.h; syntax is Heap-allocated,
+/// symbols are owned by their table.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,9 +30,15 @@
 
 #include "syntax/Value.h"
 
+#include <array>
+#include <cassert>
 #include <cstddef>
+#include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace pgmp {
@@ -24,17 +46,21 @@ namespace pgmp {
 class Context;
 class LambdaExpr;
 
-/// Base of every heap-allocated Scheme object. Objects are linked into an
-/// intrusive list owned by the Heap for bulk destruction.
+/// Base of every heap-allocated Scheme object. Deliberately vtable-free:
+/// the Kind tag discriminates, and the owning Heap destroys
+/// non-trivially-destructible objects through a typed side list, so the
+/// base needs no virtual destructor (and a Pair stays 40 bytes, not 56).
 class Obj {
 public:
-  virtual ~Obj() = default;
-
   ValueKind Kind;
-  Obj *NextAllocated = nullptr;
 
 protected:
   explicit Obj(ValueKind K) : Kind(K) {}
+  ~Obj() = default; ///< non-virtual; only the Heap destroys objects
+
+private:
+  Obj(const Obj &) = delete;
+  Obj &operator=(const Obj &) = delete;
 };
 
 /// A cons cell.
@@ -77,8 +103,14 @@ public:
   size_t size() const { return Table.size(); }
 
   /// Stable key order: insertion order (Scheme hashtable-keys users in the
-  /// case studies rely on determinism for reproducible expansion).
-  std::vector<Value> keysInInsertionOrder() const;
+  /// case studies rely on determinism for reproducible expansion). The
+  /// list is cached under a structural version stamp — it is rebuilt only
+  /// after an insertion or removal, so meta-programs that walk the keys
+  /// inside expansion (the object-system case study does, per method
+  /// table) pay the sort once per table shape, not per call. Value
+  /// updates of existing keys do not invalidate the cache. The reference
+  /// is valid until the next insertion or removal.
+  const std::vector<Value> &keysInInsertionOrder() const;
 
   HashKind HK;
 
@@ -94,6 +126,10 @@ private:
   /// Maps key -> (value, insertion index).
   std::unordered_map<Value, std::pair<Value, uint64_t>, Hasher, Eq> Table;
   uint64_t NextInsertIndex = 0;
+  /// Structural version: bumped on insert/erase, not on value update.
+  uint64_t Version = 0;
+  mutable uint64_t OrderCacheVersion = ~uint64_t(0);
+  mutable std::vector<Value> OrderCache;
 };
 
 /// A user procedure: a compiled lambda template plus its captured frame.
@@ -127,30 +163,109 @@ public:
   Value Boxed;
 };
 
-/// A runtime environment frame: fixed slots, parent chain. Variable
-/// references are compiled to (depth, index) pairs.
+/// A runtime environment frame: fixed slots stored inline directly after
+/// this header (one arena allocation per frame), parent chain. Variable
+/// references are compiled to (depth, index) pairs. Created through
+/// Heap::makeEnv / Heap::makeEnvFrom, which size the allocation.
 class EnvObj : public Obj {
 public:
-  EnvObj(EnvObj *Parent, size_t NumSlots)
-      : Obj(ValueKind::Env), Parent(Parent), Slots(NumSlots) {}
   EnvObj *Parent;
-  std::vector<Value> Slots;
+  uint32_t NumSlots;
+
+  Value *slots() {
+    return reinterpret_cast<Value *>(reinterpret_cast<char *>(this) +
+                                     sizeof(EnvObj));
+  }
+  const Value *slots() const {
+    return reinterpret_cast<const Value *>(
+        reinterpret_cast<const char *>(this) + sizeof(EnvObj));
+  }
+  Value &slot(size_t I) {
+    assert(I < NumSlots && "env slot index out of range");
+    return slots()[I];
+  }
+
+private:
+  friend class Heap;
+  EnvObj(EnvObj *Parent, uint32_t NumSlots)
+      : Obj(ValueKind::Env), Parent(Parent), NumSlots(NumSlots) {}
 };
 
-/// Arena-style owner of all heap objects of one engine.
+/// Arena-style owner of all heap objects of one engine: chunked
+/// bump-pointer allocation, bulk teardown, stable addresses. One Heap
+/// belongs to one Context and is touched only by the thread evaluating on
+/// it (EnginePool workers each own their Heap; nothing is shared).
 class Heap {
 public:
+  /// Geometry of a normal chunk. Allocations larger than this get a
+  /// dedicated oversize chunk of exactly their size.
+  static constexpr size_t ChunkBytes = 64 * 1024;
+
+  /// Always-on allocation counters (a handful of adds per allocation;
+  /// the observability layer reads them through StatsRegistry and the
+  /// Chrome trace). The arena never frees before engine teardown, so
+  /// BytesReserved is also the peak memory footprint.
+  struct AllocStats {
+    uint64_t BytesAllocated = 0; ///< rounded bytes handed to objects
+    uint64_t BytesReserved = 0;  ///< sum of acquired chunk sizes
+    uint64_t ChunksAcquired = 0; ///< normal + oversize chunks
+    uint64_t OversizeChunks = 0; ///< dedicated single-allocation chunks
+    std::array<uint64_t, NumValueKinds> ObjectsByKind{};
+  };
+
   Heap() = default;
   ~Heap();
   Heap(const Heap &) = delete;
   Heap &operator=(const Heap &) = delete;
 
+  /// Allocates and constructs a \p T. Fast path: one pointer bump.
+  /// Types with a non-trivial destructor are additionally linked into the
+  /// destructible side list (one extra 16-byte header in the same bump
+  /// allocation), so teardown visits only the objects that need it.
   template <typename T, typename... Args> T *make(Args &&...ArgList) {
-    T *O = new T(std::forward<Args>(ArgList)...);
-    O->NextAllocated = Head;
-    Head = O;
-    ++NumObjects;
+    static_assert(std::is_base_of_v<Obj, T>, "Heap allocates Obj subclasses");
+    static_assert(!std::is_same_v<T, EnvObj>,
+                  "EnvObj stores slots inline; use makeEnv/makeEnvFrom");
+    static_assert(alignof(T) <= Alignment,
+                  "arena alignment is 8; over-aligned Obj subclass");
+    T *O;
+    size_t Bytes;
+    if constexpr (std::is_trivially_destructible_v<T>) {
+      Bytes = roundUp(sizeof(T));
+      O = new (allocateRaw(Bytes)) T(std::forward<Args>(ArgList)...);
+    } else {
+      Bytes = roundUp(sizeof(DtorNode) + sizeof(T));
+      auto *N = static_cast<DtorNode *>(allocateRaw(Bytes));
+      O = new (N + 1) T(std::forward<Args>(ArgList)...);
+      N->Destroy = [](void *P) { static_cast<T *>(P)->~T(); };
+      N->Next = DtorHead;
+      DtorHead = N;
+    }
+    noteObject(O->Kind, Bytes);
     return O;
+  }
+
+  /// A frame of \p NumSlots default-initialized (void) slots.
+  EnvObj *makeEnv(EnvObj *Parent, size_t NumSlots) {
+    return makeEnvFrom(Parent, NumSlots, nullptr, 0);
+  }
+
+  /// The frame fast path shared by the interpreter's and the VM's call
+  /// sequences: one allocation, the first \p NumArgs slots copied from
+  /// \p Args, the rest default-initialized. \p NumArgs <= \p NumSlots.
+  EnvObj *makeEnvFrom(EnvObj *Parent, size_t NumSlots, const Value *Args,
+                      size_t NumArgs) {
+    assert(NumArgs <= NumSlots && "more arguments than frame slots");
+    size_t Bytes = roundUp(sizeof(EnvObj) + NumSlots * sizeof(Value));
+    EnvObj *E = new (allocateRaw(Bytes))
+        EnvObj(Parent, static_cast<uint32_t>(NumSlots));
+    Value *S = E->slots();
+    for (size_t I = 0; I < NumArgs; ++I)
+      new (S + I) Value(Args[I]);
+    for (size_t I = NumArgs; I < NumSlots; ++I)
+      new (S + I) Value();
+    noteObject(ValueKind::Env, Bytes);
+    return E;
   }
 
   Value cons(Value Car, Value Cdr) {
@@ -170,12 +285,62 @@ public:
   /// Builds a proper list from \p Elems.
   Value list(const std::vector<Value> &Elems);
 
-  uint64_t numObjects() const { return NumObjects; }
+  const AllocStats &allocStats() const { return Stats; }
+  uint64_t numObjects() const;
+  uint64_t bytesAllocated() const { return Stats.BytesAllocated; }
+  uint64_t bytesReserved() const { return Stats.BytesReserved; }
+
+  /// Appends the allocation counters as deterministic (name, value) rows;
+  /// the Context's StatsRegistry uses this as its extra-stats source so
+  /// `pgmpi --stats` and (pgmp-stats) report the heap without the heap
+  /// paying a stats-enabled branch per allocation.
+  void appendStats(std::vector<std::pair<std::string, uint64_t>> &Out) const;
 
 private:
-  Obj *Head = nullptr;
-  uint64_t NumObjects = 0;
+  static constexpr size_t Alignment = 8;
+
+  /// Side-list record preceding a non-trivially-destructible object in
+  /// its allocation: [DtorNode][object bytes...].
+  struct DtorNode {
+    DtorNode *Next;
+    void (*Destroy)(void *Object);
+  };
+  static_assert(sizeof(DtorNode) % Alignment == 0, "node keeps alignment");
+
+  static constexpr size_t roundUp(size_t N) {
+    return (N + (Alignment - 1)) & ~(Alignment - 1);
+  }
+
+  /// \p Bytes must already be rounded to Alignment.
+  void *allocateRaw(size_t Bytes) {
+    char *P = Cur;
+    if (Bytes > static_cast<size_t>(End - P))
+      return allocateSlow(Bytes);
+    Cur = P + Bytes;
+    return P;
+  }
+
+  void *allocateSlow(size_t Bytes);
+
+  void noteObject(ValueKind K, size_t Bytes) {
+    Stats.BytesAllocated += Bytes;
+    ++Stats.ObjectsByKind[static_cast<size_t>(K)];
+  }
+
+  char *Cur = nullptr; ///< bump pointer into the current chunk
+  char *End = nullptr; ///< end of the current chunk
+  std::vector<std::unique_ptr<char[]>> Chunks;
+  DtorNode *DtorHead = nullptr;
+  AllocStats Stats;
 };
+
+static_assert(sizeof(EnvObj) % alignof(Value) == 0,
+              "inline slots start aligned directly after the EnvObj header");
+static_assert(std::is_trivially_destructible_v<Pair> &&
+                  std::is_trivially_destructible_v<Closure> &&
+                  std::is_trivially_destructible_v<Box> &&
+                  std::is_trivially_destructible_v<EnvObj>,
+              "hot-path kinds must stay off the destructible side list");
 
 /// Walks a proper list into a vector; raises on improper lists.
 std::vector<Value> listToVector(const Value &List);

@@ -13,6 +13,7 @@
 #define PGMP_SYNTAX_VALUE_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -54,6 +55,14 @@ enum class ValueKind : uint8_t {
   Box,
   Env,
 };
+
+/// Number of ValueKind discriminators (for kind-indexed tables such as
+/// the heap's per-kind allocation counters).
+inline constexpr size_t NumValueKinds = static_cast<size_t>(ValueKind::Env) + 1;
+
+/// Stable lower-case name of a kind ("pair", "vm-closure", ...) for
+/// diagnostics and observability rows.
+const char *valueKindName(ValueKind K);
 
 /// A Scheme value: tag plus immediate payload or heap pointer.
 class Value {

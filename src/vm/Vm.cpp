@@ -33,21 +33,17 @@ EnvObj *buildVmFrame(Context &Ctx, const VmFunction *Fn, EnvObj *Captured,
   if (!Fn->HasRest) {
     if (NumArgs != Fixed)
       vmArityError(Fn, NumArgs);
-    EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(Captured, Fn->FrameSlots);
-    for (size_t I = 0; I < Fixed; ++I)
-      Frame->Slots[I] = Args[I];
-    return Frame;
+    return Ctx.TheHeap.makeEnvFrom(Captured, Fn->FrameSlots, Args, Fixed);
   }
   if (NumArgs < Fixed)
     vmArityError(Fn, NumArgs);
-  EnvObj *Frame = Ctx.TheHeap.make<EnvObj>(Captured, Fn->FrameSlots);
-  for (size_t I = 0; I < Fixed; ++I)
-    Frame->Slots[I] = Args[I];
+  EnvObj *Frame =
+      Ctx.TheHeap.makeEnvFrom(Captured, Fn->FrameSlots, Args, Fixed);
   Value Rest = Value::nil();
   if (NumArgs > Fixed)
     for (size_t I = NumArgs; I > Fixed; --I)
       Rest = Ctx.TheHeap.cons(Args[I - 1], Rest);
-  Frame->Slots[Fixed] = Rest;
+  Frame->slots()[Fixed] = Rest;
   return Frame;
 }
 
@@ -73,7 +69,7 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       Slots0 = LocalBuf;
     } else {
       Frame = buildVmFrame(Ctx, F, Env, A, N);
-      Slots0 = Frame->Slots.data();
+      Slots0 = Frame->slots();
     }
     Chain = Env;
   };
@@ -142,7 +138,7 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       EnvObj *F = Chain;
       for (int32_t D = 1; D < I.A; ++D)
         F = F->Parent;
-      Push(F->Slots[static_cast<size_t>(I.B)]);
+      Push(F->slots()[static_cast<size_t>(I.B)]);
       ++Pc;
       break;
     }
@@ -163,7 +159,7 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
         EnvObj *F = Chain;
         for (int32_t D = 1; D < I.A; ++D)
           F = F->Parent;
-        F->Slots[static_cast<size_t>(I.B)] = V;
+        F->slots()[static_cast<size_t>(I.B)] = V;
       }
       Push(Value::undefined());
       ++Pc;
