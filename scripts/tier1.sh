@@ -6,12 +6,16 @@
 #   2. Bench smoke: every benchmark binary runs one quick iteration, so a
 #      bench that only compiles but crashes at runtime (bad flag plumbing,
 #      tier-up in a fresh engine, ...) fails the gate instead of rotting.
-#   3. TSan build + the concurrency tests (ParallelProfile, ShardedCounterStore,
+#   3. ASan fault matrix: the ExecGuard and FaultInjection suites under
+#      AddressSanitizer — every injected fault and guard trip must unwind
+#      without leaking or corrupting the engine, which only ASan can
+#      actually prove.
+#   4. TSan build + the concurrency tests (ParallelProfile, ShardedCounterStore,
 #      ProfileSnapshot, Heap) — the sharded counter runtime and the
 #      per-engine arena heaps must be provably race-free, not just
 #      pass-by-luck.
 #
-# Usage: scripts/tier1.sh [--skip-tsan]
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 #
 #===----------------------------------------------------------------------===//
 
@@ -19,7 +23,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+SKIP_ASAN=0
+for ARG in "$@"; do
+  [[ "$ARG" == "--skip-tsan" ]] && SKIP_TSAN=1
+  [[ "$ARG" == "--skip-asan" ]] && SKIP_ASAN=1
+done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
@@ -36,6 +44,17 @@ for BENCH in build/bench/bench*; do
   echo "-- $BENCH"
   "$BENCH" --benchmark_min_time=0.01 --benchmark_repetitions=1 > /dev/null
 done
+
+if [[ "$SKIP_ASAN" == 1 ]]; then
+  echo "== tier-1: ASan fault matrix skipped (--skip-asan) =="
+else
+  echo "== tier-1: ASan build + fault-matrix suites =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$JOBS"
+  # Guard trips and injected faults exercise every error-unwind path in
+  # the engine; ASan turns a leaked or clobbered unwind into a failure.
+  ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -R 'ExecGuard|FaultInjection'
+fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "== tier-1: TSan pass skipped (--skip-tsan) =="

@@ -8,6 +8,7 @@
 #include "interp/Prims.h"
 #include "reader/Reader.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 #include "syntax/Writer.h"
 #include "vm/Vm.h"
 
@@ -38,6 +39,10 @@ Engine::Engine(const EngineOptions &Opts) : Ctx(), Exp(Ctx) {
   Ctx.TierExec = Opts.Tier;
   Ctx.TierThreshold = Opts.TierThreshold;
   Ctx.TierHotWeight = Opts.TierHotWeight;
+  // Guards also apply only after the prelude: a tight fuel budget should
+  // constrain the user's program, not the library bootstrap.
+  Ctx.Guard.configure(Opts.Fuel, Opts.MaxDepth, Opts.DeadlineMs);
+  Ctx.TheHeap.setLimitBytes(Opts.MaxHeapBytes);
   if (Opts.Tier != TierMode::Off)
     installVm(Ctx);
   if (!Opts.TracePath.empty())
@@ -70,12 +75,18 @@ void Engine::recordHeapTraceCounters() {
 /// answerable per top-level form without touching any hot loop.
 static std::optional<Value> readOneTimed(Context &Ctx, Reader &Rd) {
   ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Read);
+  if (faultinject::shouldFail(faultinject::Point::Read))
+    raiseError("injected fault at phase boundary: read");
   return Rd.readOne();
 }
 
 EvalResult Engine::evalString(const std::string &Source,
                               const std::string &Name) {
   EvalResult R;
+  // Fresh budgets per API call: an earlier trip (or a long-running prior
+  // request) never poisons this one, so a guarded Engine is reusable as a
+  // request-per-call sandbox.
+  Ctx.Guard.beginRun();
   try {
     Ctx.SrcMgr.addBuffer(Name, Source);
     Reader Rd(Ctx.TheHeap, Ctx.Symbols, Ctx.Sources, Source, Name);
@@ -84,12 +95,16 @@ EvalResult Engine::evalString(const std::string &Source,
       std::vector<Value> Cores;
       {
         ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Expand);
+        if (faultinject::shouldFail(faultinject::Point::Expand))
+          raiseError("injected fault at phase boundary: expand");
         Cores = Exp.expandTopLevel(*Form);
       }
       for (Value Core : Cores) {
         std::unique_ptr<CodeUnit> Unit;
         {
           ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Compile);
+          if (faultinject::shouldFail(faultinject::Point::Compile))
+            raiseError("injected fault at phase boundary: compile");
           Unit = compileCore(Ctx, Core);
         }
         {
@@ -101,6 +116,11 @@ EvalResult Engine::evalString(const std::string &Source,
     }
     R.Ok = true;
     R.V = Last;
+  } catch (const GuardTrip &T) {
+    R.Ok = false;
+    R.Error = T.render();
+    R.Tripped = T.kind();
+    Ctx.Stats.bump(Stat::GuardTrips);
   } catch (const SchemeError &E) {
     R.Ok = false;
     R.Error = E.render();
@@ -125,12 +145,17 @@ EvalResult Engine::loadLibrary(const std::string &Name) {
 EvalResult Engine::callGlobal(const std::string &Name,
                               const std::vector<Value> &Args) {
   EvalResult R;
+  Ctx.Guard.beginRun();
   try {
     Value *Cell = Ctx.globalCell(Ctx.Symbols.intern(Name));
     if (Cell->isUnbound())
       raiseError("unbound global " + Name);
     R.V = Ctx.apply(*Cell, Args);
     R.Ok = true;
+  } catch (const GuardTrip &T) {
+    R.Error = T.render();
+    R.Tripped = T.kind();
+    Ctx.Stats.bump(Stat::GuardTrips);
   } catch (const SchemeError &E) {
     R.Error = E.render();
   }
@@ -140,6 +165,7 @@ EvalResult Engine::callGlobal(const std::string &Name,
 EvalResult Engine::expandToString(const std::string &Source,
                                   const std::string &Name) {
   EvalResult R;
+  Ctx.Guard.beginRun();
   try {
     Ctx.SrcMgr.addBuffer(Name, Source);
     Reader Rd(Ctx.TheHeap, Ctx.Symbols, Ctx.Sources, Source, Name);
@@ -150,6 +176,8 @@ EvalResult Engine::expandToString(const std::string &Source,
       std::vector<Value> Cores;
       {
         ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Expand);
+        if (faultinject::shouldFail(faultinject::Point::Expand))
+          raiseError("injected fault at phase boundary: expand");
         Cores = Exp.expandTopLevel(*Form);
       }
       for (Value Core : Cores) {
@@ -159,6 +187,10 @@ EvalResult Engine::expandToString(const std::string &Source,
     }
     R.Ok = true;
     R.V = Ctx.TheHeap.string(std::move(Out));
+  } catch (const GuardTrip &T) {
+    R.Error = T.render();
+    R.Tripped = T.kind();
+    Ctx.Stats.bump(Stat::GuardTrips);
   } catch (const SchemeError &E) {
     R.Error = E.render();
   }

@@ -47,6 +47,10 @@ struct EvalResult {
   bool Ok = false;
   Value V;            ///< value of the last form (when Ok)
   std::string Error;  ///< rendered error (when !Ok)
+  /// Which resource guard aborted the run (GuardKind::None for ordinary
+  /// errors and successes). Lets callers distinguish "program is wrong"
+  /// from "program exceeded its budget" without parsing Error.
+  GuardKind Tripped = GuardKind::None;
 
   explicit operator bool() const { return Ok; }
 };

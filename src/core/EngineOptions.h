@@ -71,6 +71,27 @@ struct EngineOptions {
   /// and tiers on first invocation (profile-guided pre-tiering).
   double TierHotWeight = 0.05;
 
+  //===--------------------------------------------------------------------===//
+  // Execution guards (support/ExecGuard.h; 0 = unlimited). Limits govern
+  // code evaluated after construction, per run: a trip raises a
+  // structured, catchable GuardTrip and the Engine stays reusable.
+  //===--------------------------------------------------------------------===//
+
+  /// Per-run step budget: one unit per procedure application and per VM
+  /// back edge (pgmpi --fuel).
+  uint64_t Fuel = 0;
+
+  /// Non-tail application nesting limit — bounds C++ stack growth from
+  /// deep Scheme recursion (pgmpi --max-depth).
+  uint32_t MaxDepth = 0;
+
+  /// Cap on the arena heap's reserved bytes, checked on chunk acquisition
+  /// so the bump fast path is untouched (pgmpi --max-heap).
+  uint64_t MaxHeapBytes = 0;
+
+  /// Per-run wall-clock budget in milliseconds (pgmpi --deadline-ms).
+  uint64_t DeadlineMs = 0;
+
   /// Mirror display/write output to stdout (pgmpi-style drivers).
   bool EchoStdout = false;
 

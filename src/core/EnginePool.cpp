@@ -4,11 +4,17 @@
 
 #include "profile/ProfileIO.h"
 
+#include <chrono>
 #include <thread>
 
 using namespace pgmp;
 
-EnginePool::EnginePool(size_t Jobs, const EngineOptions &Opts) {
+EnginePool::EnginePool(size_t Jobs, const EngineOptions &Opts)
+    : EnginePool(Jobs, Opts, FaultPolicy()) {}
+
+EnginePool::EnginePool(size_t Jobs, const EngineOptions &Opts,
+                       const FaultPolicy &Policy)
+    : Opts(Opts), Policy(Policy) {
   if (Jobs == 0)
     Jobs = 1;
   Workers.reserve(Jobs);
@@ -18,35 +24,106 @@ EnginePool::EnginePool(size_t Jobs, const EngineOptions &Opts) {
 
 EnginePool::~EnginePool() = default;
 
+std::unique_ptr<Engine> EnginePool::freshWorker() {
+  auto W = std::make_unique<Engine>(Opts);
+  for (const std::string &Path : PreRegistered) {
+    FileId Id;
+    (void)W->context().SrcMgr.addFile(Path, Id);
+  }
+  if (!LoadedProfilePath.empty())
+    (void)W->loadProfile(LoadedProfilePath);
+  return W;
+}
+
 EnginePool::PoolResult EnginePool::run(const WorkerTask &Task) {
   PoolResult R;
-  R.PerWorker.resize(Workers.size());
-  std::vector<std::thread> Threads;
-  Threads.reserve(Workers.size());
-  for (size_t I = 0; I < Workers.size(); ++I)
-    Threads.emplace_back([this, &Task, &R, I] {
-      // Each thread touches only its own worker and its own result slot;
-      // evalString already converts SchemeErrors, so only foreign
-      // exceptions need catching here.
-      try {
-        R.PerWorker[I] = Task(*Workers[I], I);
-      } catch (const std::exception &E) {
-        R.PerWorker[I].Ok = false;
-        R.PerWorker[I].Error = E.what();
-      } catch (...) {
-        R.PerWorker[I].Ok = false;
-        R.PerWorker[I].Error = "unknown exception";
-      }
-    });
-  // The join is load-bearing: it is the happens-before edge that makes
-  // aggregating the workers' counter pages race-free.
-  for (std::thread &T : Threads)
-    T.join();
-  for (size_t I = 0; I < Workers.size(); ++I)
-    if (!R.PerWorker[I].Ok) {
-      R.Ok = false;
-      R.Error = "worker " + std::to_string(I) + ": " + R.PerWorker[I].Error;
+  size_t N = Workers.size();
+  R.PerWorker.resize(N);
+  R.Outcomes.resize(N);
+
+  std::vector<size_t> Pending(N);
+  for (size_t I = 0; I < N; ++I)
+    Pending[I] = I;
+
+  for (unsigned Attempt = 0;; ++Attempt) {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Pending.size());
+    for (size_t I : Pending)
+      Threads.emplace_back([this, &Task, &R, I] {
+        // Each thread touches only its own worker and its own result
+        // slot; evalString already converts SchemeErrors (including
+        // GuardTrips, recording EvalResult::Tripped), so the catches here
+        // contain trips and errors escaping the task body itself — a
+        // worker failure must never take down the pool.
+        EvalResult &Res = R.PerWorker[I];
+        try {
+          Res = Task(*Workers[I], I);
+        } catch (const GuardTrip &T) {
+          Res = EvalResult{};
+          Res.Error = T.render();
+          Res.Tripped = T.kind();
+        } catch (const SchemeError &E) {
+          Res = EvalResult{};
+          Res.Error = E.render();
+        } catch (const std::exception &E) {
+          Res = EvalResult{};
+          Res.Error = E.what();
+        } catch (...) {
+          Res = EvalResult{};
+          Res.Error = "unknown exception";
+        }
+      });
+    // The join is load-bearing: it is the happens-before edge that makes
+    // aggregating the workers' counter pages race-free (and that makes
+    // replacing failed engines below safe).
+    for (std::thread &T : Threads)
+      T.join();
+
+    std::vector<size_t> Failed;
+    for (size_t I : Pending) {
+      TaskOutcome &O = R.Outcomes[I];
+      ++O.Attempts;
+      O.Ok = R.PerWorker[I].Ok;
+      O.Tripped = R.PerWorker[I].Tripped;
+      O.Error = R.PerWorker[I].Error;
+      if (!O.Ok)
+        Failed.push_back(I);
+    }
+    if (Failed.empty())
       break;
+
+    if (Attempt >= Policy.MaxRetries) {
+      // Out of retries. Unless the policy opts in to partial data, zero
+      // the failed workers' counters now: an all-zero data set is skipped
+      // by addDataset, so the subsequent merge sees exactly the surviving
+      // tasks' data sets in worker-index order — byte-identical to a
+      // sequential run of the same surviving set.
+      if (!Policy.MergePartialCounters)
+        for (size_t I : Failed)
+          Workers[I]->context().Counters.reset();
+      break;
+    }
+
+    // Retry on fresh workers: the failed engine's heap, globals, and
+    // partial counters are discarded wholesale — fault isolation by
+    // replacement, not by attempted in-place repair.
+    for (size_t I : Failed)
+      Workers[I] = freshWorker();
+    R.TotalRetries += static_cast<unsigned>(Failed.size());
+    Workers[0]->context().Stats.bump(Stat::TaskRetries, Failed.size());
+    if (Policy.BackoffBaseMs)
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          Policy.BackoffBaseMs << (Attempt < 6 ? Attempt : 6)));
+    Pending = std::move(Failed);
+  }
+
+  for (size_t I = 0; I < N; ++I)
+    if (!R.Outcomes[I].Ok) {
+      ++R.NumFailed;
+      if (R.Ok) {
+        R.Ok = false;
+        R.Error = "worker " + std::to_string(I) + ": " + R.Outcomes[I].Error;
+      }
     }
   return R;
 }
@@ -72,6 +149,7 @@ ProfileOpResult EnginePool::loadProfileAll(const std::string &Path) {
     if (!R)
       return R;
   }
+  LoadedProfilePath = Path; // replay into fresh replacement workers
   return R;
 }
 
@@ -80,6 +158,7 @@ void EnginePool::preRegisterFile(const std::string &Path) {
     FileId Id;
     (void)W->context().SrcMgr.addFile(Path, Id); // missing files error later
   }
+  PreRegistered.push_back(Path); // replay into fresh replacement workers
 }
 
 void EnginePool::mergeCountersInto(ProfileDatabase &Db,

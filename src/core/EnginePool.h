@@ -29,6 +29,18 @@
 /// merge re-interns each point into the coordinator's table, so the
 /// merged database speaks the coordinator's point identities.
 ///
+/// ## Fault isolation
+///
+/// A worker failure (Scheme error, guard trip, or foreign exception) is
+/// contained to that worker: the pool replaces the dead engine with a
+/// fresh one — replaying pre-registered files and any loaded profile —
+/// and retries the task up to FaultPolicy::MaxRetries times with
+/// exponential backoff. A task that still fails is reported per-task in
+/// PoolResult::Outcomes; its partial counters are discarded (default) or
+/// kept (MergePartialCounters) before the merge, so the merged profile of
+/// the surviving tasks is byte-identical to a sequential run of the same
+/// surviving set.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PGMP_CORE_ENGINEPOOL_H
@@ -46,11 +58,36 @@ namespace pgmp {
 
 class EnginePool {
 public:
+  /// How the pool responds to a worker failing its task.
+  struct FaultPolicy {
+    /// Re-runs of a failed task on a fresh worker before giving up
+    /// (0 = fail fast, the pre-isolation behavior).
+    unsigned MaxRetries = 2;
+    /// Backoff before retry attempt k sleeps BackoffBaseMs << min(k, 6)
+    /// milliseconds (0 = no backoff; useful in tests).
+    unsigned BackoffBaseMs = 1;
+    /// Keep a finally-failed task's partial counters in the merge instead
+    /// of discarding them. Off by default: a half-run workload would skew
+    /// weights, and discarding keeps the merged profile byte-identical to
+    /// a sequential run of the surviving tasks.
+    bool MergePartialCounters = false;
+  };
+
+  /// Per-task outcome across all attempts of one pool run.
+  struct TaskOutcome {
+    bool Ok = false;
+    unsigned Attempts = 0;            ///< total runs, including retries
+    GuardKind Tripped = GuardKind::None; ///< set when a guard aborted it
+    std::string Error;                ///< final error (when !Ok)
+  };
+
   /// Builds \p Jobs workers (at least one), each configured with \p Opts.
   /// Workers are constructed sequentially on the calling thread; worker 0
   /// doubles as the coordinator whose point table, source manager, and
   /// profile database receive the merged results.
   explicit EnginePool(size_t Jobs, const EngineOptions &Opts = {});
+  EnginePool(size_t Jobs, const EngineOptions &Opts,
+             const FaultPolicy &Policy);
   ~EnginePool();
   EnginePool(const EnginePool &) = delete;
   EnginePool &operator=(const EnginePool &) = delete;
@@ -63,15 +100,19 @@ public:
   using WorkerTask = std::function<EvalResult(Engine &E, size_t I)>;
 
   struct PoolResult {
-    bool Ok = true;
-    std::vector<EvalResult> PerWorker; ///< one entry per worker, in order
-    std::string Error; ///< first failure, labeled with its worker index
+    bool Ok = true;                    ///< every task eventually succeeded
+    std::vector<EvalResult> PerWorker; ///< final attempt's result, in order
+    std::vector<TaskOutcome> Outcomes; ///< per-task verdicts, in order
+    std::string Error;  ///< first failure, labeled with its worker index
+    unsigned TotalRetries = 0; ///< fresh-worker re-runs across all tasks
+    size_t NumFailed = 0;      ///< tasks still failed after all retries
     explicit operator bool() const { return Ok; }
   };
 
   /// Runs \p Task on every worker concurrently (one thread per worker)
   /// and joins them all before returning — the quiescent point the
-  /// counter-aggregation contract requires.
+  /// counter-aggregation contract requires. Failed tasks are retried on
+  /// fresh workers per the FaultPolicy; see "Fault isolation" above.
   PoolResult run(const WorkerTask &Task);
 
   /// Convenience: every worker evaluates \p Files in order (the same
@@ -103,7 +144,16 @@ public:
   void preRegisterFile(const std::string &Path);
 
 private:
+  /// Builds a replacement engine with the pool's options, replaying
+  /// pre-registered files and any profile loaded through loadProfileAll,
+  /// so a retried task sees the same session state the original did.
+  std::unique_ptr<Engine> freshWorker();
+
   std::vector<std::unique_ptr<Engine>> Workers;
+  EngineOptions Opts;
+  FaultPolicy Policy;
+  std::vector<std::string> PreRegistered; ///< replayed into fresh workers
+  std::string LoadedProfilePath;          ///< ditto, when non-empty
 };
 
 } // namespace pgmp

@@ -5,6 +5,7 @@
 #include "interp/PrimsCommon.h"
 #include "profile/ProfileIO.h"
 #include "profile/ProfileReport.h"
+#include "support/FaultInjector.h"
 #include "syntax/Syntax.h"
 
 #include <algorithm>
@@ -78,6 +79,11 @@ ProfileOpResult pgmp::pgmpapi::storeProfile(Context &Ctx,
                                             const std::string &Path) {
   ProfileOpResult R;
   Ctx.Stats.bump(Stat::ProfileStores);
+  // Injected before anything is copied or folded: a failed store must
+  // leave the live counters and the database exactly as they were.
+  if (faultinject::shouldFail(faultinject::Point::ProfileStore))
+    return ProfileOpResult::failure(
+        "injected fault at phase boundary: profile-store (counters preserved)");
   // Serialize a snapshot that already includes the live counters, but
   // fold-and-reset only after the file is safely on disk: a failed store
   // must not destroy the counter data it failed to persist.
@@ -109,6 +115,11 @@ ProfileOpResult pgmp::pgmpapi::loadProfile(Context &Ctx,
                                            const std::string &Path) {
   ProfileOpResult R;
   Ctx.Stats.bump(Stat::ProfileLoads);
+  // Injected before the file is opened, so nothing merges: the same
+  // no-partial-effects contract a real I/O failure provides.
+  if (faultinject::shouldFail(faultinject::Point::ProfileLoad))
+    return ProfileOpResult::failure(
+        "injected fault at phase boundary: profile-load");
   std::string Err;
   ProfileLoadReport Report;
   bool Ok;

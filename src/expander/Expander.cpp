@@ -5,6 +5,7 @@
 #include "interp/Compiler.h"
 #include "interp/Eval.h"
 #include "support/Diagnostics.h"
+#include "support/ExecGuard.h"
 #include "syntax/Writer.h"
 
 #include <unordered_map>
@@ -204,7 +205,35 @@ public:
   // Expansion driver
   //===------------------------------------------------------------------===//
 
+  /// Maximum syntax nesting expand() will recurse into. Expansion depth
+  /// tracks input nesting (each compound form recurses once per layer),
+  /// so deeply nested generated code — or a reader-limit bypass via
+  /// macro-generated nesting — would overflow the C++ stack. Lower than
+  /// the reader's cap because expansion frames are much fatter.
+  static constexpr uint32_t MaxExpandDepth = 1000;
+  uint32_t ExpandDepth = 0;
+
+  /// Cold outlined raise for the nesting cap (never returns).
+  Value tripExpandDepth(Value Stx) {
+    --ExpandDepth;
+    const SourceObject *Src = syntaxSource(Stx);
+    raiseGuardTrip(GuardKind::Depth,
+                   "syntax nesting exceeds expander limit of " +
+                       std::to_string(MaxExpandDepth),
+                   Src ? Src->describe() : "");
+  }
+
   Value expand(Value Stx) {
+    if (++ExpandDepth > MaxExpandDepth)
+      return tripExpandDepth(Stx);
+    struct DepthGuard {
+      uint32_t &D;
+      ~DepthGuard() { --D; }
+    } Guard{ExpandDepth};
+    return expandNoDepthCheck(Stx);
+  }
+
+  Value expandNoDepthCheck(Value Stx) {
     for (unsigned Fuel = 0; Fuel < 10000; ++Fuel) {
       Value In = syntaxE(Stx);
 

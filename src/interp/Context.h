@@ -16,6 +16,7 @@
 #include "profile/ShardedCounterStore.h"
 #include "profile/SourceObject.h"
 #include "support/Diagnostics.h"
+#include "support/ExecGuard.h"
 #include "support/SourceManager.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -82,6 +83,17 @@ public:
   /// session continues unoptimized (profile-data-available? stays #f).
   /// When strict (pgmpi --strict-profile), they are hard errors instead.
   bool StrictProfile = false;
+
+  //===--------------------------------------------------------------------===//
+  // Execution governance
+  //===--------------------------------------------------------------------===//
+
+  /// Per-run resource guards (fuel, depth, deadline; see
+  /// support/ExecGuard.h). Inactive by default; Engine configures the
+  /// limits from EngineOptions and re-arms at every run boundary. The
+  /// interpreter's and VM's application paths charge it behind a single
+  /// Guard.Active branch; the heap byte cap lives on TheHeap.
+  ExecGuard Guard;
 
   //===--------------------------------------------------------------------===//
   // Tiered execution (interp -> VM promotion of hot closures)

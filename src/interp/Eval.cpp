@@ -60,6 +60,9 @@ const VmFunction *pgmp::tieredFunctionFor(Context &Ctx, const LambdaExpr *L) {
   return Ctx.TierCompileHook(Ctx, L);
 }
 
+template <bool GuardOn>
+static Value evalExprImpl(Context &Ctx, const Expr *E, EnvObj *Env);
+
 Value pgmp::applyProcedure(Context &Ctx, Value Fn, Value *Args,
                            size_t NumArgs) {
   if (Fn.isPrimitive()) {
@@ -72,10 +75,20 @@ Value pgmp::applyProcedure(Context &Ctx, Value Fn, Value *Args,
   }
   if (Fn.isClosure()) {
     Closure *C = Fn.asClosure();
+    // The tiered route is not charged here: runVmFunction charges on
+    // entry, so every application costs exactly one fuel unit no matter
+    // which tier executes it (counter-fidelity for guards too).
     if (const VmFunction *VF = tieredFunctionFor(Ctx, C->Template))
       return Ctx.TierRunHook(Ctx, VF, C->Captured, Args, NumArgs);
     EnvObj *Frame = buildFrame(Ctx, C, Args, NumArgs);
-    return evalExpr(Ctx, C->Template->Body, Frame);
+    ExecGuard &G = Ctx.Guard;
+    if (G.Active) {
+      G.enterCall();
+      Value Result = evalExprImpl<true>(Ctx, C->Template->Body, Frame);
+      G.leaveCall();
+      return Result;
+    }
+    return evalExprImpl<false>(Ctx, C->Template->Body, Frame);
   }
   if (Fn.isVmClosure()) {
     if (!Ctx.VmApplyHook)
@@ -94,7 +107,12 @@ Value Context::apply(Value Fn, const std::vector<Value> &Args) {
                         const_cast<Value *>(Args.data()), Args.size());
 }
 
-Value pgmp::evalExpr(Context &Ctx, const Expr *E, EnvObj *Env) {
+/// The expression walker, specialized on whether guards are armed (same
+/// scheme as the VM's runVmLoop): the unguarded instantiation carries no
+/// per-application guard checks, so disabled guards cost one dispatch
+/// branch per outermost evalExpr call and nothing per iteration.
+template <bool GuardOn>
+static Value evalExprImpl(Context &Ctx, const Expr *E, EnvObj *Env) {
 tail:
   if (E->Counter)
     ++*E->Counter;
@@ -122,7 +140,7 @@ tail:
 
   case ExprKind::If: {
     const auto *I = static_cast<const IfExpr *>(E);
-    E = evalExpr(Ctx, I->Test, Env).isTruthy() ? I->Then : I->Else;
+    E = evalExprImpl<GuardOn>(Ctx, I->Test, Env).isTruthy() ? I->Then : I->Else;
     goto tail;
   }
 
@@ -135,14 +153,14 @@ tail:
   case ExprKind::Begin: {
     const auto *B = static_cast<const BeginExpr *>(E);
     for (size_t I = 0; I + 1 < B->Body.size(); ++I)
-      evalExpr(Ctx, B->Body[I], Env);
+      evalExprImpl<GuardOn>(Ctx, B->Body[I], Env);
     E = B->Body.back();
     goto tail;
   }
 
   case ExprKind::SetLocal: {
     const auto *S = static_cast<const SetLocalExpr *>(E);
-    Value V = evalExpr(Ctx, S->Val, Env);
+    Value V = evalExprImpl<GuardOn>(Ctx, S->Val, Env);
     EnvObj *Frame = Env;
     for (uint32_t D = 0; D < S->Depth; ++D) {
       assert(Frame && "set! depth exceeds env chain");
@@ -156,19 +174,19 @@ tail:
     const auto *S = static_cast<const SetGlobalExpr *>(E);
     if (S->Cell->isUnbound())
       raiseError("set! of unbound variable " + S->Name->Name);
-    *S->Cell = evalExpr(Ctx, S->Val, Env);
+    *S->Cell = evalExprImpl<GuardOn>(Ctx, S->Val, Env);
     return Value::undefined();
   }
 
   case ExprKind::DefineGlobal: {
     const auto *D = static_cast<const DefineGlobalExpr *>(E);
-    *D->Cell = evalExpr(Ctx, D->Val, Env);
+    *D->Cell = evalExprImpl<GuardOn>(Ctx, D->Val, Env);
     return Value::undefined();
   }
 
   case ExprKind::Call: {
     const auto *C = static_cast<const CallExpr *>(E);
-    Value Fn = evalExpr(Ctx, C->Fn, Env);
+    Value Fn = evalExprImpl<GuardOn>(Ctx, C->Fn, Env);
     // Fast path storage for the common small-arity case; the slow path
     // reserves once and appends, so no Value is default-constructed only
     // to be overwritten.
@@ -179,11 +197,11 @@ tail:
     if (N <= 8) {
       Args = ArgBuf;
       for (size_t I = 0; I < N; ++I)
-        Args[I] = evalExpr(Ctx, C->Args[I], Env);
+        Args[I] = evalExprImpl<GuardOn>(Ctx, C->Args[I], Env);
     } else {
       ArgVec.reserve(N);
       for (size_t I = 0; I < N; ++I)
-        ArgVec.push_back(evalExpr(Ctx, C->Args[I], Env));
+        ArgVec.push_back(evalExprImpl<GuardOn>(Ctx, C->Args[I], Env));
       Args = ArgVec.data();
     }
 
@@ -202,27 +220,38 @@ tail:
     }
 
     Closure *Cl = Fn.asClosure();
+    // Tiered dispatch: the VM entry charges fuel/depth itself.
     if (const VmFunction *VF = tieredFunctionFor(Ctx, Cl->Template))
       return Ctx.TierRunHook(Ctx, VF, Cl->Captured, Args, N);
     EnvObj *Frame = buildFrame(Ctx, Cl, Args, N);
     if (C->Tail) {
+      // Tail applications are iterative (this goto): they consume fuel
+      // but not depth, so (loop) with --max-depth never false-trips.
+      if constexpr (GuardOn)
+        Ctx.Guard.chargeFuel();
       E = Cl->Template->Body;
       Env = Frame;
       goto tail;
     }
-    return evalExpr(Ctx, Cl->Template->Body, Frame);
+    ExecGuard &G = Ctx.Guard;
+    if constexpr (GuardOn)
+      G.enterCall();
+    Value Result = evalExprImpl<GuardOn>(Ctx, Cl->Template->Body, Frame);
+    if constexpr (GuardOn)
+      G.leaveCall();
+    return Result;
   }
 
   case ExprKind::SyntaxCase: {
     const auto *SC = static_cast<const SyntaxCaseExpr *>(E);
-    Value Scrut = evalExpr(Ctx, SC->Scrutinee, Env);
+    Value Scrut = evalExprImpl<GuardOn>(Ctx, SC->Scrutinee, Env);
     for (const SyntaxCaseClause &Clause : SC->Clauses) {
       EnvObj *Frame = Ctx.TheHeap.makeEnv(Env, Clause.NumVars);
       if (!matchPattern(Ctx, Clause.Pat, Scrut,
                         Clause.NumVars ? Frame->slots() : nullptr))
         continue;
       if (Clause.Fender &&
-          !evalExpr(Ctx, Clause.Fender, Frame).isTruthy())
+          !evalExprImpl<GuardOn>(Ctx, Clause.Fender, Frame).isTruthy())
         continue;
       E = Clause.Body;
       Env = Frame;
@@ -237,4 +266,12 @@ tail:
                                Env);
   }
   raiseError("corrupt expression node");
+}
+
+Value pgmp::evalExpr(Context &Ctx, const Expr *E, EnvObj *Env) {
+  // Guard activation only changes at run boundaries, so one branch here
+  // pins the instantiation for the whole (recursive) evaluation.
+  if (Ctx.Guard.Active)
+    return evalExprImpl<true>(Ctx, E, Env);
+  return evalExprImpl<false>(Ctx, E, Env);
 }

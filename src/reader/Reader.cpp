@@ -3,6 +3,7 @@
 #include "reader/Reader.h"
 
 #include "support/Diagnostics.h"
+#include "support/ExecGuard.h"
 
 using namespace pgmp;
 
@@ -117,7 +118,31 @@ Value Reader::readVector(const SourcePos &OpenPos) {
   }
 }
 
+Value Reader::tripNestingDepth(const Token &T) {
+  --Depth;
+  raiseGuardTrip(GuardKind::Depth,
+                 "datum nesting exceeds reader limit of " +
+                     std::to_string(MaxNestingDepth),
+                 FileName + ":" + std::to_string(T.Range.Begin.Line) + ":" +
+                     std::to_string(T.Range.Begin.Column));
+}
+
 Value Reader::readDatum(const Token &T) {
+  // Recursion here tracks input nesting 1:1, so adversarial input like
+  // 100k open parens would overflow the C++ stack long before finishing.
+  // Trip a catchable depth guard instead (message-building outlined off
+  // the hot wrapper); RAII keeps the counter correct across the error
+  // unwinds of nested datums (#; skipping, dotted tails).
+  if (++Depth > MaxNestingDepth)
+    return tripNestingDepth(T);
+  struct DepthGuard {
+    uint32_t &D;
+    ~DepthGuard() { --D; }
+  } Guard{Depth};
+  return readDatumInner(T);
+}
+
+Value Reader::readDatumInner(const Token &T) {
   switch (T.Kind) {
   case TokenKind::LParen:
     return readListTail(T.Range.Begin);

@@ -37,8 +37,18 @@ public:
   /// Reads all top-level datums.
   std::vector<Value> readAll();
 
+  /// Maximum datum nesting the reader will recurse into before raising a
+  /// GuardTrip(Depth). readDatum recursion tracks input nesting 1:1, so
+  /// without this cap a few hundred KiB of "((((((..." overflows the C++
+  /// stack before any Scheme-level limit can see it. 2000 is far beyond
+  /// real code and comfortably inside sanitizer-inflated stack frames.
+  static constexpr uint32_t MaxNestingDepth = 2000;
+
 private:
   Value readDatum(const Token &T);
+  Value readDatumInner(const Token &T);
+  /// Cold outlined raise for the nesting cap (never returns).
+  Value tripNestingDepth(const Token &T);
   Value readListTail(const SourcePos &OpenPos);
   Value readVector(const SourcePos &OpenPos);
   Value readAbbreviation(const Token &T, const char *HeadName);
@@ -52,6 +62,7 @@ private:
   SourceObjectTable &Sources;
   Lexer Lex;
   std::string FileName;
+  uint32_t Depth = 0; ///< current readDatum recursion depth
 };
 
 /// Convenience: read every datum in \p Text as file \p FileName.

@@ -76,6 +76,10 @@ const char *StatsRegistry::statName(Stat S) {
     return "tier-compile-fails";
   case Stat::TierPremarkedHot:
     return "tier-premarked-hot";
+  case Stat::GuardTrips:
+    return "guard-trips";
+  case Stat::TaskRetries:
+    return "task-retries";
   }
   return "?";
 }

@@ -62,9 +62,11 @@ enum class Stat : uint8_t {
   ShardMerges,        ///< shard pages aggregated by counter snapshots
   TierUps,            ///< lambdas promoted to a bytecode body
   TierCompileFails,   ///< tier-up compiles rejected (phase-1-only bodies)
-  TierPremarkedHot    ///< lambdas pre-marked hot from a loaded profile
+  TierPremarkedHot,   ///< lambdas pre-marked hot from a loaded profile
+  GuardTrips,         ///< runs aborted by an ExecGuard resource limit
+  TaskRetries         ///< EnginePool tasks re-run on a fresh worker
 };
-inline constexpr size_t NumStats = 17;
+inline constexpr size_t NumStats = 19;
 
 /// Monotonic clock in nanoseconds (steady_clock).
 uint64_t statsNowNanos();

@@ -3,6 +3,8 @@
 #include "syntax/Heap.h"
 
 #include "support/Diagnostics.h"
+#include "support/ExecGuard.h"
+#include "support/FaultInjector.h"
 #include "syntax/SymbolTable.h"
 
 #include <algorithm>
@@ -19,6 +21,21 @@ Heap::~Heap() {
 }
 
 void *Heap::allocateSlow(size_t Bytes) {
+  // Resource governance rides the cold path only: both checks run before
+  // any state mutates, so a trip leaves the heap fully consistent — the
+  // current chunk's tail keeps serving small allocations afterward.
+  size_t ChunkNeed = Bytes > ChunkBytes ? Bytes : ChunkBytes;
+  if (faultinject::shouldFail(faultinject::Point::Alloc))
+    raiseGuardTrip(GuardKind::Heap,
+                   "injected allocation failure (chunk of " +
+                       std::to_string(ChunkNeed) + " bytes)");
+  if (LimitBytes && Stats.BytesReserved + ChunkNeed > LimitBytes)
+    raiseGuardTrip(GuardKind::Heap,
+                   "heap limit of " + std::to_string(LimitBytes) +
+                       " bytes reached (" +
+                       std::to_string(Stats.BytesReserved) +
+                       " reserved, next chunk needs " +
+                       std::to_string(ChunkNeed) + ")");
   ++Stats.ChunksAcquired;
   if (Bytes > ChunkBytes) {
     // Oversize (e.g. a frame with thousands of slots): dedicated chunk of

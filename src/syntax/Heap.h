@@ -285,6 +285,14 @@ public:
   /// Builds a proper list from \p Elems.
   Value list(const std::vector<Value> &Elems);
 
+  /// Caps the arena's reserved bytes (0 = unlimited). Enforced in
+  /// allocateSlow — chunk acquisition — so the bump fast path never pays
+  /// for it; a breach raises GuardTrip(GuardKind::Heap) before any state
+  /// mutates, leaving the heap (and its owner Engine) fully usable. The
+  /// granularity is therefore one chunk (64 KiB, or the oversize request).
+  void setLimitBytes(uint64_t Bytes) { LimitBytes = Bytes; }
+  uint64_t limitBytes() const { return LimitBytes; }
+
   const AllocStats &allocStats() const { return Stats; }
   uint64_t numObjects() const;
   uint64_t bytesAllocated() const { return Stats.BytesAllocated; }
@@ -332,6 +340,7 @@ private:
   std::vector<std::unique_ptr<char[]>> Chunks;
   DtorNode *DtorHead = nullptr;
   AllocStats Stats;
+  uint64_t LimitBytes = 0; ///< reserved-bytes cap; 0 = unlimited
 };
 
 static_assert(sizeof(EnvObj) % alignof(Value) == 0,

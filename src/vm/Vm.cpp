@@ -6,6 +6,7 @@
 #include "interp/Eval.h"
 #include "reader/Reader.h"
 #include "support/Diagnostics.h"
+#include "support/FaultInjector.h"
 
 using namespace pgmp;
 
@@ -49,8 +50,20 @@ EnvObj *buildVmFrame(Context &Ctx, const VmFunction *Fn, EnvObj *Captured,
 
 } // namespace
 
-Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
-                          Value *Args, size_t NumArgs) {
+/// The dispatch loop, specialized on whether guards are armed. Guard
+/// charging mirrors the interpreter exactly: one fuel unit (and one
+/// depth level) per entry here, one fuel unit per taken back edge or
+/// tail-call restart — so an application costs the same budget no
+/// matter which tier runs it. The flag is a template parameter rather
+/// than a runtime bool so the unguarded instantiation — the common case
+/// and the one benchmarks run — carries no guard checks in the loop at
+/// all (a per-step branch was measurable on tiered kernels).
+template <bool GuardOn>
+static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
+                       Value *Args, size_t NumArgs) {
+  ExecGuard &Guard = Ctx.Guard;
+  if constexpr (GuardOn)
+    Guard.enterCall();
   // Frameless functions (leaf-style: nothing captures the frame) keep
   // their locals in LocalBuf — no EnvObj, no slot vector, no allocation
   // per call. Framed functions bind a heap frame as before. Either way,
@@ -217,6 +230,8 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
         // Reuse this invocation: rebind and restart. This keeps hot tail
         // loops in the dispatch loop instead of growing the C++ stack
         // through applyProcedure.
+        if constexpr (GuardOn)
+          Guard.chargeFuel(); // a tail application: fuel, never depth
         BindFrame(Target, TargetEnv, CallArgs, N);
         FlushStats();
         Fn = const_cast<VmFunction *>(Target);
@@ -229,8 +244,8 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
 
       Value Result;
       if (Target) {
-        Result = runVmFunction(Ctx, const_cast<VmFunction *>(Target),
-                               TargetEnv, CallArgs, N);
+        Result = runVmLoop<GuardOn>(Ctx, const_cast<VmFunction *>(Target),
+                                    TargetEnv, CallArgs, N);
       } else if (Callee.isPrimitive()) {
         // Inlined primitive dispatch: arithmetic dominates call counts in
         // numeric kernels, and applyProcedure would re-branch on kind.
@@ -245,6 +260,8 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       }
       if (I.K == Op::TailCall) {
         FlushStats();
+        if constexpr (GuardOn)
+          Guard.leaveCall();
         return Result;
       }
       Sp -= N + 1;
@@ -252,14 +269,27 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       ++Pc;
       break;
     }
-    case Op::Jump:
+    case Op::Jump: {
       ++Jumps;
-      Pc = static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
+      size_t NewPc =
+          static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
+      // Only back edges consume fuel: forward jumps are bounded by code
+      // size per application, loops are what a budget must interrupt.
+      if constexpr (GuardOn)
+        if (NewPc <= Pc)
+          Guard.chargeFuel();
+      Pc = NewPc;
       break;
+    }
     case Op::BranchFalse:
       if (!Pop().isTruthy()) {
         ++Jumps;
-        Pc = static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
+        size_t NewPc =
+            static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
+        if constexpr (GuardOn)
+          if (NewPc <= Pc)
+            Guard.chargeFuel();
+        Pc = NewPc;
       } else {
         ++Pc;
       }
@@ -267,13 +297,20 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
     case Op::BranchTrue:
       if (Pop().isTruthy()) {
         ++Jumps;
-        Pc = static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
+        size_t NewPc =
+            static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
+        if constexpr (GuardOn)
+          if (NewPc <= Pc)
+            Guard.chargeFuel();
+        Pc = NewPc;
       } else {
         ++Pc;
       }
       break;
     case Op::Return:
       FlushStats();
+      if constexpr (GuardOn)
+        Guard.leaveCall();
       return Pop();
     case Op::Pop:
       Pop();
@@ -289,6 +326,17 @@ Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       break;
     }
   }
+}
+
+Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
+                          Value *Args, size_t NumArgs) {
+  // One branch per outermost entry picks the instantiation; guard
+  // activation only changes at run boundaries, so the choice is stable
+  // for the whole invocation (including nested non-tail calls, which
+  // stay inside the chosen instantiation).
+  if (Ctx.Guard.Active)
+    return runVmLoop<true>(Ctx, Fn, Captured, Args, NumArgs);
+  return runVmLoop<false>(Ctx, Fn, Captured, Args, NumArgs);
 }
 
 static Value vmApplyHook(Context &Ctx, Value Fn, Value *Args, size_t N) {
@@ -310,14 +358,22 @@ static const VmFunction *tierCompileHook(Context &Ctx, const LambdaExpr *L) {
   // profiles must not depend on the tier that executed the code.
   Opts.ProfileSources = true;
   try {
+    if (faultinject::shouldFail(faultinject::Point::TierCompile))
+      raiseError("injected fault at phase boundary: tier-compile");
     VmFunction *Fn = compileLambdaToVm(Ctx, L, *Module, Opts);
     Ctx.TierModules.push_back(std::move(Module));
     L->Tiered = Fn;
     Ctx.Stats.bump(Stat::TierUps);
     return Fn;
+  } catch (const GuardTrip &) {
+    // A resource trip (fuel/deadline) mid-tier-compile must abort the
+    // run, not brand the lambda TierBlocked: it can tier fine next run.
+    throw;
   } catch (const SchemeError &) {
     // Phase-1-only nodes (syntax-case, templates) in the body: this
-    // lambda stays interpreted forever.
+    // lambda stays interpreted forever. An injected tier-compile fault
+    // takes this path too — degrading to the interpreter IS the clean
+    // recovery, and profiles stay identical by counter fidelity.
     L->TierBlocked = true;
     Ctx.Stats.bump(Stat::TierCompileFails);
     return nullptr;
@@ -347,6 +403,7 @@ EvalResult VmRunner::evalString(const std::string &Source,
                                 const VmCompileOptions &Opts) {
   EvalResult R;
   Context &Ctx = E.context();
+  Ctx.Guard.beginRun();
   try {
     auto Module = std::make_unique<VmModule>();
     Ctx.SrcMgr.addBuffer(Name, Source);
@@ -383,6 +440,11 @@ EvalResult VmRunner::evalString(const std::string &Source,
     Modules.push_back(std::move(Module));
     R.Ok = true;
     R.V = Last;
+  } catch (const GuardTrip &T) {
+    R.Ok = false;
+    R.Error = T.render();
+    R.Tripped = T.kind();
+    Ctx.Stats.bump(Stat::GuardTrips);
   } catch (const SchemeError &Err) {
     R.Ok = false;
     R.Error = Err.render();

@@ -1,0 +1,320 @@
+//===- tests/ExecGuardTest.cpp - Resource-governed execution --------------===//
+//
+// The ExecGuard contract: every configured limit (fuel, depth, heap bytes,
+// deadline) converts a runaway run into a structured, catchable GuardTrip
+// that reports which limit fired — and the Engine stays fully reusable
+// afterward. The tier1.sh ASan stage runs this suite to prove every trip
+// unwinds without leaking or corrupting engine state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "support/AtomicFile.h"
+#include "support/FaultInjector.h"
+#include "syntax/Heap.h"
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::string Out, Err;
+  EXPECT_EQ(readFileAll(Path, Out, Err), FileReadStatus::Ok) << Err;
+  return Out;
+}
+
+// A bounded tail loop: iterative in both tiers, so it consumes fuel but
+// never depth.
+const char *TailLoop =
+    "(define (loop n) (if (zero? n) 'done (loop (- n 1))))"
+    "(loop 1000)";
+
+// An unbounded tail loop: only a guard can stop it.
+const char *Spin = "(define (sp n) (sp (+ n 1))) (sp 0)";
+
+// Non-tail recursion: every level is a real nesting level in both tiers.
+const char *DeepSum =
+    "(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1)))))"
+    "(sum 1000)";
+
+// Allocates a couple hundred thousand pairs without deep recursion, so it
+// breaches any reasonable byte cap before any other limit matters.
+const char *BigAlloc =
+    "(define (mk n acc) (if (zero? n) acc (mk (- n 1) (cons n acc))))"
+    "(mk 200000 '())";
+
+//===----------------------------------------------------------------------===//
+// Fuel
+//===----------------------------------------------------------------------===//
+
+TEST(ExecGuard, FuelBudgetTripsARunawayLoop) {
+  EngineOptions Opts;
+  Opts.Fuel = 100;
+  Engine E(Opts);
+  EvalResult R = E.evalString(Spin);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Tripped, GuardKind::Fuel);
+  EXPECT_NE(R.Error.find("guard trip [fuel]"), std::string::npos) << R.Error;
+}
+
+TEST(ExecGuard, FuelResetsAtEveryRunBoundary) {
+  // Each run gets the whole budget: three workloads that each fit within
+  // the limit must all complete, or spent fuel is leaking across runs.
+  EngineOptions Opts;
+  Opts.Fuel = 10000;
+  Engine E(Opts);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(evalOk(E, TailLoop), "done") << "run " << I;
+}
+
+TEST(ExecGuard, SameFuelBudgetGovernsBothTiers) {
+  // The fuel unit is a program event (application / back edge), not a
+  // tier implementation detail: a budget that lets the workload finish
+  // interpreted lets it finish tiered, and a starvation budget trips both.
+  for (TierMode Tier : {TierMode::Off, TierMode::Always}) {
+    EngineOptions Opts;
+    Opts.Tier = Tier;
+    Opts.Fuel = 100000;
+    {
+      Engine E(Opts);
+      EXPECT_EQ(evalOk(E, TailLoop), "done");
+    }
+    Opts.Fuel = 50;
+    {
+      Engine E(Opts);
+      EvalResult R = E.evalString(TailLoop);
+      EXPECT_EQ(R.Tripped, GuardKind::Fuel)
+          << "tier mode " << static_cast<int>(Tier);
+    }
+  }
+}
+
+TEST(ExecGuard, CallGlobalIsAGuardedRunBoundary) {
+  EngineOptions Opts;
+  Opts.Fuel = 1000;
+  Engine E(Opts);
+  evalOk(E, "(define (forever) (forever))");
+  EvalResult R = E.callGlobal("forever", {});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Tripped, GuardKind::Fuel);
+  // And the trip did not poison the next entry through the same boundary.
+  evalOk(E, "(define (fine) 'ok)");
+  EvalResult R2 = E.callGlobal("fine", {});
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(writeToString(R2.V), "ok");
+}
+
+//===----------------------------------------------------------------------===//
+// Depth
+//===----------------------------------------------------------------------===//
+
+TEST(ExecGuard, DepthLimitTripsNonTailRecursion) {
+  for (TierMode Tier : {TierMode::Off, TierMode::Always}) {
+    EngineOptions Opts;
+    Opts.Tier = Tier;
+    Opts.MaxDepth = 50;
+    Engine E(Opts);
+    EvalResult R = E.evalString(DeepSum);
+    EXPECT_FALSE(R.Ok);
+    EXPECT_EQ(R.Tripped, GuardKind::Depth)
+        << "tier mode " << static_cast<int>(Tier);
+    EXPECT_NE(R.Error.find("guard trip [depth]"), std::string::npos);
+  }
+}
+
+TEST(ExecGuard, TailCallsNeverAccumulateDepth) {
+  // 1000 tail iterations under a depth limit of 10: tail calls are
+  // iterative in both tiers, so only non-tail nesting may count.
+  for (TierMode Tier : {TierMode::Off, TierMode::Always}) {
+    EngineOptions Opts;
+    Opts.Tier = Tier;
+    Opts.MaxDepth = 10;
+    Engine E(Opts);
+    EXPECT_EQ(evalOk(E, TailLoop), "done")
+        << "tier mode " << static_cast<int>(Tier);
+  }
+}
+
+TEST(ExecGuard, DepthUnwindsBetweenRuns) {
+  // A completed run leaves Depth at zero; repeated shallow recursion must
+  // never creep toward the limit.
+  EngineOptions Opts;
+  Opts.MaxDepth = 30;
+  Engine E(Opts);
+  evalOk(E, "(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1)))))");
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(evalOk(E, "(sum 20)"), "210") << "run " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// Heap byte cap
+//===----------------------------------------------------------------------===//
+
+TEST(ExecGuard, HeapCapTripsOnChunkAcquisition) {
+  Engine E;
+  Heap &H = E.context().TheHeap;
+  // Allow exactly one more chunk beyond what the prelude reserved.
+  H.setLimitBytes(H.bytesReserved() + Heap::ChunkBytes);
+  EvalResult R = E.evalString(BigAlloc, "alloc.scm");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Tripped, GuardKind::Heap);
+  EXPECT_NE(R.Error.find("guard trip [heap]"), std::string::npos) << R.Error;
+  EXPECT_LE(H.bytesReserved(), H.limitBytes())
+      << "the breaching chunk must not have been reserved";
+
+  // Same cap, same program: trips again cleanly instead of crashing.
+  EvalResult R2 = E.evalString(BigAlloc, "alloc.scm");
+  EXPECT_EQ(R2.Tripped, GuardKind::Heap);
+
+  // Lifting the cap proves the trip left the heap and engine undamaged.
+  H.setLimitBytes(0);
+  EXPECT_EQ(evalOk(E, "(+ 20 22)"), "42");
+}
+
+TEST(ExecGuard, MaxHeapBytesOptionCapsTheArena) {
+  EngineOptions Opts;
+  Opts.MaxHeapBytes = 1; // the prelude is exempt; any further chunk trips
+  Engine E(Opts);
+  EvalResult R = E.evalString(BigAlloc, "alloc.scm");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Tripped, GuardKind::Heap);
+}
+
+//===----------------------------------------------------------------------===//
+// Deadline
+//===----------------------------------------------------------------------===//
+
+TEST(ExecGuard, DeadlineTripsAnEndlessLoop) {
+  EngineOptions Opts;
+  Opts.DeadlineMs = 20;
+  Engine E(Opts);
+  EvalResult R = E.evalString(Spin);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Tripped, GuardKind::Deadline);
+  EXPECT_NE(R.Error.find("guard trip [deadline]"), std::string::npos);
+  // The deadline re-arms per run: a fast workload after the trip is fine.
+  EXPECT_EQ(evalOk(E, "(+ 20 22)"), "42");
+}
+
+//===----------------------------------------------------------------------===//
+// Reader and expander nesting caps (satellite: deep-input regression)
+//===----------------------------------------------------------------------===//
+
+TEST(ExecGuard, ReaderSurvivesHundredThousandDeepNesting) {
+  // ~100k-deep parens used to be a stack-overflow crash vector; now it is
+  // a structured depth trip from the reader's fixed nesting cap.
+  std::string Deep(100000, '(');
+  Deep += "1";
+  Deep.append(100000, ')');
+  Engine E;
+  EvalResult R = E.evalString(Deep, "deep.scm");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Tripped, GuardKind::Depth);
+  EXPECT_NE(R.Error.find("reader limit"), std::string::npos) << R.Error;
+  EXPECT_EQ(evalOk(E, "(+ 20 22)"), "42");
+}
+
+TEST(ExecGuard, ExpanderCapsSyntaxNesting) {
+  // 1500 levels pass the reader (cap 2000) but breach the expander's cap
+  // (1000): the trip must come from expansion, before compilation or
+  // evaluation ever see the tower.
+  std::string Src;
+  for (int I = 0; I < 1500; ++I)
+    Src += "(+ 1 ";
+  Src += "0";
+  Src.append(1500, ')');
+  Engine E;
+  EvalResult R = E.evalString(Src, "tower.scm");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Tripped, GuardKind::Depth);
+  EXPECT_NE(R.Error.find("expander limit"), std::string::npos) << R.Error;
+  EXPECT_EQ(evalOk(E, "(+ 20 22)"), "42");
+}
+
+TEST(ExecGuard, ExpandToStringIsAGuardedRunBoundary) {
+  std::string Deep(100000, '(');
+  Deep += "1";
+  Deep.append(100000, ')');
+  Engine E;
+  EvalResult R = E.expandToString(Deep, "deep.scm");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Tripped, GuardKind::Depth);
+  EvalResult R2 = E.expandToString("(+ 1 2)");
+  EXPECT_TRUE(R2.Ok) << R2.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Observability and reusability
+//===----------------------------------------------------------------------===//
+
+TEST(ExecGuard, TripsAreCountedInStats) {
+  EngineOptions Opts = withStats();
+  Opts.Fuel = 10;
+  Engine E(Opts);
+  EXPECT_FALSE(E.evalString(Spin).Ok);
+  EXPECT_FALSE(E.evalString(Spin).Ok);
+  EXPECT_EQ(E.stats().count(Stat::GuardTrips), 2u);
+}
+
+TEST(ExecGuard, ProfilesByteIdenticalWithGuardsOnOrOff) {
+  // Guard checks never touch profile counters: an instrumented workload
+  // that completes within its budget stores the same bytes as one with no
+  // guards at all, in either tier.
+  const char *Workload =
+      "(define (hot n) (if (zero? n) 'done (hot (- n 1))))"
+      "(define (cold) 'c)"
+      "(hot 50) (cold)";
+  auto Produce = [&](EngineOptions Opts, const std::string &Path) {
+    Opts.Instrument = true;
+    Engine E(Opts);
+    ASSERT_TRUE(E.evalString(Workload, "guardwork.scm").Ok);
+    ProfileOpResult St = E.storeProfile(Path);
+    ASSERT_TRUE(St) << St.Error;
+  };
+  for (TierMode Tier : {TierMode::Off, TierMode::Always}) {
+    std::string Guarded = tempPath("guarded_" +
+                                   std::to_string(static_cast<int>(Tier)));
+    std::string Plain = tempPath("plain_" +
+                                 std::to_string(static_cast<int>(Tier)));
+    EngineOptions WithGuards;
+    WithGuards.Tier = Tier;
+    WithGuards.Fuel = 1000000;
+    WithGuards.MaxDepth = 10000;
+    WithGuards.DeadlineMs = 60000;
+    Produce(WithGuards, Guarded);
+    EngineOptions NoGuards;
+    NoGuards.Tier = Tier;
+    Produce(NoGuards, Plain);
+    std::string A = slurp(Guarded), B = slurp(Plain);
+    EXPECT_FALSE(A.empty());
+    EXPECT_EQ(A, B) << "tier mode " << static_cast<int>(Tier);
+  }
+}
+
+TEST(ExecGuard, SurvivesAThousandConsecutiveTripsAndFaults) {
+  // The long-lived-process acceptance: one Engine absorbs a thousand
+  // alternating guard trips and injected faults and still answers.
+  // (tier1.sh runs this under ASan, which is what makes "survives" mean
+  // "without leaking or corrupting the arena".)
+  EngineOptions Opts;
+  Opts.Fuel = 50;
+  Engine E(Opts);
+  for (int I = 0; I < 1000; ++I) {
+    EvalResult R;
+    if (I % 2 == 0) {
+      R = E.evalString(Spin);
+      EXPECT_EQ(R.Tripped, GuardKind::Fuel) << "iteration " << I;
+    } else {
+      faultinject::arm(faultinject::Point::Compile);
+      R = E.evalString("(+ 1 1)");
+      EXPECT_EQ(R.Tripped, GuardKind::None) << "iteration " << I;
+      EXPECT_FALSE(faultinject::armed());
+    }
+    EXPECT_FALSE(R.Ok) << "iteration " << I;
+  }
+  EXPECT_EQ(evalOk(E, "(+ 20 22)"), "42");
+}
+
+} // namespace

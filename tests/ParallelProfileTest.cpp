@@ -334,6 +334,155 @@ TEST(ParallelProfile, LoadProfileAllGivesEveryWorkerTheWeights) {
 }
 
 //===----------------------------------------------------------------------===//
+// Fault isolation: poisoned tasks, retries on fresh workers, merge policy
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelProfile, PoisonedTaskRetriesOnFreshWorkerAndMergeMatches) {
+  // One task fails on its first attempt (after bumping counters!); the
+  // pool retries it on a fresh worker. The failed attempt's partial
+  // counters died with the replaced engine, so the merged profile is
+  // byte-identical to an all-healthy pool's.
+  constexpr size_t Jobs = 8;
+  EnginePool::FaultPolicy Policy;
+  Policy.MaxRetries = 2;
+  Policy.BackoffBaseMs = 0;
+  EnginePool Pool(Jobs, withInstrumentation(), Policy);
+  std::atomic<int> PoisonShots{1};
+  EnginePool::PoolResult R = Pool.run([&PoisonShots](Engine &E, size_t I) {
+    EvalResult Res = E.evalString(Workload, WorkloadName);
+    if (!Res.Ok)
+      return Res;
+    if (I == 3 && PoisonShots.fetch_sub(1) > 0)
+      return E.evalString("(poisoned)"); // unbound: fails this attempt only
+    return Res;
+  });
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.TotalRetries, 1u);
+  EXPECT_EQ(R.NumFailed, 0u);
+  ASSERT_EQ(R.Outcomes.size(), Jobs);
+  for (size_t I = 0; I < Jobs; ++I) {
+    EXPECT_TRUE(R.Outcomes[I].Ok) << "task " << I;
+    EXPECT_EQ(R.Outcomes[I].Attempts, I == 3 ? 2u : 1u) << "task " << I;
+  }
+  std::string Par = tempPath("retried.profile");
+  ProfileOpResult St = Pool.storeMergedProfile(Par);
+  ASSERT_TRUE(St) << St.Error;
+
+  std::string Healthy = tempPath("healthy.profile");
+  {
+    EnginePool P2(Jobs, withInstrumentation());
+    ASSERT_TRUE(P2.run([](Engine &E, size_t) {
+                    return E.evalString(Workload, WorkloadName);
+                  }).Ok);
+    ProfileOpResult St2 = P2.storeMergedProfile(Healthy);
+    ASSERT_TRUE(St2) << St2.Error;
+  }
+  EXPECT_EQ(slurp(Par), slurp(Healthy))
+      << "a discarded first attempt must leave no trace in the merge";
+}
+
+TEST(ParallelProfile, GuardTrippedTaskIsExcludedFromMerge) {
+  // jobs 8, one task poisoned with a runaway loop under a fuel guard:
+  // once retries are exhausted, the merged profile must equal a
+  // sequential merge of the seven healthy tasks' data sets — and since
+  // the reference engine runs with no guards at all, this also pins
+  // "guard checks never touch counters" under the pool.
+  constexpr size_t Jobs = 8;
+  EngineOptions Opts = withInstrumentation();
+  Opts.Fuel = 100000; // Workload fits easily; the poisoned task cannot
+  EnginePool::FaultPolicy Policy;
+  Policy.MaxRetries = 1;
+  Policy.BackoffBaseMs = 0;
+  EnginePool Pool(Jobs, Opts, Policy);
+  EnginePool::PoolResult R = Pool.run([](Engine &E, size_t I) {
+    EvalResult Res = E.evalString(Workload, WorkloadName);
+    if (!Res.Ok || I != 5)
+      return Res;
+    return E.evalString("(define (sp n) (sp (+ n 1))) (sp 0)");
+  });
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.NumFailed, 1u);
+  EXPECT_EQ(R.TotalRetries, 1u);
+  ASSERT_EQ(R.Outcomes.size(), Jobs);
+  EXPECT_EQ(R.Outcomes[5].Tripped, GuardKind::Fuel);
+  EXPECT_EQ(R.Outcomes[5].Attempts, 2u) << "initial attempt + one retry";
+  EXPECT_NE(R.Outcomes[5].Error.find("guard trip [fuel]"), std::string::npos)
+      << R.Outcomes[5].Error;
+  for (size_t I = 0; I < Jobs; ++I)
+    if (I != 5)
+      EXPECT_TRUE(R.Outcomes[I].Ok) << "task " << I;
+
+  std::string Par = tempPath("survivors.profile");
+  ProfileOpResult St = Pool.storeMergedProfile(Par);
+  ASSERT_TRUE(St) << St.Error;
+  EXPECT_EQ(St.DatasetsMerged, Jobs - 1) << "only survivors contribute";
+
+  std::string Seq = tempPath("seq.profile");
+  {
+    Engine E(withInstrumentation());
+    for (size_t I = 0; I + 1 < Jobs; ++I) {
+      ASSERT_TRUE(E.evalString(Workload, WorkloadName).Ok);
+      E.foldCountersIntoProfile();
+    }
+    ProfileOpResult St2 = E.storeProfile(Seq);
+    ASSERT_TRUE(St2) << St2.Error;
+  }
+  EXPECT_EQ(slurp(Par), slurp(Seq))
+      << "merge of survivors must be byte-identical to their sequential run";
+}
+
+TEST(ParallelProfile, MergePartialCountersPolicyKeepsFailedTasksData) {
+  // Opting in to partial data: a finally-failed task's counters survive
+  // into the merge as their own data set instead of being zeroed.
+  constexpr size_t Jobs = 4;
+  EnginePool::FaultPolicy Policy;
+  Policy.MaxRetries = 0;
+  Policy.BackoffBaseMs = 0;
+  Policy.MergePartialCounters = true;
+  EnginePool Pool(Jobs, withInstrumentation(), Policy);
+  EnginePool::PoolResult R = Pool.run([](Engine &E, size_t I) {
+    EvalResult Res = E.evalString(Workload, WorkloadName);
+    if (!Res.Ok || I != 2)
+      return Res;
+    return E.evalString("(poisoned)");
+  });
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.NumFailed, 1u);
+  EXPECT_EQ(R.Outcomes[2].Attempts, 1u);
+  ProfileDatabase Merged;
+  Pool.mergeCountersInto(Merged, Pool.engine(0).context().Sources);
+  EXPECT_EQ(Merged.snapshot().datasets(), Jobs)
+      << "the failed task's partial data set must be kept under this policy";
+}
+
+TEST(ParallelProfile, FreshRetryWorkerSeesLoadedProfile) {
+  // Replacement workers must replay the pool's bootstrap: a task that
+  // needs the loaded profile succeeds on its fresh-worker retry too.
+  std::string Path = tempPath("train.profile");
+  {
+    Engine E(withInstrumentation());
+    ASSERT_TRUE(E.evalString(Workload, WorkloadName).Ok);
+    ASSERT_TRUE(E.storeProfile(Path));
+  }
+  EnginePool::FaultPolicy Policy;
+  Policy.MaxRetries = 1;
+  Policy.BackoffBaseMs = 0;
+  EnginePool Pool(2, EngineOptions{}, Policy);
+  ProfileOpResult L = Pool.loadProfileAll(Path);
+  ASSERT_TRUE(L) << L.Error;
+  std::atomic<int> PoisonShots{1};
+  EnginePool::PoolResult R = Pool.run([&PoisonShots](Engine &E, size_t I) {
+    if (I == 1 && PoisonShots.fetch_sub(1) > 0)
+      return E.evalString("(poisoned)");
+    return E.evalString("(profile-data-available?)");
+  });
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Outcomes[1].Attempts, 2u);
+  EXPECT_EQ(writeToString(R.PerWorker[1].V), "#t")
+      << "the replacement worker must see the profile the pool loaded";
+}
+
+//===----------------------------------------------------------------------===//
 // Concurrent store/load robustness
 //===----------------------------------------------------------------------===//
 

@@ -37,6 +37,20 @@
 ///     checksum footer, record syntax, and source fingerprints against
 ///     the files on disk. Exit 1 when any finding is reported.
 ///
+///   Resource guards (all subcommands that evaluate code; 0 = unlimited):
+///     --fuel N               per-run step budget (applications + VM back
+///                            edges)
+///     --max-depth N          non-tail application nesting limit
+///     --max-heap BYTES       arena heap reservation cap
+///     --deadline-ms N        per-run wall-clock budget
+///
+///   Exit codes: 0 success; 1 failure (evaluation error, guard trip,
+///   unreadable profile, all workers failed); 2 degraded (a corrupt or
+///   stale profile was ignored, or some — not all — parallel tasks
+///   failed and the merged profile covers the survivors); 64 usage
+///   errors. `--inject-fault POINT[:N]` (hidden; testing) arms the fault
+///   injection harness at the named point.
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/Engine.h"
@@ -45,6 +59,7 @@
 #include "profile/ProfileReport.h"
 #include "support/AtomicFile.h"
 #include "support/Checksum.h"
+#include "support/FaultInjector.h"
 #include "support/Text.h"
 #include "syntax/Writer.h"
 #include "vm/BlockProfile.h"
@@ -56,6 +71,10 @@
 
 using namespace pgmp;
 
+/// Sysexits-style EX_USAGE: command-line misuse must stay distinguishable
+/// from exit 2, which reports a degraded-but-successful run.
+static constexpr int ExitUsage = 64;
+
 static int usage() {
   std::fprintf(stderr,
                "usage: pgmpi [--instrument] [--profile-out F] "
@@ -63,16 +82,73 @@ static int usage() {
                "             [--annotate-wrap] [--dump-expansion] "
                "[--lib NAME]... [-e EXPR]\n"
                "             [--tier off|auto|always] [--tier-threshold N]\n"
+               "             [--fuel N] [--max-depth N] [--max-heap BYTES] "
+               "[--deadline-ms N]\n"
                "             [--stats] [--trace F] file.scm...\n"
                "       pgmpi run --jobs N --profile-out F [--profile-in F]\n"
                "             [--strict-profile] [--annotate-wrap] "
                "[--lib NAME]... [--stats]\n"
-               "             [--tier off|auto|always] [--tier-threshold N] "
-               "file.scm...\n"
+               "             [--tier off|auto|always] [--tier-threshold N]\n"
+               "             [--fuel N] [--max-depth N] [--max-heap BYTES] "
+               "[--deadline-ms N]\n"
+               "             [--retries N] file.scm...\n"
                "       pgmpi report [--top N] [--tier] [--tier-weight W] "
                "FILE...\n"
-               "       pgmpi profile-lint FILE...\n");
-  return 2;
+               "       pgmpi profile-lint FILE...\n"
+               "exit codes: 0 success, 1 failure, 2 degraded, 64 usage\n");
+  return ExitUsage;
+}
+
+/// Shared parser for the guard flags; returns true when \p Arg was one.
+/// \p NeedsValue fetches the flag's value (exiting on a missing one).
+template <typename NeedsValueFn>
+static bool parseGuardFlag(const std::string &Arg, NeedsValueFn &&NeedsValue,
+                           EngineOptions &Opts) {
+  auto Positive = [](const char *Flag, const std::string &Text) -> int64_t {
+    int64_t N;
+    if (!parseInt64(Text, N) || N < 1) {
+      std::fprintf(stderr, "pgmpi: %s needs a positive number\n", Flag);
+      std::exit(ExitUsage);
+    }
+    return N;
+  };
+  if (Arg == "--fuel")
+    Opts.Fuel = static_cast<uint64_t>(Positive("--fuel", NeedsValue("--fuel")));
+  else if (Arg == "--max-depth")
+    Opts.MaxDepth = static_cast<uint32_t>(
+        Positive("--max-depth", NeedsValue("--max-depth")));
+  else if (Arg == "--max-heap")
+    Opts.MaxHeapBytes = static_cast<uint64_t>(
+        Positive("--max-heap", NeedsValue("--max-heap")));
+  else if (Arg == "--deadline-ms")
+    Opts.DeadlineMs = static_cast<uint64_t>(
+        Positive("--deadline-ms", NeedsValue("--deadline-ms")));
+  else
+    return false;
+  return true;
+}
+
+/// Parses and arms `--inject-fault POINT[:N]` (hidden testing flag): the
+/// (N+1)-th hit of the named fault point fails.
+static void armInjectedFault(const std::string &Spec) {
+  std::string Name = Spec;
+  uint64_t Skip = 0;
+  if (size_t Colon = Spec.find(':'); Colon != std::string::npos) {
+    Name = Spec.substr(0, Colon);
+    int64_t N;
+    if (!parseInt64(Spec.substr(Colon + 1), N) || N < 0) {
+      std::fprintf(stderr,
+                   "pgmpi: --inject-fault needs POINT[:N] with N >= 0\n");
+      std::exit(ExitUsage);
+    }
+    Skip = static_cast<uint64_t>(N);
+  }
+  faultinject::Point P = faultinject::parsePoint(Name);
+  if (P == faultinject::Point::None) {
+    std::fprintf(stderr, "pgmpi: unknown fault point %s\n", Name.c_str());
+    std::exit(ExitUsage);
+  }
+  faultinject::arm(P, Skip);
 }
 
 /// Parses a --tier value; exits with a usage error on anything else.
@@ -85,7 +161,7 @@ static TierMode parseTierMode(const std::string &Text) {
     return TierMode::Always;
   std::fprintf(stderr, "pgmpi: --tier needs off, auto, or always (got %s)\n",
                Text.c_str());
-  std::exit(2);
+  std::exit(ExitUsage);
 }
 
 /// `pgmpi run`: the parallel profiling driver. N worker engines evaluate
@@ -97,22 +173,23 @@ static int runParallel(int Argc, char **Argv) {
   int64_t Jobs = 1;
   bool StrictProfile = false, AnnotateWrap = false, Stats = false;
   TierMode Tier = TierMode::Off;
-  int64_t TierThreshold = -1;
-  std::string ProfileOut, ProfileIn;
+  int64_t TierThreshold = -1, Retries = -1;
+  std::string ProfileOut, ProfileIn, InjectFault;
   std::vector<std::string> Libs, Files;
+  EngineOptions Opts;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto NeedsValue = [&](const char *Flag) -> std::string {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "pgmpi: %s needs a value\n", Flag);
-        std::exit(2);
+        std::exit(ExitUsage);
       }
       return Argv[++I];
     };
     if (Arg == "--jobs") {
       if (!parseInt64(NeedsValue("--jobs"), Jobs) || Jobs < 1) {
         std::fprintf(stderr, "pgmpi: --jobs needs a positive number\n");
-        return 2;
+        return ExitUsage;
       }
     } else if (Arg == "--profile-out")
       ProfileOut = NeedsValue("--profile-out");
@@ -133,11 +210,20 @@ static int runParallel(int Argc, char **Argv) {
           TierThreshold < 1) {
         std::fprintf(stderr,
                      "pgmpi: --tier-threshold needs a positive number\n");
-        return 2;
+        return ExitUsage;
       }
+    } else if (Arg == "--retries") {
+      if (!parseInt64(NeedsValue("--retries"), Retries) || Retries < 0) {
+        std::fprintf(stderr, "pgmpi: --retries needs a non-negative number\n");
+        return ExitUsage;
+      }
+    } else if (Arg == "--inject-fault")
+      InjectFault = NeedsValue("--inject-fault");
+    else if (parseGuardFlag(Arg, NeedsValue, Opts)) {
+      // handled
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "pgmpi: run: unknown option %s\n", Arg.c_str());
-      return 2;
+      return ExitUsage;
     } else
       Files.push_back(Arg);
   }
@@ -145,10 +231,9 @@ static int runParallel(int Argc, char **Argv) {
     return usage();
   if (ProfileOut.empty()) {
     std::fprintf(stderr, "pgmpi: run needs --profile-out\n");
-    return 2;
+    return ExitUsage;
   }
 
-  EngineOptions Opts;
   Opts.Instrument = true;
   Opts.StrictProfile = StrictProfile;
   Opts.StatsEnabled = Stats;
@@ -161,17 +246,27 @@ static int runParallel(int Argc, char **Argv) {
   if (TierThreshold > 0)
     Opts.TierThreshold = static_cast<uint32_t>(TierThreshold);
 
-  EnginePool Pool(static_cast<size_t>(Jobs), Opts);
+  EnginePool::FaultPolicy Policy;
+  if (Retries >= 0)
+    Policy.MaxRetries = static_cast<unsigned>(Retries);
+  EnginePool Pool(static_cast<size_t>(Jobs), Opts, Policy);
+  bool Degraded = false;
   if (!ProfileIn.empty()) {
     // As in the sequential path: register the script buffers first so the
     // profile's source fingerprints are checked against this code.
     for (const std::string &F : Files)
       Pool.preRegisterFile(F);
-    if (ProfileOpResult R = Pool.loadProfileAll(ProfileIn); !R) {
+    ProfileOpResult R = Pool.loadProfileAll(ProfileIn);
+    if (!R) {
       std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
       return 1;
     }
+    Degraded = R.Status == ProfileOpStatus::Degraded;
   }
+  // Armed after construction and profile loading: an injected fault is
+  // aimed at the workload, not the bootstrap.
+  if (!InjectFault.empty())
+    armInjectedFault(InjectFault);
   EnginePool::PoolResult R = Pool.run([&](Engine &E, size_t) {
     EvalResult Last;
     Last.Ok = true;
@@ -187,8 +282,20 @@ static int runParallel(int Argc, char **Argv) {
     }
     return Last;
   });
-  if (!R) {
-    std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+  // Per-task outcome report: which tasks contributed, which were retried,
+  // which were abandoned. One line per noteworthy task.
+  for (size_t I = 0; I < R.Outcomes.size(); ++I) {
+    const EnginePool::TaskOutcome &O = R.Outcomes[I];
+    if (!O.Ok)
+      std::fprintf(stderr, "pgmpi: task %zu failed after %u attempt(s): %s\n",
+                   I, O.Attempts, O.Error.c_str());
+    else if (O.Attempts > 1)
+      std::fprintf(stderr, "pgmpi: task %zu succeeded after %u attempt(s)\n",
+                   I, O.Attempts);
+  }
+  if (R.NumFailed == R.Outcomes.size()) {
+    std::fprintf(stderr, "pgmpi: all %zu task(s) failed; no profile stored\n",
+                 R.NumFailed);
     return 1;
   }
   if (ProfileOpResult S = Pool.storeMergedProfile(ProfileOut); !S) {
@@ -197,7 +304,13 @@ static int runParallel(int Argc, char **Argv) {
   }
   if (Stats)
     std::fputs(Pool.engine(0).stats().render().c_str(), stderr);
-  return 0;
+  if (R.NumFailed) {
+    std::fprintf(stderr,
+                 "pgmpi: merged profile covers %zu of %zu task(s)\n",
+                 R.Outcomes.size() - R.NumFailed, R.Outcomes.size());
+    return 2; // degraded: stored, but not every task contributed
+  }
+  return Degraded ? 2 : 0;
 }
 
 /// `pgmpi report`: hot-spot tables for stored source profiles.
@@ -210,7 +323,7 @@ static int runReport(int Argc, char **Argv) {
       int64_t N;
       if (I + 1 >= Argc || !parseInt64(Argv[I + 1], N) || N < 0) {
         std::fprintf(stderr, "pgmpi: --top needs a non-negative number\n");
-        return 2;
+        return ExitUsage;
       }
       Opts.TopN = static_cast<size_t>(N);
       ++I;
@@ -221,13 +334,13 @@ static int runReport(int Argc, char **Argv) {
       double W;
       if (I + 1 >= Argc || !parseDouble(Argv[I + 1], W) || W <= 0) {
         std::fprintf(stderr, "pgmpi: --tier-weight needs a positive number\n");
-        return 2;
+        return ExitUsage;
       }
       Opts.TierHotWeight = W;
       ++I;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "pgmpi: report: unknown option %s\n", Arg.c_str());
-      return 2;
+      return ExitUsage;
     } else {
       Files.push_back(Arg);
     }
@@ -311,7 +424,7 @@ static int runProfileLint(int Argc, char **Argv) {
   for (int I = 2; I < Argc; ++I) {
     if (Argv[I][0] == '-') {
       std::fprintf(stderr, "pgmpi: profile-lint takes only file arguments\n");
-      return 2;
+      return ExitUsage;
     }
     Files.push_back(Argv[I]);
   }
@@ -405,19 +518,24 @@ int main(int Argc, char **Argv) {
   bool Stats = false;
   TierMode Tier = TierMode::Off;
   int64_t TierThreshold = -1;
-  std::string ProfileOut, ProfileIn, EvalText, TraceOut;
+  std::string ProfileOut, ProfileIn, EvalText, TraceOut, InjectFault;
   std::vector<std::string> Libs, Files;
+  EngineOptions Opts;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto NeedsValue = [&](const char *Flag) -> std::string {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "pgmpi: %s needs a value\n", Flag);
-        std::exit(2);
+        std::exit(ExitUsage);
       }
       return Argv[++I];
     };
-    if (Arg == "--instrument")
+    if (parseGuardFlag(Arg, NeedsValue, Opts)) {
+      // handled
+    } else if (Arg == "--inject-fault")
+      InjectFault = NeedsValue("--inject-fault");
+    else if (Arg == "--instrument")
       Instrument = true;
     else if (Arg == "--dump-expansion")
       DumpExpansion = true;
@@ -438,7 +556,7 @@ int main(int Argc, char **Argv) {
           TierThreshold < 1) {
         std::fprintf(stderr,
                      "pgmpi: --tier-threshold needs a positive number\n");
-        return 2;
+        return ExitUsage;
       }
     }
     else if (Arg == "--profile-out")
@@ -460,7 +578,6 @@ int main(int Argc, char **Argv) {
   if (Files.empty() && EvalText.empty() && !Repl)
     return usage();
 
-  EngineOptions Opts;
   Opts.Instrument = Instrument;
   Opts.StrictProfile = StrictProfile;
   Opts.StatsEnabled = Stats;
@@ -473,6 +590,7 @@ int main(int Argc, char **Argv) {
   if (TierThreshold > 0)
     Opts.TierThreshold = static_cast<uint32_t>(TierThreshold);
   Engine E(Opts);
+  bool Degraded = false;
 
   if (!ProfileIn.empty()) {
     // Register the script buffers before loading so the profile's source
@@ -481,11 +599,18 @@ int main(int Argc, char **Argv) {
       FileId Id;
       (void)E.context().SrcMgr.addFile(F, Id); // missing files error later
     }
-    if (ProfileOpResult R = E.loadProfile(ProfileIn); !R) {
+    ProfileOpResult R = E.loadProfile(ProfileIn);
+    if (!R) {
       std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
       return 1;
     }
+    // A corrupt/stale profile ignored under the degradation policy: the
+    // run proceeds unoptimized and exits 2 so build scripts can notice.
+    Degraded = R.degraded();
   }
+  // Armed after construction and profile loading, before the workload.
+  if (!InjectFault.empty())
+    armInjectedFault(InjectFault);
   for (const std::string &Lib : Libs) {
     EvalResult R = E.loadLibrary(Lib);
     if (!R) {
@@ -547,5 +672,5 @@ int main(int Argc, char **Argv) {
   }
   if (Stats)
     std::fputs(E.stats().render().c_str(), stderr);
-  return 0;
+  return Degraded ? 2 : 0;
 }
