@@ -1,0 +1,112 @@
+//===- bench/BenchProfileBus.cpp - Continuous profiling overhead ----------===//
+//
+// Measures the continuous profiling service against the acceptance bar:
+// with the bus off, an engine built with ContinuousProfile disabled is
+// the exact baseline configuration, so "bus-off equals baseline within
+// noise" falls out of construction; the interesting numbers are
+//
+//   bus_off         instrumented workload, no bus (the baseline)
+//   bus_<interval>  the same workload publishing every N fuel charges
+//
+// across publish intervals, plus the raw cost of ProfileBus::publish for
+// representative point counts (what one poll-point beat costs the
+// mutator), and of epoch queries from a subscriber.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "profile/ProfileBus.h"
+
+using namespace pgmp;
+using namespace pgmp::bench;
+
+namespace {
+
+// The BenchOverhead numeric kernel: enough distinct points to make
+// publishes non-trivial, cheap enough to run many iterations.
+const char *Kernel =
+    "(define (poly x) (+ (* 3 x x) (* -2 x) 7))\n"
+    "(define (work n)\n"
+    "  (let loop ([i 0] [acc 0])\n"
+    "    (if (= i n) acc (loop (+ i 1) (+ acc (poly i))))))\n";
+
+/// Instrumented workload with the bus publishing every State.range(0)
+/// fuel charges; 0 = continuous profiling off (the baseline).
+void BM_WorkloadWithBus(benchmark::State &State) {
+  EngineOptions Opts;
+  Opts.Instrument = true;
+  Opts.Tier = TierMode::Auto;
+  uint64_t Interval = static_cast<uint64_t>(State.range(0));
+  Opts.ContinuousProfile.IntervalCharges = Interval;
+  Engine E(Opts);
+  requireEval(E, Kernel, "kernel.scm");
+  Value *Fn = E.context().globalCell(E.context().Symbols.intern("work"));
+  require(Fn != nullptr, "work not defined");
+  Value Args[1] = {Value::fixnum(2000)};
+  for (auto _ : State) {
+    Value V = E.context().apply(*Fn, Args, 1);
+    benchmark::DoNotOptimize(V);
+  }
+  State.SetLabel(Interval ? "publish every " + std::to_string(Interval) +
+                                " charges"
+                          : "bus off");
+  if (Interval && E.bus())
+    State.counters["publishes"] =
+        static_cast<double>(E.bus()->publishes());
+}
+
+/// Raw publish cost for State.range(0) points: the bill one poll beat
+/// presents to the mutator thread.
+void BM_BusPublish(benchmark::State &State) {
+  ProfileBus Bus;
+  uint64_t Pub = Bus.addPublisher();
+  size_t NumPoints = static_cast<size_t>(State.range(0));
+  ProfileBus::TotalsRows Totals;
+  Totals.reserve(NumPoints);
+  for (size_t I = 0; I < NumPoints; ++I) {
+    BusPointKey K;
+    K.File = "bench.scm";
+    K.Begin = static_cast<uint32_t>(I * 8);
+    K.End = static_cast<uint32_t>(I * 8 + 4);
+    Totals.emplace_back(K, 0);
+  }
+  uint64_t Tick = 0;
+  for (auto _ : State) {
+    // Advance a rotating subset so publishes carry realistic deltas and
+    // the hot set occasionally churns.
+    ++Tick;
+    for (size_t I = Tick % 8; I < NumPoints; I += 8)
+      Totals[I].second += 64;
+    benchmark::DoNotOptimize(Bus.publish(Pub, Totals));
+  }
+  State.counters["epochs"] = static_cast<double>(Bus.epochsPublished());
+}
+
+/// Subscriber-side cost: the version poll plus the epoch fetch.
+void BM_BusEpochQuery(benchmark::State &State) {
+  ProfileBus Bus;
+  uint64_t Pub = Bus.addPublisher();
+  ProfileBus::TotalsRows Totals;
+  for (size_t I = 0; I < 64; ++I) {
+    BusPointKey K;
+    K.File = "bench.scm";
+    K.Begin = static_cast<uint32_t>(I * 8);
+    K.End = static_cast<uint32_t>(I * 8 + 4);
+    Totals.emplace_back(K, (I + 1) * 100);
+  }
+  Bus.publish(Pub, Totals);
+  require(Bus.version() >= 1, "no epoch published");
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Bus.version());
+    benchmark::DoNotOptimize(Bus.epoch());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_WorkloadWithBus)->Arg(0)->Arg(1024)->Arg(4096)->Arg(16384);
+BENCHMARK(BM_BusPublish)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_BusEpochQuery);
+
+BENCHMARK_MAIN();

@@ -14,6 +14,10 @@
 #      ProfileSnapshot, Heap) — the sharded counter runtime and the
 #      per-engine arena heaps must be provably race-free, not just
 #      pass-by-luck.
+#   5. Skew-flip convergence: `pgmpi serve` replays a trace whose hot
+#      class flips mid-stream; the gate asserts the continuous profiler
+#      re-tiers online (epochs published, closures promoted AND demoted,
+#      exit 0) — the end-to-end contract of the ProfileBus service.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 #
@@ -44,6 +48,38 @@ for BENCH in build/bench/bench*; do
   echo "-- $BENCH"
   "$BENCH" --benchmark_min_time=0.01 --benchmark_repetitions=1 > /dev/null
 done
+
+echo "== tier-1: skew-flip convergence (pgmpi serve, online re-tiering) =="
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SERVE_DIR"' EXIT
+cat > "$SERVE_DIR/workload.scm" <<'EOF'
+(define (work-a n)
+  (if (= n 0) 0 (+ 1 (work-a (- n 1)))))
+(define (work-b n)
+  (if (= n 0) 0 (+ 2 (work-b (- n 1)))))
+(define (req-a) (work-a 300))
+(define (req-b) (work-b 300))
+EOF
+{
+  for _ in $(seq 1 200); do echo "(req-a)"; done
+  echo "; hot class flips here"
+  for _ in $(seq 1 200); do echo "(req-b)"; done
+} > "$SERVE_DIR/trace.txt"
+SERVE_LOG="$SERVE_DIR/serve.log"
+build/tools/pgmpi serve --replay "$SERVE_DIR/trace.txt" --jobs 2 \
+  --interval-charges 256 --profile-out "$SERVE_DIR/out.profile" \
+  "$SERVE_DIR/workload.scm" 2> "$SERVE_LOG"
+cat "$SERVE_LOG"
+# The summary must show the flip was noticed and acted on mid-run:
+# at least one epoch, at least one promotion, at least one demotion.
+grep -Eq ' [1-9][0-9]* epoch\(s\)' "$SERVE_LOG" \
+  || { echo "FAIL: serve published no epochs"; exit 1; }
+grep -Eq ' [1-9][0-9]* promotion\(s\)' "$SERVE_LOG" \
+  || { echo "FAIL: serve promoted no closures"; exit 1; }
+grep -Eq ' [1-9][0-9]* demotion\(s\)' "$SERVE_LOG" \
+  || { echo "FAIL: serve demoted no stale-hot closures"; exit 1; }
+[[ -s "$SERVE_DIR/out.profile" ]] \
+  || { echo "FAIL: serve stored no merged profile"; exit 1; }
 
 if [[ "$SKIP_ASAN" == 1 ]]; then
   echo "== tier-1: ASan fault matrix skipped (--skip-asan) =="

@@ -3,6 +3,7 @@
 #include "core/Engine.h"
 
 #include "core/PgmpApi.h"
+#include "core/ProfileSession.h"
 #include "interp/Compiler.h"
 #include "interp/Eval.h"
 #include "interp/Prims.h"
@@ -45,6 +46,10 @@ Engine::Engine(const EngineOptions &Opts) : Ctx(), Exp(Ctx) {
   Ctx.TheHeap.setLimitBytes(Opts.MaxHeapBytes);
   if (Opts.Tier != TierMode::Off)
     installVm(Ctx);
+  // Continuous profiling arms the ExecGuard poll point after the guards:
+  // configurePoll recomputes Active, so a poll interval alone is enough
+  // to route execution through the guarded instantiations.
+  attachContinuousProfile(Ctx, Opts.ContinuousProfile, Opts.Bus);
   if (!Opts.TracePath.empty())
     configureTracePath(Opts.TracePath);
 }
@@ -215,19 +220,7 @@ ProfileOpResult Engine::loadProfile(const std::string &Path) {
   return pgmpapi::loadProfile(Ctx, Path);
 }
 
-bool Engine::storeProfile(const std::string &Path, std::string *ErrorOut) {
-  ProfileOpResult R = storeProfile(Path);
-  if (!R && ErrorOut)
-    *ErrorOut = R.Error;
-  return R.ok();
-}
-
-bool Engine::loadProfile(const std::string &Path, std::string *ErrorOut) {
-  ProfileOpResult R = loadProfile(Path);
-  if (!R && ErrorOut)
-    *ErrorOut = R.Error;
-  return R.ok();
-}
+bool Engine::observeProfileEpoch() { return pollContinuousProfile(Ctx); }
 
 void Engine::configureTracePath(const std::string &Path) {
   TracePath = Path;
@@ -261,11 +254,6 @@ void Engine::clearProfile() {
 const SourceObject *Engine::profilePoint(const std::string &File,
                                          uint32_t Begin, uint32_t End) {
   return Ctx.Sources.intern(File, Begin, End, 1, 1);
-}
-
-std::optional<double> Engine::weightOf(const std::string &File,
-                                       uint32_t Begin, uint32_t End) {
-  return snapshot().weightOpt(profilePoint(File, Begin, End));
 }
 
 std::string Engine::takeOutput() {

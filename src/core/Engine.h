@@ -37,7 +37,6 @@
 #include "profile/ProfileSnapshot.h"
 
 #include <memory>
-#include <optional>
 #include <string>
 
 namespace pgmp {
@@ -134,6 +133,20 @@ public:
                                    uint32_t End);
 
   //===--------------------------------------------------------------------===//
+  // Continuous profiling (EngineOptions::ContinuousProfile)
+  //===--------------------------------------------------------------------===//
+
+  /// The bus this engine publishes to, or null when continuous profiling
+  /// is off. Engine-hosted unless EngineOptions::Bus supplied one.
+  ProfileBus *bus() { return Ctx.Bus; }
+
+  /// Forces one publish + epoch check outside the ExecGuard poll cadence
+  /// (the same routine the poll hook runs). Returns true when a new epoch
+  /// was observed and tier decisions were re-evaluated. No-op (false)
+  /// when continuous profiling is off.
+  bool observeProfileEpoch();
+
+  //===--------------------------------------------------------------------===//
   // Observability (phase timers, self-metrics, trace export)
   //===--------------------------------------------------------------------===//
 
@@ -150,31 +163,6 @@ public:
   /// the write so every exported trace carries the memory picture.
   ProfileOpResult writeTrace();
   ProfileOpResult writeTrace(const std::string &Path);
-
-  //===--------------------------------------------------------------------===//
-  // Deprecated configuration and query shims (one release)
-  //===--------------------------------------------------------------------===//
-
-  [[deprecated("pass EngineOptions::Annotate to the constructor")]]
-  void setAnnotateMode(AnnotateMode M) { Ctx.AnnotMode = M; }
-  [[deprecated("pass EngineOptions::StrictProfile to the constructor")]]
-  void setStrictProfile(bool On) { Ctx.StrictProfile = On; }
-  [[deprecated("pass EngineOptions::StatsEnabled to the constructor")]]
-  void setStatsEnabled(bool On) { Ctx.Stats.enable(On); }
-  [[deprecated("pass EngineOptions::TracePath to the constructor")]]
-  void setTracePath(const std::string &Path) { configureTracePath(Path); }
-
-  /// Weight of the point covering [Begin, End) of buffer \p File;
-  /// nullopt means "no profile data loaded".
-  [[deprecated("use snapshot().weightOpt(profilePoint(File, Begin, End))")]]
-  std::optional<double> weightOf(const std::string &File, uint32_t Begin,
-                                 uint32_t End);
-
-  /// Deprecated bool/ErrorOut shims; use the ProfileOpResult overloads.
-  [[deprecated("use storeProfile(Path) returning ProfileOpResult")]]
-  bool storeProfile(const std::string &Path, std::string *ErrorOut);
-  [[deprecated("use loadProfile(Path) returning ProfileOpResult")]]
-  bool loadProfile(const std::string &Path, std::string *ErrorOut);
 
   //===--------------------------------------------------------------------===//
   // Output capture

@@ -143,6 +143,12 @@ public:
   /// be compiled (mirrors pgmpi's pre-registration).
   void preRegisterFile(const std::string &Path);
 
+  /// The shared continuous-profiling aggregator every worker publishes
+  /// to, or null when continuous profiling is off. Hosted by the
+  /// coordinator (worker 0's thread) and owned by the pool itself, so
+  /// fault-isolation replacement of any worker never dangles it.
+  ProfileBus *bus() { return PoolBus ? PoolBus.get() : Opts.Bus; }
+
 private:
   /// Builds a replacement engine with the pool's options, replaying
   /// pre-registered files and any profile loaded through loadProfileAll,
@@ -152,6 +158,7 @@ private:
   std::vector<std::unique_ptr<Engine>> Workers;
   EngineOptions Opts;
   FaultPolicy Policy;
+  std::unique_ptr<ProfileBus> PoolBus; ///< pool-hosted aggregator, if any
   std::vector<std::string> PreRegistered; ///< replayed into fresh workers
   std::string LoadedProfilePath;          ///< ditto, when non-empty
 };

@@ -30,8 +30,9 @@
 /// in the no-data / no-point cases, or check (profile-data-available?)
 /// first. The C++ side reads through one surface: ProfileSnapshot
 /// (Engine::snapshot() / pgmpapi::snapshot), whose weight() collapses and
-/// whose weightOpt() distinguishes; the old profileQuery /
-/// profileQueryOpt free functions are deprecated shims over it.
+/// whose weightOpt() distinguishes. The store/load functions below are
+/// conveniences over core/ProfileSession.h, the unified profile-lifecycle
+/// API (open → observe epochs → commit).
 ///
 /// A profile point is represented as a syntax object whose source object
 /// is the point — uniformly with "an object with an associated profile
@@ -44,8 +45,6 @@
 
 #include "core/ProfileOpResult.h"
 #include "interp/Context.h"
-
-#include <optional>
 
 namespace pgmp {
 
@@ -73,30 +72,18 @@ ProfileSnapshot snapshot(Context &Ctx);
 /// queries.
 const SourceObject *point(const Value &ExprOrPoint);
 
-/// Deprecated read shims over snapshot(); one release.
-[[deprecated("use snapshot(Ctx).weight(point(ExprOrPoint))")]]
-double profileQuery(Context &Ctx, const Value &ExprOrPoint);
-[[deprecated("use snapshot(Ctx).weightOpt(point(ExprOrPoint))")]]
-std::optional<double> profileQueryOpt(Context &Ctx, const Value &ExprOrPoint);
-
 /// store-profile: folds the live counters into the database as one data
 /// set, resets the counters, then serializes the database. On failure
-/// the live counters are preserved.
+/// the live counters are preserved. Equivalent to committing a
+/// ProfileSession over a FileProfileTransport.
 ProfileOpResult storeProfile(Context &Ctx, const std::string &Path);
 
 /// load-profile: merges a stored database into the current one. Under the
 /// default degradation policy a corrupt/stale/malformed file yields
 /// Status Degraded (nothing merged, warning through Diagnostics); in
 /// strict mode, and for missing/unreadable files, Status Failed.
+/// Equivalent to restoring a ProfileSession over a FileProfileTransport.
 ProfileOpResult loadProfile(Context &Ctx, const std::string &Path);
-
-/// Deprecated bool/ErrorOut shims; use the ProfileOpResult overloads.
-[[deprecated("use storeProfile(Ctx, Path) returning ProfileOpResult")]]
-bool storeProfile(Context &Ctx, const std::string &Path,
-                  std::string &ErrorOut);
-[[deprecated("use loadProfile(Ctx, Path) returning ProfileOpResult")]]
-bool loadProfile(Context &Ctx, const std::string &Path,
-                 std::string &ErrorOut);
 
 } // namespace pgmpapi
 

@@ -1,0 +1,146 @@
+//===- core/ProfileSession.h - Unified profile lifecycle ------*- C++ -*-===//
+///
+/// \file
+/// The one profile-lifecycle API: a ProfileSession ties a Context to a
+/// ProfileTransport and exposes the whole open → observe epochs → commit
+/// cycle through three verbs:
+///
+///   ProfileSession S(E.context(),
+///                    std::make_unique<FileProfileTransport>("app.profile"));
+///   S.restore();                  // open:   transport -> database
+///   ... run workload ...          // observe: epochs re-tier automatically
+///   S.commit();                   // commit: counters -> database -> transport
+///
+/// This replaces the historical ad-hoc entry points (storeProfile /
+/// loadProfile free functions, EnginePool::storeMergedProfile's bespoke
+/// serialize-then-commit) with one protocol under which the existing file
+/// store is just one transport. pgmpapi::storeProfile/loadProfile and
+/// Engine::storeProfile/loadProfile are now thin wrappers over a
+/// file-transport session, preserving their exact fault-injection,
+/// degradation-policy, and stats behavior.
+///
+/// ## Continuous profiling
+///
+/// The same translation unit owns the continuous-profiling glue: engines
+/// configured with EngineOptions::ContinuousProfile publish their counter
+/// totals to a ProfileBus from the ExecGuard poll point and, when the bus
+/// publishes a new epoch, re-evaluate every compiled lambda's tier:
+///
+///  - weight >= Context::TierHotWeight: pre-mark hot (TierHot), restoring
+///    a previously parked bytecode body (LambdaExpr::TierCache) if one
+///    exists — promotion without recompilation.
+///  - a *profile-marked* hot lambda whose weight fell below the
+///    threshold: demote — park the bytecode in TierCache, clear Tiered,
+///    zero TierInvokes. The lambda interprets again but is NOT
+///    TierBlocked: it re-promotes the moment an epoch (or the invocation
+///    threshold) says so. Threshold-earned tiers (TierHot false) are
+///    never demoted, which keeps the policy from thrashing closures that
+///    proved themselves hot by running.
+///
+/// Publishing reads cumulative totals and never resets a counter, so the
+/// final fold/commit remains byte-identical to a run with the bus off —
+/// the epoch boundary is invisible to merge fidelity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_CORE_PROFILESESSION_H
+#define PGMP_CORE_PROFILESESSION_H
+
+#include "core/EngineOptions.h"
+#include "core/ProfileOpResult.h"
+#include "interp/Context.h"
+
+#include <memory>
+#include <string>
+
+namespace pgmp {
+
+/// Where a profile lives between sessions. restore() merges the stored
+/// profile into the context's database; persist() writes a database out.
+/// Transports own their I/O phase timers; the session owns the
+/// fold/commit protocol and its fault-injection points.
+class ProfileTransport {
+public:
+  virtual ~ProfileTransport() = default;
+
+  /// Human-readable target ("file:app.profile") for diagnostics.
+  virtual std::string describe() const = 0;
+
+  /// Merges the stored profile into \p Ctx's database, honoring the
+  /// degradation policy (Context::StrictProfile).
+  virtual ProfileOpResult restore(Context &Ctx) = 0;
+
+  /// Persists \p Db. Must not touch \p Ctx's live counters or database —
+  /// the session commits them only after persist succeeds.
+  virtual ProfileOpResult persist(Context &Ctx, const ProfileDatabase &Db) = 0;
+};
+
+/// The classic on-disk profile format as a transport (ProfileIO.h:
+/// versioned text format, atomic rename on store, staleness validation
+/// on load).
+class FileProfileTransport : public ProfileTransport {
+public:
+  explicit FileProfileTransport(std::string Path) : Path(std::move(Path)) {}
+
+  std::string describe() const override { return "file:" + Path; }
+  ProfileOpResult restore(Context &Ctx) override;
+  ProfileOpResult persist(Context &Ctx, const ProfileDatabase &Db) override;
+
+private:
+  std::string Path;
+};
+
+/// One profile lifecycle over one Context. Transportless sessions (null
+/// transport) still fold and observe; commit() then only folds counters
+/// into the in-memory database.
+class ProfileSession {
+public:
+  explicit ProfileSession(Context &Ctx,
+                          std::unique_ptr<ProfileTransport> Transport = nullptr)
+      : Ctx(Ctx), Transport(std::move(Transport)) {}
+
+  /// Open: merges the transport's stored profile into the database.
+  /// Ok with zero datasets for a transportless session.
+  ProfileOpResult restore();
+
+  /// The unified read path over whatever this session has accumulated.
+  ProfileSnapshot current() const { return Ctx.ProfileDb.snapshot(); }
+
+  /// The latest continuous-profiling epoch, or null (no bus / none yet).
+  std::shared_ptr<const ProfileEpoch> epoch() const;
+
+  /// Forces one publish + epoch check (the same routine the ExecGuard
+  /// poll hook runs). Returns true when a new epoch was applied. No-op
+  /// without a bus.
+  bool observe();
+
+  /// Commit: folds live counters into the database as one data set and
+  /// persists through the transport. On persist failure the counters and
+  /// database are left untouched (serialize-then-commit).
+  ProfileOpResult commit();
+
+private:
+  Context &Ctx;
+  std::unique_ptr<ProfileTransport> Transport;
+};
+
+//===----------------------------------------------------------------------===//
+// Continuous-profiling attachment (used by Engine and EnginePool)
+//===----------------------------------------------------------------------===//
+
+/// Wires \p Ctx into continuous profiling per \p CP: binds it to
+/// \p SharedBus (or a private bus parked on the context when null),
+/// registers it as a publisher, and installs the ExecGuard poll hook at
+/// CP.IntervalCharges. No-op when CP is disabled.
+void attachContinuousProfile(Context &Ctx, const ContinuousProfileOptions &CP,
+                             ProfileBus *SharedBus = nullptr);
+
+/// One continuous-profiling beat for \p Ctx: publish cumulative counter
+/// totals to its bus, then apply any new epoch to the tier state (see the
+/// file comment). Returns true when a new epoch was applied. This is the
+/// ExecGuard poll hook's body; callable directly for deterministic tests.
+bool pollContinuousProfile(Context &Ctx);
+
+} // namespace pgmp
+
+#endif // PGMP_CORE_PROFILESESSION_H

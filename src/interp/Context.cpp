@@ -52,6 +52,8 @@ const ExpBinding *Context::meaningOf(BindingLabel Label) const {
 }
 
 void Context::adoptCode(std::unique_ptr<CodeUnit> Unit) {
+  TierLambdas.insert(TierLambdas.end(), Unit->Lambdas.begin(),
+                     Unit->Lambdas.end());
   Code.push_back(std::move(Unit));
 }
 

@@ -12,6 +12,7 @@
 #define PGMP_INTERP_CONTEXT_H
 
 #include "expander/Binding.h"
+#include "profile/ProfileBus.h"
 #include "profile/ProfileDatabase.h"
 #include "profile/ShardedCounterStore.h"
 #include "profile/SourceObject.h"
@@ -129,6 +130,26 @@ public:
   /// through TierCompileHook and parks ownership here (closures in
   /// globals point into them, exactly like adopted CodeUnits).
   std::vector<std::shared_ptr<void>> TierModules;
+
+  //===--------------------------------------------------------------------===//
+  // Continuous profiling (profile/ProfileBus.h, core/ProfileSession.h)
+  //===--------------------------------------------------------------------===//
+
+  /// The bus this engine publishes its counters to (and re-tiers from);
+  /// null when continuous profiling is off. Points at OwnedBus for a
+  /// self-hosted engine, or at the pool-owned aggregator (worker 0 hosts
+  /// it) for EnginePool workers.
+  ProfileBus *Bus = nullptr;
+  std::unique_ptr<ProfileBus> OwnedBus;
+  uint64_t BusPublisher = 0;   ///< this engine's publisher id on Bus
+  uint64_t BusSeenVersion = 0; ///< last epoch version applied (re-tier)
+  /// Counter slot -> bus key, in counter registration order. Grown lazily
+  /// at publish time so steady-state publishes rebuild no strings.
+  std::vector<BusPointKey> BusKeyCache;
+  /// Every lambda of every adopted CodeUnit, for the epoch re-tier walk.
+  /// Only *adopted* units register, so a unit discarded by a failed eval
+  /// never leaves dangling pointers here.
+  std::vector<const LambdaExpr *> TierLambdas;
 
   //===--------------------------------------------------------------------===//
   // Pipeline observability

@@ -1,0 +1,135 @@
+//===- profile/ProfileBus.cpp ---------------------------------------------===//
+
+#include "profile/ProfileBus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pgmp;
+
+std::string BusPointKey::describe() const {
+  return File + ":" + std::to_string(Begin) + "-" + std::to_string(End);
+}
+
+ProfileBus::ProfileBus(const ProfileBusOptions &O)
+    : Opts(O),
+      Alpha(O.DecayHalfLife > 0 ? std::exp2(-1.0 / O.DecayHalfLife) : 0.0) {}
+
+uint64_t ProfileBus::addPublisher() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  LastTotals.emplace_back();
+  return LastTotals.size() - 1;
+}
+
+uint64_t ProfileBus::publish(uint64_t Publisher, const TotalsRows &Totals) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  assert(Publisher < LastTotals.size() && "publish from unregistered engine");
+  std::vector<uint64_t> &Last = LastTotals[Publisher];
+
+  // Decay first: the whole accumulator ages by one publish, then this
+  // publish's deltas land at full strength. Points absent from Totals
+  // (registered by other engines) decay toward zero and eventually fall
+  // out of the hot set — that is the "stale hot mark" path.
+  for (PointState &P : Points)
+    P.Decayed *= Alpha;
+
+  for (const auto &[Key, Total] : Totals) {
+    auto [It, Inserted] = Index.try_emplace(Key, Points.size());
+    if (Inserted)
+      Points.push_back(PointState{Key, 0.0, 0});
+    size_t Slot = It->second;
+    if (Slot >= Last.size())
+      Last.resize(Points.size(), 0);
+    // Counters only grow between publishes; a lower total means the
+    // engine folded (reset) its counters, so the whole total is new.
+    uint64_t Delta = Total >= Last[Slot] ? Total - Last[Slot] : Total;
+    Last[Slot] = Total;
+    Points[Slot].Decayed += static_cast<double>(Delta);
+    Points[Slot].Total += Delta;
+  }
+
+  ++NumPublishes;
+  maybePublishEpochLocked();
+  return Ver.load(std::memory_order_relaxed);
+}
+
+void ProfileBus::maybePublishEpochLocked() {
+  // Current hot set: top-K slots by decayed estimate (desc), point key
+  // (asc) as the deterministic tiebreak. Slots that decayed to ~nothing
+  // never qualify, so an idle point cannot linger in the hot set.
+  std::vector<size_t> Hot;
+  Hot.reserve(Points.size());
+  for (size_t I = 0; I < Points.size(); ++I)
+    if (Points[I].Decayed > 1e-9)
+      Hot.push_back(I);
+  std::sort(Hot.begin(), Hot.end(), [&](size_t A, size_t B) {
+    if (Points[A].Decayed != Points[B].Decayed)
+      return Points[A].Decayed > Points[B].Decayed;
+    return Points[A].Key.describe() < Points[B].Key.describe();
+  });
+  if (Hot.size() > Opts.HotSetK)
+    Hot.resize(Opts.HotSetK);
+
+  if (Hot.empty())
+    return;
+
+  // Churn = |symmetric difference| / max(|old|, |new|). First nonempty
+  // hot set always publishes (PublishedHotSet empty → churn 1).
+  std::vector<size_t> OldSorted = PublishedHotSet;
+  std::vector<size_t> NewSorted = Hot;
+  std::sort(OldSorted.begin(), OldSorted.end());
+  std::sort(NewSorted.begin(), NewSorted.end());
+  std::vector<size_t> Common;
+  std::set_intersection(OldSorted.begin(), OldSorted.end(), NewSorted.begin(),
+                        NewSorted.end(), std::back_inserter(Common));
+  size_t Larger = std::max(OldSorted.size(), NewSorted.size());
+  size_t SymDiff = OldSorted.size() + NewSorted.size() - 2 * Common.size();
+  double Churn = Larger ? static_cast<double>(SymDiff) / Larger : 0.0;
+  if (!PublishedHotSet.empty() && Churn < Opts.RetierThreshold)
+    return;
+
+  // Build the epoch: every live point, weight normalized by the hottest.
+  double MaxDecayed = 0;
+  for (const PointState &P : Points)
+    MaxDecayed = std::max(MaxDecayed, P.Decayed);
+  auto Epoch = std::make_shared<ProfileEpoch>();
+  Epoch->Rows.reserve(Points.size());
+  for (const PointState &P : Points) {
+    if (P.Decayed <= 1e-9)
+      continue;
+    Epoch->Rows.push_back(
+        ProfileEpochRow{P.Key, P.Decayed / MaxDecayed, P.Total});
+  }
+  std::sort(Epoch->Rows.begin(), Epoch->Rows.end(),
+            [](const ProfileEpochRow &A, const ProfileEpochRow &B) {
+              return A.Key.describe() < B.Key.describe();
+            });
+
+  PublishedHotSet = std::move(Hot);
+  Epoch->Version = Ver.load(std::memory_order_relaxed) + 1;
+  Current = std::move(Epoch);
+  // Release pairs with the acquire in version(): a subscriber that sees
+  // the new version will also see the epoch pointer via the mutex in
+  // epoch().
+  Ver.store(Current->Version, std::memory_order_release);
+}
+
+std::shared_ptr<const ProfileEpoch> ProfileBus::epoch() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Current;
+}
+
+uint64_t ProfileBus::publishes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return NumPublishes;
+}
+
+uint64_t ProfileBus::epochsPublished() const {
+  return Ver.load(std::memory_order_acquire);
+}
+
+size_t ProfileBus::numPoints() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Points.size();
+}

@@ -99,6 +99,21 @@ std::string pgmp::renderProfileReport(const ProfileDatabase &Db,
   std::string Out = Name + ": v" + std::to_string(Meta.Version) + ", " +
                     std::to_string(Db.numDatasets()) + " dataset(s), " +
                     std::to_string(Db.numPoints()) + " point(s)\n";
+
+  // An empty or all-zero profile is a well-formed report input, not an
+  // error: say so plainly instead of rendering a zero-row table (or a
+  // table of all-0.0000 rows) that reads like a formatting bug.
+  bool HasSamples = false;
+  for (const ProfileHotRow &R : Rows)
+    if (R.Count > 0 || R.Weight > 0) {
+      HasSamples = true;
+      break;
+    }
+  if (!HasSamples) {
+    Out += "no samples recorded; nothing to report\n";
+    return Out;
+  }
+
   Out += "hot spots (top " + std::to_string(Shown) + " of " +
          std::to_string(Rows.size()) + "):\n";
   if (!Shown)

@@ -2,10 +2,9 @@
 ///
 /// \file
 /// The one profile read path. Historically profile data was queried three
-/// ways — `pgmpapi::profileQuery` (collapsing, 0.0 when unknown),
-/// `pgmpapi::profileQueryOpt` (optional-returning), and
-/// `Engine::weightOf` (offset-based) — with subtly different semantics.
-/// A ProfileSnapshot collapses them into one immutable view:
+/// ways (a collapsing query, an optional-returning query, and an
+/// offset-based weight lookup) with subtly different semantics; those
+/// shims are gone. A ProfileSnapshot is the one immutable view:
 ///
 ///   ProfileSnapshot S = E.snapshot();          // or Ctx.ProfileDb.snapshot()
 ///   S.weight(pt);     // [0,1]; 0.0 when unknown or no data (profile-query)

@@ -80,6 +80,14 @@ const char *StatsRegistry::statName(Stat S) {
     return "guard-trips";
   case Stat::TaskRetries:
     return "task-retries";
+  case Stat::BusPublishes:
+    return "bus-publishes";
+  case Stat::BusEpochs:
+    return "bus-epochs";
+  case Stat::RetierPromotions:
+    return "retier-promotions";
+  case Stat::RetierDemotions:
+    return "retier-demotions";
   }
   return "?";
 }

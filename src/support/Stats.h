@@ -64,9 +64,13 @@ enum class Stat : uint8_t {
   TierCompileFails,   ///< tier-up compiles rejected (phase-1-only bodies)
   TierPremarkedHot,   ///< lambdas pre-marked hot from a loaded profile
   GuardTrips,         ///< runs aborted by an ExecGuard resource limit
-  TaskRetries         ///< EnginePool tasks re-run on a fresh worker
+  TaskRetries,        ///< EnginePool tasks re-run on a fresh worker
+  BusPublishes,       ///< counter snapshots published to a ProfileBus
+  BusEpochs,          ///< bus epochs observed and applied by this engine
+  RetierPromotions,   ///< lambdas marked hot by an epoch (re-tiering)
+  RetierDemotions     ///< stale-hot lambdas demoted to interpretation
 };
-inline constexpr size_t NumStats = 19;
+inline constexpr size_t NumStats = 23;
 
 /// Monotonic clock in nanoseconds (steady_clock).
 uint64_t statsNowNanos();

@@ -1,0 +1,152 @@
+//===- tools/pgmpi/CliOptions.cpp -----------------------------------------===//
+
+#include "CliOptions.h"
+
+#include "core/Engine.h" // AnnotateMode / TierMode definitions
+#include "support/FaultInjector.h"
+#include "support/Text.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pgmp;
+
+namespace pgmpcli {
+
+/// Fetches the value of \p Flag (the next argument), exiting with a usage
+/// error when it is missing.
+static std::string needsValue(const char *Flag, int Argc, char **Argv,
+                              int &I) {
+  if (I + 1 >= Argc) {
+    std::fprintf(stderr, "pgmpi: %s needs a value\n", Flag);
+    std::exit(ExitUsage);
+  }
+  return Argv[++I];
+}
+
+static int64_t positive(const char *Flag, const std::string &Text) {
+  int64_t N;
+  if (!parseInt64(Text, N) || N < 1) {
+    std::fprintf(stderr, "pgmpi: %s needs a positive number\n", Flag);
+    std::exit(ExitUsage);
+  }
+  return N;
+}
+
+static double positiveReal(const char *Flag, const std::string &Text) {
+  double X;
+  if (!parseDouble(Text, X) || X <= 0) {
+    std::fprintf(stderr, "pgmpi: %s needs a positive number\n", Flag);
+    std::exit(ExitUsage);
+  }
+  return X;
+}
+
+TierMode parseTierMode(const std::string &Text) {
+  if (Text == "off")
+    return TierMode::Off;
+  if (Text == "auto")
+    return TierMode::Auto;
+  if (Text == "always")
+    return TierMode::Always;
+  std::fprintf(stderr, "pgmpi: --tier needs off, auto, or always (got %s)\n",
+               Text.c_str());
+  std::exit(ExitUsage);
+}
+
+void armInjectedFault(const std::string &Spec) {
+  std::string Name = Spec;
+  uint64_t Skip = 0;
+  if (size_t Colon = Spec.find(':'); Colon != std::string::npos) {
+    Name = Spec.substr(0, Colon);
+    int64_t N;
+    if (!parseInt64(Spec.substr(Colon + 1), N) || N < 0) {
+      std::fprintf(stderr,
+                   "pgmpi: --inject-fault needs POINT[:N] with N >= 0\n");
+      std::exit(ExitUsage);
+    }
+    Skip = static_cast<uint64_t>(N);
+  }
+  faultinject::Point P = faultinject::parsePoint(Name);
+  if (P == faultinject::Point::None) {
+    std::fprintf(stderr, "pgmpi: unknown fault point %s\n", Name.c_str());
+    std::exit(ExitUsage);
+  }
+  faultinject::arm(P, Skip);
+}
+
+bool parseCommonFlag(int Argc, char **Argv, int &I, CliOptions &O) {
+  std::string Arg = Argv[I];
+  auto Value = [&](const char *Flag) { return needsValue(Flag, Argc, Argv, I); };
+
+  // Resource guards (support/ExecGuard.h; 0 = unlimited).
+  if (Arg == "--fuel")
+    O.Engine.Fuel = static_cast<uint64_t>(positive("--fuel", Value("--fuel")));
+  else if (Arg == "--max-depth")
+    O.Engine.MaxDepth =
+        static_cast<uint32_t>(positive("--max-depth", Value("--max-depth")));
+  else if (Arg == "--max-heap")
+    O.Engine.MaxHeapBytes =
+        static_cast<uint64_t>(positive("--max-heap", Value("--max-heap")));
+  else if (Arg == "--deadline-ms")
+    O.Engine.DeadlineMs = static_cast<uint64_t>(
+        positive("--deadline-ms", Value("--deadline-ms")));
+
+  // Tiered execution.
+  else if (Arg == "--tier")
+    O.Engine.Tier = parseTierMode(Value("--tier"));
+  else if (Arg == "--tier-threshold")
+    O.Engine.TierThreshold = static_cast<uint32_t>(
+        positive("--tier-threshold", Value("--tier-threshold")));
+
+  // Profile lifecycle.
+  else if (Arg == "--profile-out")
+    O.ProfileOut = Value("--profile-out");
+  else if (Arg == "--profile-in")
+    O.ProfileIn = Value("--profile-in");
+  else if (Arg == "--strict-profile")
+    O.Engine.StrictProfile = true;
+
+  // Session shape.
+  else if (Arg == "--lib")
+    O.Libs.push_back(Value("--lib"));
+  else if (Arg == "--annotate-wrap")
+    O.Engine.Annotate = AnnotateMode::Wrap;
+  else if (Arg == "--stats")
+    O.Engine.StatsEnabled = true;
+  else if (Arg == "--inject-fault")
+    O.InjectFault = Value("--inject-fault");
+
+  // Pool subcommands (run, serve).
+  else if (O.PoolFlags && Arg == "--jobs")
+    O.Jobs = positive("--jobs", Value("--jobs"));
+  else if (O.PoolFlags && Arg == "--retries") {
+    if (!parseInt64(Value("--retries"), O.Retries) || O.Retries < 0) {
+      std::fprintf(stderr, "pgmpi: --retries needs a non-negative number\n");
+      std::exit(ExitUsage);
+    }
+  }
+
+  // Continuous profiling (serve).
+  else if (O.ContinuousFlags && Arg == "--interval-charges")
+    O.Engine.ContinuousProfile.IntervalCharges = static_cast<uint64_t>(
+        positive("--interval-charges", Value("--interval-charges")));
+  else if (O.ContinuousFlags && Arg == "--decay-half-life")
+    O.Engine.ContinuousProfile.DecayHalfLife =
+        positiveReal("--decay-half-life", Value("--decay-half-life"));
+  else if (O.ContinuousFlags && Arg == "--retier-threshold") {
+    double T = positiveReal("--retier-threshold", Value("--retier-threshold"));
+    if (T > 1.0) {
+      std::fprintf(stderr,
+                   "pgmpi: --retier-threshold needs a fraction in (0, 1]\n");
+      std::exit(ExitUsage);
+    }
+    O.Engine.ContinuousProfile.RetierThreshold = T;
+  }
+
+  else
+    return false;
+  return true;
+}
+
+} // namespace pgmpcli

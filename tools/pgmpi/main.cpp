@@ -28,9 +28,22 @@
 ///     sequentially. Accepts --profile-in, --lib, --strict-profile,
 ///     --annotate-wrap, and --stats with their usual meanings.
 ///
+///   pgmpi serve --replay TRACE [--jobs N] [options] file.scm...
+///     long-lived continuous-profiling mode: the workload files are
+///     loaded instrumented on N workers, then TRACE (one Scheme request
+///     per line; `;` comments and blank lines skipped) is replayed
+///     round-robin across the workers. Each engine publishes its counters
+///     to the pool's ProfileBus every --interval-charges fuel charges
+///     (default 4096); when the decayed hot set churns past
+///     --retier-threshold the bus publishes a new epoch and the workers
+///     re-evaluate tier decisions mid-run — no restart. A summary with
+///     publish/epoch/re-tier counts and per-half replay times goes to
+///     stderr; --profile-out stores the merged profile at the end.
+///
 ///   pgmpi report [--top N] FILE...
 ///     hot-spot report for stored source profiles: the top-N points by
-///     weight with counts, locations, and source excerpts.
+///     weight with counts, locations, and source excerpts. A profile with
+///     no samples prints a notice and exits 0.
 ///
 ///   pgmpi profile-lint FILE...
 ///     validates stored profiles (source or block level): format version,
@@ -53,27 +66,27 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "CliOptions.h"
 #include "core/Engine.h"
 #include "core/EnginePool.h"
+#include "profile/ProfileBus.h"
 #include "profile/ProfileIO.h"
 #include "profile/ProfileReport.h"
 #include "support/AtomicFile.h"
 #include "support/Checksum.h"
-#include "support/FaultInjector.h"
 #include "support/Text.h"
 #include "syntax/Writer.h"
 #include "vm/BlockProfile.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 using namespace pgmp;
-
-/// Sysexits-style EX_USAGE: command-line misuse must stay distinguishable
-/// from exit 2, which reports a degraded-but-successful run.
-static constexpr int ExitUsage = 64;
+using pgmpcli::CliOptions;
+using pgmpcli::ExitUsage;
 
 static int usage() {
   std::fprintf(stderr,
@@ -92,76 +105,16 @@ static int usage() {
                "             [--fuel N] [--max-depth N] [--max-heap BYTES] "
                "[--deadline-ms N]\n"
                "             [--retries N] file.scm...\n"
+               "       pgmpi serve --replay TRACE [--jobs N] "
+               "[--profile-out F] [--profile-in F]\n"
+               "             [--interval-charges N] [--decay-half-life X] "
+               "[--retier-threshold X]\n"
+               "             [common flags as for run] file.scm...\n"
                "       pgmpi report [--top N] [--tier] [--tier-weight W] "
                "FILE...\n"
                "       pgmpi profile-lint FILE...\n"
                "exit codes: 0 success, 1 failure, 2 degraded, 64 usage\n");
   return ExitUsage;
-}
-
-/// Shared parser for the guard flags; returns true when \p Arg was one.
-/// \p NeedsValue fetches the flag's value (exiting on a missing one).
-template <typename NeedsValueFn>
-static bool parseGuardFlag(const std::string &Arg, NeedsValueFn &&NeedsValue,
-                           EngineOptions &Opts) {
-  auto Positive = [](const char *Flag, const std::string &Text) -> int64_t {
-    int64_t N;
-    if (!parseInt64(Text, N) || N < 1) {
-      std::fprintf(stderr, "pgmpi: %s needs a positive number\n", Flag);
-      std::exit(ExitUsage);
-    }
-    return N;
-  };
-  if (Arg == "--fuel")
-    Opts.Fuel = static_cast<uint64_t>(Positive("--fuel", NeedsValue("--fuel")));
-  else if (Arg == "--max-depth")
-    Opts.MaxDepth = static_cast<uint32_t>(
-        Positive("--max-depth", NeedsValue("--max-depth")));
-  else if (Arg == "--max-heap")
-    Opts.MaxHeapBytes = static_cast<uint64_t>(
-        Positive("--max-heap", NeedsValue("--max-heap")));
-  else if (Arg == "--deadline-ms")
-    Opts.DeadlineMs = static_cast<uint64_t>(
-        Positive("--deadline-ms", NeedsValue("--deadline-ms")));
-  else
-    return false;
-  return true;
-}
-
-/// Parses and arms `--inject-fault POINT[:N]` (hidden testing flag): the
-/// (N+1)-th hit of the named fault point fails.
-static void armInjectedFault(const std::string &Spec) {
-  std::string Name = Spec;
-  uint64_t Skip = 0;
-  if (size_t Colon = Spec.find(':'); Colon != std::string::npos) {
-    Name = Spec.substr(0, Colon);
-    int64_t N;
-    if (!parseInt64(Spec.substr(Colon + 1), N) || N < 0) {
-      std::fprintf(stderr,
-                   "pgmpi: --inject-fault needs POINT[:N] with N >= 0\n");
-      std::exit(ExitUsage);
-    }
-    Skip = static_cast<uint64_t>(N);
-  }
-  faultinject::Point P = faultinject::parsePoint(Name);
-  if (P == faultinject::Point::None) {
-    std::fprintf(stderr, "pgmpi: unknown fault point %s\n", Name.c_str());
-    std::exit(ExitUsage);
-  }
-  faultinject::arm(P, Skip);
-}
-
-/// Parses a --tier value; exits with a usage error on anything else.
-static TierMode parseTierMode(const std::string &Text) {
-  if (Text == "off")
-    return TierMode::Off;
-  if (Text == "auto")
-    return TierMode::Auto;
-  if (Text == "always")
-    return TierMode::Always;
-  std::fprintf(stderr, "pgmpi: --tier needs off, auto, or always (got %s)\n",
-               Text.c_str());
-  std::exit(ExitUsage);
 }
 
 /// `pgmpi run`: the parallel profiling driver. N worker engines evaluate
@@ -170,56 +123,12 @@ static TierMode parseTierMode(const std::string &Text) {
 /// to --profile-out is bit-identical to a sequential engine folding the
 /// same data sets in worker order.
 static int runParallel(int Argc, char **Argv) {
-  int64_t Jobs = 1;
-  bool StrictProfile = false, AnnotateWrap = false, Stats = false;
-  TierMode Tier = TierMode::Off;
-  int64_t TierThreshold = -1, Retries = -1;
-  std::string ProfileOut, ProfileIn, InjectFault;
-  std::vector<std::string> Libs, Files;
-  EngineOptions Opts;
+  CliOptions O;
+  O.PoolFlags = true;
+  std::vector<std::string> Files;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    auto NeedsValue = [&](const char *Flag) -> std::string {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "pgmpi: %s needs a value\n", Flag);
-        std::exit(ExitUsage);
-      }
-      return Argv[++I];
-    };
-    if (Arg == "--jobs") {
-      if (!parseInt64(NeedsValue("--jobs"), Jobs) || Jobs < 1) {
-        std::fprintf(stderr, "pgmpi: --jobs needs a positive number\n");
-        return ExitUsage;
-      }
-    } else if (Arg == "--profile-out")
-      ProfileOut = NeedsValue("--profile-out");
-    else if (Arg == "--profile-in")
-      ProfileIn = NeedsValue("--profile-in");
-    else if (Arg == "--lib")
-      Libs.push_back(NeedsValue("--lib"));
-    else if (Arg == "--strict-profile")
-      StrictProfile = true;
-    else if (Arg == "--annotate-wrap")
-      AnnotateWrap = true;
-    else if (Arg == "--stats")
-      Stats = true;
-    else if (Arg == "--tier")
-      Tier = parseTierMode(NeedsValue("--tier"));
-    else if (Arg == "--tier-threshold") {
-      if (!parseInt64(NeedsValue("--tier-threshold"), TierThreshold) ||
-          TierThreshold < 1) {
-        std::fprintf(stderr,
-                     "pgmpi: --tier-threshold needs a positive number\n");
-        return ExitUsage;
-      }
-    } else if (Arg == "--retries") {
-      if (!parseInt64(NeedsValue("--retries"), Retries) || Retries < 0) {
-        std::fprintf(stderr, "pgmpi: --retries needs a non-negative number\n");
-        return ExitUsage;
-      }
-    } else if (Arg == "--inject-fault")
-      InjectFault = NeedsValue("--inject-fault");
-    else if (parseGuardFlag(Arg, NeedsValue, Opts)) {
+    if (pgmpcli::parseCommonFlag(Argc, Argv, I, O)) {
       // handled
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "pgmpi: run: unknown option %s\n", Arg.c_str());
@@ -229,34 +138,27 @@ static int runParallel(int Argc, char **Argv) {
   }
   if (Files.empty())
     return usage();
-  if (ProfileOut.empty()) {
+  if (O.ProfileOut.empty()) {
     std::fprintf(stderr, "pgmpi: run needs --profile-out\n");
     return ExitUsage;
   }
 
-  Opts.Instrument = true;
-  Opts.StrictProfile = StrictProfile;
-  Opts.StatsEnabled = Stats;
+  O.Engine.Instrument = true;
   // Worker stdout stays captured per engine: N interleaved echoes would
   // be nondeterministic noise. Diagnostics still reach stderr.
-  Opts.EchoDiagnostics = true;
-  if (AnnotateWrap)
-    Opts.Annotate = AnnotateMode::Wrap;
-  Opts.Tier = Tier;
-  if (TierThreshold > 0)
-    Opts.TierThreshold = static_cast<uint32_t>(TierThreshold);
+  O.Engine.EchoDiagnostics = true;
 
   EnginePool::FaultPolicy Policy;
-  if (Retries >= 0)
-    Policy.MaxRetries = static_cast<unsigned>(Retries);
-  EnginePool Pool(static_cast<size_t>(Jobs), Opts, Policy);
+  if (O.Retries >= 0)
+    Policy.MaxRetries = static_cast<unsigned>(O.Retries);
+  EnginePool Pool(static_cast<size_t>(O.Jobs), O.Engine, Policy);
   bool Degraded = false;
-  if (!ProfileIn.empty()) {
+  if (!O.ProfileIn.empty()) {
     // As in the sequential path: register the script buffers first so the
     // profile's source fingerprints are checked against this code.
     for (const std::string &F : Files)
       Pool.preRegisterFile(F);
-    ProfileOpResult R = Pool.loadProfileAll(ProfileIn);
+    ProfileOpResult R = Pool.loadProfileAll(O.ProfileIn);
     if (!R) {
       std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
       return 1;
@@ -265,12 +167,12 @@ static int runParallel(int Argc, char **Argv) {
   }
   // Armed after construction and profile loading: an injected fault is
   // aimed at the workload, not the bootstrap.
-  if (!InjectFault.empty())
-    armInjectedFault(InjectFault);
+  if (!O.InjectFault.empty())
+    pgmpcli::armInjectedFault(O.InjectFault);
   EnginePool::PoolResult R = Pool.run([&](Engine &E, size_t) {
     EvalResult Last;
     Last.Ok = true;
-    for (const std::string &Lib : Libs) {
+    for (const std::string &Lib : O.Libs) {
       Last = E.loadLibrary(Lib);
       if (!Last)
         return Last;
@@ -285,24 +187,24 @@ static int runParallel(int Argc, char **Argv) {
   // Per-task outcome report: which tasks contributed, which were retried,
   // which were abandoned. One line per noteworthy task.
   for (size_t I = 0; I < R.Outcomes.size(); ++I) {
-    const EnginePool::TaskOutcome &O = R.Outcomes[I];
-    if (!O.Ok)
+    const EnginePool::TaskOutcome &Out = R.Outcomes[I];
+    if (!Out.Ok)
       std::fprintf(stderr, "pgmpi: task %zu failed after %u attempt(s): %s\n",
-                   I, O.Attempts, O.Error.c_str());
-    else if (O.Attempts > 1)
+                   I, Out.Attempts, Out.Error.c_str());
+    else if (Out.Attempts > 1)
       std::fprintf(stderr, "pgmpi: task %zu succeeded after %u attempt(s)\n",
-                   I, O.Attempts);
+                   I, Out.Attempts);
   }
   if (R.NumFailed == R.Outcomes.size()) {
     std::fprintf(stderr, "pgmpi: all %zu task(s) failed; no profile stored\n",
                  R.NumFailed);
     return 1;
   }
-  if (ProfileOpResult S = Pool.storeMergedProfile(ProfileOut); !S) {
+  if (ProfileOpResult S = Pool.storeMergedProfile(O.ProfileOut); !S) {
     std::fprintf(stderr, "pgmpi: %s\n", S.Error.c_str());
     return 1;
   }
-  if (Stats)
+  if (O.Engine.StatsEnabled)
     std::fputs(Pool.engine(0).stats().render().c_str(), stderr);
   if (R.NumFailed) {
     std::fprintf(stderr,
@@ -310,6 +212,191 @@ static int runParallel(int Argc, char **Argv) {
                  R.Outcomes.size() - R.NumFailed, R.Outcomes.size());
     return 2; // degraded: stored, but not every task contributed
   }
+  return Degraded ? 2 : 0;
+}
+
+/// `pgmpi serve`: the long-lived continuous-profiling mode. Loads the
+/// workload instrumented, then replays a request trace round-robin across
+/// the pool while every engine publishes counters to the shared
+/// ProfileBus and re-tiers on each published epoch — the paper's
+/// profile/optimize cycle running online, without a restart between the
+/// profiled run and the optimized one.
+static int runServe(int Argc, char **Argv) {
+  CliOptions O;
+  O.PoolFlags = true;
+  O.ContinuousFlags = true;
+  // Serving defaults: continuous profiling on (that is the subcommand's
+  // purpose) and auto-tiering so epochs have decisions to revise. Both
+  // remain overridable (--interval-charges, --tier).
+  O.Engine.ContinuousProfile.IntervalCharges = 4096;
+  O.Engine.Tier = TierMode::Auto;
+  std::string Replay;
+  std::vector<std::string> Files;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (pgmpcli::parseCommonFlag(Argc, Argv, I, O)) {
+      // handled
+    } else if (Arg == "--replay") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "pgmpi: --replay needs a value\n");
+        return ExitUsage;
+      }
+      Replay = Argv[++I];
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "pgmpi: serve: unknown option %s\n", Arg.c_str());
+      return ExitUsage;
+    } else
+      Files.push_back(Arg);
+  }
+  if (Files.empty())
+    return usage();
+  if (Replay.empty()) {
+    std::fprintf(stderr, "pgmpi: serve needs --replay TRACE\n");
+    return ExitUsage;
+  }
+
+  // One Scheme request per line; blank lines and `;` comments skipped.
+  std::string Bytes, Err;
+  if (readFileAll(Replay, Bytes, Err) != FileReadStatus::Ok) {
+    std::fprintf(stderr, "pgmpi: %s\n", Err.c_str());
+    return 1;
+  }
+  std::vector<std::string> Requests;
+  for (size_t Pos = 0; Pos < Bytes.size();) {
+    size_t Eol = Bytes.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Bytes.size();
+    std::string Line = Bytes.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string::npos || Line[First] == ';')
+      continue;
+    Requests.push_back(Line);
+  }
+  if (Requests.empty()) {
+    std::fprintf(stderr, "pgmpi: %s: no requests\n", Replay.c_str());
+    return 1;
+  }
+
+  O.Engine.Instrument = true;
+  O.Engine.EchoDiagnostics = true;
+  // The serve summary reads re-tier stats regardless of --stats, which
+  // only controls printing the full table.
+  bool ShowStats = O.Engine.StatsEnabled;
+  O.Engine.StatsEnabled = true;
+
+  EnginePool::FaultPolicy Policy;
+  if (O.Retries >= 0)
+    Policy.MaxRetries = static_cast<unsigned>(O.Retries);
+  EnginePool Pool(static_cast<size_t>(O.Jobs), O.Engine, Policy);
+  bool Degraded = false;
+  if (!O.ProfileIn.empty()) {
+    for (const std::string &F : Files)
+      Pool.preRegisterFile(F);
+    ProfileOpResult R = Pool.loadProfileAll(O.ProfileIn);
+    if (!R) {
+      std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+      return 1;
+    }
+    Degraded = R.Status == ProfileOpStatus::Degraded;
+  }
+  if (!O.InjectFault.empty())
+    pgmpcli::armInjectedFault(O.InjectFault);
+
+  // Phase 1: load the workload (instrumented) on every worker.
+  EnginePool::PoolResult Load = Pool.run([&](Engine &E, size_t) {
+    EvalResult Last;
+    Last.Ok = true;
+    for (const std::string &Lib : O.Libs) {
+      Last = E.loadLibrary(Lib);
+      if (!Last)
+        return Last;
+    }
+    for (const std::string &F : Files) {
+      Last = E.evalFile(F);
+      if (!Last)
+        return Last;
+    }
+    return Last;
+  });
+  if (!Load) {
+    std::fprintf(stderr, "pgmpi: %s\n", Load.Error.c_str());
+    return 1;
+  }
+  // Requests are data, not workload: stop minting profile points for the
+  // replayed top-level forms so the continuous profile stays keyed by the
+  // workload's own expressions. Closure counters keep counting.
+  for (size_t I = 0; I < Pool.size(); ++I)
+    Pool.engine(I).setInstrumentation(false);
+
+  // Phase 2: replay, round-robin (request i goes to worker i mod N),
+  // timed in two halves so skew-flip convergence is observable: under
+  // re-tiering the second half should approach an oracle-profiled run.
+  std::vector<size_t> FailedPer(Pool.size(), 0);
+  auto ReplayRange = [&](size_t Begin, size_t End) {
+    Pool.run([&](Engine &E, size_t W) {
+      EvalResult Last;
+      Last.Ok = true;
+      // A failed request is contained to that request — logged and
+      // counted, never escalated to pool-level fault isolation.
+      for (size_t Idx = Begin + W; Idx < End; Idx += Pool.size()) {
+        EvalResult R = E.evalString(Requests[Idx], "<request>");
+        if (!R.Ok) {
+          ++FailedPer[W];
+          std::fprintf(stderr, "pgmpi: request %zu: %s\n", Idx,
+                       R.Error.c_str());
+        }
+      }
+      return Last;
+    });
+  };
+  using Clock = std::chrono::steady_clock;
+  size_t Half = Requests.size() / 2;
+  Clock::time_point T0 = Clock::now();
+  ReplayRange(0, Half);
+  Clock::time_point T1 = Clock::now();
+  ReplayRange(Half, Requests.size());
+  Clock::time_point T2 = Clock::now();
+
+  size_t Failed = 0;
+  uint64_t Promotions = 0, Demotions = 0, Publishes = 0;
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    Failed += FailedPer[I];
+    const StatsRegistry &S = Pool.engine(I).stats();
+    Promotions += S.count(Stat::RetierPromotions);
+    Demotions += S.count(Stat::RetierDemotions);
+    Publishes += S.count(Stat::BusPublishes);
+  }
+  uint64_t Epochs = Pool.bus() ? Pool.bus()->epochsPublished() : 0;
+  auto Ms = [](Clock::time_point A, Clock::time_point B) {
+    return static_cast<unsigned long long>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(B - A).count());
+  };
+  std::fprintf(stderr,
+               "pgmpi: serve: %zu request(s), %zu failed, %llu publish(es), "
+               "%llu epoch(s), %llu promotion(s), %llu demotion(s)\n",
+               Requests.size(), Failed,
+               static_cast<unsigned long long>(Publishes),
+               static_cast<unsigned long long>(Epochs),
+               static_cast<unsigned long long>(Promotions),
+               static_cast<unsigned long long>(Demotions));
+  std::fprintf(stderr, "pgmpi: serve: first half %llu ms, second half %llu ms\n",
+               Ms(T0, T1), Ms(T1, T2));
+
+  if (Failed == Requests.size()) {
+    std::fprintf(stderr, "pgmpi: all %zu request(s) failed\n", Failed);
+    return 1;
+  }
+  if (!O.ProfileOut.empty()) {
+    if (ProfileOpResult S = Pool.storeMergedProfile(O.ProfileOut); !S) {
+      std::fprintf(stderr, "pgmpi: %s\n", S.Error.c_str());
+      return 1;
+    }
+  }
+  if (ShowStats)
+    std::fputs(Pool.engine(0).stats().render().c_str(), stderr);
+  if (Failed)
+    return 2; // degraded: served, but not every request succeeded
   return Degraded ? 2 : 0;
 }
 
@@ -509,18 +596,14 @@ int main(int Argc, char **Argv) {
     return runReport(Argc, Argv);
   if (Argc > 1 && std::strcmp(Argv[1], "run") == 0)
     return runParallel(Argc, Argv);
+  if (Argc > 1 && std::strcmp(Argv[1], "serve") == 0)
+    return runServe(Argc, Argv);
 
-  bool Instrument = false;
+  CliOptions O;
   bool DumpExpansion = false;
-  bool AnnotateWrap = false;
-  bool StrictProfile = false;
   bool Repl = false;
-  bool Stats = false;
-  TierMode Tier = TierMode::Off;
-  int64_t TierThreshold = -1;
-  std::string ProfileOut, ProfileIn, EvalText, TraceOut, InjectFault;
-  std::vector<std::string> Libs, Files;
-  EngineOptions Opts;
+  std::string EvalText, TraceOut;
+  std::vector<std::string> Files;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -531,40 +614,16 @@ int main(int Argc, char **Argv) {
       }
       return Argv[++I];
     };
-    if (parseGuardFlag(Arg, NeedsValue, Opts)) {
+    if (pgmpcli::parseCommonFlag(Argc, Argv, I, O)) {
       // handled
-    } else if (Arg == "--inject-fault")
-      InjectFault = NeedsValue("--inject-fault");
-    else if (Arg == "--instrument")
-      Instrument = true;
+    } else if (Arg == "--instrument")
+      O.Engine.Instrument = true;
     else if (Arg == "--dump-expansion")
       DumpExpansion = true;
-    else if (Arg == "--annotate-wrap")
-      AnnotateWrap = true;
-    else if (Arg == "--strict-profile")
-      StrictProfile = true;
     else if (Arg == "--repl")
       Repl = true;
-    else if (Arg == "--stats")
-      Stats = true;
     else if (Arg == "--trace")
       TraceOut = NeedsValue("--trace");
-    else if (Arg == "--tier")
-      Tier = parseTierMode(NeedsValue("--tier"));
-    else if (Arg == "--tier-threshold") {
-      if (!parseInt64(NeedsValue("--tier-threshold"), TierThreshold) ||
-          TierThreshold < 1) {
-        std::fprintf(stderr,
-                     "pgmpi: --tier-threshold needs a positive number\n");
-        return ExitUsage;
-      }
-    }
-    else if (Arg == "--profile-out")
-      ProfileOut = NeedsValue("--profile-out");
-    else if (Arg == "--profile-in")
-      ProfileIn = NeedsValue("--profile-in");
-    else if (Arg == "--lib")
-      Libs.push_back(NeedsValue("--lib"));
     else if (Arg == "-e")
       EvalText = NeedsValue("-e");
     else if (Arg == "--help" || Arg == "-h")
@@ -578,28 +637,20 @@ int main(int Argc, char **Argv) {
   if (Files.empty() && EvalText.empty() && !Repl)
     return usage();
 
-  Opts.Instrument = Instrument;
-  Opts.StrictProfile = StrictProfile;
-  Opts.StatsEnabled = Stats;
-  Opts.TracePath = TraceOut;
-  Opts.EchoStdout = true;
-  Opts.EchoDiagnostics = true;
-  if (AnnotateWrap)
-    Opts.Annotate = AnnotateMode::Wrap;
-  Opts.Tier = Tier;
-  if (TierThreshold > 0)
-    Opts.TierThreshold = static_cast<uint32_t>(TierThreshold);
-  Engine E(Opts);
+  O.Engine.TracePath = TraceOut;
+  O.Engine.EchoStdout = true;
+  O.Engine.EchoDiagnostics = true;
+  Engine E(O.Engine);
   bool Degraded = false;
 
-  if (!ProfileIn.empty()) {
+  if (!O.ProfileIn.empty()) {
     // Register the script buffers before loading so the profile's source
     // fingerprints are checked against the code about to be compiled.
     for (const std::string &F : Files) {
       FileId Id;
       (void)E.context().SrcMgr.addFile(F, Id); // missing files error later
     }
-    ProfileOpResult R = E.loadProfile(ProfileIn);
+    ProfileOpResult R = E.loadProfile(O.ProfileIn);
     if (!R) {
       std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
       return 1;
@@ -609,9 +660,9 @@ int main(int Argc, char **Argv) {
     Degraded = R.degraded();
   }
   // Armed after construction and profile loading, before the workload.
-  if (!InjectFault.empty())
-    armInjectedFault(InjectFault);
-  for (const std::string &Lib : Libs) {
+  if (!O.InjectFault.empty())
+    pgmpcli::armInjectedFault(O.InjectFault);
+  for (const std::string &Lib : O.Libs) {
     EvalResult R = E.loadLibrary(Lib);
     if (!R) {
       std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
@@ -658,8 +709,8 @@ int main(int Argc, char **Argv) {
   if (Repl)
     runRepl(E);
 
-  if (!ProfileOut.empty()) {
-    if (ProfileOpResult R = E.storeProfile(ProfileOut); !R) {
+  if (!O.ProfileOut.empty()) {
+    if (ProfileOpResult R = E.storeProfile(O.ProfileOut); !R) {
       std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
       return 1;
     }
@@ -670,7 +721,7 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
-  if (Stats)
+  if (O.Engine.StatsEnabled)
     std::fputs(E.stats().render().c_str(), stderr);
   return Degraded ? 2 : 0;
 }
