@@ -55,7 +55,7 @@ const char *MixKernel =
 void runAllocBench(benchmark::State &State, const char *Kernel, int64_t N,
                    int64_t ItemsPerIter) {
   EngineOptions Opts;
-  Opts.Tier = TierMode::Off; // isolate interpreter-path allocation
+  Opts.Tier.Mode = TierMode::Off; // isolate interpreter-path allocation
   Engine E(Opts);
   requireEval(E, Kernel, "alloc-kernel.scm");
   Value *Fn = E.context().globalCell(E.context().Symbols.intern("work"));

@@ -36,7 +36,7 @@ const char *Kernel =
 void BM_WorkloadWithBus(benchmark::State &State) {
   EngineOptions Opts;
   Opts.Instrument = true;
-  Opts.Tier = TierMode::Auto;
+  Opts.Tier.Mode = TierMode::Auto;
   uint64_t Interval = static_cast<uint64_t>(State.range(0));
   Opts.ContinuousProfile.IntervalCharges = Interval;
   Engine E(Opts);

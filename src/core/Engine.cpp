@@ -37,14 +37,12 @@ Engine::Engine(const EngineOptions &Opts) : Ctx(), Exp(Ctx) {
   Ctx.Stats.enable(Opts.StatsEnabled);
   Ctx.EchoStdout = Opts.EchoStdout;
   Ctx.Diags.EchoToStderr = Opts.EchoDiagnostics;
-  Ctx.TierExec = Opts.Tier;
-  Ctx.TierThreshold = Opts.TierThreshold;
-  Ctx.TierHotWeight = Opts.TierHotWeight;
+  Ctx.Tier = Opts.Tier;
   // Guards also apply only after the prelude: a tight fuel budget should
   // constrain the user's program, not the library bootstrap.
   Ctx.Guard.configure(Opts.Fuel, Opts.MaxDepth, Opts.DeadlineMs);
   Ctx.TheHeap.setLimitBytes(Opts.MaxHeapBytes);
-  if (Opts.Tier != TierMode::Off)
+  if (Opts.Tier.Mode != TierMode::Off)
     installVm(Ctx);
   // Continuous profiling arms the ExecGuard poll point after the guards:
   // configurePoll recomputes Active, so a poll interval alone is enough

@@ -24,13 +24,14 @@
 #ifndef PGMP_CORE_ENGINEOPTIONS_H
 #define PGMP_CORE_ENGINEOPTIONS_H
 
+#include "interp/TierPolicy.h"
+
 #include <cstdint>
 #include <string>
 
 namespace pgmp {
 
 enum class AnnotateMode : uint8_t; // interp/Context.h
-enum class TierMode : uint8_t;     // interp/Context.h
 class ProfileBus;                  // profile/ProfileBus.h
 
 /// Continuous profiling configuration (the long-lived serving mode; see
@@ -77,20 +78,14 @@ struct EngineOptions {
   /// the destructor, best-effort) write Chrome trace_event JSON here.
   std::string TracePath;
 
-  /// Tiered execution: promote hot closures from the tree-walking
-  /// interpreter to the bytecode VM. Zero-initialized to TierMode::Off
-  /// (the enum is defined in interp/Context.h, visible through
-  /// core/Engine.h). Tiered code bumps the exact same source-expression
+  /// Tiered execution policy (interp/TierPolicy.h): when closures promote
+  /// from the tree-walking interpreter to the bytecode VM, plus the
+  /// profile-guided codegen knobs (superinstruction fusion, call-site
+  /// inlining) the VM applies at tier-up. Defaults to TierMode::Off.
+  /// Tiered code — fused or not — bumps the exact same source-expression
   /// counters as the interpreter, so instrumented profiles are
-  /// byte-identical across tier modes.
-  TierMode Tier{};
-
-  /// Auto-mode invocation threshold before a closure tiers up.
-  uint32_t TierThreshold = 64;
-
-  /// Loaded-profile weight at or above which a closure is pre-marked hot
-  /// and tiers on first invocation (profile-guided pre-tiering).
-  double TierHotWeight = 0.05;
+  /// byte-identical across tier modes and fusion settings.
+  TierPolicy Tier;
 
   //===--------------------------------------------------------------------===//
   // Execution guards (support/ExecGuard.h; 0 = unlimited). Limits govern

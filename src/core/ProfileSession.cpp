@@ -3,6 +3,7 @@
 #include "core/ProfileSession.h"
 
 #include "interp/Expr.h"
+#include "interp/TierBackend.h"
 #include "profile/ProfileIO.h"
 #include "support/FaultInjector.h"
 
@@ -182,7 +183,7 @@ static void applyEpoch(Context &Ctx, const ProfileEpoch &Epoch) {
       continue;
     auto It = Weights.find(L->Body->Src);
     double W = It == Weights.end() ? 0.0 : It->second;
-    if (W >= Ctx.TierHotWeight) {
+    if (W >= Ctx.Tier.HotWeight) {
       // Hot per this epoch: pre-mark (skips the Auto warm-up) and restore
       // a parked bytecode body, if a demotion left one, without
       // recompiling.
@@ -209,6 +210,14 @@ static void applyEpoch(Context &Ctx, const ProfileEpoch &Epoch) {
     // they proved themselves hot by running, and the epoch's silence is
     // not evidence of coldness strong enough to un-compile them.
   }
+
+  // A fresh epoch can also shift the hot *opcode* mix, not just the hot
+  // closure set: re-select the superinstruction fusion table from the
+  // block profiles observed so far and drop bodies compiled against an
+  // older table — they re-tier lazily against the fresh one on their next
+  // hot invocation.
+  if (Ctx.Backend)
+    Ctx.Backend->invalidateEpoch(Ctx, Ctx.Backend->fuse(Ctx));
 }
 
 bool pgmp::pollContinuousProfile(Context &Ctx) {

@@ -26,7 +26,7 @@
 /// totals to a ProfileBus from the ExecGuard poll point and, when the bus
 /// publishes a new epoch, re-evaluate every compiled lambda's tier:
 ///
-///  - weight >= Context::TierHotWeight: pre-mark hot (TierHot), restoring
+///  - weight >= TierPolicy::HotWeight: pre-mark hot (TierHot), restoring
 ///    a previously parked bytecode body (LambdaExpr::TierCache) if one
 ///    exists — promotion without recompilation.
 ///  - a *profile-marked* hot lambda whose weight fell below the

@@ -48,7 +48,6 @@ static EngineOptions stageOptions(const ThreePassConfig &Config,
   Opts.StrictProfile = Config.StrictProfile;
   Opts.StatsEnabled = Config.StageStatsOut != nullptr;
   Opts.Tier = Config.Tier;
-  Opts.TierThreshold = Config.TierThreshold;
   return Opts;
 }
 

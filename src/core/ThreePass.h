@@ -62,11 +62,10 @@ struct ThreePassConfig {
   /// to an unoptimized build (with a DiagKind::Warning) and an invalid
   /// block profile just skips layout; in strict mode both abort the pass.
   bool StrictProfile = false;
-  /// Tiered execution for every pass. Safe in pass 1 because tiered code
-  /// bumps the same source counters as the interpreter — the stored
-  /// source profile is byte-identical either way.
-  TierMode Tier{};
-  uint32_t TierThreshold = 64;
+  /// Tiered execution policy for every pass. Safe in pass 1 because
+  /// tiered code (fused or not) bumps the same source counters as the
+  /// interpreter — the stored source profile is byte-identical either way.
+  TierPolicy Tier;
   /// When set, each pass enables engine stats and appends its stage
   /// report here (observability of the protocol itself).
   std::vector<ThreePassStageStats> *StageStatsOut = nullptr;

@@ -482,10 +482,10 @@ Expr *CompilerImpl::compileLambda(const std::vector<Value> &Elems, Value Stx,
   // profile skips the Auto warm-up and compiles to bytecode on its first
   // invocation. Consulted once at compile time — the snapshot is O(1)
   // when the database hasn't changed.
-  if (Ctx.TierExec == TierMode::Auto && L->Body->Src) {
+  if (Ctx.Tier.Mode == TierMode::Auto && L->Body->Src) {
     ProfileSnapshot Snap = Ctx.ProfileDb.snapshot();
     if (Snap.hasData() &&
-        Snap.weightOpt(L->Body->Src).value_or(0.0) >= Ctx.TierHotWeight) {
+        Snap.weightOpt(L->Body->Src).value_or(0.0) >= Ctx.Tier.HotWeight) {
       L->TierHot = true;
       Ctx.Stats.bump(Stat::TierPremarkedHot);
     }

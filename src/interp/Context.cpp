@@ -32,9 +32,34 @@ Value *Context::globalCell(Symbol *Sym) {
   return &NewIt->second;
 }
 
+/// Known fixnum-specializable primitives, recognized by name at
+/// registration so the individual Prims*.cpp files stay unchanged.
+static PrimIntrinsic intrinsicFor(const std::string &Name) {
+  if (Name == "+")
+    return PrimIntrinsic::Add;
+  if (Name == "-")
+    return PrimIntrinsic::Sub;
+  if (Name == "*")
+    return PrimIntrinsic::Mul;
+  if (Name == "=")
+    return PrimIntrinsic::NumEq;
+  if (Name == "<")
+    return PrimIntrinsic::Lt;
+  if (Name == ">")
+    return PrimIntrinsic::Gt;
+  if (Name == "<=")
+    return PrimIntrinsic::Le;
+  if (Name == ">=")
+    return PrimIntrinsic::Ge;
+  if (Name == "zero?")
+    return PrimIntrinsic::ZeroP;
+  return PrimIntrinsic::None;
+}
+
 void Context::definePrimitive(const std::string &Name, int MinArgs,
                               int MaxArgs, PrimFn Fn) {
   Primitive *P = TheHeap.make<Primitive>(Name, MinArgs, MaxArgs, Fn);
+  P->Intr = intrinsicFor(Name);
   defineGlobal(Name, Value::object(ValueKind::Primitive, P));
 }
 

@@ -12,6 +12,7 @@
 #define PGMP_INTERP_CONTEXT_H
 
 #include "expander/Binding.h"
+#include "interp/TierPolicy.h"
 #include "profile/ProfileBus.h"
 #include "profile/ProfileDatabase.h"
 #include "profile/ShardedCounterStore.h"
@@ -34,15 +35,8 @@ namespace pgmp {
 
 class CodeUnit;
 class LambdaExpr;
+class TierBackend;
 class VmFunction;
-
-/// Tiered execution policy (see DESIGN.md "Tiered execution"): closures
-/// start in the tree-walking interpreter and may be compiled to bytecode
-/// ("tiered up") once hot. Off — interpreter only. Auto — tier up when a
-/// closure's invocation count crosses Context::TierThreshold (or
-/// immediately when a loaded profile already marks it hot). Always — tier
-/// up on first invocation (useful for tests and worst-case validation).
-enum class TierMode : uint8_t { Off, Auto, Always };
 
 /// How annotate-expr instruments (paper Sections 4.1 vs 4.2):
 /// Inline — attach the profile point directly to the expression (Chez
@@ -100,36 +94,24 @@ public:
   // Tiered execution (interp -> VM promotion of hot closures)
   //===--------------------------------------------------------------------===//
 
-  /// Tier policy for closure applies. The dispatch itself lives in the
-  /// interpreter's apply path (interp/Eval.cpp); compilation and execution
-  /// are reached through the hooks below so interp/ stays free of vm/
-  /// headers, mirroring VmApplyHook.
-  TierMode TierExec = TierMode::Off;
-  /// Invocations before an Auto-mode closure is compiled to bytecode.
-  uint32_t TierThreshold = 64;
-  /// Loaded-profile weight at or above which a closure body is considered
-  /// known-hot and tiers on its first invocation (profile-guided
-  /// pre-tiering; the paper's weights driving our own runtime).
-  double TierHotWeight = 0.05;
+  /// Tier policy for closure applies (interp/TierPolicy.h). The dispatch
+  /// itself lives in the interpreter's apply path (interp/Eval.cpp);
+  /// compilation and execution go through Backend below so interp/ stays
+  /// free of vm/ headers, mirroring VmApplyHook.
+  TierPolicy Tier;
   /// Nonzero while a macro transformer is running (expander phase 1).
   /// Phase-1 code never tiers: it is expansion-time-only, typically
   /// contains syntax-case/template nodes the VM rejects, and tiering it
   /// would buy nothing the three-pass protocol could keep stable.
   uint32_t PhaseOneDepth = 0;
 
-  /// Compiles \p L's body to a VmFunction (caching it on the lambda) or
-  /// marks it TierBlocked; installed by vm/Vm.cpp (installVm).
-  using TierCompileFn = const VmFunction *(*)(Context &, const LambdaExpr *);
-  TierCompileFn TierCompileHook = nullptr;
-  /// Runs a tier-compiled function over a closure's captured frame.
-  using TierRunFn = Value (*)(Context &, const VmFunction *, EnvObj *Captured,
-                              Value *Args, size_t NumArgs);
-  TierRunFn TierRunHook = nullptr;
-  /// Keeps tier-compiled VM modules alive for the session. Type-erased so
-  /// this header does not depend on vm/; the vm layer creates the modules
-  /// through TierCompileHook and parks ownership here (closures in
-  /// globals point into them, exactly like adopted CodeUnits).
-  std::vector<std::shared_ptr<void>> TierModules;
+  /// The tier-up backend (interp/TierBackend.h): compiles hot lambdas,
+  /// runs their bytecode, selects superinstruction fusions, invalidates
+  /// stale code at profile epochs — and owns every module it compiled.
+  /// Registered by vm/Vm.cpp (installVm) at engine construction; null
+  /// when tiering is off, so a null check is the only coupling the
+  /// interpreter has to the VM's existence.
+  std::shared_ptr<TierBackend> Backend;
 
   //===--------------------------------------------------------------------===//
   // Continuous profiling (profile/ProfileBus.h, core/ProfileSession.h)

@@ -2,6 +2,8 @@
 
 #include "interp/Eval.h"
 
+#include "interp/TierBackend.h"
+
 #include "expander/Matcher.h"
 #include "expander/Template.h"
 #include "support/Diagnostics.h"
@@ -51,13 +53,13 @@ static EnvObj *buildFrame(Context &Ctx, Closure *C, Value *Args,
 const VmFunction *pgmp::tieredFunctionFor(Context &Ctx, const LambdaExpr *L) {
   if (L->Tiered)
     return L->Tiered;
-  if (Ctx.TierExec == TierMode::Off || L->TierBlocked || !Ctx.TierCompileHook ||
+  if (Ctx.Tier.Mode == TierMode::Off || L->TierBlocked || !Ctx.Backend ||
       Ctx.PhaseOneDepth != 0)
     return nullptr;
-  if (Ctx.TierExec == TierMode::Auto && !L->TierHot &&
-      ++L->TierInvokes < Ctx.TierThreshold)
+  if (Ctx.Tier.Mode == TierMode::Auto && !L->TierHot &&
+      ++L->TierInvokes < Ctx.Tier.Threshold)
     return nullptr;
-  return Ctx.TierCompileHook(Ctx, L);
+  return Ctx.Backend->compile(Ctx, L);
 }
 
 template <bool GuardOn>
@@ -79,7 +81,7 @@ Value pgmp::applyProcedure(Context &Ctx, Value Fn, Value *Args,
     // entry, so every application costs exactly one fuel unit no matter
     // which tier executes it (counter-fidelity for guards too).
     if (const VmFunction *VF = tieredFunctionFor(Ctx, C->Template))
-      return Ctx.TierRunHook(Ctx, VF, C->Captured, Args, NumArgs);
+      return Ctx.Backend->run(Ctx, VF, C->Captured, Args, NumArgs);
     EnvObj *Frame = buildFrame(Ctx, C, Args, NumArgs);
     ExecGuard &G = Ctx.Guard;
     if (G.Active) {
@@ -222,7 +224,7 @@ tail:
     Closure *Cl = Fn.asClosure();
     // Tiered dispatch: the VM entry charges fuel/depth itself.
     if (const VmFunction *VF = tieredFunctionFor(Ctx, Cl->Template))
-      return Ctx.TierRunHook(Ctx, VF, Cl->Captured, Args, N);
+      return Ctx.Backend->run(Ctx, VF, Cl->Captured, Args, N);
     EnvObj *Frame = buildFrame(Ctx, Cl, Args, N);
     if (C->Tail) {
       // Tail applications are iterative (this goto): they consume fuel

@@ -25,7 +25,7 @@ Value applyProcedure(Context &Ctx, Value Fn, Value *Args, size_t NumArgs);
 
 /// The tier-up decision for one closure template: returns the cached
 /// bytecode body if \p L has already tiered, triggers compilation through
-/// Context::TierCompileHook when the policy says it is time (Always, a
+/// Context::Backend when the policy says it is time (Always, a
 /// profile-premarked hot closure, or the Auto invocation threshold), and
 /// returns null while \p L should stay interpreted. Phase-1 (macro
 /// transformer) code never tiers. Shared by the interpreter's apply paths

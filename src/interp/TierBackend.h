@@ -1,0 +1,71 @@
+//===- interp/TierBackend.h - Tier-up execution backend -------*- C++ -*-===//
+///
+/// \file
+/// The interface between the interpreter and whatever executes tiered
+/// code. The interpreter decides *when* a closure tiers (TierPolicy, the
+/// apply path in Eval.cpp); a TierBackend decides *what that means*:
+/// compiling the body, running it, selecting superinstruction fusions
+/// from fresh profiles, and invalidating code a new profile epoch has
+/// made stale.
+///
+/// This replaces the former trio of raw hooks on Context
+/// (TierCompileHook / TierRunHook function pointers plus the type-erased
+/// TierModules blob): one object now carries the behavior *and* owns the
+/// compiled modules, registered at engine construction by vm/Vm.cpp
+/// (installVm). interp/ still never includes a vm/ header — VmFunction
+/// stays an opaque forward declaration here, exactly as it was for the
+/// hooks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGMP_INTERP_TIERBACKEND_H
+#define PGMP_INTERP_TIERBACKEND_H
+
+#include "syntax/Value.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pgmp {
+
+class Context;
+class EnvObj;
+class LambdaExpr;
+class VmFunction;
+
+/// Abstract tier-up backend. The VM registers one on
+/// Context::Backend at engine construction; a null Backend means tiering
+/// is structurally impossible (TierMode::Off engines never install one).
+/// The backend outlives every piece of code it compiled — Context holds
+/// it by shared_ptr and closures keep running its modules' code for the
+/// whole session.
+class TierBackend {
+public:
+  virtual ~TierBackend() = default;
+
+  /// Compiles \p L's body to a bytecode function, caching it on the
+  /// lambda (L->Tiered) — or marks it TierBlocked and returns null when
+  /// the body cannot run on the VM (phase-1-only nodes). Applies the
+  /// current fusion table and inlining policy.
+  virtual const VmFunction *compile(Context &Ctx, const LambdaExpr *L) = 0;
+
+  /// Runs a tier-compiled function over a closure's captured frame.
+  virtual Value run(Context &Ctx, const VmFunction *Fn, EnvObj *Captured,
+                    Value *Args, size_t NumArgs) = 0;
+
+  /// Re-selects the superinstruction fusion table from the block
+  /// profiles observed so far (continuous-profiling epochs call this).
+  /// Returns the table's epoch, which bumps only when the selection
+  /// actually changed.
+  virtual uint64_t fuse(Context &Ctx) = 0;
+
+  /// Drops tier-compiled bodies that were fused against a table older
+  /// than \p FusionEpoch: the lambdas re-tier lazily against the fresh
+  /// table on their next hot invocation. Returns how many bodies were
+  /// invalidated.
+  virtual size_t invalidateEpoch(Context &Ctx, uint64_t FusionEpoch) = 0;
+};
+
+} // namespace pgmp
+
+#endif // PGMP_INTERP_TIERBACKEND_H

@@ -88,6 +88,16 @@ const char *StatsRegistry::statName(Stat S) {
     return "retier-promotions";
   case Stat::RetierDemotions:
     return "retier-demotions";
+  case Stat::SuperinstructionsFused:
+    return "superinstructions-fused";
+  case Stat::TierInlines:
+    return "tier-inlines";
+  case Stat::TierInlineFallbacks:
+    return "tier-inline-fallbacks";
+  case Stat::FusionEpochs:
+    return "fusion-epochs";
+  case Stat::TierInvalidations:
+    return "tier-invalidations";
   }
   return "?";
 }

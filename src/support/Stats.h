@@ -68,9 +68,14 @@ enum class Stat : uint8_t {
   BusPublishes,       ///< counter snapshots published to a ProfileBus
   BusEpochs,          ///< bus epochs observed and applied by this engine
   RetierPromotions,   ///< lambdas marked hot by an epoch (re-tiering)
-  RetierDemotions     ///< stale-hot lambdas demoted to interpretation
+  RetierDemotions,    ///< stale-hot lambdas demoted to interpretation
+  SuperinstructionsFused, ///< opcode pairs fused at tier-up
+  TierInlines,        ///< calls inlined into a tiered body
+  TierInlineFallbacks, ///< eligible inlines abandoned by a size/depth cap
+  FusionEpochs,       ///< fusion-table re-selections that changed the set
+  TierInvalidations   ///< tiered bodies dropped by a fusion-table epoch
 };
-inline constexpr size_t NumStats = 23;
+inline constexpr size_t NumStats = 28;
 
 /// Monotonic clock in nanoseconds (steady_clock).
 uint64_t statsNowNanos();

@@ -144,6 +144,24 @@ public:
 /// Signature of a built-in procedure.
 using PrimFn = Value (*)(Context &, Value *Args, size_t NumArgs);
 
+/// Fixnum-specializable primitives the VM call paths recognize. The fast
+/// paths must be observationally identical to the registered handler on
+/// fixnum inputs (same wrap-on-overflow int64 arithmetic, same
+/// compare-as-double semantics), so they are a dispatch shortcut, never a
+/// semantic change; anything non-fixnum falls through to the handler.
+enum class PrimIntrinsic : uint8_t {
+  None,
+  Add,   ///< (+ a b)
+  Sub,   ///< (- a b)
+  Mul,   ///< (* a b)
+  NumEq, ///< (= a b)
+  Lt,    ///< (< a b)
+  Gt,    ///< (> a b)
+  Le,    ///< (<= a b)
+  Ge,    ///< (>= a b)
+  ZeroP  ///< (zero? a)
+};
+
 /// A built-in procedure with arity checking metadata.
 class Primitive : public Obj {
 public:
@@ -154,6 +172,7 @@ public:
   int MinArgs;
   int MaxArgs; ///< -1 for variadic
   PrimFn Fn;
+  PrimIntrinsic Intr = PrimIntrinsic::None;
 };
 
 /// A single-cell mutable box.

@@ -4,11 +4,24 @@
 
 #include "interp/Compiler.h"
 #include "interp/Eval.h"
+#include "interp/TierBackend.h"
 #include "reader/Reader.h"
 #include "support/Diagnostics.h"
 #include "support/FaultInjector.h"
+#include "vm/Fusion.h"
+
+#include <unordered_map>
 
 using namespace pgmp;
+
+// Token-threaded dispatch needs the GNU labels-as-values extension.
+// Define PGMP_VM_SWITCH_DISPATCH to force the portable switch loop
+// (useful for A/B-ing dispatch strategies on the same compiler).
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(PGMP_VM_SWITCH_DISPATCH)
+#define PGMP_VM_THREADED 1
+#else
+#define PGMP_VM_THREADED 0
+#endif
 
 // The VM's operand stack lives in uninitialized raw storage.
 static_assert(std::is_trivially_copyable_v<Value> &&
@@ -46,6 +59,70 @@ EnvObj *buildVmFrame(Context &Ctx, const VmFunction *Fn, EnvObj *Captured,
       Rest = Ctx.TheHeap.cons(Args[I - 1], Rest);
   Frame->slots()[Fixed] = Rest;
   return Frame;
+}
+
+/// Fixnum fast paths for the intrinsic-tagged primitives (Heap.h). Wrap
+/// semantics and compare-as-double match the registered handlers exactly
+/// (primAdd accumulates in int64, compareChain compares doubles), so a
+/// hit produces the same Value the handler would; any non-fixnum operand
+/// misses and takes the ordinary handler call.
+inline bool tryPrimIntrinsic(const Primitive *P, Value *A, size_t N,
+                             Value &Out) {
+  if (P->Intr == PrimIntrinsic::None)
+    return false;
+  if (N == 1) {
+    if (P->Intr == PrimIntrinsic::ZeroP && A[0].isFixnum()) {
+      Out = Value::boolean(A[0].asFixnum() == 0);
+      return true;
+    }
+    return false;
+  }
+  if (N == 3 && A[0].isFixnum() && A[1].isFixnum() && A[2].isFixnum()) {
+    // Ternary chains ((+ a b c), (* k x x)) are as common as binary ones
+    // in arithmetic-heavy kernels; same int64 wrap as the handlers.
+    if (P->Intr == PrimIntrinsic::Add) {
+      Out = Value::fixnum(A[0].asFixnum() + A[1].asFixnum() +
+                          A[2].asFixnum());
+      return true;
+    }
+    if (P->Intr == PrimIntrinsic::Mul) {
+      Out = Value::fixnum(A[0].asFixnum() * A[1].asFixnum() *
+                          A[2].asFixnum());
+      return true;
+    }
+    return false;
+  }
+  if (N != 2 || !A[0].isFixnum() || !A[1].isFixnum())
+    return false;
+  int64_t X = A[0].asFixnum(), Y = A[1].asFixnum();
+  switch (P->Intr) {
+  case PrimIntrinsic::Add:
+    Out = Value::fixnum(X + Y);
+    return true;
+  case PrimIntrinsic::Sub:
+    Out = Value::fixnum(X - Y);
+    return true;
+  case PrimIntrinsic::Mul:
+    Out = Value::fixnum(X * Y);
+    return true;
+  case PrimIntrinsic::NumEq:
+    Out = Value::boolean(static_cast<double>(X) == static_cast<double>(Y));
+    return true;
+  case PrimIntrinsic::Lt:
+    Out = Value::boolean(static_cast<double>(X) < static_cast<double>(Y));
+    return true;
+  case PrimIntrinsic::Gt:
+    Out = Value::boolean(static_cast<double>(X) > static_cast<double>(Y));
+    return true;
+  case PrimIntrinsic::Le:
+    Out = Value::boolean(static_cast<double>(X) <= static_cast<double>(Y));
+    return true;
+  case PrimIntrinsic::Ge:
+    Out = Value::boolean(static_cast<double>(X) >= static_cast<double>(Y));
+    return true;
+  default:
+    return false;
+  }
 }
 
 } // namespace
@@ -111,6 +188,10 @@ static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
   EnsureCap(Fn->MaxStack);
 
   size_t Pc = 0;
+  // The instruction pointer base: one register instead of re-chasing
+  // Fn->Linear's data pointer on every dispatch. Rebound only where Fn
+  // itself rebinds (tail-call restarts).
+  const Instr *Code = Fn->Linear.data();
 
   auto Pop = [&]() {
     assert(Sp > 0 && "vm stack underflow");
@@ -133,38 +214,118 @@ static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
     Jumps = 0;
   };
 
+
+  // Non-tail call path shared by the fused call ops: callee sits below
+  // the N arguments; result replaces callee + args. Mirrors the Op::Call
+  // case below (which keeps its own copy because TailCall shares its
+  // callee resolution).
+  auto RunCall = [&](size_t N) {
+    Value *CallArgs = Stack + (Sp - N);
+    Value Callee = Stack[Sp - N - 1];
+    const VmFunction *Target = nullptr;
+    EnvObj *TargetEnv = nullptr;
+    if (Callee.isVmClosure()) {
+      VmClosure *C = asVmClosure(Callee);
+      Target = C->Fn;
+      TargetEnv = C->Captured;
+    } else if (Callee.isClosure()) {
+      Closure *C = Callee.asClosure();
+      if (const VmFunction *VF = tieredFunctionFor(Ctx, C->Template)) {
+        Target = VF;
+        TargetEnv = C->Captured;
+      }
+    }
+    Value Result;
+    if (Target) {
+      Result = runVmLoop<GuardOn>(Ctx, const_cast<VmFunction *>(Target),
+                                  TargetEnv, CallArgs, N);
+    } else if (Callee.isPrimitive()) {
+      Primitive *P = Callee.asPrimitive();
+      if (!tryPrimIntrinsic(P, CallArgs, N, Result)) {
+        if (static_cast<int>(N) < P->MinArgs ||
+            (P->MaxArgs >= 0 && static_cast<int>(N) > P->MaxArgs))
+          raiseError("primitive " + P->Name + " got " + std::to_string(N) +
+                     " arguments");
+        Result = P->Fn(Ctx, CallArgs, N);
+      }
+    } else {
+      Result = applyProcedure(Ctx, Callee, CallArgs, N);
+    }
+    Sp -= N + 1;
+    Push(Result);
+  };
+
+  // Dispatch. On GCC/Clang the loop is token-threaded (labels as
+  // values): every handler ends by jumping straight to the next
+  // handler, so the branch predictor sees one indirect branch per
+  // opcode site instead of a single shared dispatch branch, and learns
+  // per-opcode successor patterns. The switch build is kept as the
+  // portable fallback and as the reference semantics: both forms run
+  // the same handler bodies via VM_CASE/VM_NEXT.
+  Instr I;
+#if PGMP_VM_THREADED
+  static const void *const JumpTable[] = {
+      &&Lb_Const,       &&Lb_LocalRef,    &&Lb_GlobalRef,
+      &&Lb_SetLocal,    &&Lb_SetGlobal,   &&Lb_DefineGlobal,
+      &&Lb_MakeClosure, &&Lb_Call,        &&Lb_TailCall,
+      &&Lb_Jump,        &&Lb_BranchFalse, &&Lb_BranchTrue,
+      &&Lb_Return,      &&Lb_Pop,         &&Lb_ProfileBlock,
+      &&Lb_ProfileSrc,  &&Lb_LocalLocal,  &&Lb_LocalConst,
+      &&Lb_GlobalLocal, &&Lb_GlobalConst, &&Lb_LocalCall,
+      &&Lb_ConstCall,   &&Lb_CallBranchFalse,
+      &&Lb_Peek,        &&Lb_Squash,      &&Lb_GlobalIs,
+      &&Lb_GuardEnter,  &&Lb_GuardLeave,
+      &&Lb_GlobalLocalConstCall,          &&Lb_GlobalLocalLocalCall,
+      &&Lb_GlobalConstPeek,               &&Lb_PeekCall,
+      &&Lb_GuardEnterGlobal,              &&Lb_GuardLeaveSquash,
+  };
+  static_assert(sizeof(JumpTable) / sizeof(JumpTable[0]) == NumOps,
+                "jump table must cover every opcode in enum order");
+#define VM_CASE(op) Lb_##op
+#define VM_NEXT()                                                              \
+  do {                                                                         \
+    assert(Pc < Fn->Linear.size() && "vm pc out of range");                    \
+    I = Code[Pc];                                                              \
+    ++Instrs;                                                                  \
+    goto *JumpTable[static_cast<size_t>(I.K)];                                 \
+  } while (0)
+  VM_NEXT();
+#else
+#define VM_CASE(op) case Op::op
+#define VM_NEXT() break
   while (true) {
     assert(Pc < Fn->Linear.size() && "vm pc out of range");
-    const Instr &I = Fn->Linear[Pc];
+    I = Code[Pc];
     ++Instrs;
     switch (I.K) {
-    case Op::Const:
+#endif
+    VM_CASE(Const):
       Push(Fn->Pool[static_cast<size_t>(I.A)]);
       ++Pc;
-      break;
-    case Op::LocalRef: {
+      VM_NEXT();
+    VM_CASE(LocalRef): {
       if (I.A == 0) {
         Push(Slots0[static_cast<size_t>(I.B)]);
         ++Pc;
-        break;
+        VM_NEXT();
       }
       EnvObj *F = Chain;
       for (int32_t D = 1; D < I.A; ++D)
         F = F->Parent;
       Push(F->slots()[static_cast<size_t>(I.B)]);
       ++Pc;
-      break;
+      VM_NEXT();
     }
-    case Op::GlobalRef: {
+    VM_CASE(GlobalRef): {
       Value *Cell = Fn->Cells[static_cast<size_t>(I.A)];
       if (Cell->isUnbound())
         raiseError("unbound variable " +
                    Fn->CellNames[static_cast<size_t>(I.A)]->Name);
       Push(*Cell);
       ++Pc;
-      break;
+      VM_NEXT();
     }
-    case Op::SetLocal: {
+    VM_CASE(SetLocal): {
       Value V = Pop();
       if (I.A == 0) {
         Slots0[static_cast<size_t>(I.B)] = V;
@@ -176,9 +337,9 @@ static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       }
       Push(Value::undefined());
       ++Pc;
-      break;
+      VM_NEXT();
     }
-    case Op::SetGlobal: {
+    VM_CASE(SetGlobal): {
       Value *Cell = Fn->Cells[static_cast<size_t>(I.A)];
       if (Cell->isUnbound())
         raiseError("set! of unbound variable " +
@@ -186,24 +347,24 @@ static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       *Cell = Pop();
       Push(Value::undefined());
       ++Pc;
-      break;
+      VM_NEXT();
     }
-    case Op::DefineGlobal:
+    VM_CASE(DefineGlobal):
       *Fn->Cells[static_cast<size_t>(I.A)] = Pop();
       Push(Value::undefined());
       ++Pc;
-      break;
-    case Op::MakeClosure: {
+      VM_NEXT();
+    VM_CASE(MakeClosure): {
       // Frameless analysis guarantees a real frame exists here.
       assert(Frame && "MakeClosure in a frameless function");
       const VmFunction *Sub = Fn->SubFunctions[static_cast<size_t>(I.A)];
       Push(Value::object(ValueKind::VmClosure,
                          Ctx.TheHeap.make<VmClosure>(Sub, Frame)));
       ++Pc;
-      break;
+      VM_NEXT();
     }
-    case Op::Call:
-    case Op::TailCall: {
+    VM_CASE(Call):
+    VM_CASE(TailCall): {
       size_t N = static_cast<size_t>(I.A);
       assert(Sp >= N + 1 && "vm call stack underflow");
       Value *CallArgs = Stack + (Sp - N);
@@ -238,8 +399,9 @@ static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
         Stats = &Fn->Owner->RunStats;
         Sp = 0;
         EnsureCap(Fn->MaxStack);
+        Code = Fn->Linear.data();
         Pc = 0;
-        break;
+        VM_NEXT();
       }
 
       Value Result;
@@ -250,11 +412,13 @@ static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
         // Inlined primitive dispatch: arithmetic dominates call counts in
         // numeric kernels, and applyProcedure would re-branch on kind.
         Primitive *P = Callee.asPrimitive();
-        if (static_cast<int>(N) < P->MinArgs ||
-            (P->MaxArgs >= 0 && static_cast<int>(N) > P->MaxArgs))
-          raiseError("primitive " + P->Name + " got " + std::to_string(N) +
-                     " arguments");
-        Result = P->Fn(Ctx, CallArgs, N);
+        if (!tryPrimIntrinsic(P, CallArgs, N, Result)) {
+          if (static_cast<int>(N) < P->MinArgs ||
+              (P->MaxArgs >= 0 && static_cast<int>(N) > P->MaxArgs))
+            raiseError("primitive " + P->Name + " got " + std::to_string(N) +
+                       " arguments");
+          Result = P->Fn(Ctx, CallArgs, N);
+        }
       } else {
         Result = applyProcedure(Ctx, Callee, CallArgs, N);
       }
@@ -267,9 +431,9 @@ static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       Sp -= N + 1;
       Push(Result);
       ++Pc;
-      break;
+      VM_NEXT();
     }
-    case Op::Jump: {
+    VM_CASE(Jump): {
       ++Jumps;
       size_t NewPc =
           static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.A)]);
@@ -279,9 +443,9 @@ static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
         if (NewPc <= Pc)
           Guard.chargeFuel();
       Pc = NewPc;
-      break;
+      VM_NEXT();
     }
-    case Op::BranchFalse:
+    VM_CASE(BranchFalse):
       if (!Pop().isTruthy()) {
         ++Jumps;
         size_t NewPc =
@@ -293,8 +457,8 @@ static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       } else {
         ++Pc;
       }
-      break;
-    case Op::BranchTrue:
+      VM_NEXT();
+    VM_CASE(BranchTrue):
       if (Pop().isTruthy()) {
         ++Jumps;
         size_t NewPc =
@@ -306,26 +470,185 @@ static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       } else {
         ++Pc;
       }
-      break;
-    case Op::Return:
+      VM_NEXT();
+    VM_CASE(Return):
       FlushStats();
       if constexpr (GuardOn)
         Guard.leaveCall();
       return Pop();
-    case Op::Pop:
+    VM_CASE(Pop):
       Pop();
       ++Pc;
-      break;
-    case Op::ProfileBlock:
+      VM_NEXT();
+    VM_CASE(ProfileBlock):
       ++Fn->Blocks[static_cast<size_t>(I.A)].ProfileCount;
       ++Pc;
-      break;
-    case Op::ProfileSrc:
+      VM_NEXT();
+    VM_CASE(ProfileSrc):
       ++*Fn->SrcCounters[static_cast<size_t>(I.A)];
       ++Pc;
-      break;
+      VM_NEXT();
+
+    // Superinstructions: each is exactly its two-op expansion in one
+    // dispatch (fuel/stat accounting matches a single instruction — the
+    // saved dispatch is the point).
+    VM_CASE(LocalLocal):
+      Push(Slots0[static_cast<size_t>(I.A)]);
+      Push(Slots0[static_cast<size_t>(I.B)]);
+      ++Pc;
+      VM_NEXT();
+    VM_CASE(LocalConst):
+      Push(Slots0[static_cast<size_t>(I.A)]);
+      Push(Fn->Pool[static_cast<size_t>(I.B)]);
+      ++Pc;
+      VM_NEXT();
+    VM_CASE(GlobalLocal): {
+      Value *Cell = Fn->Cells[static_cast<size_t>(I.A)];
+      if (Cell->isUnbound())
+        raiseError("unbound variable " +
+                   Fn->CellNames[static_cast<size_t>(I.A)]->Name);
+      Push(*Cell);
+      Push(Slots0[static_cast<size_t>(I.B)]);
+      ++Pc;
+      VM_NEXT();
+    }
+    VM_CASE(GlobalConst): {
+      Value *Cell = Fn->Cells[static_cast<size_t>(I.A)];
+      if (Cell->isUnbound())
+        raiseError("unbound variable " +
+                   Fn->CellNames[static_cast<size_t>(I.A)]->Name);
+      Push(*Cell);
+      Push(Fn->Pool[static_cast<size_t>(I.B)]);
+      ++Pc;
+      VM_NEXT();
+    }
+    VM_CASE(LocalCall):
+      Push(Slots0[static_cast<size_t>(I.A)]);
+      RunCall(static_cast<size_t>(I.B));
+      ++Pc;
+      VM_NEXT();
+    VM_CASE(ConstCall):
+      Push(Fn->Pool[static_cast<size_t>(I.A)]);
+      RunCall(static_cast<size_t>(I.B));
+      ++Pc;
+      VM_NEXT();
+    VM_CASE(CallBranchFalse): {
+      RunCall(static_cast<size_t>(I.A));
+      if (!Pop().isTruthy()) {
+        ++Jumps;
+        size_t NewPc =
+            static_cast<size_t>(Fn->BlockStart[static_cast<size_t>(I.B)]);
+        if constexpr (GuardOn)
+          if (NewPc <= Pc)
+            Guard.chargeFuel();
+        Pc = NewPc;
+      } else {
+        ++Pc;
+      }
+      VM_NEXT();
+    }
+
+    // Inlining support.
+    VM_CASE(Peek):
+      Push(Stack[Sp - 1 - static_cast<size_t>(I.A)]);
+      ++Pc;
+      VM_NEXT();
+    VM_CASE(Squash): {
+      Value V = Pop();
+      assert(Sp >= static_cast<size_t>(I.A) && "squash below stack base");
+      Sp -= static_cast<size_t>(I.A);
+      Push(V);
+      ++Pc;
+      VM_NEXT();
+    }
+    VM_CASE(GlobalIs):
+      Push(Value::boolean(*Fn->Cells[static_cast<size_t>(I.A)] ==
+                          Fn->Pool[static_cast<size_t>(I.B)]));
+      ++Pc;
+      VM_NEXT();
+    VM_CASE(GuardEnter):
+      if constexpr (GuardOn)
+        Guard.enterCall();
+      ++Pc;
+      VM_NEXT();
+    VM_CASE(GuardLeave):
+      if constexpr (GuardOn)
+        Guard.leaveCall();
+      ++Pc;
+      VM_NEXT();
+
+    // Wide superinstructions: each is its two fused components back to
+    // back, components' payloads packed 16 bits apiece (Fusion.h). Same
+    // fuel/stat accounting as any single instruction.
+    VM_CASE(GlobalLocalConstCall): {
+      Value *Cell = Fn->Cells[static_cast<size_t>(I.A) >> 16];
+      if (Cell->isUnbound())
+        raiseError("unbound variable " +
+                   Fn->CellNames[static_cast<size_t>(I.A) >> 16]->Name);
+      Push(*Cell);
+      Push(Slots0[static_cast<size_t>(I.A) & 0xFFFF]);
+      Push(Fn->Pool[static_cast<size_t>(I.B) >> 16]);
+      RunCall(static_cast<size_t>(I.B) & 0xFFFF);
+      ++Pc;
+      VM_NEXT();
+    }
+    VM_CASE(GlobalLocalLocalCall): {
+      Value *Cell = Fn->Cells[static_cast<size_t>(I.A) >> 16];
+      if (Cell->isUnbound())
+        raiseError("unbound variable " +
+                   Fn->CellNames[static_cast<size_t>(I.A) >> 16]->Name);
+      Push(*Cell);
+      Push(Slots0[static_cast<size_t>(I.A) & 0xFFFF]);
+      Push(Slots0[static_cast<size_t>(I.B) >> 16]);
+      RunCall(static_cast<size_t>(I.B) & 0xFFFF);
+      ++Pc;
+      VM_NEXT();
+    }
+    VM_CASE(GlobalConstPeek): {
+      Value *Cell = Fn->Cells[static_cast<size_t>(I.A) >> 16];
+      if (Cell->isUnbound())
+        raiseError("unbound variable " +
+                   Fn->CellNames[static_cast<size_t>(I.A) >> 16]->Name);
+      Push(*Cell);
+      Push(Fn->Pool[static_cast<size_t>(I.A) & 0xFFFF]);
+      Push(Stack[Sp - 1 - (static_cast<size_t>(I.B) >> 16)]);
+      ++Pc;
+      VM_NEXT();
+    }
+    VM_CASE(PeekCall): {
+      Push(Stack[Sp - 1 - (static_cast<size_t>(I.A) >> 16)]);
+      RunCall(static_cast<size_t>(I.B) >> 16);
+      ++Pc;
+      VM_NEXT();
+    }
+    VM_CASE(GuardEnterGlobal): {
+      if constexpr (GuardOn)
+        Guard.enterCall();
+      Value *Cell = Fn->Cells[static_cast<size_t>(I.B) >> 16];
+      if (Cell->isUnbound())
+        raiseError("unbound variable " +
+                   Fn->CellNames[static_cast<size_t>(I.B) >> 16]->Name);
+      Push(*Cell);
+      ++Pc;
+      VM_NEXT();
+    }
+    VM_CASE(GuardLeaveSquash): {
+      if constexpr (GuardOn)
+        Guard.leaveCall();
+      Value V = Pop();
+      assert(Sp >= (static_cast<size_t>(I.B) >> 16) &&
+             "squash below stack base");
+      Sp -= static_cast<size_t>(I.B) >> 16;
+      Push(V);
+      ++Pc;
+      VM_NEXT();
+    }
+#if !PGMP_VM_THREADED
     }
   }
+#endif
+#undef VM_CASE
+#undef VM_NEXT
 }
 
 Value pgmp::runVmFunction(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
@@ -345,51 +668,126 @@ static Value vmApplyHook(Context &Ctx, Value Fn, Value *Args, size_t N) {
                        Args, N);
 }
 
-/// Tier-up compilation: lower one hot lambda to bytecode and cache it on
-/// the template. Each tiered lambda gets its own little module, parked on
-/// the Context type-erased so interp/ stays vm-free; modules live as long
-/// as the Context because closures keep running their code.
-static const VmFunction *tierCompileHook(Context &Ctx, const LambdaExpr *L) {
-  ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::TierCompile);
-  auto Module = std::make_shared<VmModule>();
-  VmCompileOptions Opts;
-  // Source-counter bumps are gated per node on Expr::Counter, so this is
-  // free for uninstrumented units and mandatory for instrumented ones —
-  // profiles must not depend on the tier that executed the code.
-  Opts.ProfileSources = true;
-  try {
-    if (faultinject::shouldFail(faultinject::Point::TierCompile))
-      raiseError("injected fault at phase boundary: tier-compile");
-    VmFunction *Fn = compileLambdaToVm(Ctx, L, *Module, Opts);
-    Ctx.TierModules.push_back(std::move(Module));
-    L->Tiered = Fn;
-    Ctx.Stats.bump(Stat::TierUps);
-    return Fn;
-  } catch (const GuardTrip &) {
-    // A resource trip (fuel/deadline) mid-tier-compile must abort the
-    // run, not brand the lambda TierBlocked: it can tier fine next run.
-    throw;
-  } catch (const SchemeError &) {
-    // Phase-1-only nodes (syntax-case, templates) in the body: this
-    // lambda stays interpreted forever. An injected tier-compile fault
-    // takes this path too — degrading to the interpreter IS the clean
-    // recovery, and profiles stay identical by counter fidelity.
-    L->TierBlocked = true;
-    Ctx.Stats.bump(Stat::TierCompileFails);
-    return nullptr;
-  }
-}
+namespace {
 
-static Value tierRunHook(Context &Ctx, const VmFunction *Fn, EnvObj *Captured,
-                         Value *Args, size_t NumArgs) {
-  return runVmFunction(Ctx, const_cast<VmFunction *>(Fn), Captured, Args,
-                       NumArgs);
-}
+/// The VM's TierBackend (interp/TierBackend.h): tier-up compilation with
+/// profile-selected superinstruction fusion and call-site inlining,
+/// bytecode execution, per-epoch fusion-table re-selection, and stale-code
+/// invalidation. Each tiered lambda gets its own little module, owned
+/// here; modules live as long as the backend (i.e. the Context, which
+/// holds it by shared_ptr) because closures keep running their code —
+/// including code invalidated later, which stays valid for frames already
+/// executing it.
+class VmTierBackend : public TierBackend {
+public:
+  const VmFunction *compile(Context &Ctx, const LambdaExpr *L) override {
+    ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::TierCompile);
+    auto Module = std::make_shared<VmModule>();
+    VmCompileOptions Opts;
+    // Source-counter bumps are gated per node on Expr::Counter, so this
+    // is free for uninstrumented units and mandatory for instrumented
+    // ones — profiles must not depend on the tier that executed the code.
+    Opts.ProfileSources = true;
+    // Block counters feed the epoch pair census; only pay for them when a
+    // bus exists to re-select the table from them.
+    Opts.ProfileBlocks = Ctx.Bus != nullptr;
+    if (Ctx.Tier.Fusion)
+      Opts.Fusion = &Table;
+    if (Ctx.Tier.Inline) {
+      if (Census.lambdasSeen() != Ctx.TierLambdas.size())
+        Census.build(Ctx.TierLambdas);
+      Opts.Inlining = &Ctx.Tier;
+      Opts.Census = &Census;
+    }
+    try {
+      if (faultinject::shouldFail(faultinject::Point::TierCompile))
+        raiseError("injected fault at phase boundary: tier-compile");
+      VmFunction *Fn = compileLambdaToVm(Ctx, L, *Module, Opts);
+      Modules.push_back(std::move(Module));
+      L->Tiered = Fn;
+      CompiledEpoch[L] = Table.Epoch;
+      Ctx.Stats.bump(Stat::TierUps);
+      return Fn;
+    } catch (const GuardTrip &) {
+      // A resource trip (fuel/deadline) mid-tier-compile must abort the
+      // run, not brand the lambda TierBlocked: it can tier fine next run.
+      throw;
+    } catch (const SchemeError &) {
+      // Phase-1-only nodes (syntax-case, templates) in the body: this
+      // lambda stays interpreted forever. An injected tier-compile fault
+      // takes this path too — degrading to the interpreter IS the clean
+      // recovery, and profiles stay identical by counter fidelity.
+      L->TierBlocked = true;
+      Ctx.Stats.bump(Stat::TierCompileFails);
+      return nullptr;
+    }
+  }
+
+  Value run(Context &Ctx, const VmFunction *Fn, EnvObj *Captured, Value *Args,
+            size_t NumArgs) override {
+    return runVmFunction(Ctx, const_cast<VmFunction *>(Fn), Captured, Args,
+                         NumArgs);
+  }
+
+  uint64_t fuse(Context &Ctx) override {
+    double Weights[NumFusionCandidates] = {};
+    double Total = 0;
+    for (const auto &M : Modules)
+      for (const auto &Fn : M->Functions)
+        accumulatePairCensus(*Fn, /*UseBlockCounts=*/true, 0, Weights, Total);
+    // No block-profile evidence yet: keep the default dominant set (the
+    // statically measured hot pairs) rather than disabling everything.
+    uint32_t Mask = AllFusionsMask;
+    if (Total > 0) {
+      Mask = 0;
+      for (size_t I = 0; I < NumFusionCandidates; ++I)
+        if (Weights[I] >= Total * Ctx.Tier.FusionMinWeight)
+          Mask |= 1u << I;
+    }
+    if (!Ctx.Tier.Fusion)
+      Mask = 0;
+    if (Mask != Table.Mask) {
+      Table.Mask = Mask;
+      ++Table.Epoch;
+      Ctx.Stats.bump(Stat::FusionEpochs);
+    }
+    return Table.Epoch;
+  }
+
+  size_t invalidateEpoch(Context &Ctx, uint64_t FusionEpoch) override {
+    size_t N = 0;
+    for (const LambdaExpr *L : Ctx.TierLambdas) {
+      auto It = CompiledEpoch.find(L);
+      if (It == CompiledEpoch.end() || It->second >= FusionEpoch)
+        continue;
+      // Drop both the live body and any demotion-parked one: each was
+      // fused against the stale table. The lambda re-tiers lazily (its
+      // heat marks are untouched), and in-flight frames keep running the
+      // old code safely because this backend still owns its module.
+      L->Tiered = nullptr;
+      L->TierCache = nullptr;
+      CompiledEpoch.erase(It);
+      ++N;
+    }
+    if (N)
+      Ctx.Stats.bump(Stat::TierInvalidations, N);
+    return N;
+  }
+
+private:
+  std::vector<std::shared_ptr<VmModule>> Modules;
+  FusionTable Table;
+  CallSiteCensus Census;
+  /// Fusion-table epoch each lambda's live body was compiled against.
+  std::unordered_map<const LambdaExpr *, uint64_t> CompiledEpoch;
+};
+
+} // namespace
 
 void pgmp::installVm(Context &Ctx) {
   Ctx.VmApplyHook = vmApplyHook;
-  Ctx.TierCompileHook = tierCompileHook;
-  Ctx.TierRunHook = tierRunHook;
+  if (!Ctx.Backend)
+    Ctx.Backend = std::make_shared<VmTierBackend>();
 }
 
 //===----------------------------------------------------------------------===//

@@ -196,7 +196,7 @@ TEST(ContinuousProfile, EpochBoundaryMergeByteIdentical) {
   auto RunAndStore = [](bool Continuous, const std::string &Path) {
     EngineOptions O;
     O.Instrument = true;
-    O.Tier = TierMode::Auto;
+    O.Tier.Mode = TierMode::Auto;
     if (Continuous) {
       O.ContinuousProfile.IntervalCharges = 64;
       O.ContinuousProfile.DecayHalfLife = 2.0;
@@ -232,8 +232,8 @@ TEST(ContinuousProfile, SkewFlipRetiersWithoutRestart) {
   EngineOptions O;
   O.Instrument = true;
   O.StatsEnabled = true;
-  O.Tier = TierMode::Auto;
-  O.TierThreshold = 1u << 30; // the invocation path never promotes:
+  O.Tier.Mode = TierMode::Auto;
+  O.Tier.Threshold = 1u << 30; // the invocation path never promotes:
                               // any tier change is the bus's doing
   O.ContinuousProfile.IntervalCharges = 256;
   O.ContinuousProfile.DecayHalfLife = 2.0;
@@ -321,7 +321,7 @@ TEST(ContinuousProfile, SessionCommitMatchesStoreProfile) {
 TEST(ContinuousProfile, TransportlessSessionObservesEpochs) {
   EngineOptions O;
   O.Instrument = true;
-  O.Tier = TierMode::Auto;
+  O.Tier.Mode = TierMode::Auto;
   O.ContinuousProfile.IntervalCharges = 128;
   Engine E(O);
   EvalResult R = E.evalString(WorkDefs, "work.scm");
@@ -346,7 +346,7 @@ TEST(ContinuousProfile, PoolHostsOneSharedBus) {
   EngineOptions O;
   O.Instrument = true;
   O.StatsEnabled = true;
-  O.Tier = TierMode::Auto;
+  O.Tier.Mode = TierMode::Auto;
   O.ContinuousProfile.IntervalCharges = 256;
   EnginePool Pool(2, O);
   ASSERT_NE(Pool.bus(), nullptr);

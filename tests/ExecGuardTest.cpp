@@ -75,7 +75,7 @@ TEST(ExecGuard, SameFuelBudgetGovernsBothTiers) {
   // interpreted lets it finish tiered, and a starvation budget trips both.
   for (TierMode Tier : {TierMode::Off, TierMode::Always}) {
     EngineOptions Opts;
-    Opts.Tier = Tier;
+    Opts.Tier.Mode = Tier;
     Opts.Fuel = 100000;
     {
       Engine E(Opts);
@@ -113,7 +113,7 @@ TEST(ExecGuard, CallGlobalIsAGuardedRunBoundary) {
 TEST(ExecGuard, DepthLimitTripsNonTailRecursion) {
   for (TierMode Tier : {TierMode::Off, TierMode::Always}) {
     EngineOptions Opts;
-    Opts.Tier = Tier;
+    Opts.Tier.Mode = Tier;
     Opts.MaxDepth = 50;
     Engine E(Opts);
     EvalResult R = E.evalString(DeepSum);
@@ -129,7 +129,7 @@ TEST(ExecGuard, TailCallsNeverAccumulateDepth) {
   // iterative in both tiers, so only non-tail nesting may count.
   for (TierMode Tier : {TierMode::Off, TierMode::Always}) {
     EngineOptions Opts;
-    Opts.Tier = Tier;
+    Opts.Tier.Mode = Tier;
     Opts.MaxDepth = 10;
     Engine E(Opts);
     EXPECT_EQ(evalOk(E, TailLoop), "done")
@@ -279,13 +279,13 @@ TEST(ExecGuard, ProfilesByteIdenticalWithGuardsOnOrOff) {
     std::string Plain = tempPath("plain_" +
                                  std::to_string(static_cast<int>(Tier)));
     EngineOptions WithGuards;
-    WithGuards.Tier = Tier;
+    WithGuards.Tier.Mode = Tier;
     WithGuards.Fuel = 1000000;
     WithGuards.MaxDepth = 10000;
     WithGuards.DeadlineMs = 60000;
     Produce(WithGuards, Guarded);
     EngineOptions NoGuards;
-    NoGuards.Tier = Tier;
+    NoGuards.Tier.Mode = Tier;
     Produce(NoGuards, Plain);
     std::string A = slurp(Guarded), B = slurp(Plain);
     EXPECT_FALSE(A.empty());

@@ -106,8 +106,8 @@ TEST_F(FaultInjection, TierCompileFaultDegradesToTheInterpreter) {
   // A tier-up that fails keeps the closure interpreted: the run still
   // completes, which is the recovery path this phase really has.
   EngineOptions Opts;
-  Opts.Tier = TierMode::Auto;
-  Opts.TierThreshold = 4;
+  Opts.Tier.Mode = TierMode::Auto;
+  Opts.Tier.Threshold = 4;
   Engine E(Opts);
   evalOk(E, "(define (hot n) (if (zero? n) 'done (hot (- n 1))))");
   arm(Point::TierCompile);
@@ -166,8 +166,8 @@ TEST_F(FaultInjection, MatrixEveryPointRecoversCleanly) {
     SCOPED_TRACE(pointName(P));
     EngineOptions Opts = withInstrumentation();
     if (P == Point::TierCompile) {
-      Opts.Tier = TierMode::Auto;
-      Opts.TierThreshold = 4;
+      Opts.Tier.Mode = TierMode::Auto;
+      Opts.Tier.Threshold = 4;
     }
     Engine E(Opts);
     std::string Profile =

@@ -245,8 +245,8 @@ TEST(ParallelProfile, TieredWorkersMergeBitIdenticalToInterpreted) {
   };
   {
     EngineOptions Opts = withInstrumentation();
-    Opts.Tier = TierMode::Auto;
-    Opts.TierThreshold = 4;
+    Opts.Tier.Mode = TierMode::Auto;
+    Opts.Tier.Threshold = 4;
     RunPool(Opts, Tiered);
   }
   RunPool(withInstrumentation(), Interp);

@@ -35,8 +35,8 @@ std::string slurp(const std::string &Path) {
 EngineOptions withTier(TierMode Mode, uint32_t Threshold = 64,
                        bool Instrument = false, bool Stats = false) {
   EngineOptions Opts;
-  Opts.Tier = Mode;
-  Opts.TierThreshold = Threshold;
+  Opts.Tier.Mode = Mode;
+  Opts.Tier.Threshold = Threshold;
   Opts.Instrument = Instrument;
   Opts.StatsEnabled = Stats;
   return Opts;

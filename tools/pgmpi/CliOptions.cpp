@@ -42,6 +42,16 @@ static double positiveReal(const char *Flag, const std::string &Text) {
   return X;
 }
 
+static bool parseOnOff(const char *Flag, const std::string &Text) {
+  if (Text == "on")
+    return true;
+  if (Text == "off")
+    return false;
+  std::fprintf(stderr, "pgmpi: %s needs on or off (got %s)\n", Flag,
+               Text.c_str());
+  std::exit(ExitUsage);
+}
+
 TierMode parseTierMode(const std::string &Text) {
   if (Text == "off")
     return TierMode::Off;
@@ -92,12 +102,40 @@ bool parseCommonFlag(int Argc, char **Argv, int &I, CliOptions &O) {
     O.Engine.DeadlineMs = static_cast<uint64_t>(
         positive("--deadline-ms", Value("--deadline-ms")));
 
-  // Tiered execution.
+  // Tiered execution (TierPolicy; interp/TierPolicy.h).
   else if (Arg == "--tier")
-    O.Engine.Tier = parseTierMode(Value("--tier"));
+    O.Engine.Tier.Mode = parseTierMode(Value("--tier"));
   else if (Arg == "--tier-threshold")
-    O.Engine.TierThreshold = static_cast<uint32_t>(
+    O.Engine.Tier.Threshold = static_cast<uint32_t>(
         positive("--tier-threshold", Value("--tier-threshold")));
+  else if (Arg == "--tier-hot-weight") {
+    double W = positiveReal("--tier-hot-weight", Value("--tier-hot-weight"));
+    if (W > 1.0) {
+      std::fprintf(stderr,
+                   "pgmpi: --tier-hot-weight needs a fraction in (0, 1]\n");
+      std::exit(ExitUsage);
+    }
+    O.Engine.Tier.HotWeight = W;
+  } else if (Arg == "--tier-fusion")
+    O.Engine.Tier.Fusion = parseOnOff("--tier-fusion", Value("--tier-fusion"));
+  else if (Arg == "--tier-fusion-min-weight") {
+    double W = positiveReal("--tier-fusion-min-weight",
+                            Value("--tier-fusion-min-weight"));
+    if (W > 1.0) {
+      std::fprintf(
+          stderr,
+          "pgmpi: --tier-fusion-min-weight needs a fraction in (0, 1]\n");
+      std::exit(ExitUsage);
+    }
+    O.Engine.Tier.FusionMinWeight = W;
+  } else if (Arg == "--tier-inline")
+    O.Engine.Tier.Inline = parseOnOff("--tier-inline", Value("--tier-inline"));
+  else if (Arg == "--tier-inline-max-ops")
+    O.Engine.Tier.InlineMaxOps = static_cast<uint32_t>(
+        positive("--tier-inline-max-ops", Value("--tier-inline-max-ops")));
+  else if (Arg == "--tier-inline-depth")
+    O.Engine.Tier.InlineMaxDepth = static_cast<uint32_t>(
+        positive("--tier-inline-depth", Value("--tier-inline-depth")));
 
   // Profile lifecycle.
   else if (Arg == "--profile-out")

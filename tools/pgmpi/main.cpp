@@ -40,10 +40,13 @@
 ///     publish/epoch/re-tier counts and per-half replay times goes to
 ///     stderr; --profile-out stores the merged profile at the end.
 ///
-///   pgmpi report [--top N] FILE...
+///   pgmpi report [--top N] [--fused PROG.scm] FILE...
 ///     hot-spot report for stored source profiles: the top-N points by
 ///     weight with counts, locations, and source excerpts. A profile with
-///     no samples prints a notice and exits 0.
+///     no samples prints a notice and exits 0. With --fused PROG.scm,
+///     also prints the fused-sequence table: superinstruction candidates
+///     ranked by adjacent-opcode-pair weight over PROG's lambdas,
+///     weighted by the first FILE's profile when one is given.
 ///
 ///   pgmpi profile-lint FILE...
 ///     validates stored profiles (source or block level): format version,
@@ -77,7 +80,10 @@
 #include "support/Text.h"
 #include "syntax/Writer.h"
 #include "vm/BlockProfile.h"
+#include "vm/BytecodeCompiler.h"
+#include "vm/Fusion.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -94,14 +100,20 @@ static int usage() {
                "[--profile-in F] [--strict-profile]\n"
                "             [--annotate-wrap] [--dump-expansion] "
                "[--lib NAME]... [-e EXPR]\n"
-               "             [--tier off|auto|always] [--tier-threshold N]\n"
+               "             [--tier off|auto|always] [--tier-threshold N] "
+               "[--tier-hot-weight W]\n"
+               "             [--tier-fusion on|off] "
+               "[--tier-fusion-min-weight W] [--tier-inline on|off]\n"
+               "             [--tier-inline-max-ops N] "
+               "[--tier-inline-depth N]\n"
                "             [--fuel N] [--max-depth N] [--max-heap BYTES] "
                "[--deadline-ms N]\n"
                "             [--stats] [--trace F] file.scm...\n"
                "       pgmpi run --jobs N --profile-out F [--profile-in F]\n"
                "             [--strict-profile] [--annotate-wrap] "
                "[--lib NAME]... [--stats]\n"
-               "             [--tier off|auto|always] [--tier-threshold N]\n"
+               "             [--tier off|auto|always] [--tier-threshold N] "
+               "[--tier* knobs as above]\n"
                "             [--fuel N] [--max-depth N] [--max-heap BYTES] "
                "[--deadline-ms N]\n"
                "             [--retries N] file.scm...\n"
@@ -111,7 +123,7 @@ static int usage() {
                "[--retier-threshold X]\n"
                "             [common flags as for run] file.scm...\n"
                "       pgmpi report [--top N] [--tier] [--tier-weight W] "
-               "FILE...\n"
+               "[--fused PROG.scm] FILE...\n"
                "       pgmpi profile-lint FILE...\n"
                "exit codes: 0 success, 1 failure, 2 degraded, 64 usage\n");
   return ExitUsage;
@@ -229,7 +241,7 @@ static int runServe(int Argc, char **Argv) {
   // purpose) and auto-tiering so epochs have decisions to revise. Both
   // remain overridable (--interval-charges, --tier).
   O.Engine.ContinuousProfile.IntervalCharges = 4096;
-  O.Engine.Tier = TierMode::Auto;
+  O.Engine.Tier.Mode = TierMode::Auto;
   std::string Replay;
   std::vector<std::string> Files;
   for (int I = 2; I < Argc; ++I) {
@@ -400,9 +412,76 @@ static int runServe(int Argc, char **Argv) {
   return Degraded ? 2 : 0;
 }
 
+/// `pgmpi report --fused PROG.scm`: the fused-sequence table. Runs the
+/// program, compiles every adopted lambda to raw (unfused) bytecode, and
+/// ranks the superinstruction candidates by adjacent-pair weight — each
+/// lambda's pairs weighted by its body's stored-profile weight when a
+/// profile FILE was also given, flat otherwise. "selected" marks the
+/// candidates a FusionTable re-selection would keep at the default
+/// TierPolicy::FusionMinWeight bar.
+static int reportFusedPairs(const std::string &Program,
+                            const std::string &ProfileIn) {
+  EngineOptions EOpts; // tier stays Off: we compile by hand below
+  Engine E(EOpts);
+  if (!ProfileIn.empty()) {
+    ProfileOpResult R = E.loadProfile(ProfileIn);
+    if (!R) {
+      std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+      return 1;
+    }
+  }
+  EvalResult R = E.evalFile(Program);
+  if (!R.Ok) {
+    std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+    return 1;
+  }
+  Context &Ctx = E.context();
+  ProfileSnapshot Snap = Ctx.ProfileDb.snapshot();
+  double Weights[NumFusionCandidates] = {};
+  double Total = 0;
+  size_t Compiled = 0;
+  VmModule Module;
+  VmCompileOptions COpts; // no fusion, no inlining: raw pair stream
+  for (const LambdaExpr *L : Ctx.TierLambdas) {
+    double W = 1.0;
+    if (Snap.hasData() && L->Body->Src)
+      W = Snap.weightOpt(L->Body->Src).value_or(0.0);
+    if (W <= 0)
+      continue;
+    try {
+      VmFunction *Fn = compileLambdaToVm(Ctx, L, Module, COpts);
+      // Census the root function only: nested lambdas are adopted (and
+      // therefore censused) in their own right.
+      accumulatePairCensus(*Fn, /*UseBlockCounts=*/false, W, Weights, Total);
+      ++Compiled;
+    } catch (const SchemeError &) {
+      // Phase-1-only body: it can never tier, so it can never fuse.
+    }
+  }
+  std::printf("fused-sequence table: %zu lambdas, total pair weight %.1f\n",
+              Compiled, Total);
+  size_t Order[NumFusionCandidates];
+  for (size_t I = 0; I < NumFusionCandidates; ++I)
+    Order[I] = I;
+  std::sort(Order, Order + NumFusionCandidates,
+            [&](size_t A, size_t B) { return Weights[A] > Weights[B]; });
+  TierPolicy Defaults;
+  std::printf("  %-24s %12s %7s %s\n", "pair", "weight", "share", "selected");
+  for (size_t I = 0; I < NumFusionCandidates; ++I) {
+    size_t C = Order[I];
+    double Share = Total > 0 ? Weights[C] / Total : 0;
+    std::printf("  %-24s %12.1f %6.1f%% %s\n", fusionCandidate(C).Name,
+                Weights[C], Share * 100,
+                Share >= Defaults.FusionMinWeight && Weights[C] > 0 ? "yes"
+                                                                    : "no");
+  }
+  return 0;
+}
+
 /// `pgmpi report`: hot-spot tables for stored source profiles.
 static int runReport(int Argc, char **Argv) {
   ProfileReportOptions Opts;
+  std::string FusedProgram;
   std::vector<std::string> Files;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -416,7 +495,7 @@ static int runReport(int Argc, char **Argv) {
       ++I;
     } else if (Arg == "--tier") {
       if (Opts.TierHotWeight <= 0)
-        Opts.TierHotWeight = 0.05; // EngineOptions::TierHotWeight default
+        Opts.TierHotWeight = 0.05; // TierPolicy::HotWeight default
     } else if (Arg == "--tier-weight") {
       double W;
       if (I + 1 >= Argc || !parseDouble(Argv[I + 1], W) || W <= 0) {
@@ -425,6 +504,12 @@ static int runReport(int Argc, char **Argv) {
       }
       Opts.TierHotWeight = W;
       ++I;
+    } else if (Arg == "--fused") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "pgmpi: --fused needs a program file\n");
+        return ExitUsage;
+      }
+      FusedProgram = Argv[++I];
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "pgmpi: report: unknown option %s\n", Arg.c_str());
       return ExitUsage;
@@ -432,7 +517,7 @@ static int runReport(int Argc, char **Argv) {
       Files.push_back(Arg);
     }
   }
-  if (Files.empty())
+  if (Files.empty() && FusedProgram.empty())
     return usage();
   for (const std::string &F : Files) {
     std::string Out, Err;
@@ -442,6 +527,9 @@ static int runReport(int Argc, char **Argv) {
     }
     std::fputs(Out.c_str(), stdout);
   }
+  if (!FusedProgram.empty())
+    return reportFusedPairs(FusedProgram,
+                            Files.empty() ? std::string() : Files.front());
   return 0;
 }
 
