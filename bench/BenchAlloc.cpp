@@ -86,10 +86,39 @@ void BM_VectorStringMix(benchmark::State &State) {
   runAllocBench(State, MixKernel, 20000, 20000 * 2);
 }
 
+// Run-boundary reclamation (PR 9): each timed iteration is one whole
+// Engine run — a request, serve-style — so the boundary collection and
+// its evacuation are inside the loop. The on/off pair measures the cost
+// of bounded memory against the plain leak-until-teardown baseline on a
+// request-shaped workload (small live set, high garbage ratio).
+void runBoundaryBench(benchmark::State &State, ReclaimMode Mode) {
+  EngineOptions Opts;
+  Opts.Tier.Mode = TierMode::Off;
+  Opts.Reclaim = Mode;
+  Engine E(Opts);
+  requireEval(E, ConsKernel, "alloc-kernel.scm");
+  requireEval(E, "(work 3)", "warmup.scm");
+  for (auto _ : State) {
+    EvalResult R = E.evalString("(work 25)", "<request>");
+    benchmark::DoNotOptimize(R.V);
+  }
+  State.SetItemsProcessed(State.iterations() * 25 * 400);
+}
+
+void BM_BoundaryReclaimOff(benchmark::State &State) {
+  runBoundaryBench(State, ReclaimMode::Off);
+}
+
+void BM_BoundaryReclaimOn(benchmark::State &State) {
+  runBoundaryBench(State, ReclaimMode::Boundary);
+}
+
 } // namespace
 
 BENCHMARK(BM_ConsChurn)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FrameChurn)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_VectorStringMix)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BoundaryReclaimOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BoundaryReclaimOn)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -22,6 +22,10 @@
 #      workload under `pgmpi --tier always --stats` must report at least
 #      one superinstruction fused and at least one call inlined — the
 #      tier-up codegen paths must actually fire, not just compile.
+#   7. Bounded-memory soak: `pgmpi serve` (boundary reclamation on by
+#      default) replays the same trace once and 64x-repeated; peak RSS
+#      of the long run must plateau instead of scaling with the request
+#      count.
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 #
@@ -85,6 +89,41 @@ grep -Eq ' [1-9][0-9]* demotion\(s\)' "$SERVE_LOG" \
 [[ -s "$SERVE_DIR/out.profile" ]] \
   || { echo "FAIL: serve stored no merged profile"; exit 1; }
 
+echo "== tier-1: bounded-memory soak (pgmpi serve, boundary reclamation) =="
+# A long replay under boundary reclamation must run in bounded memory:
+# both runs replay the SAME trace file (so the resident trace costs the
+# same), the long run just repeats it 64x; peak RSS must stay within a
+# slack factor of the short run's peak. Without reclamation (or with
+# per-request code units adopted forever) memory grows linearly in the
+# request count and the check fails by an order of magnitude.
+cat > "$SERVE_DIR/soak.scm" <<'EOF'
+(define (build n acc)
+  (if (= n 0) acc (build (- n 1) (cons n acc))))
+(define (req) (length (build 2000 '())))
+EOF
+for _ in $(seq 1 500); do echo "(req)"; done > "$SERVE_DIR/soak.txt"
+soak_rss() { # peak RSS (KiB) of one serve replay
+  local REPEAT="$1"
+  local STATUS
+  build/tools/pgmpi serve --replay "$SERVE_DIR/soak.txt" --repeat "$REPEAT" \
+    --jobs 1 "$SERVE_DIR/soak.scm" 2> /dev/null &
+  local PID=$!
+  local PEAK=0
+  while kill -0 "$PID" 2>/dev/null; do
+    STATUS="$(grep -s VmHWM "/proc/$PID/status" | awk '{print $2}')" || true
+    [[ -n "${STATUS:-}" && "$STATUS" -gt "$PEAK" ]] && PEAK="$STATUS"
+    sleep 0.05
+  done
+  wait "$PID" || { echo "FAIL: soak replay exited non-zero" >&2; return 1; }
+  echo "$PEAK"
+}
+RSS_SHORT="$(soak_rss 1)"
+RSS_LONG="$(soak_rss 64)"
+echo "-- soak peak RSS: ${RSS_SHORT} KiB (500 req) vs ${RSS_LONG} KiB (32000 req)"
+# Plateau check: 64x the requests must cost well under 2x the memory.
+[[ "$RSS_LONG" -lt $((RSS_SHORT * 2)) ]] \
+  || { echo "FAIL: serve RSS grows with request count (reclamation broken)"; exit 1; }
+
 echo "== tier-1: VM codegen (superinstruction fusion + tier-up inlining) =="
 # The tiered-exec benchmark with fusion forced on: the fused dispatch
 # paths must survive a real workload, not just unit tests.
@@ -113,7 +152,21 @@ else
   cmake --build --preset asan -j "$JOBS"
   # Guard trips and injected faults exercise every error-unwind path in
   # the engine; ASan turns a leaked or clobbered unwind into a failure.
-  ASAN_OPTIONS="halt_on_error=1" ctest --preset asan -R 'ExecGuard|FaultInjection'
+  # Heap and Reclaim join the matrix: evacuation move-construction and
+  # the exactly-once destructor discipline are precisely the contracts
+  # ASan can falsify (double destruction, use-after-evacuation, leaks).
+  ASAN_OPTIONS="halt_on_error=1" \
+    ctest --preset asan -R 'ExecGuard|FaultInjection|Heap|Reclaim'
+  # The bounded-memory soak path again, this time under ASan: thousands
+  # of boundary collections (evacuation move-construction, DtorNode
+  # transfer, chunk recycling) with leak detection on. RSS itself is
+  # asserted by the release-build soak stage — ASan's shadow memory
+  # makes absolute RSS meaningless here, so this run is about proving
+  # the reclamation path leak- and corruption-free at soak length.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    build-asan/tools/pgmpi serve --replay "$SERVE_DIR/soak.txt" \
+    --repeat 8 --jobs 1 "$SERVE_DIR/soak.scm" 2> /dev/null \
+    || { echo "FAIL: ASan soak replay failed"; exit 1; }
 fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then

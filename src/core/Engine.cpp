@@ -42,6 +42,9 @@ Engine::Engine(const EngineOptions &Opts) : Ctx(), Exp(Ctx) {
   // constrain the user's program, not the library bootstrap.
   Ctx.Guard.configure(Opts.Fuel, Opts.MaxDepth, Opts.DeadlineMs);
   Ctx.TheHeap.setLimitBytes(Opts.MaxHeapBytes);
+  // Reclamation also arms after the prelude: the bootstrap allocates into
+  // a virgin nursery and is fully retained through globals anyway.
+  Ctx.Reclaim = Opts.Reclaim;
   if (Opts.Tier.Mode != TierMode::Off)
     installVm(Ctx);
   // Continuous profiling arms the ExecGuard poll point after the guards:
@@ -67,8 +70,15 @@ void Engine::recordHeapTraceCounters() {
     return;
   uint64_t Now = statsNowNanos();
   const Heap::AllocStats &A = Ctx.TheHeap.allocStats();
+  // Cumulative and live figures are separate counters: allocated only
+  // grows, while reserved/live shrink when a collection frees nursery
+  // chunks (the peak keeps the high-water mark).
   Ctx.Trace.counter("heap-bytes-allocated", "heap", Now, A.BytesAllocated);
   Ctx.Trace.counter("heap-bytes-reserved", "heap", Now, A.BytesReserved);
+  Ctx.Trace.counter("heap-bytes-reserved-peak", "heap", Now,
+                    A.PeakBytesReserved);
+  Ctx.Trace.counter("heap-bytes-live", "heap", Now, Ctx.TheHeap.bytesLive());
+  Ctx.Trace.counter("heap-bytes-reclaimed", "heap", Now, A.BytesReclaimed);
   Ctx.Trace.counter("heap-chunks", "heap", Now, A.ChunksAcquired);
   Ctx.Trace.counter("heap-objects", "heap", Now, Ctx.TheHeap.numObjects());
 }
@@ -110,23 +120,44 @@ EvalResult Engine::evalString(const std::string &Source,
             raiseError("injected fault at phase boundary: compile");
           Unit = compileCore(Ctx, Core);
         }
+        // Units that compiled lambdas (or syntax-rules patterns and
+        // templates) are adopted for the session, and adopted *before*
+        // evaluation so a closure published to a global stays valid even
+        // if a later subexpression of the same form throws. A
+        // self-contained unit, by contrast, cannot be referenced once its
+        // run finishes; under boundary reclamation it is dropped at the
+        // end of this iteration, which keeps a long-lived serve session's
+        // code table bounded instead of growing with every request. (Its
+        // constants are arena values: any that escape into globals or the
+        // result survive via the root walk, independent of the unit.)
+        Expr *Root = Unit->Root;
+        if (Ctx.Reclaim != ReclaimMode::Boundary || !Unit->selfContained())
+          Ctx.adoptCode(std::move(Unit));
         {
           ScopedPhase Timer(Ctx.Stats, &Ctx.Trace, Phase::Eval);
-          Last = evalExpr(Ctx, Unit->Root, nullptr);
+          Last = evalExpr(Ctx, Root, nullptr);
         }
-        Ctx.adoptCode(std::move(Unit));
       }
     }
     R.Ok = true;
-    R.V = Last;
+    // Run-boundary reclamation (no-op under ReclaimMode::Off). The result
+    // is parked on the Context as a root and read back forwarded, so the
+    // caller's EvalResult stays valid across the collection.
+    Ctx.LastResult = Last;
+    Ctx.reclaimAtBoundary();
+    R.V = Ctx.LastResult;
   } catch (const GuardTrip &T) {
     R.Ok = false;
     R.Error = T.render();
     R.Tripped = T.kind();
     Ctx.Stats.bump(Stat::GuardTrips);
+    Ctx.LastResult = Value::undefined();
+    Ctx.reclaimAtBoundary();
   } catch (const SchemeError &E) {
     R.Ok = false;
     R.Error = E.render();
+    Ctx.LastResult = Value::undefined();
+    Ctx.reclaimAtBoundary();
   }
   return R;
 }
@@ -153,14 +184,20 @@ EvalResult Engine::callGlobal(const std::string &Name,
     Value *Cell = Ctx.globalCell(Ctx.Symbols.intern(Name));
     if (Cell->isUnbound())
       raiseError("unbound global " + Name);
-    R.V = Ctx.apply(*Cell, Args);
+    Ctx.LastResult = Ctx.apply(*Cell, Args);
+    Ctx.reclaimAtBoundary();
+    R.V = Ctx.LastResult;
     R.Ok = true;
   } catch (const GuardTrip &T) {
     R.Error = T.render();
     R.Tripped = T.kind();
     Ctx.Stats.bump(Stat::GuardTrips);
+    Ctx.LastResult = Value::undefined();
+    Ctx.reclaimAtBoundary();
   } catch (const SchemeError &E) {
     R.Error = E.render();
+    Ctx.LastResult = Value::undefined();
+    Ctx.reclaimAtBoundary();
   }
   return R;
 }
@@ -189,13 +226,19 @@ EvalResult Engine::expandToString(const std::string &Source,
       }
     }
     R.Ok = true;
-    R.V = Ctx.TheHeap.string(std::move(Out));
+    Ctx.LastResult = Ctx.TheHeap.string(std::move(Out));
+    Ctx.reclaimAtBoundary();
+    R.V = Ctx.LastResult;
   } catch (const GuardTrip &T) {
     R.Error = T.render();
     R.Tripped = T.kind();
     Ctx.Stats.bump(Stat::GuardTrips);
+    Ctx.LastResult = Value::undefined();
+    Ctx.reclaimAtBoundary();
   } catch (const SchemeError &E) {
     R.Error = E.render();
+    Ctx.LastResult = Value::undefined();
+    Ctx.reclaimAtBoundary();
   }
   return R;
 }

@@ -32,6 +32,7 @@
 namespace pgmp {
 
 enum class AnnotateMode : uint8_t; // interp/Context.h
+enum class ReclaimMode : uint8_t;  // syntax/Heap.h
 class ProfileBus;                  // profile/ProfileBus.h
 
 /// Continuous profiling configuration (the long-lived serving mode; see
@@ -107,6 +108,17 @@ struct EngineOptions {
 
   /// Per-run wall-clock budget in milliseconds (pgmpi --deadline-ms).
   uint64_t DeadlineMs = 0;
+
+  /// Region reclamation at run boundaries (syntax/Heap.h, DESIGN.md §6).
+  /// Zero-initialized to ReclaimMode::Off — the historical contract:
+  /// stable object addresses for the whole session, memory freed at
+  /// teardown only. ReclaimMode::Boundary collects the nursery after
+  /// every evalString/callGlobal, which is what long-lived serving loops
+  /// (pgmpi serve) use to stay in bounded memory. Under Boundary, Values
+  /// held by the embedder across run boundaries are invalidated by the
+  /// collection — retain results through Scheme globals (or re-read
+  /// EvalResult::V, which is forwarded) instead.
+  ReclaimMode Reclaim{};
 
   /// Mirror display/write output to stdout (pgmpi-style drivers).
   bool EchoStdout = false;

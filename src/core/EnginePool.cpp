@@ -187,6 +187,17 @@ void EnginePool::mergeCountersInto(ProfileDatabase &Db,
   }
 }
 
+std::array<AllocSiteStats, NumAllocSites> EnginePool::mergedSiteStats() const {
+  std::array<AllocSiteStats, NumAllocSites> Merged{};
+  for (const std::unique_ptr<Engine> &W : Workers) {
+    const auto &Sites =
+        const_cast<Engine &>(*W).context().TheHeap.siteStats();
+    for (size_t I = 0; I < NumAllocSites; ++I)
+      Merged[I].merge(Sites[I]);
+  }
+  return Merged;
+}
+
 ProfileOpResult EnginePool::storeMergedProfile(const std::string &Path) {
   Context &C0 = Workers[0]->context();
   C0.Stats.bump(Stat::ProfileStores);

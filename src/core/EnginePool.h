@@ -131,6 +131,13 @@ public:
   /// quiescent point (run() returning is one).
   void mergeCountersInto(ProfileDatabase &Db, SourceObjectTable &Sources);
 
+  /// Index-wise sum of every worker's allocation-site profile, folded in
+  /// worker order. Sites are a closed enum, so the merge is deterministic
+  /// by construction — the same guarantee the counter merge gives — and a
+  /// quiescent point (run() returned) is required, like
+  /// mergeCountersInto.
+  std::array<AllocSiteStats, NumAllocSites> mergedSiteStats() const;
+
   /// The pool equivalent of Engine::storeProfile: merges all workers'
   /// counters on top of the coordinator's database, stores atomically,
   /// and on success commits the merge and resets every worker's counters

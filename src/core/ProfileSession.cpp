@@ -218,6 +218,13 @@ static void applyEpoch(Context &Ctx, const ProfileEpoch &Epoch) {
   // hot invocation.
   if (Ctx.Backend)
     Ctx.Backend->invalidateEpoch(Ctx, Ctx.Backend->fuse(Ctx));
+
+  // The memory-management analog of the fusion re-selection above: a new
+  // profile epoch re-derives the reclamation policy (pre-tenured sites,
+  // hot-site co-location, nursery sizing) from the allocation-site
+  // profile observed so far. Deterministic in the profile; cheap when
+  // nothing changed.
+  Ctx.reselectReclaimPolicy();
 }
 
 bool pgmp::pollContinuousProfile(Context &Ctx) {

@@ -1356,7 +1356,14 @@ Expander::Expander(Context &Ctx) : P(std::make_unique<Impl>(Ctx)) {}
 Expander::~Expander() = default;
 
 std::vector<Value> Expander::expandTopLevel(Value Stx) {
+  // Expansion-time allocation (hygiene re-wrapping, synthesized forms)
+  // is attributed to the expander site; transformer bodies that allocate
+  // through primitives or templates override it with their own sites.
+  AllocSiteScope Site(P->Ctx.TheHeap, AllocSite::Expander);
   return P->expandTopLevel(Stx);
 }
 
-Value Expander::expandExpression(Value Stx) { return P->expand(Stx); }
+Value Expander::expandExpression(Value Stx) {
+  AllocSiteScope Site(P->Ctx.TheHeap, AllocSite::Expander);
+  return P->expand(Stx);
+}

@@ -132,6 +132,7 @@ Value instantiate(InstantiateState &St, const Template *Tpl) {
 
 Value pgmp::instantiateTemplate(Context &Ctx, const Template *Tpl,
                                 EnvObj *Env) {
+  AllocSiteScope Site(Ctx.TheHeap, AllocSite::TemplateInstantiate);
   InstantiateState St{Ctx, Env, {}};
   return instantiate(St, Tpl);
 }

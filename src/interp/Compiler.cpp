@@ -634,6 +634,9 @@ Expr *CompilerImpl::compile(Value Stx, CompileFrame *Frame, bool Tail) {
 
 std::unique_ptr<CodeUnit> pgmp::compileCore(Context &Ctx, Value CoreStx) {
   Ctx.Stats.bump(Stat::CompiledUnits);
+  // Constants materialized at compile time (quoted data stripped of its
+  // syntax wrappers) are attributed to the compiler's site.
+  AllocSiteScope Site(Ctx.TheHeap, AllocSite::CompilerConst);
   auto Unit = std::make_unique<CodeUnit>();
   CompilerImpl C(Ctx, *Unit);
   Unit->Root = C.compile(CoreStx, /*Frame=*/nullptr, /*Tail=*/false);

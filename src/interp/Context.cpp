@@ -3,6 +3,7 @@
 #include "interp/Context.h"
 
 #include "interp/Expr.h"
+#include "interp/TierBackend.h"
 
 #include <cstdio>
 
@@ -80,6 +81,35 @@ void Context::adoptCode(std::unique_ptr<CodeUnit> Unit) {
   TierLambdas.insert(TierLambdas.end(), Unit->Lambdas.begin(),
                      Unit->Lambdas.end());
   Code.push_back(std::move(Unit));
+}
+
+void Context::traceGcRoots(GcVisitor &V) {
+  for (auto &[Sym, Cell] : Globals)
+    V.value(Cell);
+  V.value(LastResult);
+  for (auto &[Label, Meaning] : Meanings)
+    V.value(Meaning.Transformer);
+  for (auto &Unit : Code)
+    Unit->forEachGcRoot(V);
+  if (Backend)
+    Backend->traceGcRoots(V);
+}
+
+bool Context::reclaimAtBoundary(bool ForceMajor) {
+  if (Reclaim == ReclaimMode::Off)
+    return false;
+  ScopedPhase Timer(Stats, &Trace, Phase::Reclaim);
+  Heap::ReclaimResult R = TheHeap.collect(
+      [this](GcVisitor &V) { traceGcRoots(V); }, ForceMajor);
+  Stats.bump(Stat::Reclaims);
+  if (R.Aborted)
+    Stats.bump(Stat::ReclaimAborts);
+  return true;
+}
+
+void Context::reselectReclaimPolicy() {
+  if (TheHeap.selectReclaimPolicy())
+    Stats.bump(Stat::ReclaimPolicyEpochs);
 }
 
 void Context::writeOutput(const std::string &S) {

@@ -91,6 +91,41 @@ public:
   ExecGuard Guard;
 
   //===--------------------------------------------------------------------===//
+  // Region reclamation (syntax/Heap.h, DESIGN.md §6)
+  //===--------------------------------------------------------------------===//
+
+  /// Whether Engine run boundaries reclaim nursery memory. Set from
+  /// EngineOptions::Reclaim after the prelude loads (the prelude itself
+  /// is retained through globals, so collecting under it would only cost
+  /// an evacuation pass).
+  ReclaimMode Reclaim = ReclaimMode::Off;
+
+  /// The value the last run produced, kept as a root so callers can
+  /// still read an EvalResult after the boundary collection that follows
+  /// it. Engine sets it right before reclaimAtBoundary() and reads back
+  /// the forwarded Value.
+  Value LastResult;
+
+  /// Runs a region reclamation if Reclaim is Boundary: collects the heap
+  /// with traceGcRoots as the root set, under Phase::Reclaim timing and
+  /// the Reclaims/ReclaimAborts counters. Must only be called at a
+  /// quiescent point (no Scheme Value/Obj* on the C++ stack outside the
+  /// traced roots). Returns true when a collection ran.
+  bool reclaimAtBoundary(bool ForceMajor = false);
+
+  /// Enumerates every root the session retains across runs: global
+  /// cells, LastResult, macro transformers (Meanings), Values embedded
+  /// in adopted CodeUnits, and the tier backend's bytecode constant
+  /// pools.
+  void traceGcRoots(GcVisitor &V);
+
+  /// Re-derives the heap's reclamation policy from the current
+  /// allocation-site profile (Heap::selectReclaimPolicy); bumps
+  /// Stat::ReclaimPolicyEpochs when the policy actually changed. Called
+  /// per ProfileBus epoch, like fusion-table re-selection.
+  void reselectReclaimPolicy();
+
+  //===--------------------------------------------------------------------===//
   // Tiered execution (interp -> VM promotion of hot closures)
   //===--------------------------------------------------------------------===//
 
@@ -185,6 +220,12 @@ public:
 
   /// Keeps compiled code alive for the session (closures point into it).
   void adoptCode(std::unique_ptr<CodeUnit> Unit);
+
+  /// Number of code units retained for the session. Under boundary
+  /// reclamation this must stay flat across request-shaped runs (the
+  /// engine drops self-contained units), which is what makes a serve
+  /// loop's host-side footprint bounded, not just its arena.
+  size_t numCodeUnits() const { return Code.size(); }
 
   /// Calls a Scheme procedure from C++ (defined in Eval.cpp).
   Value apply(Value Fn, Value *Args, size_t NumArgs);

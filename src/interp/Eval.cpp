@@ -37,15 +37,17 @@ static EnvObj *buildFrame(Context &Ctx, Closure *C, Value *Args,
   if (!L->HasRest) {
     if (NumArgs != Fixed)
       arityError(L, NumArgs);
-    return Ctx.TheHeap.makeEnvFrom(C->Captured, Fixed, Args, Fixed);
+    return Ctx.TheHeap.makeEnvFrom(C->Captured, Fixed, Args, Fixed,
+                                   AllocSite::InterpFrame);
   }
   if (NumArgs < Fixed)
     arityError(L, NumArgs);
-  EnvObj *Frame = Ctx.TheHeap.makeEnvFrom(C->Captured, Fixed + 1, Args, Fixed);
+  EnvObj *Frame = Ctx.TheHeap.makeEnvFrom(C->Captured, Fixed + 1, Args,
+                                          Fixed, AllocSite::InterpFrame);
   Value Rest = Value::nil();
   if (NumArgs > Fixed)
     for (size_t I = NumArgs; I > Fixed; --I)
-      Rest = Ctx.TheHeap.cons(Args[I - 1], Rest);
+      Rest = Ctx.TheHeap.cons(Args[I - 1], Rest, AllocSite::InterpRestArgs);
   Frame->slots()[Fixed] = Rest;
   return Frame;
 }
@@ -149,7 +151,8 @@ tail:
   case ExprKind::Lambda: {
     const auto *L = static_cast<const LambdaExpr *>(E);
     return Value::object(ValueKind::Closure,
-                         Ctx.TheHeap.make<Closure>(L, Env));
+                         Ctx.TheHeap.makeAt<Closure>(
+                             AllocSite::InterpClosure, L, Env));
   }
 
   case ExprKind::Begin: {
@@ -248,7 +251,8 @@ tail:
     const auto *SC = static_cast<const SyntaxCaseExpr *>(E);
     Value Scrut = evalExprImpl<GuardOn>(Ctx, SC->Scrutinee, Env);
     for (const SyntaxCaseClause &Clause : SC->Clauses) {
-      EnvObj *Frame = Ctx.TheHeap.makeEnv(Env, Clause.NumVars);
+      EnvObj *Frame =
+          Ctx.TheHeap.makeEnv(Env, Clause.NumVars, AllocSite::SyntaxCaseFrame);
       if (!matchPattern(Ctx, Clause.Pat, Scrut,
                         Clause.NumVars ? Frame->slots() : nullptr))
         continue;

@@ -4,6 +4,7 @@
 
 #include "expander/Matcher.h"
 #include "expander/Template.h"
+#include "syntax/Heap.h"
 
 using namespace pgmp;
 
@@ -20,4 +21,26 @@ Template *CodeUnit::adoptTemplate(std::unique_ptr<Template> T) {
   Template *Raw = T.get();
   Templates.push_back(std::move(T));
   return Raw;
+}
+
+void CodeUnit::forEachGcRoot(GcVisitor &V) {
+  for (Value &C : ConstantPool)
+    V.value(C);
+  for (auto &E : Exprs)
+    if (E->K == ExprKind::Const)
+      V.value(static_cast<ConstExpr *>(E.get())->V);
+  for (auto &P : Patterns) {
+    if (P->K == PatternKind::Literal)
+      V.value(static_cast<LiteralPattern *>(P.get())->IdSyntax);
+    else if (P->K == PatternKind::Datum)
+      V.value(static_cast<DatumPattern *>(P.get())->Datum);
+  }
+  for (auto &T : Templates) {
+    if (T->K == TemplateKind::Const)
+      V.value(static_cast<ConstTemplate *>(T.get())->Stx);
+    else if (T->K == TemplateKind::List)
+      V.value(static_cast<ListTemplate *>(T.get())->OriginalStx);
+    else if (T->K == TemplateKind::Vector)
+      V.value(static_cast<VectorTemplate *>(T.get())->OriginalStx);
+  }
 }

@@ -22,6 +22,7 @@
 
 namespace pgmp {
 
+class GcVisitor;
 struct SourceObject;
 struct Pattern;
 struct Template;
@@ -183,7 +184,9 @@ public:
 };
 
 /// Owns the nodes (and patterns/templates) of one compiled top-level
-/// form. Kept alive for the whole session because closures point into it.
+/// form. Kept alive for the whole session because closures point into it;
+/// the exception is a selfContained() unit under boundary reclamation,
+/// which the engine drops once its run finishes.
 class CodeUnit {
 public:
   CodeUnit();
@@ -201,10 +204,25 @@ public:
   Pattern *adoptPattern(std::unique_ptr<Pattern> P);
   Template *adoptTemplate(std::unique_ptr<Template> T);
 
-  /// Heap values embedded as constants stay reachable via this pool (the
-  /// heap has no collector today, but the invariant is load-bearing if
-  /// one is added).
+  /// Heap values embedded as constants stay reachable via this pool,
+  /// which the collector treats as a root set (forEachGcRoot).
   std::vector<Value> ConstantPool;
+
+  /// Visits every heap Value this unit retains — the constant pool plus
+  /// the Values embedded directly in nodes (ConstExpr), patterns
+  /// (literal/datum), and templates (const/original syntax) — so a region
+  /// reclamation can forward them. Flat walks over the ownership vectors;
+  /// no recursion.
+  void forEachGcRoot(GcVisitor &V);
+
+  /// True when nothing can point into this unit after its run finishes:
+  /// no lambdas (closures hold LambdaExpr pointers) and no syntax-rules
+  /// patterns or templates (transformer meanings hold those). Such units
+  /// are request-shaped, and a run-boundary reclamation may drop them
+  /// instead of keeping them for the session.
+  bool selfContained() const {
+    return Lambdas.empty() && Patterns.empty() && Templates.empty();
+  }
 
   /// Every lambda compiled into this unit, in compile order. The
   /// continuous-profiling re-tier walk (ProfileSession) iterates these to

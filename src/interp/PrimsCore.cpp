@@ -10,7 +10,7 @@ using namespace pgmp::prims;
 namespace {
 
 Value primCons(Context &Ctx, Value *A, size_t) {
-  return Ctx.TheHeap.cons(A[0], A[1]);
+  return Ctx.TheHeap.cons(A[0], A[1], AllocSite::PrimList);
 }
 Value primCar(Context &, Value *A, size_t) {
   return wantPair("car", A[0])->Car;
@@ -80,7 +80,8 @@ Value primEofP(Context &, Value *A, size_t) {
 Value primEofObject(Context &, Value *, size_t) { return Value::eof(); }
 
 Value primSymbolToString(Context &Ctx, Value *A, size_t) {
-  return Ctx.TheHeap.string(wantSymbol("symbol->string", A[0])->Name);
+  return Ctx.TheHeap.string(wantSymbol("symbol->string", A[0])->Name,
+                            AllocSite::PrimString);
 }
 Value primStringToSymbol(Context &Ctx, Value *A, size_t) {
   return Ctx.Symbols.internValue(wantString("string->symbol", A[0])->Text);
@@ -139,7 +140,7 @@ Value primApply(Context &Ctx, Value *A, size_t N) {
   return applyProcedure(Ctx, Fn, Args.data(), Args.size());
 }
 
-Value primBox(Context &Ctx, Value *A, size_t) { return Ctx.TheHeap.box(A[0]); }
+Value primBox(Context &Ctx, Value *A, size_t) { return Ctx.TheHeap.box(A[0], AllocSite::PrimBox); }
 Value primUnbox(Context &, Value *A, size_t) {
   if (!A[0].isBox())
     wrongType("unbox", "a box", A[0]);

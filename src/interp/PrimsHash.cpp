@@ -10,13 +10,13 @@ using namespace pgmp::prims;
 namespace {
 
 Value primMakeEqHashtable(Context &Ctx, Value *, size_t) {
-  return Ctx.TheHeap.hashtable(HashKind::Eq);
+  return Ctx.TheHeap.hashtable(HashKind::Eq, AllocSite::PrimHash);
 }
 Value primMakeEqvHashtable(Context &Ctx, Value *, size_t) {
-  return Ctx.TheHeap.hashtable(HashKind::Eqv);
+  return Ctx.TheHeap.hashtable(HashKind::Eqv, AllocSite::PrimHash);
 }
 Value primMakeEqualHashtable(Context &Ctx, Value *, size_t) {
-  return Ctx.TheHeap.hashtable(HashKind::Equal);
+  return Ctx.TheHeap.hashtable(HashKind::Equal, AllocSite::PrimHash);
 }
 Value primHashtableP(Context &, Value *A, size_t) {
   return Value::boolean(A[0].isHash());
@@ -43,7 +43,8 @@ Value primHashtableSize(Context &, Value *A, size_t) {
 }
 Value primHashtableKeys(Context &Ctx, Value *A, size_t) {
   return Ctx.TheHeap.list(
-      wantHash("hashtable-keys", A[0])->keysInInsertionOrder());
+      wantHash("hashtable-keys", A[0])->keysInInsertionOrder(),
+      AllocSite::PrimList);
 }
 Value primHashtableUpdate(Context &Ctx, Value *A, size_t) {
   // (hashtable-update! ht key proc default)

@@ -14,7 +14,7 @@ namespace {
 Value primList(Context &Ctx, Value *A, size_t N) {
   Value Out = Value::nil();
   for (size_t I = N; I > 0; --I)
-    Out = Ctx.TheHeap.cons(A[I - 1], Out);
+    Out = Ctx.TheHeap.cons(A[I - 1], Out, AllocSite::PrimList);
   return Out;
 }
 
@@ -36,7 +36,7 @@ Value primAppend(Context &Ctx, Value *A, size_t N) {
   for (size_t I = N - 1; I > 0; --I) {
     std::vector<Value> Elems = listToVector(A[I - 1]);
     for (size_t J = Elems.size(); J > 0; --J)
-      Out = Ctx.TheHeap.cons(Elems[J - 1], Out);
+      Out = Ctx.TheHeap.cons(Elems[J - 1], Out, AllocSite::PrimList);
   }
   return Out;
 }
@@ -45,7 +45,7 @@ Value primReverse(Context &Ctx, Value *A, size_t) {
   Value Out = Value::nil();
   Value Cur = A[0];
   while (Cur.isPair()) {
-    Out = Ctx.TheHeap.cons(Cur.asPair()->Car, Out);
+    Out = Ctx.TheHeap.cons(Cur.asPair()->Car, Out, AllocSite::PrimList);
     Cur = Cur.asPair()->Cdr;
   }
   if (!Cur.isNil())
@@ -139,7 +139,7 @@ Value primMap(Context &Ctx, Value *A, size_t N) {
       Args[L] = Lists[L][I];
     Out.push_back(applyProcedure(Ctx, Fn, Args.data(), Args.size()));
   }
-  return Ctx.TheHeap.list(Out);
+  return Ctx.TheHeap.list(Out, AllocSite::PrimList);
 }
 
 Value primForEach(Context &Ctx, Value *A, size_t N) {
@@ -167,7 +167,7 @@ Value primFilter(Context &Ctx, Value *A, size_t) {
     if (applyProcedure(Ctx, Fn, Args, 1).isTruthy())
       Out.push_back(E);
   }
-  return Ctx.TheHeap.list(Out);
+  return Ctx.TheHeap.list(Out, AllocSite::PrimList);
 }
 
 Value primFoldLeft(Context &Ctx, Value *A, size_t) {
@@ -199,7 +199,7 @@ Value primIota(Context &Ctx, Value *A, size_t N) {
   Out.reserve(static_cast<size_t>(Count > 0 ? Count : 0));
   for (int64_t I = 0; I < Count; ++I)
     Out.push_back(Value::fixnum(Start + I * Step));
-  return Ctx.TheHeap.list(Out);
+  return Ctx.TheHeap.list(Out, AllocSite::PrimList);
 }
 
 /// Stable sort with a caller-supplied less? procedure. Stability matters:
@@ -213,7 +213,7 @@ Value sortImpl(Context &Ctx, Value Less, Value List, const char *Name) {
                      Value Args[2] = {X, Y};
                      return applyProcedure(Ctx, Less, Args, 2).isTruthy();
                    });
-  return Ctx.TheHeap.list(Elems);
+  return Ctx.TheHeap.list(Elems, AllocSite::PrimList);
 }
 
 Value primSort(Context &Ctx, Value *A, size_t) {
@@ -270,7 +270,7 @@ Value primOrmap(Context &Ctx, Value *A, size_t N) {
 }
 
 Value primListCopy(Context &Ctx, Value *A, size_t) {
-  return Ctx.TheHeap.list(listToVector(A[0]));
+  return Ctx.TheHeap.list(listToVector(A[0]), AllocSite::PrimList);
 }
 
 //===----------------------------------------------------------------------===//
@@ -278,7 +278,8 @@ Value primListCopy(Context &Ctx, Value *A, size_t) {
 //===----------------------------------------------------------------------===//
 
 Value primVector(Context &Ctx, Value *A, size_t N) {
-  return Ctx.TheHeap.vector(std::vector<Value>(A, A + N));
+  return Ctx.TheHeap.vector(std::vector<Value>(A, A + N),
+                            AllocSite::PrimVector);
 }
 
 Value primMakeVector(Context &Ctx, Value *A, size_t N) {
@@ -317,11 +318,12 @@ Value primVectorSet(Context &, Value *A, size_t) {
 }
 
 Value primVectorToList(Context &Ctx, Value *A, size_t) {
-  return Ctx.TheHeap.list(wantVector("vector->list", A[0])->Elems);
+  return Ctx.TheHeap.list(wantVector("vector->list", A[0])->Elems,
+                          AllocSite::PrimList);
 }
 
 Value primListToVector(Context &Ctx, Value *A, size_t) {
-  return Ctx.TheHeap.vector(listToVector(A[0]));
+  return Ctx.TheHeap.vector(listToVector(A[0]), AllocSite::PrimVector);
 }
 
 Value primVectorFill(Context &, Value *A, size_t) {
@@ -339,11 +341,12 @@ Value primVectorMap(Context &Ctx, Value *A, size_t) {
     Value Args[1] = {E};
     Out.push_back(applyProcedure(Ctx, Fn, Args, 1));
   }
-  return Ctx.TheHeap.vector(std::move(Out));
+  return Ctx.TheHeap.vector(std::move(Out), AllocSite::PrimVector);
 }
 
 Value primVectorCopy(Context &Ctx, Value *A, size_t) {
-  return Ctx.TheHeap.vector(wantVector("vector-copy", A[0])->Elems);
+  return Ctx.TheHeap.vector(wantVector("vector-copy", A[0])->Elems,
+                            AllocSite::PrimVector);
 }
 
 } // namespace

@@ -286,8 +286,10 @@ Value primSub1(Context &, Value *A, size_t) {
 
 Value primNumberToString(Context &Ctx, Value *A, size_t) {
   if (A[0].isFixnum())
-    return Ctx.TheHeap.string(std::to_string(A[0].asFixnum()));
-  return Ctx.TheHeap.string(formatFlonum(wantNumber("number->string", A[0])));
+    return Ctx.TheHeap.string(std::to_string(A[0].asFixnum()),
+                              AllocSite::PrimString);
+  return Ctx.TheHeap.string(formatFlonum(wantNumber("number->string", A[0])),
+                            AllocSite::PrimString);
 }
 
 Value primStringToNumber(Context &Ctx, Value *A, size_t) {

@@ -35,14 +35,15 @@ Value primSubstring(Context &Ctx, Value *A, size_t N) {
   if (Start < 0 || End < Start || static_cast<size_t>(End) > S.size())
     raiseError("substring: bad range");
   return Ctx.TheHeap.string(S.substr(static_cast<size_t>(Start),
-                                     static_cast<size_t>(End - Start)));
+                                     static_cast<size_t>(End - Start)),
+                            AllocSite::PrimString);
 }
 
 Value primStringAppend(Context &Ctx, Value *A, size_t N) {
   std::string Out;
   for (size_t I = 0; I < N; ++I)
     Out += wantString("string-append", A[I])->Text;
-  return Ctx.TheHeap.string(std::move(Out));
+  return Ctx.TheHeap.string(std::move(Out), AllocSite::PrimString);
 }
 
 Value primStringEq(Context &, Value *A, size_t N) {
@@ -72,14 +73,14 @@ Value primStringToList(Context &Ctx, Value *A, size_t) {
   Out.reserve(S.size());
   for (char C : S)
     Out.push_back(Value::charval(static_cast<unsigned char>(C)));
-  return Ctx.TheHeap.list(Out);
+  return Ctx.TheHeap.list(Out, AllocSite::PrimList);
 }
 
 Value primListToString(Context &Ctx, Value *A, size_t) {
   std::string Out;
   for (const Value &C : listToVector(A[0]))
     Out += static_cast<char>(wantChar("list->string", C));
-  return Ctx.TheHeap.string(std::move(Out));
+  return Ctx.TheHeap.string(std::move(Out), AllocSite::PrimString);
 }
 
 Value primMakeString(Context &Ctx, Value *A, size_t N) {
@@ -87,25 +88,27 @@ Value primMakeString(Context &Ctx, Value *A, size_t N) {
   char Fill = N == 2 ? static_cast<char>(wantChar("make-string", A[1])) : ' ';
   if (Len < 0)
     raiseError("make-string: negative length");
-  return Ctx.TheHeap.string(std::string(static_cast<size_t>(Len), Fill));
+  return Ctx.TheHeap.string(std::string(static_cast<size_t>(Len), Fill),
+                            AllocSite::PrimString);
 }
 
 Value primStringCopy(Context &Ctx, Value *A, size_t) {
-  return Ctx.TheHeap.string(wantString("string-copy", A[0])->Text);
+  return Ctx.TheHeap.string(wantString("string-copy", A[0])->Text,
+                            AllocSite::PrimString);
 }
 
 Value primStringUpcase(Context &Ctx, Value *A, size_t) {
   std::string S = wantString("string-upcase", A[0])->Text;
   for (char &C : S)
     C = static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
-  return Ctx.TheHeap.string(std::move(S));
+  return Ctx.TheHeap.string(std::move(S), AllocSite::PrimString);
 }
 
 Value primStringDowncase(Context &Ctx, Value *A, size_t) {
   std::string S = wantString("string-downcase", A[0])->Text;
   for (char &C : S)
     C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
-  return Ctx.TheHeap.string(std::move(S));
+  return Ctx.TheHeap.string(std::move(S), AllocSite::PrimString);
 }
 
 //===----------------------------------------------------------------------===//

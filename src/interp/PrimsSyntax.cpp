@@ -58,7 +58,7 @@ Value primGenerateTemporaries(Context &Ctx, Value *A, size_t) {
                              Value::object(ValueKind::Symbol, S), ScopeSet(),
                              nullptr));
   }
-  return Ctx.TheHeap.list(Out);
+  return Ctx.TheHeap.list(Out, AllocSite::PrimList);
 }
 
 /// (syntax->list e) -> proper list of element syntaxes, or #f when the
@@ -82,7 +82,7 @@ Value primSyntaxToList(Context &Ctx, Value *A, size_t) {
     Cur = Value::nil();
   if (!Cur.isNil())
     return Value::boolean(false);
-  return Ctx.TheHeap.list(Out);
+  return Ctx.TheHeap.list(Out, AllocSite::PrimList);
 }
 
 /// (syntax-source e) -> "file:line:col" string, or #f when absent.
@@ -90,7 +90,7 @@ Value primSyntaxSource(Context &Ctx, Value *A, size_t) {
   const SourceObject *Src = syntaxSource(A[0]);
   if (!Src)
     return Value::boolean(false);
-  return Ctx.TheHeap.string(Src->describe());
+  return Ctx.TheHeap.string(Src->describe(), AllocSite::PrimString);
 }
 
 /// (syntax-source-file e) -> file name string, or #f.
@@ -98,7 +98,7 @@ Value primSyntaxSourceFile(Context &Ctx, Value *A, size_t) {
   const SourceObject *Src = syntaxSource(A[0]);
   if (!Src)
     return Value::boolean(false);
-  return Ctx.TheHeap.string(Src->File);
+  return Ctx.TheHeap.string(Src->File, AllocSite::PrimString);
 }
 
 } // namespace

@@ -30,6 +30,7 @@ namespace pgmp {
 
 class Context;
 class EnvObj;
+class GcVisitor;
 class LambdaExpr;
 class VmFunction;
 
@@ -64,6 +65,11 @@ public:
   /// table on their next hot invocation. Returns how many bodies were
   /// invalidated.
   virtual size_t invalidateEpoch(Context &Ctx, uint64_t FusionEpoch) = 0;
+
+  /// Visits every heap Value the backend's compiled modules retain
+  /// (bytecode constant pools), so a region reclamation can forward them.
+  /// Default: the backend retains nothing.
+  virtual void traceGcRoots(GcVisitor &V) { (void)V; }
 };
 
 } // namespace pgmp

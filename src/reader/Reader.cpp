@@ -36,6 +36,9 @@ Token Reader::nextMeaningful() {
 }
 
 std::optional<Value> Reader::readOne() {
+  // Everything a datum read allocates (pairs, syntax wrappers, strings)
+  // is attributed to the reader's allocation site.
+  AllocSiteScope Site(H, AllocSite::ReaderDatum);
   Token T = nextMeaningful();
   if (T.Kind == TokenKind::Eof)
     return std::nullopt;

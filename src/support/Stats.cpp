@@ -36,6 +36,8 @@ const char *StatsRegistry::phaseName(Phase P) {
     return "profile-load";
   case Phase::TierCompile:
     return "tier-compile";
+  case Phase::Reclaim:
+    return "reclaim";
   }
   return "?";
 }
@@ -98,6 +100,12 @@ const char *StatsRegistry::statName(Stat S) {
     return "fusion-epochs";
   case Stat::TierInvalidations:
     return "tier-invalidations";
+  case Stat::Reclaims:
+    return "reclaims";
+  case Stat::ReclaimAborts:
+    return "reclaim-aborts";
+  case Stat::ReclaimPolicyEpochs:
+    return "reclaim-policy-epochs";
   }
   return "?";
 }

@@ -41,8 +41,9 @@ enum class Phase : uint8_t {
   ProfileStore, ///< serializing + atomically writing a profile
   ProfileLoad,  ///< reading + parsing + merging a profile
   TierCompile,  ///< lowering hot lambdas to bytecode (tier-up)
+  Reclaim,      ///< region reclamation at run boundaries (Heap::collect)
 };
-inline constexpr size_t NumPhases = 9;
+inline constexpr size_t NumPhases = 10;
 
 /// Profiler self-metric counters.
 enum class Stat : uint8_t {
@@ -73,9 +74,12 @@ enum class Stat : uint8_t {
   TierInlines,        ///< calls inlined into a tiered body
   TierInlineFallbacks, ///< eligible inlines abandoned by a size/depth cap
   FusionEpochs,       ///< fusion-table re-selections that changed the set
-  TierInvalidations   ///< tiered bodies dropped by a fusion-table epoch
+  TierInvalidations,  ///< tiered bodies dropped by a fusion-table epoch
+  Reclaims,           ///< boundary region reclamations run (Heap::collect)
+  ReclaimAborts,      ///< reclamations degraded by an evac alloc failure
+  ReclaimPolicyEpochs ///< reclaim-policy re-selections that changed it
 };
-inline constexpr size_t NumStats = 28;
+inline constexpr size_t NumStats = 31;
 
 /// Monotonic clock in nanoseconds (steady_clock).
 uint64_t statsNowNanos();

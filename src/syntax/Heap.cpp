@@ -6,17 +6,33 @@
 #include "support/ExecGuard.h"
 #include "support/FaultInjector.h"
 #include "syntax/SymbolTable.h"
+#include "syntax/Syntax.h"
 
 #include <algorithm>
 
 using namespace pgmp;
 
+const char *pgmp::allocSiteName(AllocSite S) {
+  switch (S) {
+#define PGMP_ALLOC_SITE_NAME(Id, Name)                                         \
+  case AllocSite::Id:                                                          \
+    return Name;
+    PGMP_ALLOC_SITES(PGMP_ALLOC_SITE_NAME)
+#undef PGMP_ALLOC_SITE_NAME
+  case AllocSite::Ambient:
+    break;
+  }
+  return "ambient";
+}
+
 Heap::~Heap() {
-  // Only the destructible side list is walked; trivially-destructible
+  // Only the destructible side lists are walked; trivially-destructible
   // objects (pairs, closures, boxes, env frames) are reclaimed with the
   // chunks. Newest-first order is fine: heap objects never own each
   // other, they only point, and nothing dereferences during teardown.
-  for (DtorNode *N = DtorHead; N; N = N->Next)
+  for (DtorNode *N = NurseryDtorHead; N; N = N->Next)
+    N->Destroy(N + 1);
+  for (DtorNode *N = TenuredDtorHead; N; N = N->Next)
     N->Destroy(N + 1);
 }
 
@@ -24,7 +40,8 @@ void *Heap::allocateSlow(size_t Bytes) {
   // Resource governance rides the cold path only: both checks run before
   // any state mutates, so a trip leaves the heap fully consistent — the
   // current chunk's tail keeps serving small allocations afterward.
-  size_t ChunkNeed = Bytes > ChunkBytes ? Bytes : ChunkBytes;
+  const size_t CS = Policy.NurseryChunkBytes;
+  size_t ChunkNeed = Bytes > CS ? Bytes : CS;
   if (faultinject::shouldFail(faultinject::Point::Alloc))
     raiseGuardTrip(GuardKind::Heap,
                    "injected allocation failure (chunk of " +
@@ -37,20 +54,468 @@ void *Heap::allocateSlow(size_t Bytes) {
                        " reserved, next chunk needs " +
                        std::to_string(ChunkNeed) + ")");
   ++Stats.ChunksAcquired;
-  if (Bytes > ChunkBytes) {
+  Stats.BytesReserved += ChunkNeed;
+  Stats.PeakBytesReserved =
+      std::max(Stats.PeakBytesReserved, Stats.BytesReserved);
+  if (Bytes > CS) {
     // Oversize (e.g. a frame with thousands of slots): dedicated chunk of
     // exactly the requested size; the current bump chunk keeps its tail.
     ++Stats.OversizeChunks;
+    Nursery.push_back({std::make_unique<char[]>(Bytes), Bytes});
+    return Nursery.back().Mem.get();
+  }
+  Nursery.push_back({std::make_unique<char[]>(CS), CS});
+  char *Base = Nursery.back().Mem.get();
+  Cur = Base + Bytes;
+  End = Base + CS;
+  return Base;
+}
+
+void *Heap::acquireTenuredChunk(size_t Bytes, bool Hot) {
+  ++Stats.ChunksAcquired;
+  if (Bytes > ChunkBytes) {
+    ++Stats.OversizeChunks;
     Stats.BytesReserved += Bytes;
-    Chunks.push_back(std::make_unique<char[]>(Bytes));
-    return Chunks.back().get();
+    Stats.PeakBytesReserved =
+        std::max(Stats.PeakBytesReserved, Stats.BytesReserved);
+    Tenured.push_back({std::make_unique<char[]>(Bytes), Bytes});
+    return Tenured.back().Mem.get();
   }
   Stats.BytesReserved += ChunkBytes;
-  Chunks.push_back(std::make_unique<char[]>(ChunkBytes));
-  char *Base = Chunks.back().get();
-  Cur = Base + Bytes;
-  End = Base + ChunkBytes;
+  Stats.PeakBytesReserved =
+      std::max(Stats.PeakBytesReserved, Stats.BytesReserved);
+  Tenured.push_back({std::make_unique<char[]>(ChunkBytes), ChunkBytes});
+  char *Base = Tenured.back().Mem.get();
+  char *&C = Hot ? HotCur : TenCur;
+  char *&E = Hot ? HotEnd : TenEnd;
+  C = Base + Bytes;
+  E = Base + ChunkBytes;
   return Base;
+}
+
+void *Heap::allocateTenured(size_t Bytes, AllocSite S) {
+  // Mutator path for pre-tenured sites: same guard semantics as
+  // allocateSlow (fault injection and the reserved-bytes cap fire before
+  // any state mutates).
+  const bool Hot = Policy.HotSite[static_cast<size_t>(S)];
+  char *&C = Hot ? HotCur : TenCur;
+  char *&E = Hot ? HotEnd : TenEnd;
+  if (Bytes <= static_cast<size_t>(E - C)) {
+    void *P = C;
+    C += Bytes;
+    return P;
+  }
+  size_t ChunkNeed = Bytes > ChunkBytes ? Bytes : ChunkBytes;
+  if (faultinject::shouldFail(faultinject::Point::Alloc))
+    raiseGuardTrip(GuardKind::Heap,
+                   "injected allocation failure (tenured chunk of " +
+                       std::to_string(ChunkNeed) + " bytes)");
+  if (LimitBytes && Stats.BytesReserved + ChunkNeed > LimitBytes)
+    raiseGuardTrip(GuardKind::Heap,
+                   "heap limit of " + std::to_string(LimitBytes) +
+                       " bytes reached (" +
+                       std::to_string(Stats.BytesReserved) +
+                       " reserved, next tenured chunk needs " +
+                       std::to_string(ChunkNeed) + ")");
+  return acquireTenuredChunk(Bytes, Hot);
+}
+
+void *Heap::allocateForEvac(size_t Bytes, bool Hot) {
+  // Collector path: never raises. An injected fault degrades the cycle
+  // (EvacFailed) instead of unwinding out of a half-forwarded graph; the
+  // reserved-bytes cap is not enforced because the cycle as a whole
+  // releases memory.
+  if (EvacFailed)
+    return nullptr;
+  char *&C = Hot ? HotCur : TenCur;
+  char *&E = Hot ? HotEnd : TenEnd;
+  if (Bytes <= static_cast<size_t>(E - C)) {
+    void *P = C;
+    C += Bytes;
+    return P;
+  }
+  if (faultinject::shouldFail(faultinject::Point::Alloc)) {
+    EvacFailed = true;
+    return nullptr;
+  }
+  return acquireTenuredChunk(Bytes, Hot);
+}
+
+//===----------------------------------------------------------------------===//
+// Region reclamation
+//===----------------------------------------------------------------------===//
+
+bool Heap::inFromSpace(const void *P) const {
+  auto It = std::upper_bound(
+      FromRanges.begin(), FromRanges.end(), P,
+      [](const void *Ptr, const std::pair<const char *, const char *> &R) {
+        return Ptr < static_cast<const void *>(R.first);
+      });
+  if (It == FromRanges.begin())
+    return false;
+  --It;
+  return P < static_cast<const void *>(It->second);
+}
+
+bool Heap::inDemotedSpace(const void *P) const {
+  auto It = std::upper_bound(
+      DemotedRanges.begin(), DemotedRanges.end(), P,
+      [](const void *Ptr, const std::pair<const char *, const char *> &R) {
+        return Ptr < static_cast<const void *>(R.first);
+      });
+  if (It == DemotedRanges.begin())
+    return false;
+  --It;
+  return P < static_cast<const void *>(It->second);
+}
+
+template <typename T>
+Obj *Heap::relocateObj(T *Old, bool Hot, bool FirstPromo) {
+  size_t Bytes;
+  T *Copy;
+  if constexpr (std::is_trivially_destructible_v<T>) {
+    Bytes = roundUp(sizeof(T));
+    void *Mem = allocateForEvac(Bytes, Hot);
+    if (!Mem)
+      return nullptr;
+    Copy = new (Mem) T(std::move(*Old));
+  } else {
+    Bytes = roundUp(sizeof(DtorNode) + sizeof(T));
+    auto *N = static_cast<DtorNode *>(allocateForEvac(Bytes, Hot));
+    if (!N)
+      return nullptr;
+    Copy = new (N + 1) T(std::move(*Old));
+    N->Destroy = [](void *P) { static_cast<T *>(P)->~T(); };
+    N->Next = TenuredDtorHead;
+    TenuredDtorHead = N;
+    // The moved-from shell stays on the nursery list and is destructed
+    // (cheaply, it is empty) when the region is dropped — every
+    // destructible object still runs its destructor exactly once.
+  }
+  ++CycleEvacObjects;
+  CycleEvacBytes += Bytes;
+  if (FirstPromo) {
+    AllocSiteStats &SS = Sites[Copy->Site];
+    ++SS.Survived;
+    SS.SurvivedBytes += Bytes;
+  }
+  return Copy;
+}
+
+Obj *Heap::evacuate(Obj *O) {
+  const bool Hot = Policy.HotSite[O->Site];
+  // First promotion out of the nursery earns the site's Survived credit;
+  // a re-evacuation during a major (the object came from a demoted
+  // tenured chunk) already counted.
+  const bool First = DemotedRanges.empty() || !inDemotedSpace(O);
+  switch (O->Kind) {
+  case ValueKind::Pair:
+    return relocateObj(static_cast<Pair *>(O), Hot, First);
+  case ValueKind::String:
+    return relocateObj(static_cast<StringObj *>(O), Hot, First);
+  case ValueKind::Vector:
+    return relocateObj(static_cast<VectorObj *>(O), Hot, First);
+  case ValueKind::Hash:
+    return relocateObj(static_cast<HashTable *>(O), Hot, First);
+  case ValueKind::Closure:
+    return relocateObj(static_cast<Closure *>(O), Hot, First);
+  case ValueKind::Primitive:
+    return relocateObj(static_cast<Primitive *>(O), Hot, First);
+  case ValueKind::Syntax:
+    return relocateObj(static_cast<Syntax *>(O), Hot, First);
+  case ValueKind::Box:
+    return relocateObj(static_cast<Box *>(O), Hot, First);
+  case ValueKind::Env: {
+    // Variable-size: header plus inline slots in one copy.
+    auto *E = static_cast<EnvObj *>(O);
+    size_t Bytes = roundUp(sizeof(EnvObj) + E->NumSlots * sizeof(Value));
+    void *Mem = allocateForEvac(Bytes, Hot);
+    if (!Mem)
+      return nullptr;
+    EnvObj *Copy = new (Mem) EnvObj(E->Parent, E->NumSlots);
+    Copy->Site = E->Site;
+    const Value *Src = E->slots();
+    Value *Dst = Copy->slots();
+    for (uint32_t I = 0; I < E->NumSlots; ++I)
+      new (Dst + I) Value(Src[I]);
+    ++CycleEvacObjects;
+    CycleEvacBytes += Bytes;
+    if (First) {
+      AllocSiteStats &SS = Sites[Copy->Site];
+      ++SS.Survived;
+      SS.SurvivedBytes += Bytes;
+    }
+    return Copy;
+  }
+  default: {
+    // A kind whose layout lives outside syntax/ (VmClosure): relocate
+    // through the hooks installVm registered.
+    const ExternalKindOps &Ops = ExternalKinds[static_cast<size_t>(O->Kind)];
+    assert(Ops.Relocate && "unregistered external heap kind in collect()");
+    size_t Bytes = roundUp(Ops.Size);
+    void *Mem = allocateForEvac(Bytes, Hot);
+    if (!Mem)
+      return nullptr;
+    Obj *Copy = Ops.Relocate(Mem, O);
+    ++CycleEvacObjects;
+    CycleEvacBytes += Bytes;
+    if (First) {
+      AllocSiteStats &SS = Sites[Copy->Site];
+      ++SS.Survived;
+      SS.SurvivedBytes += Bytes;
+    }
+    return Copy;
+  }
+  }
+}
+
+Obj *Heap::forwardObj(Obj *O) {
+  if (!O)
+    return nullptr;
+  if (!inFromSpace(O)) {
+    // Tenured object (or a table-owned Symbol, which has no children):
+    // not moving this cycle, but its fields may point into the nursery,
+    // so it is scanned once per cycle via the stamp.
+    if (O->GcStamp != GcEpoch) {
+      O->GcStamp = GcEpoch;
+      Worklist.push_back(O);
+    }
+    return O;
+  }
+  auto It = Forwarded.find(O);
+  if (It != Forwarded.end())
+    return It->second;
+  Obj *Copy = evacuate(O);
+  if (!Copy) {
+    // Degraded cycle: the object is promoted in place — its chunk will be
+    // adopted into the tenured generation wholesale — but its children
+    // still need forwarding (earlier evacuees already moved).
+    if (DemotedRanges.empty() || !inDemotedSpace(O))
+      ++Sites[O->Site].Survived;
+    Copy = O;
+  }
+  Copy->GcStamp = GcEpoch;
+  Forwarded.emplace(O, Copy);
+  Worklist.push_back(Copy);
+  return Copy;
+}
+
+void Heap::scanObject(Obj *O, GcVisitor &V) {
+  switch (O->Kind) {
+  case ValueKind::Symbol:    // interned, no Value children
+  case ValueKind::String:    // text only
+  case ValueKind::Primitive: // name + function pointer only
+    return;
+  case ValueKind::Pair: {
+    auto *P = static_cast<Pair *>(O);
+    V.value(P->Car);
+    V.value(P->Cdr);
+    return;
+  }
+  case ValueKind::Vector: {
+    for (Value &E : static_cast<VectorObj *>(O)->Elems)
+      V.value(E);
+    return;
+  }
+  case ValueKind::Hash:
+    static_cast<HashTable *>(O)->rehashForGc(V);
+    return;
+  case ValueKind::Closure:
+    V.ptr(static_cast<Closure *>(O)->Captured);
+    return;
+  case ValueKind::Syntax:
+    V.value(static_cast<Syntax *>(O)->Inner);
+    return;
+  case ValueKind::Box:
+    V.value(static_cast<Box *>(O)->Boxed);
+    return;
+  case ValueKind::Env: {
+    auto *E = static_cast<EnvObj *>(O);
+    V.ptr(E->Parent);
+    Value *S = E->slots();
+    for (uint32_t I = 0; I < E->NumSlots; ++I)
+      V.value(S[I]);
+    return;
+  }
+  default: {
+    const ExternalKindOps &Ops = ExternalKinds[static_cast<size_t>(O->Kind)];
+    assert(Ops.Trace && "unregistered external heap kind in collect()");
+    Ops.Trace(O, V);
+    return;
+  }
+  }
+}
+
+Heap::ReclaimResult Heap::collect(const RootEnumerator &Roots,
+                                  bool ForceMajor) {
+  assert(!InCollect && "collect() is not reentrant");
+  ReclaimResult R;
+  const bool Major =
+      ForceMajor ||
+      (TenuredBytes >= std::max<uint64_t>(4 * ChunkBytes,
+                                          2 * TenuredBytesAtLastMajor));
+  // Record this region's allocation volume before it is reset — the
+  // nursery-sizing EWMA the policy reads.
+  EwmaRegionBytes = EwmaRegionBytes
+                        ? (3 * EwmaRegionBytes + NurseryBytes) / 4
+                        : NurseryBytes;
+
+  DemotedRanges.clear();
+  if (Major) {
+    // Widen from-space to the whole heap: every tenured chunk becomes
+    // collectible, so dead pre-tenured objects and stale evacuees from
+    // earlier cycles are dropped too. Live tenured objects re-evacuate
+    // into fresh chunks exactly like nursery survivors — without
+    // re-earning Survived credit (see inDemotedSpace).
+    DemotedRanges.reserve(Tenured.size());
+    for (const Chunk &C : Tenured)
+      DemotedRanges.emplace_back(C.Mem.get(), C.Mem.get() + C.Size);
+    std::sort(DemotedRanges.begin(), DemotedRanges.end());
+    for (Chunk &C : Tenured)
+      Nursery.push_back(std::move(C));
+    Tenured.clear();
+    if (TenuredDtorHead) {
+      DtorNode *Tail = TenuredDtorHead;
+      while (Tail->Next)
+        Tail = Tail->Next;
+      Tail->Next = NurseryDtorHead;
+      NurseryDtorHead = TenuredDtorHead;
+      TenuredDtorHead = nullptr;
+    }
+    TenCur = TenEnd = HotCur = HotEnd = nullptr;
+    NurseryBytes += TenuredBytes;
+    TenuredBytes = 0;
+  }
+
+  FromRanges.clear();
+  FromRanges.reserve(Nursery.size());
+  for (const Chunk &C : Nursery)
+    FromRanges.emplace_back(C.Mem.get(), C.Mem.get() + C.Size);
+  std::sort(FromRanges.begin(), FromRanges.end());
+
+  InCollect = true;
+  EvacFailed = false;
+  CycleEvacObjects = 0;
+  CycleEvacBytes = 0;
+  ++GcEpoch;
+  Forwarded.clear();
+  Worklist.clear();
+
+  GcVisitor V(*this);
+  Roots(V);
+  while (!Worklist.empty()) {
+    Obj *O = Worklist.back();
+    Worklist.pop_back();
+    scanObject(O, V);
+  }
+
+  const uint64_t RegionBytes = NurseryBytes;
+  if (!EvacFailed) {
+    // Destruct the dead region (moved-from shells included — each
+    // destructible object runs its destructor exactly once), then free
+    // its chunks wholesale.
+    for (DtorNode *N = NurseryDtorHead; N;) {
+      DtorNode *Next = N->Next;
+      N->Destroy(N + 1);
+      N = Next;
+    }
+    NurseryDtorHead = nullptr;
+    uint64_t Freed = 0;
+    for (const Chunk &C : Nursery)
+      Freed += C.Size;
+    Stats.BytesReserved -= Freed;
+    Stats.ChunksFreed += Nursery.size();
+    Nursery.clear();
+    Cur = End = nullptr;
+    R.BytesReclaimed = RegionBytes - CycleEvacBytes;
+    Stats.BytesReclaimed += R.BytesReclaimed;
+    NurseryBytes = 0;
+    TenuredBytes += CycleEvacBytes;
+  } else {
+    // Degraded cycle (injected evacuation failure): nothing is freed —
+    // every nursery chunk is adopted into the tenured generation, its
+    // destructible objects with it. References are already consistent:
+    // the forwarding scan completed with in-place promotion.
+    for (Chunk &C : Nursery)
+      Tenured.push_back(std::move(C));
+    Nursery.clear();
+    if (NurseryDtorHead) {
+      DtorNode *Tail = NurseryDtorHead;
+      while (Tail->Next)
+        Tail = Tail->Next;
+      Tail->Next = TenuredDtorHead;
+      TenuredDtorHead = NurseryDtorHead;
+      NurseryDtorHead = nullptr;
+    }
+    Cur = End = nullptr;
+    TenuredBytes += RegionBytes + CycleEvacBytes;
+    NurseryBytes = 0;
+    ++Stats.ReclaimAborts;
+    R.Aborted = true;
+  }
+
+  ++Stats.Collections;
+  if (Major) {
+    ++Stats.MajorCollections;
+    TenuredBytesAtLastMajor = TenuredBytes;
+  }
+  Stats.ObjectsEvacuated += CycleEvacObjects;
+  Stats.BytesEvacuated += CycleEvacBytes;
+  R.ObjectsEvacuated = CycleEvacObjects;
+  R.BytesEvacuated = CycleEvacBytes;
+  R.Major = Major;
+
+  InCollect = false;
+  Forwarded.clear();
+  FromRanges.clear();
+
+  // Self-scheduled policy refresh for engines without a ProfileBus epoch
+  // driving re-selection.
+  if (++CollectsSinceSelect >= PolicySelectInterval) {
+    CollectsSinceSelect = 0;
+    selectReclaimPolicy();
+  }
+  return R;
+}
+
+bool Heap::selectReclaimPolicy() {
+  ReclaimPolicy P;
+  P.Epoch = Policy.Epoch;
+  // Nursery sizing: aim for roughly eight chunks per region at the
+  // observed volume, power-of-two stepped, bounded to [1, 16] chunks.
+  if (EwmaRegionBytes) {
+    size_t Target = static_cast<size_t>(EwmaRegionBytes / 8);
+    size_t Sz = ChunkBytes;
+    while (Sz < Target && Sz < 16 * ChunkBytes)
+      Sz *= 2;
+    P.NurseryChunkBytes = Sz;
+  }
+  uint64_t TotalRetainedBytes = 0;
+  for (const AllocSiteStats &SS : Sites)
+    TotalRetainedBytes += SS.SurvivedBytes + SS.TenuredAllocBytes;
+  for (size_t I = 0; I < NumAllocSites; ++I) {
+    const AllocSiteStats &SS = Sites[I];
+    if (SS.Objects < 512)
+      continue; // too little signal to act on
+    // Pre-tenure when at least half the site's objects outlive their
+    // region: the nursery round-trip (copy + forwarding) is wasted work.
+    // TenuredAllocs count as retained so the site keeps its standing
+    // after the policy reroutes it (its objects stop being "survivors").
+    const uint64_t Retained = SS.Survived + SS.TenuredAllocs;
+    P.PreTenure[I] = Retained * 2 >= SS.Objects;
+    // Co-locate sites carrying a dominant share (>= 1/8) of all retained
+    // bytes into the dedicated hot tenured stream.
+    const uint64_t SiteBytes = SS.SurvivedBytes + SS.TenuredAllocBytes;
+    P.HotSite[I] = TotalRetainedBytes != 0 &&
+                   SiteBytes * 8 >= TotalRetainedBytes && SiteBytes != 0;
+  }
+  const bool Changed = P.NurseryChunkBytes != Policy.NurseryChunkBytes ||
+                       P.PreTenure != Policy.PreTenure ||
+                       P.HotSite != Policy.HotSite;
+  if (Changed)
+    P.Epoch = Policy.Epoch + 1;
+  Policy = P;
+  return Changed;
 }
 
 uint64_t Heap::numObjects() const {
@@ -63,22 +528,45 @@ uint64_t Heap::numObjects() const {
 void Heap::appendStats(
     std::vector<std::pair<std::string, uint64_t>> &Out) const {
   Out.emplace_back("heap-bytes-allocated", Stats.BytesAllocated);
-  // The arena never frees before teardown, so reserved == peak footprint.
+  Out.emplace_back("heap-bytes-live", bytesLive());
+  Out.emplace_back("heap-bytes-nursery", NurseryBytes);
+  Out.emplace_back("heap-bytes-tenured", TenuredBytes);
   Out.emplace_back("heap-bytes-reserved", Stats.BytesReserved);
+  Out.emplace_back("heap-bytes-reserved-peak", Stats.PeakBytesReserved);
   Out.emplace_back("heap-chunks", Stats.ChunksAcquired);
+  Out.emplace_back("heap-chunks-freed", Stats.ChunksFreed);
   Out.emplace_back("heap-oversize-chunks", Stats.OversizeChunks);
+  Out.emplace_back("heap-collections", Stats.Collections);
+  Out.emplace_back("heap-collections-major", Stats.MajorCollections);
+  Out.emplace_back("heap-bytes-reclaimed", Stats.BytesReclaimed);
+  Out.emplace_back("heap-objects-evacuated", Stats.ObjectsEvacuated);
+  Out.emplace_back("heap-bytes-evacuated", Stats.BytesEvacuated);
+  Out.emplace_back("heap-objects-pre-tenured", Stats.PreTenuredObjects);
+  Out.emplace_back("heap-reclaim-aborts", Stats.ReclaimAborts);
+  Out.emplace_back("heap-reclaim-policy-epoch", Policy.Epoch);
   Out.emplace_back("heap-objects", numObjects());
   for (size_t K = 0; K < NumValueKinds; ++K)
     if (Stats.ObjectsByKind[K])
       Out.emplace_back(std::string("heap-objects-") +
                            valueKindName(static_cast<ValueKind>(K)),
                        Stats.ObjectsByKind[K]);
+  for (size_t I = 0; I < NumAllocSites; ++I) {
+    const AllocSiteStats &SS = Sites[I];
+    if (!SS.Objects)
+      continue;
+    std::string Base =
+        std::string("alloc-site-") + allocSiteName(static_cast<AllocSite>(I));
+    Out.emplace_back(Base, SS.Objects);
+    Out.emplace_back(Base + "-bytes", SS.Bytes);
+    if (SS.Survived + SS.TenuredAllocs)
+      Out.emplace_back(Base + "-retained", SS.Survived + SS.TenuredAllocs);
+  }
 }
 
-Value Heap::list(const std::vector<Value> &Elems) {
+Value Heap::list(const std::vector<Value> &Elems, AllocSite S) {
   Value Out = Value::nil();
   for (size_t I = Elems.size(); I > 0; --I)
-    Out = cons(Elems[I - 1], Out);
+    Out = cons(Elems[I - 1], Out, S);
   return Out;
 }
 
@@ -160,6 +648,26 @@ bool HashTable::erase(const Value &Key) {
     return false;
   ++Version;
   return true;
+}
+
+void HashTable::rehashForGc(GcVisitor &V) {
+  // Eq/eqv discipline hashes by object identity, so a moved key lands in
+  // a different bucket: extract, forward, and re-insert everything.
+  // Insertion indices are preserved (key order survives collection); the
+  // cached order list holds stale Values and is dropped.
+  OrderCache.clear();
+  OrderCacheVersion = ~uint64_t(0);
+  if (Table.empty())
+    return;
+  std::vector<std::pair<Value, std::pair<Value, uint64_t>>> Entries(
+      Table.begin(), Table.end());
+  Table.clear();
+  for (auto &E : Entries) {
+    V.value(E.first);
+    V.value(E.second.first);
+  }
+  for (auto &E : Entries)
+    Table.emplace(E.first, E.second);
 }
 
 const std::vector<Value> &HashTable::keysInInsertionOrder() const {

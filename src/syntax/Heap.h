@@ -6,9 +6,26 @@
 /// them. The heap is a block-based bump-pointer arena: `make<T>` bumps a
 /// pointer inside a fixed-size chunk on the fast path and acquires a new
 /// chunk on overflow, so a cons or a closure frame costs pointer
-/// arithmetic, not a malloc. Objects live until the owning engine is
-/// destroyed (there is no mid-evaluation collector; see DESIGN.md
-/// Section 6), and their addresses are stable for their whole lifetime.
+/// arithmetic, not a malloc.
+///
+/// The arena is generational (DESIGN.md Section 6). Ordinary allocation
+/// lands in the *nursery*; at an explicit quiescent point — an Engine run
+/// boundary, never inside evaluation — `collect()` evacuates everything
+/// reachable from the roots into *tenured* chunks with pointer
+/// forwarding, then frees the nursery chunks wholesale. An engine that
+/// never calls collect() (the default ReclaimMode::Off) keeps the
+/// original contract: addresses stable for the session, everything freed
+/// at teardown. Under reclamation the stable-address contract is scoped:
+/// pointers survive *within* a run, and across runs only through the
+/// traced roots (globals, retained code, the tier cache), which the
+/// collector rewrites.
+///
+/// Every allocation is attributed to an AllocSite (AllocSite.h) at the
+/// cost of a couple of indexed adds; the resulting site profile —
+/// objects, bytes, survival — drives the ReclaimPolicy: high-survival
+/// sites allocate straight into tenured chunks (pre-tenuring), heavy
+/// survivor sites co-locate into a shared "hot" tenured stream, and the
+/// nursery chunk size tracks the observed per-region allocation volume.
 ///
 /// Obj carries no vtable: the Kind byte is the only discriminator, and
 /// teardown runs through a side list that records just the objects whose
@@ -28,11 +45,14 @@
 #ifndef PGMP_SYNTAX_HEAP_H
 #define PGMP_SYNTAX_HEAP_H
 
+#include "syntax/AllocSite.h"
 #include "syntax/Value.h"
 
 #include <array>
 #include <cassert>
 #include <cstddef>
+#include <cstring>
+#include <functional>
 #include <memory>
 #include <new>
 #include <string>
@@ -44,18 +64,36 @@
 namespace pgmp {
 
 class Context;
+class GcVisitor;
 class LambdaExpr;
+
+/// When the engine reclaims nursery memory. Off preserves the historical
+/// contract (stable addresses, teardown-only freeing); Boundary runs a
+/// region reclamation at every Engine run boundary (evalString /
+/// callGlobal epilogue), which is what `pgmpi serve` uses to hold a
+/// million-request replay in bounded memory.
+enum class ReclaimMode : uint8_t { Off, Boundary };
 
 /// Base of every heap-allocated Scheme object. Deliberately vtable-free:
 /// the Kind tag discriminates, and the owning Heap destroys
 /// non-trivially-destructible objects through a typed side list, so the
 /// base needs no virtual destructor (and a Pair stays 40 bytes, not 56).
+/// Site and GcStamp live in the padding the 8-byte member alignment of
+/// every subclass forces anyway, so the header stays 8 bytes.
 class Obj {
 public:
   ValueKind Kind;
+  /// AllocSite the object was allocated at (survival attribution).
+  uint16_t Site = 0;
+  /// Collector visit stamp: equals the heap's current collection epoch
+  /// iff the object was already reached this cycle. 0 = never visited.
+  uint32_t GcStamp = 0;
 
 protected:
   explicit Obj(ValueKind K) : Kind(K) {}
+  /// Evacuation move-constructs survivors into tenured chunks; the moved
+  /// base keeps Kind/Site (GcStamp is restamped by the collector).
+  Obj(Obj &&) = default;
   ~Obj() = default; ///< non-virtual; only the Heap destroys objects
 
 private:
@@ -111,6 +149,13 @@ public:
   /// updates of existing keys do not invalidate the cache. The reference
   /// is valid until the next insertion or removal.
   const std::vector<Value> &keysInInsertionOrder() const;
+
+  /// Collector support: forwards every key and value through \p V and
+  /// re-inserts under the new identities. Eq/eqv tables hash by pointer,
+  /// so moving a key changes its bucket — the table must be rebuilt, not
+  /// patched. Insertion indices are preserved; the order cache (which
+  /// holds stale Values) is dropped.
+  void rehashForGc(GcVisitor &V);
 
   HashKind HK;
 
@@ -211,25 +256,78 @@ private:
 };
 
 /// Arena-style owner of all heap objects of one engine: chunked
-/// bump-pointer allocation, bulk teardown, stable addresses. One Heap
-/// belongs to one Context and is touched only by the thread evaluating on
-/// it (EnginePool workers each own their Heap; nothing is shared).
+/// bump-pointer allocation, generational reclamation at explicit
+/// quiescent points, bulk teardown. One Heap belongs to one Context and
+/// is touched only by the thread evaluating on it (EnginePool workers
+/// each own their Heap; nothing is shared).
 class Heap {
 public:
-  /// Geometry of a normal chunk. Allocations larger than this get a
-  /// dedicated oversize chunk of exactly their size.
+  /// Geometry of a normal chunk. Allocations larger than the active
+  /// chunk size get a dedicated oversize chunk of exactly their size.
   static constexpr size_t ChunkBytes = 64 * 1024;
 
   /// Always-on allocation counters (a handful of adds per allocation;
   /// the observability layer reads them through StatsRegistry and the
-  /// Chrome trace). The arena never frees before engine teardown, so
-  /// BytesReserved is also the peak memory footprint.
+  /// Chrome trace). Cumulative counters (BytesAllocated, ObjectsByKind,
+  /// ChunksAcquired) only grow; BytesReserved is the *current* footprint
+  /// — it shrinks when a collection frees nursery chunks — and
+  /// PeakBytesReserved keeps the high-water mark the old reserved
+  /// counter used to be.
   struct AllocStats {
-    uint64_t BytesAllocated = 0; ///< rounded bytes handed to objects
-    uint64_t BytesReserved = 0;  ///< sum of acquired chunk sizes
-    uint64_t ChunksAcquired = 0; ///< normal + oversize chunks
-    uint64_t OversizeChunks = 0; ///< dedicated single-allocation chunks
+    uint64_t BytesAllocated = 0;    ///< cumulative rounded object bytes
+    uint64_t BytesReserved = 0;     ///< current sum of owned chunk sizes
+    uint64_t PeakBytesReserved = 0; ///< high-water mark of BytesReserved
+    uint64_t ChunksAcquired = 0;    ///< normal + oversize chunks, cumulative
+    uint64_t OversizeChunks = 0;    ///< dedicated single-allocation chunks
+    uint64_t ChunksFreed = 0;       ///< nursery chunks released by collect()
+    uint64_t Collections = 0;       ///< region reclamations run
+    uint64_t MajorCollections = 0;  ///< full (nursery + tenured) cycles
+    uint64_t BytesReclaimed = 0;    ///< dead nursery bytes dropped, cumulative
+    uint64_t ObjectsEvacuated = 0;  ///< survivors copied to tenured chunks
+    uint64_t BytesEvacuated = 0;    ///< bytes of those survivors
+    uint64_t PreTenuredObjects = 0; ///< allocations routed straight to tenured
+    uint64_t ReclaimAborts = 0;     ///< cycles degraded by an evac alloc fail
     std::array<uint64_t, NumValueKinds> ObjectsByKind{};
+  };
+
+  /// Result of one collect() cycle.
+  struct ReclaimResult {
+    uint64_t BytesReclaimed = 0;
+    uint64_t ObjectsEvacuated = 0;
+    uint64_t BytesEvacuated = 0;
+    bool Major = false;
+    /// An allocation failure (injected fault) interrupted evacuation; the
+    /// cycle degraded to promoting every nursery chunk wholesale — no
+    /// memory reclaimed, but the heap is fully consistent.
+    bool Aborted = false;
+  };
+
+  /// The profile-selected reclamation policy. Default-constructed policy
+  /// is inert (no pre-tenuring, no co-location, stock nursery chunks), so
+  /// an engine that never selects one behaves exactly like the
+  /// pre-generational arena plus boundary reclamation.
+  struct ReclaimPolicy {
+    /// Chunk size for nursery chunks, sized from the observed per-region
+    /// allocation volume (bounded to [ChunkBytes, 16 * ChunkBytes]).
+    size_t NurseryChunkBytes = ChunkBytes;
+    /// Sites whose effective survival rate is high enough that nursery
+    /// round-trips are wasted work: allocate straight into tenured.
+    std::array<bool, NumAllocSites> PreTenure{};
+    /// Sites carrying a dominant share of survivor bytes: their tenured
+    /// allocations co-locate in a dedicated "hot" chunk stream, separate
+    /// from the cold evacuation stream.
+    std::array<bool, NumAllocSites> HotSite{};
+    /// Bumped every time a re-selection actually changes the policy.
+    uint64_t Epoch = 0;
+  };
+
+  /// Hooks for heap kinds whose layout lives outside syntax/ (VmClosure:
+  /// the VM registers these from installVm). Relocate placement-news a
+  /// copy of \p O into \p Mem (Size bytes); Trace visits its children.
+  struct ExternalKindOps {
+    size_t Size = 0;
+    Obj *(*Relocate)(void *Mem, Obj *O) = nullptr;
+    void (*Trace)(Obj *O, GcVisitor &V) = nullptr;
   };
 
   Heap() = default;
@@ -237,78 +335,142 @@ public:
   Heap(const Heap &) = delete;
   Heap &operator=(const Heap &) = delete;
 
-  /// Allocates and constructs a \p T. Fast path: one pointer bump.
-  /// Types with a non-trivial destructor are additionally linked into the
-  /// destructible side list (one extra 16-byte header in the same bump
-  /// allocation), so teardown visits only the objects that need it.
-  template <typename T, typename... Args> T *make(Args &&...ArgList) {
+  /// Allocates and constructs a \p T at allocation site \p S
+  /// (AllocSite::Ambient = the site set by the innermost AllocSiteScope).
+  /// Fast path: one pointer bump plus the site attribution adds. Types
+  /// with a non-trivial destructor are additionally linked into the
+  /// generation's destructible side list (one extra 16-byte header in the
+  /// same bump allocation), so teardown visits only the objects that need
+  /// it.
+  template <typename T, typename... Args>
+  T *makeAt(AllocSite S, Args &&...ArgList) {
     static_assert(std::is_base_of_v<Obj, T>, "Heap allocates Obj subclasses");
     static_assert(!std::is_same_v<T, EnvObj>,
                   "EnvObj stores slots inline; use makeEnv/makeEnvFrom");
     static_assert(alignof(T) <= Alignment,
                   "arena alignment is 8; over-aligned Obj subclass");
+    if (S == AllocSite::Ambient)
+      S = CurSite;
+    const bool Tenure = Policy.PreTenure[static_cast<size_t>(S)];
     T *O;
     size_t Bytes;
     if constexpr (std::is_trivially_destructible_v<T>) {
       Bytes = roundUp(sizeof(T));
-      O = new (allocateRaw(Bytes)) T(std::forward<Args>(ArgList)...);
+      void *P = Tenure ? allocateTenured(Bytes, S) : allocateRaw(Bytes);
+      O = new (P) T(std::forward<Args>(ArgList)...);
     } else {
       Bytes = roundUp(sizeof(DtorNode) + sizeof(T));
-      auto *N = static_cast<DtorNode *>(allocateRaw(Bytes));
+      auto *N = static_cast<DtorNode *>(Tenure ? allocateTenured(Bytes, S)
+                                               : allocateRaw(Bytes));
       O = new (N + 1) T(std::forward<Args>(ArgList)...);
       N->Destroy = [](void *P) { static_cast<T *>(P)->~T(); };
-      N->Next = DtorHead;
-      DtorHead = N;
+      DtorNode *&Head = Tenure ? TenuredDtorHead : NurseryDtorHead;
+      N->Next = Head;
+      Head = N;
     }
-    noteObject(O->Kind, Bytes);
+    O->Site = static_cast<uint16_t>(S);
+    noteObject(O->Kind, Bytes, S, Tenure);
     return O;
   }
 
+  /// makeAt under the ambient allocation site.
+  template <typename T, typename... Args> T *make(Args &&...ArgList) {
+    return makeAt<T>(AllocSite::Ambient, std::forward<Args>(ArgList)...);
+  }
+
   /// A frame of \p NumSlots default-initialized (void) slots.
-  EnvObj *makeEnv(EnvObj *Parent, size_t NumSlots) {
-    return makeEnvFrom(Parent, NumSlots, nullptr, 0);
+  EnvObj *makeEnv(EnvObj *Parent, size_t NumSlots,
+                  AllocSite S = AllocSite::Ambient) {
+    return makeEnvFrom(Parent, NumSlots, nullptr, 0, S);
   }
 
   /// The frame fast path shared by the interpreter's and the VM's call
   /// sequences: one allocation, the first \p NumArgs slots copied from
   /// \p Args, the rest default-initialized. \p NumArgs <= \p NumSlots.
   EnvObj *makeEnvFrom(EnvObj *Parent, size_t NumSlots, const Value *Args,
-                      size_t NumArgs) {
+                      size_t NumArgs, AllocSite S = AllocSite::Ambient) {
     assert(NumArgs <= NumSlots && "more arguments than frame slots");
+    if (S == AllocSite::Ambient)
+      S = CurSite;
+    const bool Tenure = Policy.PreTenure[static_cast<size_t>(S)];
     size_t Bytes = roundUp(sizeof(EnvObj) + NumSlots * sizeof(Value));
-    EnvObj *E = new (allocateRaw(Bytes))
-        EnvObj(Parent, static_cast<uint32_t>(NumSlots));
-    Value *S = E->slots();
+    void *P = Tenure ? allocateTenured(Bytes, S) : allocateRaw(Bytes);
+    EnvObj *E = new (P) EnvObj(Parent, static_cast<uint32_t>(NumSlots));
+    Value *Slots = E->slots();
     for (size_t I = 0; I < NumArgs; ++I)
-      new (S + I) Value(Args[I]);
+      new (Slots + I) Value(Args[I]);
     for (size_t I = NumArgs; I < NumSlots; ++I)
-      new (S + I) Value();
-    noteObject(ValueKind::Env, Bytes);
+      new (Slots + I) Value();
+    E->Site = static_cast<uint16_t>(S);
+    noteObject(ValueKind::Env, Bytes, S, Tenure);
     return E;
   }
 
-  Value cons(Value Car, Value Cdr) {
-    return Value::object(ValueKind::Pair, make<Pair>(Car, Cdr));
+  Value cons(Value Car, Value Cdr, AllocSite S = AllocSite::Ambient) {
+    return Value::object(ValueKind::Pair, makeAt<Pair>(S, Car, Cdr));
   }
-  Value string(std::string S) {
-    return Value::object(ValueKind::String, make<StringObj>(std::move(S)));
+  Value string(std::string S, AllocSite Site = AllocSite::Ambient) {
+    return Value::object(ValueKind::String,
+                         makeAt<StringObj>(Site, std::move(S)));
   }
-  Value vector(std::vector<Value> Elems) {
-    return Value::object(ValueKind::Vector, make<VectorObj>(std::move(Elems)));
+  Value vector(std::vector<Value> Elems, AllocSite S = AllocSite::Ambient) {
+    return Value::object(ValueKind::Vector,
+                         makeAt<VectorObj>(S, std::move(Elems)));
   }
-  Value hashtable(HashKind HK) {
-    return Value::object(ValueKind::Hash, make<HashTable>(HK));
+  Value hashtable(HashKind HK, AllocSite S = AllocSite::Ambient) {
+    return Value::object(ValueKind::Hash, makeAt<HashTable>(S, HK));
   }
-  Value box(Value V) { return Value::object(ValueKind::Box, make<Box>(V)); }
+  Value box(Value V, AllocSite S = AllocSite::Ambient) {
+    return Value::object(ValueKind::Box, makeAt<Box>(S, V));
+  }
 
   /// Builds a proper list from \p Elems.
-  Value list(const std::vector<Value> &Elems);
+  Value list(const std::vector<Value> &Elems,
+             AllocSite S = AllocSite::Ambient);
 
-  /// Caps the arena's reserved bytes (0 = unlimited). Enforced in
-  /// allocateSlow — chunk acquisition — so the bump fast path never pays
-  /// for it; a breach raises GuardTrip(GuardKind::Heap) before any state
-  /// mutates, leaving the heap (and its owner Engine) fully usable. The
-  /// granularity is therefore one chunk (64 KiB, or the oversize request).
+  //===--------------------------------------------------------------------===//
+  // Region reclamation (generational collection at quiescent points)
+  //===--------------------------------------------------------------------===//
+
+  /// Enumerates every root the caller retains across the collection; the
+  /// collector rewrites each visited Value / pointer to the object's
+  /// post-evacuation address.
+  using RootEnumerator = std::function<void(GcVisitor &)>;
+
+  /// Evacuates everything reachable from \p Roots out of the nursery into
+  /// tenured chunks (pointer forwarding), then frees the nursery chunks.
+  /// Must only run at a quiescent point: no Value or Obj* may live on the
+  /// C++ stack except through \p Roots. Escalates to a *major* cycle —
+  /// from-space widened to the tenured chunks too, so tenured garbage
+  /// (dead pre-tenured objects, stale evacuees) is also dropped — when
+  /// tenured bytes have doubled since the last major cycle, or when
+  /// \p ForceMajor is set.
+  ReclaimResult collect(const RootEnumerator &Roots, bool ForceMajor = false);
+
+  /// Registers relocate/trace hooks for a kind defined outside syntax/
+  /// (the VM's VmClosure). Must be registered before the first collect()
+  /// that can encounter the kind.
+  void registerExternalKind(ValueKind K, ExternalKindOps Ops) {
+    ExternalKinds[static_cast<size_t>(K)] = Ops;
+  }
+
+  /// Re-derives the reclamation policy from the current site profiles.
+  /// Deterministic in the profile; bumps Policy.Epoch (and returns true)
+  /// only when the selection actually changed. Called per ProfileBus
+  /// epoch by the continuous-profiling path, and self-scheduled every
+  /// PolicySelectInterval collections otherwise.
+  bool selectReclaimPolicy();
+
+  const ReclaimPolicy &reclaimPolicy() const { return Policy; }
+  void setReclaimPolicy(const ReclaimPolicy &P) { Policy = P; }
+
+  /// Caps the arena's reserved bytes (0 = unlimited). Enforced on chunk
+  /// acquisition — so the bump fast path never pays for it; a breach
+  /// raises GuardTrip(GuardKind::Heap) before any state mutates, leaving
+  /// the heap (and its owner Engine) fully usable. The granularity is
+  /// therefore one chunk. Evacuation allocations during collect() are
+  /// exempt: a collection cycle nets memory back, so failing it on the
+  /// cap would be self-defeating.
   void setLimitBytes(uint64_t Bytes) { LimitBytes = Bytes; }
   uint64_t limitBytes() const { return LimitBytes; }
 
@@ -316,6 +478,19 @@ public:
   uint64_t numObjects() const;
   uint64_t bytesAllocated() const { return Stats.BytesAllocated; }
   uint64_t bytesReserved() const { return Stats.BytesReserved; }
+  /// Bytes occupied by objects that survived (or have not yet faced) a
+  /// collection: live nursery bytes plus tenured bytes. This is the
+  /// "live" figure AllocStats.BytesAllocated (cumulative) is not.
+  uint64_t bytesLive() const { return NurseryBytes + TenuredBytes; }
+  uint64_t nurseryBytes() const { return NurseryBytes; }
+  uint64_t tenuredBytes() const { return TenuredBytes; }
+
+  /// The always-on allocation-site profile (AllocSite.h). Indexed by
+  /// AllocSite; merge across EnginePool workers is index-wise and
+  /// therefore deterministic in worker order.
+  const std::array<AllocSiteStats, NumAllocSites> &siteStats() const {
+    return Sites;
+  }
 
   /// Appends the allocation counters as deterministic (name, value) rows;
   /// the Context's StatsRegistry uses this as its extra-stats source so
@@ -323,7 +498,14 @@ public:
   /// paying a stats-enabled branch per allocation.
   void appendStats(std::vector<std::pair<std::string, uint64_t>> &Out) const;
 
+  /// Collections between self-scheduled policy re-selections (when no
+  /// ProfileBus epoch is driving them).
+  static constexpr uint64_t PolicySelectInterval = 64;
+
 private:
+  friend class AllocSiteScope;
+  friend class GcVisitor;
+
   static constexpr size_t Alignment = 8;
 
   /// Side-list record preceding a non-trivially-destructible object in
@@ -333,6 +515,13 @@ private:
     void (*Destroy)(void *Object);
   };
   static_assert(sizeof(DtorNode) % Alignment == 0, "node keeps alignment");
+
+  /// One owned chunk; Size is recorded so the collector can build the
+  /// from-space address index and the stats can account frees.
+  struct Chunk {
+    std::unique_ptr<char[]> Mem;
+    size_t Size;
+  };
 
   static constexpr size_t roundUp(size_t N) {
     return (N + (Alignment - 1)) & ~(Alignment - 1);
@@ -349,17 +538,144 @@ private:
 
   void *allocateSlow(size_t Bytes);
 
-  void noteObject(ValueKind K, size_t Bytes) {
+  /// Mutator-side tenured allocation (pre-tenured sites). Same guard
+  /// semantics as allocateSlow on chunk acquisition.
+  void *allocateTenured(size_t Bytes, AllocSite S);
+
+  /// Collector-side tenured allocation: never raises — an injected fault
+  /// returns null and the cycle degrades (see collect()).
+  void *allocateForEvac(size_t Bytes, bool Hot);
+
+  /// Grabs a fresh tenured chunk for the given stream (or a dedicated
+  /// oversize chunk, returned directly) without guard checks.
+  void *acquireTenuredChunk(size_t Bytes, bool Hot);
+
+  void noteObject(ValueKind K, size_t Bytes, AllocSite S, bool Tenured) {
     Stats.BytesAllocated += Bytes;
     ++Stats.ObjectsByKind[static_cast<size_t>(K)];
+    AllocSiteStats &SS = Sites[static_cast<size_t>(S)];
+    ++SS.Objects;
+    SS.Bytes += Bytes;
+    SS.Kinds |= 1u << static_cast<size_t>(K);
+    if (Tenured) {
+      ++SS.TenuredAllocs;
+      SS.TenuredAllocBytes += Bytes;
+      ++Stats.PreTenuredObjects;
+      TenuredBytes += Bytes;
+    } else {
+      NurseryBytes += Bytes;
+    }
   }
 
-  char *Cur = nullptr; ///< bump pointer into the current chunk
-  char *End = nullptr; ///< end of the current chunk
-  std::vector<std::unique_ptr<char[]>> Chunks;
-  DtorNode *DtorHead = nullptr;
+  //===--------------------------------------------------------------------===//
+  // Collector internals (Heap.cpp)
+  //===--------------------------------------------------------------------===//
+
+  /// Forwards \p O to its post-collection address, evacuating (and
+  /// scheduling a scan) on first contact. Null-safe.
+  Obj *forwardObj(Obj *O);
+  /// Copies \p O into tenured space; null when evacuation is degraded.
+  Obj *evacuate(Obj *O);
+  template <typename T> Obj *relocateObj(T *Old, bool Hot, bool FirstPromo);
+  /// Rewrites \p O's children through forwardObj.
+  void scanObject(Obj *O, GcVisitor &V);
+  /// True when \p P points into a from-space (nursery) chunk this cycle.
+  bool inFromSpace(const void *P) const;
+  /// True when \p P lies in a tenured chunk demoted into from-space by
+  /// this major collection — its survival was counted at first promotion.
+  bool inDemotedSpace(const void *P) const;
+
+  char *Cur = nullptr; ///< bump pointer into the current nursery chunk
+  char *End = nullptr; ///< end of the current nursery chunk
+  std::vector<Chunk> Nursery;
+  std::vector<Chunk> Tenured;
+  /// Tenured bump streams: cold (evacuation default) and hot (co-located
+  /// survivor sites per ReclaimPolicy::HotSite).
+  char *TenCur = nullptr;
+  char *TenEnd = nullptr;
+  char *HotCur = nullptr;
+  char *HotEnd = nullptr;
+  DtorNode *NurseryDtorHead = nullptr;
+  DtorNode *TenuredDtorHead = nullptr;
+
   AllocStats Stats;
+  std::array<AllocSiteStats, NumAllocSites> Sites{};
+  ReclaimPolicy Policy;
   uint64_t LimitBytes = 0; ///< reserved-bytes cap; 0 = unlimited
+
+  /// Bytes bump-allocated into the nursery since the last collection /
+  /// into tenured chunks and still considered live.
+  uint64_t NurseryBytes = 0;
+  uint64_t TenuredBytes = 0;
+  uint64_t TenuredBytesAtLastMajor = 0;
+  /// EWMA of per-region nursery allocation volume (nursery sizing input).
+  uint64_t EwmaRegionBytes = 0;
+  uint64_t CollectsSinceSelect = 0;
+
+  /// Per-cycle state.
+  uint32_t GcEpoch = 0; ///< current collection stamp (0 = none yet)
+  bool InCollect = false;
+  bool EvacFailed = false;
+  uint64_t CycleEvacObjects = 0;
+  uint64_t CycleEvacBytes = 0;
+  std::unordered_map<Obj *, Obj *> Forwarded;
+  std::vector<Obj *> Worklist;
+  /// Sorted [begin, end) ranges of the from-space chunks this cycle.
+  std::vector<std::pair<const char *, const char *>> FromRanges;
+  /// Sorted ranges of the demoted tenured chunks within from-space during
+  /// a major collection. Objects from these ranges already earned their
+  /// Survived credit when first promoted; re-evacuating them must not
+  /// count again or survival rates would inflate past 100% and drive
+  /// spurious pre-tenuring.
+  std::vector<std::pair<const char *, const char *>> DemotedRanges;
+
+  std::array<ExternalKindOps, NumValueKinds> ExternalKinds{};
+
+  /// Ambient allocation site (AllocSiteScope).
+  AllocSite CurSite = AllocSite::Unknown;
+};
+
+/// RAII ambient allocation site: attributes every allocation in scope
+/// that does not pass an explicit site. Two stores each way; fine for
+/// phase-level granularity (reader, expander, template instantiation),
+/// too coarse for per-object hot paths, which pass sites explicitly.
+class AllocSiteScope {
+public:
+  AllocSiteScope(Heap &H, AllocSite S) : H(H), Saved(H.CurSite) {
+    H.CurSite = S;
+  }
+  ~AllocSiteScope() { H.CurSite = Saved; }
+  AllocSiteScope(const AllocSiteScope &) = delete;
+  AllocSiteScope &operator=(const AllocSiteScope &) = delete;
+
+private:
+  Heap &H;
+  AllocSite Saved;
+};
+
+/// The collector's hand into retained state: visited Values and typed
+/// object pointers are rewritten to their post-evacuation addresses.
+/// Passed to Heap::RootEnumerator callbacks and kind tracers; only
+/// meaningful during a collect() cycle.
+class GcVisitor {
+public:
+  explicit GcVisitor(Heap &H) : H(H) {}
+
+  /// Forwards a heap Value in place; immediates pass through untouched.
+  void value(Value &V) {
+    if (static_cast<uint8_t>(V.kind()) <
+        static_cast<uint8_t>(ValueKind::Symbol))
+      return;
+    V.setObjForGc(H.forwardObj(V.obj()));
+  }
+
+  /// Forwards a typed object pointer field in place (e.g. EnvObj *&).
+  template <typename T> void ptr(T *&P) {
+    P = static_cast<T *>(H.forwardObj(P));
+  }
+
+private:
+  Heap &H;
 };
 
 static_assert(sizeof(EnvObj) % alignof(Value) == 0,

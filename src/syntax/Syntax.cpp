@@ -69,13 +69,14 @@ Value pgmp::syntaxToDatum(Heap &H, const Value &V) {
   switch (Inner.kind()) {
   case ValueKind::Pair:
     return H.cons(syntaxToDatum(H, Inner.asPair()->Car),
-                  syntaxToDatum(H, Inner.asPair()->Cdr));
+                  syntaxToDatum(H, Inner.asPair()->Cdr),
+                  AllocSite::DatumConversion);
   case ValueKind::Vector: {
     std::vector<Value> Elems;
     Elems.reserve(Inner.asVector()->Elems.size());
     for (const Value &E : Inner.asVector()->Elems)
       Elems.push_back(syntaxToDatum(H, E));
-    return H.vector(std::move(Elems));
+    return H.vector(std::move(Elems), AllocSite::DatumConversion);
   }
   default:
     return Inner;

@@ -190,6 +190,14 @@ public:
 private:
   explicit Value(ValueKind K) : K(K) { Payload.O = nullptr; }
 
+  /// Collector-only: rewrites the heap pointer of an already-heap-kinded
+  /// value to its post-evacuation address (GcVisitor::value).
+  friend class GcVisitor;
+  void setObjForGc(Obj *O) {
+    assert(static_cast<uint8_t>(K) >= static_cast<uint8_t>(ValueKind::Symbol));
+    Payload.O = O;
+  }
+
   ValueKind K;
   union {
     bool B;

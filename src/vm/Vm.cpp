@@ -47,16 +47,17 @@ EnvObj *buildVmFrame(Context &Ctx, const VmFunction *Fn, EnvObj *Captured,
   if (!Fn->HasRest) {
     if (NumArgs != Fixed)
       vmArityError(Fn, NumArgs);
-    return Ctx.TheHeap.makeEnvFrom(Captured, Fn->FrameSlots, Args, Fixed);
+    return Ctx.TheHeap.makeEnvFrom(Captured, Fn->FrameSlots, Args, Fixed,
+                                   AllocSite::VmFrame);
   }
   if (NumArgs < Fixed)
     vmArityError(Fn, NumArgs);
-  EnvObj *Frame =
-      Ctx.TheHeap.makeEnvFrom(Captured, Fn->FrameSlots, Args, Fixed);
+  EnvObj *Frame = Ctx.TheHeap.makeEnvFrom(Captured, Fn->FrameSlots, Args,
+                                          Fixed, AllocSite::VmFrame);
   Value Rest = Value::nil();
   if (NumArgs > Fixed)
     for (size_t I = NumArgs; I > Fixed; --I)
-      Rest = Ctx.TheHeap.cons(Args[I - 1], Rest);
+      Rest = Ctx.TheHeap.cons(Args[I - 1], Rest, AllocSite::VmRestArgs);
   Frame->slots()[Fixed] = Rest;
   return Frame;
 }
@@ -358,8 +359,9 @@ static Value runVmLoop(Context &Ctx, VmFunction *Fn, EnvObj *Captured,
       // Frameless analysis guarantees a real frame exists here.
       assert(Frame && "MakeClosure in a frameless function");
       const VmFunction *Sub = Fn->SubFunctions[static_cast<size_t>(I.A)];
-      Push(Value::object(ValueKind::VmClosure,
-                         Ctx.TheHeap.make<VmClosure>(Sub, Frame)));
+      Push(Value::object(
+          ValueKind::VmClosure,
+          Ctx.TheHeap.makeAt<VmClosure>(AllocSite::VmClosure, Sub, Frame)));
       ++Pc;
       VM_NEXT();
     }
@@ -774,6 +776,16 @@ public:
     return N;
   }
 
+  void traceGcRoots(GcVisitor &V) override {
+    // Bytecode constant pools embed heap Values (quoted data, strings);
+    // Cells point at Context::Globals entries, which the Context traces
+    // itself and whose addresses are stable, so only pools need visiting.
+    for (const auto &M : Modules)
+      for (const auto &Fn : M->Functions)
+        for (Value &C : Fn->Pool)
+          V.value(C);
+  }
+
 private:
   std::vector<std::shared_ptr<VmModule>> Modules;
   FusionTable Table;
@@ -788,6 +800,21 @@ void pgmp::installVm(Context &Ctx) {
   Ctx.VmApplyHook = vmApplyHook;
   if (!Ctx.Backend)
     Ctx.Backend = std::make_shared<VmTierBackend>();
+  // Teach the collector to move/trace VmClosure, whose layout syntax/
+  // never sees. Registered unconditionally with the hook so any engine
+  // that can mint VM closures can also reclaim across them.
+  Heap::ExternalKindOps Ops;
+  Ops.Size = sizeof(VmClosure);
+  Ops.Relocate = [](void *Mem, Obj *O) -> Obj * {
+    auto *C = static_cast<VmClosure *>(O);
+    auto *Copy = new (Mem) VmClosure(C->Fn, C->Captured);
+    Copy->Site = C->Site;
+    return Copy;
+  };
+  Ops.Trace = [](Obj *O, GcVisitor &V) {
+    V.ptr(static_cast<VmClosure *>(O)->Captured);
+  };
+  Ctx.TheHeap.registerExternalKind(ValueKind::VmClosure, Ops);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,330 @@
+//===- tests/ReclaimTest.cpp - Boundary reclamation, engine level ---------===//
+//
+// The generational reclamation contract seen from the Engine API:
+// run-boundary collection keeps long sessions in bounded memory; globals,
+// macros (retained syntax and transformers), tier state, and the returned
+// result all survive forwarding; source-counter profiles are byte-
+// identical with reclamation on and off, sequentially and across an
+// 8-worker pool; and the profile-selected policy re-derivation is
+// deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/EnginePool.h"
+#include "support/AtomicFile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace pgmp;
+using namespace pgmp::testutil;
+
+namespace {
+
+EngineOptions withReclaim(EngineOptions Opts = {}) {
+  Opts.Reclaim = ReclaimMode::Boundary;
+  return Opts;
+}
+
+// A request-shaped churn unit: allocates a few thousand pairs, keeps none.
+const char *ChurnDef =
+    "(define (build n acc) (if (= n 0) acc (build (- n 1) (cons n acc))))"
+    "(define (churn) (length (build 2000 '())))";
+
+TEST(Reclaim, LongSessionRunsInBoundedMemory) {
+  Engine E(withReclaim());
+  evalOk(E, ChurnDef);
+  // Warm up a few boundaries, then record the plateau: hundreds more
+  // run-boundary reclamations must not grow the live set or the reserved
+  // footprint — the bounded-memory contract a serve loop relies on.
+  for (int I = 0; I < 10; ++I)
+    evalOk(E, "(churn)");
+  uint64_t LivePlateau = E.context().TheHeap.bytesLive();
+  uint64_t ReservedPlateau = E.context().TheHeap.bytesReserved();
+  for (int I = 0; I < 300; ++I)
+    EXPECT_EQ(evalOk(E, "(churn)"), "2000");
+  EXPECT_LE(E.context().TheHeap.bytesLive(), LivePlateau + 64 * 1024)
+      << "live bytes must plateau, not creep";
+  EXPECT_LE(E.context().TheHeap.bytesReserved(), 2 * ReservedPlateau)
+      << "reserved chunks must be recycled, not accumulated";
+  EXPECT_GE(E.context().TheHeap.allocStats().Collections, 300u);
+}
+
+TEST(Reclaim, RequestUnitsAreTransientAndTheCodeTableStaysBounded) {
+  Engine E(withReclaim());
+  evalOk(E, ChurnDef);
+  // Request-shaped units (no lambdas, no syntax-rules) must be dropped at
+  // the run boundary: a serve loop compiles one per request, and adopting
+  // them for the session would grow host memory linearly in the request
+  // count even though the arena itself plateaus.
+  size_t Baseline = E.context().numCodeUnits();
+  for (int I = 0; I < 200; ++I)
+    EXPECT_EQ(evalOk(E, "(churn)"), "2000");
+  EXPECT_EQ(E.context().numCodeUnits(), Baseline)
+      << "self-contained request units must not accumulate";
+  // A request that defines a lambda is retained — the published closure
+  // must keep working across later boundaries.
+  evalOk(E, "(define (bump x) (+ x 1))");
+  EXPECT_GT(E.context().numCodeUnits(), Baseline);
+  for (int I = 0; I < 5; ++I)
+    evalOk(E, "(churn)");
+  EXPECT_EQ(evalOk(E, "(bump 41)"), "42");
+}
+
+TEST(Reclaim, ConstantsEscapingATransientUnitSurviveItsRelease) {
+  Engine E(withReclaim());
+  evalOk(E, "(define keep '())");
+  // The quoted list is a constant owned by a self-contained unit that the
+  // engine drops at the boundary; the value escaped into a global, so the
+  // root walk (not the unit's constant pool) must keep it alive and
+  // forward it through later evacuations.
+  evalOk(E, "(set! keep '(10 20 30))");
+  evalOk(E, ChurnDef);
+  for (int I = 0; I < 20; ++I)
+    evalOk(E, "(churn)");
+  EXPECT_EQ(evalOk(E, "keep"), "(10 20 30)");
+  EXPECT_EQ(evalOk(E, "(car keep)"), "10");
+}
+
+TEST(Reclaim, GlobalsAndResultsSurviveForwarding) {
+  Engine E(withReclaim());
+  evalOk(E, ChurnDef);
+  evalOk(E, "(define keep (build 100 '()))");
+  // Many boundaries (each one a collection) between the write and the
+  // reads: the global's whole list is forwarded every time.
+  for (int I = 0; I < 20; ++I)
+    evalOk(E, "(churn)");
+  EXPECT_EQ(evalOk(E, "(length keep)"), "100");
+  EXPECT_EQ(evalOk(E, "(car keep)"), "1");
+  EXPECT_EQ(evalOk(E, "(list-tail keep 99)"), "(100)");
+  // The value returned across the boundary is itself forwarded: the
+  // EvalResult holds a live list, not a dangling nursery pointer.
+  EXPECT_EQ(evalOk(E, "(build 3 '())"), "(1 2 3)");
+}
+
+TEST(Reclaim, MacrosAndTransformersSurviveCollection) {
+  Engine E(withReclaim());
+  evalOk(E, ChurnDef);
+  // The transformer closure and its retained syntax objects live in the
+  // Meanings table — roots across every boundary.
+  evalOk(E, "(define-syntax swap!"
+            "  (syntax-rules ()"
+            "    ((_ a b) (let ((tmp a)) (set! a b) (set! b tmp)))))");
+  for (int I = 0; I < 20; ++I)
+    evalOk(E, "(churn)");
+  evalOk(E, "(define x 1) (define y 2) (swap! x y)");
+  EXPECT_EQ(evalOk(E, "(list x y)"), "(2 1)");
+  // A macro defined *and used* with collections in between still expands
+  // hygienically (its scope sets were forwarded intact).
+  evalOk(E, "(define-syntax my-or"
+            "  (syntax-rules ()"
+            "    ((_) #f)"
+            "    ((_ e) e)"
+            "    ((_ e r ...) (let ((t e)) (if t t (my-or r ...))))))");
+  for (int I = 0; I < 10; ++I)
+    evalOk(E, "(churn)");
+  EXPECT_EQ(evalOk(E, "(let ((t 'outer)) (my-or #f t))"), "outer");
+}
+
+TEST(Reclaim, CallGlobalForwardsArgumentsAndResult) {
+  Engine E(withReclaim());
+  evalOk(E, ChurnDef);
+  evalOk(E, "(define (twice x) (cons x x))");
+  EvalResult R = E.callGlobal("twice", {Value::fixnum(7)});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.V.asPair()->Car.asFixnum(), 7);
+  EXPECT_EQ(R.V.asPair()->Cdr.asFixnum(), 7);
+}
+
+TEST(Reclaim, VmClosuresRelocateUnderTierAlways) {
+  // Tier-always routes every call through the VM: frames, rest-args, and
+  // VmClosure captures all take the VM allocation sites, and VmClosure —
+  // the one external kind — relocates through the registered hooks.
+  EngineOptions Opts = withReclaim();
+  Opts.Tier.Mode = TierMode::Always;
+  Engine E(Opts);
+  evalOk(E, ChurnDef);
+  evalOk(E, "(define (adder n) (lambda (x) (+ x n)))");
+  evalOk(E, "(define add5 (adder 5))");
+  for (int I = 0; I < 20; ++I)
+    evalOk(E, "(churn)");
+  EXPECT_EQ(evalOk(E, "(add5 37)"), "42");
+  EXPECT_EQ(evalOk(E, "((adder 1) 2)"), "3");
+  // Site attribution reached the VM paths.
+  const auto &Sites = E.context().TheHeap.siteStats();
+  EXPECT_GT(Sites[static_cast<size_t>(AllocSite::VmFrame)].Objects, 0u);
+  EXPECT_GT(Sites[static_cast<size_t>(AllocSite::VmClosure)].Objects, 0u);
+}
+
+TEST(Reclaim, ReclaimStatsAreRecorded) {
+  Engine E(withReclaim(withStats()));
+  evalOk(E, ChurnDef);
+  for (int I = 0; I < 5; ++I)
+    evalOk(E, "(churn)");
+  EXPECT_GE(E.stats().count(Stat::Reclaims), 5u);
+  const Heap::AllocStats &A = E.context().TheHeap.allocStats();
+  EXPECT_GE(A.Collections, 5u);
+  EXPECT_GT(A.BytesReclaimed, 0u);
+  EXPECT_EQ(A.ReclaimAborts, 0u);
+  // The live/cumulative split: cumulative only grows; live stays small.
+  EXPECT_GT(A.BytesAllocated, E.context().TheHeap.bytesLive());
+  std::vector<std::pair<std::string, uint64_t>> Rows;
+  E.context().TheHeap.appendStats(Rows);
+  bool SawLive = false, SawNursery = false, SawTenured = false,
+       SawEvac = false;
+  for (const auto &[Name, V] : Rows) {
+    SawLive |= Name == "heap-bytes-live";
+    SawNursery |= Name == "heap-bytes-nursery";
+    SawTenured |= Name == "heap-bytes-tenured";
+    SawEvac |= Name == "heap-bytes-evacuated";
+  }
+  EXPECT_TRUE(SawLive && SawNursery && SawTenured && SawEvac);
+}
+
+//===----------------------------------------------------------------------===//
+// Profile fidelity: reclamation must be invisible to stored profiles
+//===----------------------------------------------------------------------===//
+
+// An instrumented workload with distinct hot and cold paths.
+const char *ProfiledWorkload =
+    "(define (build n acc) (if (= n 0) acc (build (- n 1) (cons n acc))))"
+    "(define (hot n) (if (zero? n) 'done (hot (- n 1))))"
+    "(define (cold) (length (build 50 '())))"
+    "(hot 500)"
+    "(cold)"
+    "(hot 300)";
+
+std::string runAndStore(ReclaimMode Mode, const std::string &Path) {
+  EngineOptions Opts = withInstrumentation();
+  Opts.Reclaim = Mode;
+  Engine E(Opts);
+  // Several boundaries so reclamation actually runs between increments.
+  evalOk(E, ProfiledWorkload);
+  evalOk(E, "(hot 100)");
+  evalOk(E, "(cold)");
+  ProfileOpResult S = E.storeProfile(Path);
+  EXPECT_TRUE(S) << S.Error;
+  std::string Bytes, Err;
+  EXPECT_EQ(readFileAll(Path, Bytes, Err), FileReadStatus::Ok) << Err;
+  return Bytes;
+}
+
+TEST(Reclaim, StoredProfilesAreByteIdenticalWithReclamationOnAndOff) {
+  std::string Off = runAndStore(ReclaimMode::Off, tempPath("off.profile"));
+  std::string On = runAndStore(ReclaimMode::Boundary, tempPath("on.profile"));
+  ASSERT_FALSE(Off.empty());
+  EXPECT_EQ(Off, On)
+      << "reclamation must be invisible to the stored source profile";
+}
+
+std::string runPoolAndStore(ReclaimMode Mode, const std::string &Path) {
+  EngineOptions Opts = withInstrumentation();
+  Opts.Reclaim = Mode;
+  EnginePool Pool(8, Opts);
+  EnginePool::PoolResult R = Pool.run([](Engine &E, size_t) {
+    EvalResult Last = E.evalString(ProfiledWorkload);
+    if (!Last.Ok)
+      return Last;
+    Last = E.evalString("(hot 100)");
+    if (!Last.Ok)
+      return Last;
+    return E.evalString("(cold)");
+  });
+  EXPECT_TRUE(R.Ok) << R.Error;
+  ProfileOpResult S = Pool.storeMergedProfile(Path);
+  EXPECT_TRUE(S) << S.Error;
+  std::string Bytes, Err;
+  EXPECT_EQ(readFileAll(Path, Bytes, Err), FileReadStatus::Ok) << Err;
+  return Bytes;
+}
+
+TEST(ReclaimPool, MergedProfilesAreByteIdenticalWithReclamationOnAndOff) {
+  std::string Off =
+      runPoolAndStore(ReclaimMode::Off, tempPath("pool_off.profile"));
+  std::string On =
+      runPoolAndStore(ReclaimMode::Boundary, tempPath("pool_on.profile"));
+  ASSERT_FALSE(Off.empty());
+  EXPECT_EQ(Off, On) << "8-worker merge must be byte-identical too";
+}
+
+TEST(ReclaimPool, MergedSiteStatsFoldWorkersIndexWise) {
+  EngineOptions Opts = withReclaim();
+  EnginePool Pool(4, Opts);
+  EnginePool::PoolResult R = Pool.run([](Engine &E, size_t) {
+    EvalResult Last = E.evalString(ChurnDef);
+    if (!Last.Ok)
+      return Last;
+    return E.evalString("(churn)");
+  });
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::array<AllocSiteStats, NumAllocSites> Merged = Pool.mergedSiteStats();
+  // The merge is an index-wise sum of the workers' profiles.
+  for (size_t I = 0; I < NumAllocSites; ++I) {
+    uint64_t Objects = 0, Bytes = 0;
+    for (size_t W = 0; W < Pool.size(); ++W) {
+      const auto &S = Pool.engine(W).context().TheHeap.siteStats()[I];
+      Objects += S.Objects;
+      Bytes += S.Bytes;
+    }
+    EXPECT_EQ(Merged[I].Objects, Objects) << allocSiteName(static_cast<AllocSite>(I));
+    EXPECT_EQ(Merged[I].Bytes, Bytes);
+  }
+  EXPECT_GT(Merged[static_cast<size_t>(AllocSite::InterpFrame)].Objects, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Policy selection
+//===----------------------------------------------------------------------===//
+
+TEST(Reclaim, PolicySelectionIsDeterministicInTheProfile) {
+  // Two engines running the identical workload derive identical policies.
+  auto RunOne = [](Heap::ReclaimPolicy &Out) {
+    Engine E(withReclaim());
+    evalOk(E, ChurnDef);
+    evalOk(E, "(define keep (build 3000 '()))");
+    for (int I = 0; I < 10; ++I)
+      evalOk(E, "(churn)");
+    E.context().TheHeap.selectReclaimPolicy();
+    Out = E.context().TheHeap.reclaimPolicy();
+  };
+  Heap::ReclaimPolicy A, B;
+  RunOne(A);
+  RunOne(B);
+  EXPECT_EQ(A.NurseryChunkBytes, B.NurseryChunkBytes);
+  for (size_t I = 0; I < NumAllocSites; ++I) {
+    EXPECT_EQ(A.PreTenure[I], B.PreTenure[I])
+        << allocSiteName(static_cast<AllocSite>(I));
+    EXPECT_EQ(A.HotSite[I], B.HotSite[I])
+        << allocSiteName(static_cast<AllocSite>(I));
+  }
+}
+
+TEST(Reclaim, PreTenuredAllocationsKeepTheWorkloadCorrect) {
+  // Force the interpreter's frame site pre-tenured: frames then allocate
+  // straight into tenured chunks, and the workload must be none the
+  // wiser. (This is the policy's worst case: a pre-tenured site that is
+  // actually short-lived just costs major-cycle cleanup, never
+  // correctness.)
+  Engine E(withReclaim());
+  Heap::ReclaimPolicy P = E.context().TheHeap.reclaimPolicy();
+  P.PreTenure[static_cast<size_t>(AllocSite::InterpFrame)] = true;
+  E.context().TheHeap.setReclaimPolicy(P);
+  evalOk(E, ChurnDef);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(evalOk(E, "(churn)"), "2000");
+  const auto &SS =
+      E.context().TheHeap.siteStats()[static_cast<size_t>(
+          AllocSite::InterpFrame)];
+  EXPECT_GT(SS.TenuredAllocs, 0u);
+  // A forced major cycle reclaims the dead pre-tenured frames.
+  E.context().LastResult = Value::undefined();
+  uint64_t TenuredBefore = E.context().TheHeap.tenuredBytes();
+  ASSERT_TRUE(E.context().reclaimAtBoundary(/*ForceMajor=*/true));
+  EXPECT_LT(E.context().TheHeap.tenuredBytes(), TenuredBefore);
+  EXPECT_EQ(evalOk(E, "(churn)"), "2000");
+}
+
+} // namespace

@@ -145,6 +145,13 @@ bool parseCommonFlag(int Argc, char **Argv, int &I, CliOptions &O) {
   else if (Arg == "--strict-profile")
     O.Engine.StrictProfile = true;
 
+  // Memory management (syntax/Heap.h ReclaimMode). "on" is boundary
+  // reclamation — nursery regions reclaimed at every run boundary.
+  else if (Arg == "--reclaim")
+    O.Engine.Reclaim = parseOnOff("--reclaim", Value("--reclaim"))
+                           ? ReclaimMode::Boundary
+                           : ReclaimMode::Off;
+
   // Session shape.
   else if (Arg == "--lib")
     O.Libs.push_back(Value("--lib"));

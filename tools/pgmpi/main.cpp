@@ -28,11 +28,12 @@
 ///     sequentially. Accepts --profile-in, --lib, --strict-profile,
 ///     --annotate-wrap, and --stats with their usual meanings.
 ///
-///   pgmpi serve --replay TRACE [--jobs N] [options] file.scm...
+///   pgmpi serve --replay TRACE [--repeat N] [--jobs N] [options] file.scm...
 ///     long-lived continuous-profiling mode: the workload files are
 ///     loaded instrumented on N workers, then TRACE (one Scheme request
 ///     per line; `;` comments and blank lines skipped) is replayed
-///     round-robin across the workers. Each engine publishes its counters
+///     round-robin across the workers, --repeat times end-to-end (soaks
+///     use this to drive millions of requests from a small trace). Each engine publishes its counters
 ///     to the pool's ProfileBus every --interval-charges fuel charges
 ///     (default 4096); when the decayed hot set churns past
 ///     --retier-threshold the bus publishes a new epoch and the workers
@@ -40,13 +41,16 @@
 ///     publish/epoch/re-tier counts and per-half replay times goes to
 ///     stderr; --profile-out stores the merged profile at the end.
 ///
-///   pgmpi report [--top N] [--fused PROG.scm] FILE...
+///   pgmpi report [--top N] [--fused PROG.scm] [--alloc PROG.scm] FILE...
 ///     hot-spot report for stored source profiles: the top-N points by
 ///     weight with counts, locations, and source excerpts. A profile with
 ///     no samples prints a notice and exits 0. With --fused PROG.scm,
 ///     also prints the fused-sequence table: superinstruction candidates
 ///     ranked by adjacent-opcode-pair weight over PROG's lambdas,
-///     weighted by the first FILE's profile when one is given.
+///     weighted by the first FILE's profile when one is given. With
+///     --alloc PROG.scm, runs PROG under boundary reclamation and prints
+///     the allocation-site table: per-site object kinds, counts, bytes,
+///     and survival rates, plus heap generation totals.
 ///
 ///   pgmpi profile-lint FILE...
 ///     validates stored profiles (source or block level): format version,
@@ -59,6 +63,11 @@
 ///     --max-depth N          non-tail application nesting limit
 ///     --max-heap BYTES       arena heap reservation cap
 ///     --deadline-ms N        per-run wall-clock budget
+///
+///   Memory management (all subcommands that evaluate code):
+///     --reclaim on|off       generational region reclamation at run
+///                            boundaries (default: off; serve defaults
+///                            to on so long replays stay bounded)
 ///
 ///   Exit codes: 0 success; 1 failure (evaluation error, guard trip,
 ///   unreadable profile, all workers failed); 2 degraded (a corrupt or
@@ -86,6 +95,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -108,7 +118,8 @@ static int usage() {
                "[--tier-inline-depth N]\n"
                "             [--fuel N] [--max-depth N] [--max-heap BYTES] "
                "[--deadline-ms N]\n"
-               "             [--stats] [--trace F] file.scm...\n"
+               "             [--reclaim on|off] [--stats] [--trace F] "
+               "file.scm...\n"
                "       pgmpi run --jobs N --profile-out F [--profile-in F]\n"
                "             [--strict-profile] [--annotate-wrap] "
                "[--lib NAME]... [--stats]\n"
@@ -117,13 +128,14 @@ static int usage() {
                "             [--fuel N] [--max-depth N] [--max-heap BYTES] "
                "[--deadline-ms N]\n"
                "             [--retries N] file.scm...\n"
-               "       pgmpi serve --replay TRACE [--jobs N] "
+               "       pgmpi serve --replay TRACE [--repeat N] [--jobs N] "
                "[--profile-out F] [--profile-in F]\n"
                "             [--interval-charges N] [--decay-half-life X] "
                "[--retier-threshold X]\n"
                "             [common flags as for run] file.scm...\n"
                "       pgmpi report [--top N] [--tier] [--tier-weight W] "
-               "[--fused PROG.scm] FILE...\n"
+               "[--fused PROG.scm]\n"
+               "             [--alloc PROG.scm] FILE...\n"
                "       pgmpi profile-lint FILE...\n"
                "exit codes: 0 success, 1 failure, 2 degraded, 64 usage\n");
   return ExitUsage;
@@ -238,11 +250,15 @@ static int runServe(int Argc, char **Argv) {
   O.PoolFlags = true;
   O.ContinuousFlags = true;
   // Serving defaults: continuous profiling on (that is the subcommand's
-  // purpose) and auto-tiering so epochs have decisions to revise. Both
-  // remain overridable (--interval-charges, --tier).
+  // purpose), auto-tiering so epochs have decisions to revise, and
+  // boundary reclamation so a long-lived serve loop runs in bounded
+  // memory. All remain overridable (--interval-charges, --tier,
+  // --reclaim off).
   O.Engine.ContinuousProfile.IntervalCharges = 4096;
   O.Engine.Tier.Mode = TierMode::Auto;
+  O.Engine.Reclaim = ReclaimMode::Boundary;
   std::string Replay;
+  unsigned long Repeat = 1;
   std::vector<std::string> Files;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -254,6 +270,19 @@ static int runServe(int Argc, char **Argv) {
         return ExitUsage;
       }
       Replay = Argv[++I];
+    } else if (Arg == "--repeat") {
+      // Replays the trace N times end-to-end. Soaks use this: a
+      // million-request run needs only a small resident trace, so peak
+      // RSS measures the engine's footprint, not the input file's.
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "pgmpi: --repeat needs a value\n");
+        return ExitUsage;
+      }
+      Repeat = std::strtoul(Argv[++I], nullptr, 10);
+      if (Repeat == 0) {
+        std::fprintf(stderr, "pgmpi: --repeat needs a positive count\n");
+        return ExitUsage;
+      }
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "pgmpi: serve: unknown option %s\n", Arg.c_str());
       return ExitUsage;
@@ -345,6 +374,9 @@ static int runServe(int Argc, char **Argv) {
   // timed in two halves so skew-flip convergence is observable: under
   // re-tiering the second half should approach an oracle-profiled run.
   std::vector<size_t> FailedPer(Pool.size(), 0);
+  // --repeat multiplies the request stream without growing it in memory:
+  // logical request Idx maps onto trace line Idx mod |Requests|.
+  size_t Total = Requests.size() * static_cast<size_t>(Repeat);
   auto ReplayRange = [&](size_t Begin, size_t End) {
     Pool.run([&](Engine &E, size_t W) {
       EvalResult Last;
@@ -352,7 +384,8 @@ static int runServe(int Argc, char **Argv) {
       // A failed request is contained to that request — logged and
       // counted, never escalated to pool-level fault isolation.
       for (size_t Idx = Begin + W; Idx < End; Idx += Pool.size()) {
-        EvalResult R = E.evalString(Requests[Idx], "<request>");
+        EvalResult R =
+            E.evalString(Requests[Idx % Requests.size()], "<request>");
         if (!R.Ok) {
           ++FailedPer[W];
           std::fprintf(stderr, "pgmpi: request %zu: %s\n", Idx,
@@ -363,11 +396,11 @@ static int runServe(int Argc, char **Argv) {
     });
   };
   using Clock = std::chrono::steady_clock;
-  size_t Half = Requests.size() / 2;
+  size_t Half = Total / 2;
   Clock::time_point T0 = Clock::now();
   ReplayRange(0, Half);
   Clock::time_point T1 = Clock::now();
-  ReplayRange(Half, Requests.size());
+  ReplayRange(Half, Total);
   Clock::time_point T2 = Clock::now();
 
   size_t Failed = 0;
@@ -387,15 +420,30 @@ static int runServe(int Argc, char **Argv) {
   std::fprintf(stderr,
                "pgmpi: serve: %zu request(s), %zu failed, %llu publish(es), "
                "%llu epoch(s), %llu promotion(s), %llu demotion(s)\n",
-               Requests.size(), Failed,
+               Total, Failed,
                static_cast<unsigned long long>(Publishes),
                static_cast<unsigned long long>(Epochs),
                static_cast<unsigned long long>(Promotions),
                static_cast<unsigned long long>(Demotions));
   std::fprintf(stderr, "pgmpi: serve: first half %llu ms, second half %llu ms\n",
                Ms(T0, T1), Ms(T1, T2));
+  uint64_t Collections = 0, Reclaimed = 0, Live = 0, Aborts = 0;
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    const Heap &H = Pool.engine(I).context().TheHeap;
+    Collections += H.allocStats().Collections;
+    Reclaimed += H.allocStats().BytesReclaimed;
+    Aborts += H.allocStats().ReclaimAborts;
+    Live += H.bytesLive();
+  }
+  std::fprintf(stderr,
+               "pgmpi: serve: heap: %llu collection(s), %llu bytes reclaimed, "
+               "%llu bytes live, %llu reclaim abort(s)\n",
+               static_cast<unsigned long long>(Collections),
+               static_cast<unsigned long long>(Reclaimed),
+               static_cast<unsigned long long>(Live),
+               static_cast<unsigned long long>(Aborts));
 
-  if (Failed == Requests.size()) {
+  if (Failed == Total) {
     std::fprintf(stderr, "pgmpi: all %zu request(s) failed\n", Failed);
     return 1;
   }
@@ -478,10 +526,85 @@ static int reportFusedPairs(const std::string &Program,
   return 0;
 }
 
+/// `pgmpi report --alloc PROG.scm`: the allocation-site table. Runs the
+/// program with boundary reclamation on (survival numbers only exist once
+/// regions are actually reclaimed), forces a final major collection so
+/// the table reflects settled liveness, and prints every site that
+/// allocated: object kinds seen, counts, bytes, and the effective
+/// survival rate that drives the pre-tenuring policy.
+static int reportAllocSites(const std::string &Program) {
+  EngineOptions EOpts;
+  EOpts.Reclaim = ReclaimMode::Boundary;
+  Engine E(EOpts);
+  EvalResult R = E.evalFile(Program);
+  if (!R.Ok) {
+    std::fprintf(stderr, "pgmpi: %s\n", R.Error.c_str());
+    return 1;
+  }
+  Context &Ctx = E.context();
+  Ctx.LastResult = Value::undefined(); // drop the result: report liveness
+  Ctx.reclaimAtBoundary(/*ForceMajor=*/true);
+  const Heap &H = Ctx.TheHeap;
+  const std::array<AllocSiteStats, NumAllocSites> &Sites = H.siteStats();
+
+  uint64_t TotalObjects = 0, TotalBytes = 0;
+  for (const AllocSiteStats &S : Sites) {
+    TotalObjects += S.Objects;
+    TotalBytes += S.Bytes;
+  }
+  std::printf("allocation-site table: %llu object(s), %llu byte(s), "
+              "%llu collection(s), %llu byte(s) reclaimed\n",
+              static_cast<unsigned long long>(TotalObjects),
+              static_cast<unsigned long long>(TotalBytes),
+              static_cast<unsigned long long>(H.allocStats().Collections),
+              static_cast<unsigned long long>(H.allocStats().BytesReclaimed));
+  std::printf("heap: %llu byte(s) live (%llu nursery, %llu tenured), "
+              "%llu byte(s) evacuated, %llu pre-tenured object(s)\n",
+              static_cast<unsigned long long>(H.bytesLive()),
+              static_cast<unsigned long long>(H.nurseryBytes()),
+              static_cast<unsigned long long>(H.tenuredBytes()),
+              static_cast<unsigned long long>(H.allocStats().BytesEvacuated),
+              static_cast<unsigned long long>(H.allocStats().PreTenuredObjects));
+
+  size_t Order[NumAllocSites];
+  for (size_t I = 0; I < NumAllocSites; ++I)
+    Order[I] = I;
+  std::sort(Order, Order + NumAllocSites, [&](size_t A, size_t B) {
+    return Sites[A].Bytes > Sites[B].Bytes;
+  });
+  std::printf("  %-22s %10s %12s %10s %9s  %s\n", "site", "objects", "bytes",
+              "survived", "survival", "kinds");
+  for (size_t I = 0; I < NumAllocSites; ++I) {
+    const AllocSiteStats &S = Sites[Order[I]];
+    if (S.Objects == 0)
+      continue;
+    // The effective survival rate, as selectReclaimPolicy computes it:
+    // pre-tenured allocations count as survivors, so a site keeps its
+    // standing once the policy routes it straight to tenured.
+    double Rate = static_cast<double>(S.Survived + S.TenuredAllocs) /
+                  static_cast<double>(S.Objects);
+    std::string Kinds;
+    for (size_t K = 0; K < NumValueKinds; ++K)
+      if (S.Kinds & (1u << K)) {
+        if (!Kinds.empty())
+          Kinds += ",";
+        Kinds += valueKindName(static_cast<ValueKind>(K));
+      }
+    std::printf("  %-22s %10llu %12llu %10llu %8.1f%%  %s\n",
+                allocSiteName(static_cast<AllocSite>(Order[I])),
+                static_cast<unsigned long long>(S.Objects),
+                static_cast<unsigned long long>(S.Bytes),
+                static_cast<unsigned long long>(S.Survived + S.TenuredAllocs),
+                Rate * 100, Kinds.c_str());
+  }
+  return 0;
+}
+
 /// `pgmpi report`: hot-spot tables for stored source profiles.
 static int runReport(int Argc, char **Argv) {
   ProfileReportOptions Opts;
   std::string FusedProgram;
+  std::string AllocProgram;
   std::vector<std::string> Files;
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -510,6 +633,12 @@ static int runReport(int Argc, char **Argv) {
         return ExitUsage;
       }
       FusedProgram = Argv[++I];
+    } else if (Arg == "--alloc") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "pgmpi: --alloc needs a program file\n");
+        return ExitUsage;
+      }
+      AllocProgram = Argv[++I];
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "pgmpi: report: unknown option %s\n", Arg.c_str());
       return ExitUsage;
@@ -517,7 +646,7 @@ static int runReport(int Argc, char **Argv) {
       Files.push_back(Arg);
     }
   }
-  if (Files.empty() && FusedProgram.empty())
+  if (Files.empty() && FusedProgram.empty() && AllocProgram.empty())
     return usage();
   for (const std::string &F : Files) {
     std::string Out, Err;
@@ -528,8 +657,11 @@ static int runReport(int Argc, char **Argv) {
     std::fputs(Out.c_str(), stdout);
   }
   if (!FusedProgram.empty())
-    return reportFusedPairs(FusedProgram,
-                            Files.empty() ? std::string() : Files.front());
+    if (int Rc = reportFusedPairs(
+            FusedProgram, Files.empty() ? std::string() : Files.front()))
+      return Rc;
+  if (!AllocProgram.empty())
+    return reportAllocSites(AllocProgram);
   return 0;
 }
 
